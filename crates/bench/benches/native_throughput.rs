@@ -1,0 +1,127 @@
+//! Criterion benchmarks for the universal constructions on real threads:
+//! per-operation latency solo and under contention, per construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sbu_core::{
+    bounded::UniversalConfig, CellPayload, SpinLockUniversal, UnboundedUniversal, Universal,
+    UniversalObject,
+};
+use sbu_mem::native::NativeMem;
+use sbu_mem::Pid;
+use sbu_spec::specs::{CounterOp, CounterSpec, QueueOp, QueueSpec};
+use std::sync::Arc;
+
+fn bench_solo_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solo_counter_inc");
+    for n in [1usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("bounded", n), &n, |b, &n| {
+            let mut mem: NativeMem<CellPayload<CounterSpec>> = NativeMem::new();
+            let obj = Universal::new(
+                &mut mem,
+                n,
+                UniversalConfig::for_procs(n),
+                CounterSpec::new(),
+            );
+            b.iter(|| obj.apply(&mem, Pid(0), &CounterOp::Inc));
+        });
+    }
+    group.bench_function("unbounded_n4_per_op", |b| {
+        // The unbounded construction consumes one arena cell per operation,
+        // so criterion's auto-scaled iteration counts would exhaust any
+        // fixed arena; measure fixed-size batches on fresh arenas instead.
+        let batch = 1_000;
+        b.iter_custom(|iters| {
+            let mut total = std::time::Duration::ZERO;
+            let mut remaining = iters;
+            while remaining > 0 {
+                let chunk = remaining.min(batch) as usize;
+                let mut mem: NativeMem<CellPayload<CounterSpec>> = NativeMem::new();
+                let obj = UnboundedUniversal::new(&mut mem, 4, chunk, CounterSpec::new());
+                let t0 = std::time::Instant::now();
+                for _ in 0..chunk {
+                    obj.apply(&mem, Pid(0), &CounterOp::Inc);
+                }
+                total += t0.elapsed();
+                remaining -= chunk as u64;
+            }
+            total
+        });
+    });
+    group.bench_function("spinlock", |b| {
+        let mut mem: NativeMem<CellPayload<CounterSpec>> = NativeMem::new();
+        let obj = SpinLockUniversal::new(&mut mem, CounterSpec::new());
+        b.iter(|| obj.apply::<CounterSpec, _>(&mem, Pid(0), &CounterOp::Inc));
+    });
+    group.finish();
+}
+
+fn run_batch<U: UniversalObject<QueueSpec> + Clone + 'static>(
+    threads: usize,
+    per: usize,
+    obj: &U,
+    mem: &Arc<NativeMem<CellPayload<QueueSpec>>>,
+) {
+    std::thread::scope(|s| {
+        for i in 0..threads {
+            let mem = Arc::clone(mem);
+            let obj = obj.clone();
+            s.spawn(move || {
+                for k in 0..per {
+                    let op = if k % 2 == 0 {
+                        QueueOp::Enqueue(k as u64)
+                    } else {
+                        QueueOp::Dequeue
+                    };
+                    obj.apply(&*mem, Pid(i), &op);
+                }
+            });
+        }
+    });
+}
+
+fn bench_contended_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("contended_queue_400ops");
+    group.sample_size(10);
+    let threads = 4;
+    let per = 100;
+
+    group.bench_function("bounded", |b| {
+        b.iter_with_setup(
+            || {
+                let mut mem: NativeMem<CellPayload<QueueSpec>> = NativeMem::new();
+                let obj = Universal::new(
+                    &mut mem,
+                    threads,
+                    UniversalConfig::for_procs(threads),
+                    QueueSpec::new(),
+                );
+                (obj, Arc::new(mem))
+            },
+            |(obj, mem)| run_batch(threads, per, &obj, &mem),
+        );
+    });
+    group.bench_function("unbounded", |b| {
+        b.iter_with_setup(
+            || {
+                let mut mem: NativeMem<CellPayload<QueueSpec>> = NativeMem::new();
+                let obj = UnboundedUniversal::new(&mut mem, threads, per + 4, QueueSpec::new());
+                (obj, Arc::new(mem))
+            },
+            |(obj, mem)| run_batch(threads, per, &obj, &mem),
+        );
+    });
+    group.bench_function("spinlock", |b| {
+        b.iter_with_setup(
+            || {
+                let mut mem: NativeMem<CellPayload<QueueSpec>> = NativeMem::new();
+                let obj = SpinLockUniversal::new(&mut mem, QueueSpec::new());
+                (obj, Arc::new(mem))
+            },
+            |(obj, mem)| run_batch(threads, per, &obj, &mem),
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solo_latency, bench_contended_batch);
+criterion_main!(benches);

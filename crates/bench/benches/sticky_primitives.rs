@@ -1,0 +1,92 @@
+//! Criterion microbenchmarks for the sticky primitives on the native
+//! backend: the raw cost of jams, sticky-byte jams (Figure 2), leader
+//! election, and consensus objects.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sbu_mem::native::NativeMem;
+use sbu_mem::{Pid, WordMem};
+use sbu_sticky::consensus::{Consensus, InitializableConsensus, RmwConsensus, StickyWordConsensus};
+use sbu_sticky::{JamWord, LeaderElection};
+
+fn bench_sticky_bit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sticky_bit");
+    group.bench_function("jam_then_flush", |b| {
+        let mut mem: NativeMem<()> = NativeMem::new();
+        let s = mem.alloc_sticky_bit();
+        b.iter(|| {
+            mem.sticky_jam(Pid(0), s, true);
+            mem.sticky_flush(Pid(0), s);
+        });
+    });
+    group.bench_function("read", |b| {
+        let mut mem: NativeMem<()> = NativeMem::new();
+        let s = mem.alloc_sticky_bit();
+        mem.sticky_jam(Pid(0), s, true);
+        b.iter(|| mem.sticky_read(Pid(0), s));
+    });
+    group.finish();
+}
+
+fn bench_jam_word(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jam_word_fig2");
+    for width in [8u32, 16, 32] {
+        group.bench_with_input(
+            BenchmarkId::new("solo_jam_flush", width),
+            &width,
+            |b, &width| {
+                let mut mem: NativeMem<()> = NativeMem::new();
+                let jw = JamWord::new(&mut mem, 4, width);
+                b.iter(|| {
+                    jw.jam(&mem, Pid(0), 0x5A);
+                    jw.flush(&mem, Pid(0));
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_election(c: &mut Criterion) {
+    let mut group = c.benchmark_group("leader_election");
+    for n in [4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("solo_elect_flush", n), &n, |b, &n| {
+            let mut mem: NativeMem<()> = NativeMem::new();
+            let le = LeaderElection::new(&mut mem, n);
+            b.iter(|| {
+                le.elect(&mem, Pid(0));
+                le.flush(&mem, Pid(0));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_consensus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("consensus_objects");
+    group.bench_function("sticky_word_propose", |b| {
+        let mut mem: NativeMem<()> = NativeMem::new();
+        let cons = StickyWordConsensus::new(&mut mem);
+        b.iter(|| {
+            cons.propose(&mem, Pid(0), 7);
+            cons.reset(&mem, Pid(0));
+        });
+    });
+    group.bench_function("rmw3_propose", |b| {
+        let mut mem: NativeMem<()> = NativeMem::new();
+        let cons = RmwConsensus::new(&mut mem);
+        b.iter(|| {
+            cons.propose(&mem, Pid(0), 1);
+            cons.reset(&mem, Pid(0));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sticky_bit,
+    bench_jam_word,
+    bench_election,
+    bench_consensus
+);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! E2 — leader election in O(log n) (Section 4).
+//!
+//! Paper claim: jamming processor ids into a ⌈log₂ n⌉-bit sticky byte
+//! elects a leader wait-free "in O(log n) time".
+
+use crate::render_table;
+use sbu_mem::Pid;
+use sbu_sim::{run_uniform, RandomAdversary, RoundRobin, RunOptions, SimMem};
+use sbu_sticky::LeaderElection;
+
+/// Run the experiment and return the report.
+pub fn run() -> String {
+    // Solo cost: uncontended elect() steps vs n.
+    let mut rows = Vec::new();
+    for &n in &[2usize, 4, 8, 16, 32, 64, 128, 256] {
+        let mut mem: SimMem<()> = SimMem::new(1);
+        let le = LeaderElection::new(&mut mem, n);
+        let le2 = le.clone();
+        let out = run_uniform(
+            &mem,
+            Box::new(RoundRobin::new()),
+            RunOptions::default(),
+            1,
+            move |mem, _| le2.elect(mem, Pid(0)),
+        );
+        let log2 = (n as f64).log2();
+        rows.push(vec![
+            n.to_string(),
+            out.steps.to_string(),
+            format!("{log2:.0}"),
+            format!("{:.2}", out.steps as f64 / log2.max(1.0)),
+        ]);
+    }
+    let solo = render_table(
+        "E2a  solo election cost (claim: O(log n) — steps/log₂n flat)",
+        &["n", "steps", "log₂n", "steps/log₂n"],
+        &rows,
+    );
+
+    // Contended: all n participate; uniqueness checked; worst steps.
+    let mut rows = Vec::new();
+    for &n in &[2usize, 4, 8, 16] {
+        let mut worst = 0;
+        let mut unique = true;
+        for seed in 0..20 {
+            let mut mem: SimMem<()> = SimMem::new(n);
+            let le = LeaderElection::new(&mut mem, n);
+            let le2 = le.clone();
+            let out = run_uniform(
+                &mem,
+                Box::new(RandomAdversary::new(seed)),
+                RunOptions::default(),
+                n,
+                move |mem, pid| le2.elect(mem, pid),
+            );
+            out.assert_clean();
+            let leaders: Vec<Pid> = out.results().into_iter().copied().collect();
+            unique &= leaders.iter().all(|&l| l == leaders[0]);
+            worst = worst.max(*out.steps_per_proc.iter().max().unwrap());
+        }
+        rows.push(vec![
+            n.to_string(),
+            worst.to_string(),
+            if unique { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    let contended = render_table(
+        "E2b  contended election (20 seeds): worst per-processor steps, \
+         unique agreed leader",
+        &["n", "worst steps", "unique leader"],
+        &rows,
+    );
+
+    format!("{solo}\n{contended}")
+}

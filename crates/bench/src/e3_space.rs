@@ -1,0 +1,107 @@
+//! E3 — Theorem 6.6's space bound: O(n²) cells, O(n² log n) sticky bits.
+//!
+//! We build the bounded universal construction for growing n, run a fixed
+//! per-processor workload, and report (a) the allocated pool and its ratio
+//! to n², (b) the sticky-bit census with sticky words charged at
+//! ⌈log₂ pool⌉ bits each (the Figure 2 accounting), and its ratio to
+//! n² log n, and (c) live (claimed) cells after the run — the reuse working
+//! set. The unbounded baseline's linear growth is shown for contrast.
+
+use crate::render_table;
+use sbu_core::{bounded::UniversalConfig, CellPayload, UnboundedUniversal, Universal};
+use sbu_mem::Pid;
+use sbu_sim::{run_uniform, RoundRobin, RunOptions, SimMem};
+use sbu_spec::specs::{CounterOp, CounterSpec};
+
+/// Run the experiment and return the report.
+pub fn run() -> String {
+    let ops_each = 10;
+    let mut rows = Vec::new();
+    for &n in &[1usize, 2, 3, 4, 6, 8] {
+        let mut mem: SimMem<CellPayload<CounterSpec>> = SimMem::new(n);
+        let obj = Universal::new(
+            &mut mem,
+            n,
+            UniversalConfig::for_procs(n),
+            CounterSpec::new(),
+        );
+        let obj2 = obj.clone();
+        let out = run_uniform(
+            &mem,
+            Box::new(RoundRobin::new()),
+            RunOptions {
+                max_steps: 500_000_000,
+            },
+            n,
+            move |mem, pid| {
+                for _ in 0..ops_each {
+                    obj2.apply(mem, pid, &CounterOp::Inc);
+                }
+            },
+        );
+        out.assert_clean();
+        let (_, _, sticky_bits, sticky_words, _, _) = mem.census();
+        let word_bits = (obj.pool_size() as f64).log2().ceil() as usize;
+        let sticky_equiv = sticky_bits + sticky_words * word_bits;
+        let n2 = (n * n) as f64;
+        let n2logn = n2 * (n.max(2) as f64).log2();
+        let live = obj.cells_in_use(&mem, Pid(0));
+        rows.push(vec![
+            n.to_string(),
+            obj.pool_size().to_string(),
+            format!("{:.1}", obj.pool_size() as f64 / n2),
+            live.to_string(),
+            sticky_equiv.to_string(),
+            format!("{:.0}", sticky_equiv as f64 / n2logn),
+        ]);
+    }
+    let bounded = render_table(
+        "E3a  bounded construction space (Thm 6.6: cells = Θ(n²), sticky \
+         bits = Θ(n² log n))",
+        &[
+            "n",
+            "pool cells",
+            "cells/n²",
+            "live cells after run",
+            "sticky-bit equiv",
+            "equiv/(n²·log n)",
+        ],
+        &rows,
+    );
+
+    // Unbounded baseline: cells consumed grow linearly with total ops.
+    let mut rows = Vec::new();
+    for &total_ops in &[20usize, 40, 80, 160] {
+        let n = 2;
+        let per = total_ops / n;
+        let mut mem: SimMem<CellPayload<CounterSpec>> = SimMem::new(n);
+        let obj = UnboundedUniversal::new(&mut mem, n, per, CounterSpec::new());
+        let obj2 = obj.clone();
+        let out = run_uniform(
+            &mem,
+            Box::new(RoundRobin::new()),
+            RunOptions {
+                max_steps: 500_000_000,
+            },
+            n,
+            move |mem, pid| {
+                for _ in 0..per {
+                    obj2.apply(mem, pid, &CounterOp::Inc);
+                }
+            },
+        );
+        out.assert_clean();
+        rows.push(vec![
+            total_ops.to_string(),
+            obj.cells_consumed(&mem, Pid(0)).to_string(),
+        ]);
+    }
+    let unbounded = render_table(
+        "E3b  unbounded (Herlihy-style) baseline: memory grows with ops \
+         (the paper's critique)",
+        &["total ops", "cells consumed"],
+        &rows,
+    );
+
+    format!("{bounded}\n{unbounded}")
+}

@@ -1,0 +1,166 @@
+//! E4 — Section 6.4's time bounds.
+//!
+//! Paper claims, with T the safe implementation's cost per access:
+//! sequential (uncontended) access costs O(T + n² log n); the worst case
+//! under contention costs O(nT + n³ log n). The dominant measured term is
+//! the full-pool scans (pool = Θ(n²)), so steps/op should track n² solo
+//! and stay within an n³-ish envelope contended.
+
+use crate::render_table;
+use sbu_core::{bounded::UniversalConfig, CellPayload, Universal};
+use sbu_mem::WordMem;
+use sbu_sim::{run_uniform, RandomAdversary, RoundRobin, RunOptions, SimMem};
+use sbu_spec::specs::{CounterOp, CounterSpec};
+use std::sync::Arc;
+
+/// Run the experiment and return the report.
+pub fn run() -> String {
+    // Solo: a single processor on an object built for n processors.
+    let mut rows = Vec::new();
+    for &n in &[1usize, 2, 3, 4, 6, 8] {
+        let ops = 5;
+        let mut mem: SimMem<CellPayload<CounterSpec>> = SimMem::new(1);
+        let obj = Universal::new(
+            &mut mem,
+            n,
+            UniversalConfig::for_procs(n),
+            CounterSpec::new(),
+        );
+        let obj2 = obj.clone();
+        let out = run_uniform(
+            &mem,
+            Box::new(RoundRobin::new()),
+            RunOptions {
+                max_steps: 500_000_000,
+            },
+            1,
+            move |mem, pid| {
+                for _ in 0..ops {
+                    obj2.apply(mem, pid, &CounterOp::Inc);
+                }
+            },
+        );
+        out.assert_clean();
+        let per_op = out.steps as f64 / ops as f64;
+        rows.push(vec![
+            n.to_string(),
+            format!("{per_op:.0}"),
+            format!("{:.1}", per_op / (n * n) as f64),
+        ]);
+    }
+    let solo = render_table(
+        "E4a  solo cost per operation (claim: O(T + n² log n) — per-op/n² \
+         roughly flat)",
+        &["n", "steps/op", "steps/op/n²"],
+        &rows,
+    );
+
+    // Contended: n processors, adversarial schedules; worst single-op cost.
+    let mut rows = Vec::new();
+    for &n in &[2usize, 3, 4, 6] {
+        let ops = 3;
+        let mut worst = 0u64;
+        let mut mean_acc = 0f64;
+        let mut count = 0usize;
+        for seed in 0..8 {
+            let mut mem: SimMem<CellPayload<CounterSpec>> = SimMem::new(n);
+            let obj = Universal::new(
+                &mut mem,
+                n,
+                UniversalConfig::for_procs(n),
+                CounterSpec::new(),
+            );
+            let obj2 = obj.clone();
+            let spans: Arc<parking_lot::Mutex<Vec<u64>>> =
+                Arc::new(parking_lot::Mutex::new(Vec::new()));
+            let spans2 = Arc::clone(&spans);
+            let out = run_uniform(
+                &mem,
+                Box::new(RandomAdversary::new(seed)),
+                RunOptions {
+                    max_steps: 500_000_000,
+                },
+                n,
+                move |mem, pid| {
+                    for _ in 0..ops {
+                        let t0 = mem.op_invoke(pid);
+                        obj2.apply(mem, pid, &CounterOp::Inc);
+                        let t1 = mem.op_return(pid);
+                        spans2.lock().push(t1 - t0);
+                    }
+                },
+            );
+            out.assert_clean();
+            for s in spans.lock().iter() {
+                worst = worst.max(*s);
+                mean_acc += *s as f64;
+                count += 1;
+            }
+        }
+        let mean = mean_acc / count as f64;
+        rows.push(vec![
+            n.to_string(),
+            format!("{mean:.0}"),
+            worst.to_string(),
+            format!("{:.1}", worst as f64 / (n * n * n) as f64),
+        ]);
+    }
+    let contended = render_table(
+        "E4b  contended cost per operation, adversarial schedules (claim: \
+         worst case O(nT + n³ log n))",
+        &["n", "mean steps/op", "worst steps/op", "worst/n³"],
+        &rows,
+    );
+
+    // Ablation: the locality fast paths (our answer to the paper's §7 open
+    // problem on time complexity). FIND-HEAD's full-pool scan dominates the
+    // solo cost; remembering the last head and walking forward along Prev
+    // links removes it whenever the hint is still warm.
+    let mut rows = Vec::new();
+    for &n in &[2usize, 4, 8] {
+        // Enough operations to reach the reclamation steady state (a cell
+        // is reclaimable only once n snapshots sit ahead of it).
+        let ops = 4 * n + 8;
+        let cost = |hints: bool| -> f64 {
+            let mut mem: SimMem<CellPayload<CounterSpec>> = SimMem::new(1);
+            let config = if hints {
+                UniversalConfig::for_procs(n).with_fast_paths()
+            } else {
+                UniversalConfig::for_procs(n)
+            };
+            let obj = Universal::new(&mut mem, n, config, CounterSpec::new());
+            let obj2 = obj.clone();
+            let out = run_uniform(
+                &mem,
+                Box::new(RoundRobin::new()),
+                RunOptions {
+                    max_steps: 500_000_000,
+                },
+                1,
+                move |mem, pid| {
+                    for _ in 0..ops {
+                        obj2.apply(mem, pid, &CounterOp::Inc);
+                    }
+                },
+            );
+            out.assert_clean();
+            out.steps as f64 / ops as f64
+        };
+        let base = cost(false);
+        let hinted = cost(true);
+        rows.push(vec![
+            n.to_string(),
+            format!("{base:.0}"),
+            format!("{hinted:.0}"),
+            format!("{:.2}×", base / hinted),
+        ]);
+    }
+    let ablation = render_table(
+        "E4c  ablation: FIND-HEAD locality fast paths (§7 open-problem \
+         extension), solo steps/op",
+        &["n", "full scan", "with hints", "speedup"],
+        &rows,
+    );
+
+    format!("{solo}\n{contended}\n{ablation}")
+}

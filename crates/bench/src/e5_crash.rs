@@ -1,0 +1,150 @@
+//! E5 — the introduction's motivation: a crash inside a lock-based object
+//! stalls the system to "the speed of the slowest component, which can be
+//! zero if this component has failed"; the wait-free constructions don't
+//! care.
+//!
+//! Workload: n processors run queue operations; the adversary crashes one
+//! of them mid-operation. We report survivor progress and whether the run
+//! wedged (hit the step limit with processors spinning).
+
+use crate::render_table;
+use sbu_core::{
+    bounded::UniversalConfig, CellPayload, ConsensusUniversal, SpinLockUniversal,
+    UnboundedUniversal, Universal, UniversalObject,
+};
+use sbu_mem::Pid;
+use sbu_sim::{run_uniform, CrashPlan, RoundRobin, RunOptions, SimMem};
+use sbu_spec::specs::{QueueOp, QueueSpec};
+
+fn run_consensus_scenario(crash: bool) -> (usize, bool) {
+    use sbu_sticky::consensus::StickyWordConsensus;
+    let n = 3;
+    let ops = 6;
+    let mut mem: SimMem<CellPayload<QueueSpec>> = SimMem::new(n);
+    let obj = ConsensusUniversal::new(&mut mem, n, 16, QueueSpec::new(), StickyWordConsensus::new);
+    let targets = if crash { vec![(Pid(0), 1)] } else { vec![] };
+    let out = run_uniform(
+        &mem,
+        Box::new(CrashPlan::new(targets, RoundRobin::new())),
+        RunOptions { max_steps: 300_000 },
+        n,
+        move |mem, pid| {
+            let mut done = 0usize;
+            for i in 0..ops {
+                let op = if i % 2 == 0 {
+                    QueueOp::Enqueue((pid.0 * 10 + i) as u64)
+                } else {
+                    QueueOp::Dequeue
+                };
+                obj.apply(mem, pid, &op);
+                done += 1;
+            }
+            done
+        },
+    );
+    let survivor_ops: usize = out.results().into_iter().copied().sum();
+    (survivor_ops, out.aborted)
+}
+
+fn run_scenario<U>(
+    make: impl Fn(&mut SimMem<CellPayload<QueueSpec>>) -> U,
+    crash: bool,
+) -> (usize, bool)
+where
+    U: UniversalObject<QueueSpec> + Clone + 'static,
+{
+    let n = 3;
+    let ops = 6;
+    let mut mem: SimMem<CellPayload<QueueSpec>> = SimMem::new(n);
+    let obj = make(&mut mem);
+    let targets = if crash {
+        // Under round-robin, pid 0 takes the first step(s) — for the lock
+        // construction that is the lock acquisition.
+        vec![(Pid(0), 1)]
+    } else {
+        vec![]
+    };
+    let out = run_uniform(
+        &mem,
+        Box::new(CrashPlan::new(targets, RoundRobin::new())),
+        RunOptions { max_steps: 300_000 },
+        n,
+        move |mem, pid| {
+            let mut done = 0usize;
+            for i in 0..ops {
+                let op = if i % 2 == 0 {
+                    QueueOp::Enqueue((pid.0 * 10 + i) as u64)
+                } else {
+                    QueueOp::Dequeue
+                };
+                obj.apply(mem, pid, &op);
+                done += 1;
+            }
+            done
+        },
+    );
+    let survivor_ops: usize = out.results().into_iter().copied().sum();
+    (survivor_ops, out.aborted)
+}
+
+/// Run the experiment and return the report.
+pub fn run() -> String {
+    let mut rows = Vec::new();
+    type Scenario = Box<dyn Fn(bool) -> (usize, bool)>;
+    let cases: Vec<(&str, Scenario)> = vec![
+        (
+            "bounded universal (paper)",
+            Box::new(|crash| {
+                run_scenario(
+                    |mem| Universal::new(mem, 3, UniversalConfig::for_procs(3), QueueSpec::new()),
+                    crash,
+                )
+            }),
+        ),
+        (
+            "unbounded universal (Herlihy)",
+            Box::new(|crash| {
+                run_scenario(
+                    |mem| UnboundedUniversal::new(mem, 3, 16, QueueSpec::new()),
+                    crash,
+                )
+            }),
+        ),
+        (
+            "consensus universal (title)",
+            Box::new(run_consensus_scenario),
+        ),
+        (
+            "lock-based (strawman)",
+            Box::new(|crash| {
+                run_scenario(|mem| SpinLockUniversal::new(mem, QueueSpec::new()), crash)
+            }),
+        ),
+    ];
+    for (name, scenario) in &cases {
+        for crash in [false, true] {
+            let (survivor_ops, wedged) = scenario(crash);
+            rows.push(vec![
+                name.to_string(),
+                if crash {
+                    "p0 mid-op".into()
+                } else {
+                    "none".into()
+                },
+                survivor_ops.to_string(),
+                if wedged { "WEDGED".into() } else { "no".into() },
+            ]);
+        }
+    }
+    render_table(
+        "E5  crash resilience (3 procs × 6 queue ops; survivors should \
+         complete 12 ops after p0 dies)",
+        &[
+            "construction",
+            "crash",
+            "ops completed by survivors",
+            "wedged",
+        ],
+        &rows,
+    )
+}

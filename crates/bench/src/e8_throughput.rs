@@ -1,0 +1,106 @@
+//! E8 — native throughput of the constructions on real threads.
+//!
+//! Not a claim the paper makes (1989 hardware!), but the comparison every
+//! modern reader wants: operations per second for the bounded universal
+//! construction vs the unbounded baseline vs a spin lock vs a raw atomic
+//! fetch-and-add reference, as thread count grows. The universal
+//! constructions pay for wait-freedom with full-pool scans; the point is
+//! progress guarantees, not raw speed.
+
+use crate::render_table;
+use sbu_core::{
+    bounded::UniversalConfig, CellPayload, SpinLockUniversal, UnboundedUniversal, Universal,
+    UniversalObject,
+};
+use sbu_mem::native::NativeMem;
+use sbu_mem::{Pid, WordMem};
+use sbu_spec::specs::{CounterOp, CounterSpec};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn throughput<U>(
+    threads: usize,
+    ops_per_thread: usize,
+    obj: U,
+    mem: NativeMem<CellPayload<CounterSpec>>,
+) -> f64
+where
+    U: UniversalObject<CounterSpec> + Clone + 'static,
+{
+    let mem = Arc::new(mem);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for i in 0..threads {
+            let mem = Arc::clone(&mem);
+            let obj = obj.clone();
+            s.spawn(move || {
+                for _ in 0..ops_per_thread {
+                    obj.apply(&*mem, Pid(i), &CounterOp::Inc);
+                }
+            });
+        }
+    });
+    (threads * ops_per_thread) as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// Run the experiment and return the report.
+pub fn run() -> String {
+    let mut rows = Vec::new();
+    for &threads in &[1usize, 2, 4, 8] {
+        let ops = 2_000;
+
+        let mut mem: NativeMem<CellPayload<CounterSpec>> = NativeMem::new();
+        let bounded = Universal::new(
+            &mut mem,
+            threads,
+            UniversalConfig::for_procs(threads),
+            CounterSpec::new(),
+        );
+        let bounded_tp = throughput(threads, ops, bounded, mem);
+
+        let mut mem: NativeMem<CellPayload<CounterSpec>> = NativeMem::new();
+        let unbounded = UnboundedUniversal::new(&mut mem, threads, ops + 8, CounterSpec::new());
+        let unbounded_tp = throughput(threads, ops, unbounded, mem);
+
+        let mut mem: NativeMem<CellPayload<CounterSpec>> = NativeMem::new();
+        let lock = SpinLockUniversal::new(&mut mem, CounterSpec::new());
+        let lock_tp = throughput(threads, ops, lock, mem);
+
+        // Raw fetch-and-add reference (not linearizable *as a universal
+        // object* — it IS the hardware op the constructions simulate).
+        let mut mem: NativeMem<()> = NativeMem::new();
+        let reg = mem.alloc_atomic(0);
+        let mem = Arc::new(mem);
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for i in 0..threads {
+                let mem = Arc::clone(&mem);
+                s.spawn(move || {
+                    for _ in 0..ops {
+                        mem.rmw(Pid(i), reg, &|x| x + 1);
+                    }
+                });
+            }
+        });
+        let raw_tp = (threads * ops) as f64 / t0.elapsed().as_secs_f64();
+
+        rows.push(vec![
+            threads.to_string(),
+            format!("{:.0}", bounded_tp),
+            format!("{:.0}", unbounded_tp),
+            format!("{:.0}", lock_tp),
+            format!("{:.0}", raw_tp),
+        ]);
+    }
+    render_table(
+        "E8  native throughput, ops/sec (counter; release build recommended)",
+        &[
+            "threads",
+            "bounded universal",
+            "unbounded universal",
+            "spin lock",
+            "raw fetch-add",
+        ],
+        &rows,
+    )
+}

@@ -1,0 +1,76 @@
+//! # sbu-bench — the experiment harness
+//!
+//! One module per experiment of `EXPERIMENTS.md` (E1–E8), each regenerating
+//! the corresponding table from the paper's claims. Run them via the `exp`
+//! binary:
+//!
+//! ```sh
+//! cargo run --release -p sbu-bench --bin exp -- all
+//! cargo run --release -p sbu-bench --bin exp -- e3
+//! ```
+//!
+//! The paper is a theory paper: its "evaluation" is Theorem 6.6, the §6.4
+//! complexity paragraph, the Figure 2/§4 observations and the §1/§7
+//! hierarchy claims. Each experiment measures the implemented system and
+//! reports the *shape* predicted by the paper (who wins, what grows how
+//! fast, where the separations fall).
+
+pub mod e1_sticky_byte;
+pub mod e2_election;
+pub mod e3_space;
+pub mod e4_time;
+pub mod e5_crash;
+pub mod e6_hierarchy;
+pub mod e7_randomized;
+pub mod e8_throughput;
+
+/// Render a table: header row plus data rows, columns padded.
+pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(c.len())))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            "T",
+            &["a", "bbbb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        assert!(t.contains("T\n"));
+        assert!(t.contains("333"));
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 5);
+    }
+}

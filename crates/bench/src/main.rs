@@ -1,0 +1,36 @@
+//! `exp` — regenerate the paper-reproduction tables (see EXPERIMENTS.md).
+//!
+//! ```sh
+//! cargo run --release -p sbu-bench --bin exp -- all
+//! cargo run --release -p sbu-bench --bin exp -- e1 e5
+//! ```
+
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let selected: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        vec!["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8"]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for exp in selected {
+        let t0 = Instant::now();
+        let report = match exp {
+            "e1" => sbu_bench::e1_sticky_byte::run(),
+            "e2" => sbu_bench::e2_election::run(),
+            "e3" => sbu_bench::e3_space::run(),
+            "e4" => sbu_bench::e4_time::run(),
+            "e5" => sbu_bench::e5_crash::run(),
+            "e6" => sbu_bench::e6_hierarchy::run(),
+            "e7" => sbu_bench::e7_randomized::run(),
+            "e8" => sbu_bench::e8_throughput::run(),
+            other => {
+                eprintln!("unknown experiment {other:?}; use e1..e8 or all");
+                std::process::exit(2);
+            }
+        };
+        println!("{report}");
+        println!("[{exp} took {:.1?}]\n", t0.elapsed());
+    }
+}

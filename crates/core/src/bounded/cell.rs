@@ -1,0 +1,118 @@
+//! The cell layout of Figure 3 (with the write-once data refinement).
+
+use crate::CellPayload;
+use sbu_mem::{DataId, DataMem, SafeId, StickyBitId, StickyWordId};
+use sbu_spec::SequentialSpec;
+
+/// Pool sizing for the bounded construction.
+///
+/// Theorem 6.6 proves Θ(n²) cells suffice; the default is a comfortably
+/// padded 4n² + 8n + 4 to absorb leaks from crashed processors (a crash
+/// permanently strands at most its claimed cell and up to three grabs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniversalConfig {
+    /// Number of cells in the pool (including the anchor).
+    pub cells: usize,
+    /// Enable the locality fast paths (an answer to the paper's §7 open
+    /// problem on time complexity):
+    /// * FIND-HEAD first walks forward from the last head this processor
+    ///   saw (along `Prev` links) instead of scanning the whole pool;
+    /// * GFC first retries cells this processor itself reclaimed.
+    ///
+    /// Both fall back to the paper's full scans whenever a hint is stale,
+    /// so correctness is identical (experiment E4c measures the gain).
+    pub fast_paths: bool,
+}
+
+impl UniversalConfig {
+    /// The default Θ(n²) pool for `n` processors.
+    pub fn for_procs(n: usize) -> Self {
+        Self {
+            cells: 4 * n * n + 8 * n + 4,
+            fast_paths: false,
+        }
+    }
+
+    /// Override the pool size (experiment E3 sweeps this to find the real
+    /// high-water mark).
+    pub fn with_cells(cells: usize) -> Self {
+        Self {
+            cells,
+            fast_paths: false,
+        }
+    }
+
+    /// Enable the locality fast paths.
+    pub fn with_fast_paths(mut self) -> Self {
+        self.fast_paths = true;
+        self
+    }
+}
+
+/// Handles to one cell's registers (Figure 3).
+///
+/// | field       | kind        | decided by                              |
+/// |-------------|-------------|------------------------------------------|
+/// | `claimed`   | sticky bit  | owner takes the cell                     |
+/// | `proc_id`   | sticky word | GFC jam race: who owns the cell          |
+/// | `not_head`  | sticky bit  | set once the cell has a successor        |
+/// | `next`      | sticky word | the cell appended just before this one   |
+/// | `prev`      | sticky word | consensus on this cell's successor       |
+/// | `init_flag` | safe        | owner is reinitializing (Figure 5)       |
+/// | `count_init`| safe        | owner's progress through the `r` bits    |
+/// | `r[n]`      | safe        | `r_j`: processor j holds a grab          |
+/// | `b[n]`      | safe        | `b_d`: the d-th successor wrote a state  |
+/// | `cmd`       | data        | the command (write-once per incarnation) |
+/// | `has_cmd`   | safe        | `cmd` is stable                          |
+/// | `state`     | data        | the state snapshot (write-once)          |
+/// | `has_state` | safe        | `state` is stable                        |
+pub(crate) struct CellHandles {
+    pub claimed: StickyBitId,
+    pub proc_id: StickyWordId,
+    pub not_head: StickyBitId,
+    pub next: StickyWordId,
+    pub prev: StickyWordId,
+    pub init_flag: SafeId,
+    pub count_init: SafeId,
+    pub r: Vec<SafeId>,
+    pub b: Vec<SafeId>,
+    pub cmd: DataId,
+    pub has_cmd: SafeId,
+    pub state: DataId,
+    pub has_state: SafeId,
+}
+
+impl CellHandles {
+    pub fn alloc<S: SequentialSpec, M: DataMem<CellPayload<S>>>(mem: &mut M, n: usize) -> Self {
+        Self {
+            claimed: mem.alloc_sticky_bit(),
+            proc_id: mem.alloc_sticky_word(),
+            not_head: mem.alloc_sticky_bit(),
+            next: mem.alloc_sticky_word(),
+            prev: mem.alloc_sticky_word(),
+            init_flag: mem.alloc_safe(0),
+            count_init: mem.alloc_safe(0),
+            r: (0..n).map(|_| mem.alloc_safe(0)).collect(),
+            b: (0..n).map(|_| mem.alloc_safe(0)).collect(),
+            cmd: mem.alloc_data(None),
+            has_cmd: mem.alloc_safe(0),
+            state: mem.alloc_data(None),
+            has_state: mem.alloc_safe(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_pool_is_quadratic() {
+        assert_eq!(UniversalConfig::for_procs(1).cells, 16);
+        assert_eq!(UniversalConfig::for_procs(2).cells, 36);
+        assert_eq!(UniversalConfig::for_procs(4).cells, 100);
+        let big = UniversalConfig::for_procs(16).cells;
+        assert!(big >= 4 * 16 * 16);
+        assert_eq!(UniversalConfig::with_cells(7).cells, 7);
+    }
+}

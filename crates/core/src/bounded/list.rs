@@ -1,0 +1,201 @@
+//! FIND-HEAD and APPEND, with helping (Figures 7–8).
+
+use super::{Inner, ProcLocal};
+use sbu_mem::{Pid, Tri, WordMem};
+
+impl<S> Inner<S> {
+    /// FIND-HEAD (Figure 7): scan the pool for the cell that is fully
+    /// linked (`Next ≠ ⊥`) but has no successor yet (`¬NotHead`). Returns
+    /// the head **grabbed**, or `None` if `my_cell` got appended meanwhile
+    /// (a helper finished our job). Bounded by Lemma 6.5: at most n cells
+    /// are appended after we announce, so some scan sees a quiescent list.
+    pub(crate) fn find_head<M: WordMem + ?Sized>(
+        &self,
+        mem: &M,
+        pid: Pid,
+        local: &mut ProcLocal,
+        my_cell: usize,
+    ) -> Option<usize> {
+        if self.use_fast_paths {
+            if let Some(hint) = local.head_hint {
+                if let Some(found) = self.walk_from_hint(mem, pid, local, my_cell, hint) {
+                    local.head_hint = Some(found);
+                    return Some(found);
+                }
+                if mem
+                    .sticky_word_read(pid, self.cells[my_cell].next)
+                    .is_some()
+                {
+                    return None;
+                }
+            }
+        }
+        loop {
+            if mem
+                .sticky_word_read(pid, self.cells[my_cell].next)
+                .is_some()
+            {
+                return None;
+            }
+            for c in 0..self.cells.len() {
+                if c == my_cell || !self.grab(mem, pid, local, c) {
+                    continue;
+                }
+                if mem.sticky_word_read(pid, self.cells[c].next).is_some()
+                    && mem.sticky_read(pid, self.cells[c].not_head) == Tri::Undef
+                {
+                    local.head_hint = Some(c);
+                    return Some(c);
+                }
+                self.release(mem, pid, local, c);
+            }
+        }
+    }
+
+    /// The head-hint fast path (§7 open-problem extension): walk forward
+    /// from the last head this processor saw, following `Prev` links, until
+    /// a cell without a successor. Bails out (to the sound full scan) if
+    /// the hint has gone stale in any way — the walk leaves the list, a
+    /// grab fails (reclamation in progress), or the walk exceeds the pool
+    /// size. Soundness is inherited from the full-scan criterion: the
+    /// returned cell is validated (`Next ≠ ⊥ ∧ ¬NotHead`) under a grab,
+    /// exactly like a scan hit.
+    fn walk_from_hint<M: WordMem + ?Sized>(
+        &self,
+        mem: &M,
+        pid: Pid,
+        local: &mut ProcLocal,
+        my_cell: usize,
+        hint: usize,
+    ) -> Option<usize> {
+        let mut cur = hint;
+        for _ in 0..=self.cells.len() {
+            if cur == my_cell || !self.grab(mem, pid, local, cur) {
+                return None;
+            }
+            let linked = mem.sticky_word_read(pid, self.cells[cur].next).is_some();
+            if linked && mem.sticky_read(pid, self.cells[cur].not_head) == Tri::Undef {
+                return Some(cur); // grabbed, validated — a current head
+            }
+            // Advance toward the head along Prev (set before NotHead, so a
+            // NotHead cell always has a successor pointer).
+            let next_step = if linked {
+                mem.sticky_word_read(pid, self.cells[cur].prev)
+            } else {
+                None // reclaimed/reused cell: the trail is cold
+            };
+            self.release(mem, pid, local, cur);
+            match next_step {
+                Some(p) if (p as usize) < self.cells.len() => cur = p as usize,
+                _ => return None,
+            }
+        }
+        None
+    }
+
+    /// APPEND (Figure 8): announce the cell, append it, then help every
+    /// other announced append. On return, `cell` is in the list.
+    pub(crate) fn append<M: WordMem + ?Sized>(
+        &self,
+        mem: &M,
+        pid: Pid,
+        local: &mut ProcLocal,
+        cell: usize,
+    ) {
+        // Announce: cell index first, flag second, so a raised flag implies
+        // a stable index (a torn read can only occur against a *later*
+        // announcement, whose cell is validated below anyway).
+        mem.safe_write(pid, self.announce_append_cell[pid.0], cell as u64);
+        mem.safe_write(pid, self.announce_append[pid.0], 1);
+
+        if mem.sticky_word_read(pid, self.cells[cell].next).is_none() {
+            if let Some(head) = self.find_head(mem, pid, local, cell) {
+                self.append_inner(mem, pid, local, cell, head);
+            }
+        }
+        debug_assert!(
+            mem.sticky_word_read(pid, self.cells[cell].next).is_some(),
+            "own cell must be appended before helping"
+        );
+        mem.safe_write(pid, self.announce_append[pid.0], 0);
+
+        // Help everyone whose append is announced.
+        for j in 0..self.n {
+            if j == pid.0 || mem.safe_read(pid, self.announce_append[j]) == 0 {
+                continue;
+            }
+            let idx = mem.safe_read(pid, self.announce_append_cell[j]) as usize;
+            if idx >= self.cells.len() {
+                continue; // torn announce read; nothing valid to help with
+            }
+            if !self.grab(mem, pid, local, idx) {
+                continue;
+            }
+            // Validate under the grab: appending any *valid pending* cell
+            // of processor j is linearizable (its operation is invoked),
+            // even if the announce read was torn.
+            let valid = mem.sticky_word_read(pid, self.cells[idx].proc_id) == Some(j as u64)
+                && mem.sticky_read(pid, self.cells[idx].claimed) == Tri::One
+                && mem.safe_read(pid, self.cells[idx].has_cmd) != 0
+                && mem.sticky_word_read(pid, self.cells[idx].next).is_none();
+            if valid {
+                if let Some(head) = self.find_head(mem, pid, local, idx) {
+                    self.append_inner(mem, pid, local, idx, head);
+                }
+            }
+            self.release(mem, pid, local, idx);
+        }
+    }
+
+    /// APPEND-INNER (Figure 8): starting from a (grabbed) candidate head,
+    /// race to jam `head.Prev` with our cell; on losing, link the winner
+    /// (help!) and advance to it. The `Prev` jam is the consensus deciding
+    /// each cell's unique successor; `Next` and `NotHead` follow from it,
+    /// so every helper jams identical values.
+    ///
+    /// Consumes the grab on `head`.
+    pub(crate) fn append_inner<M: WordMem + ?Sized>(
+        &self,
+        mem: &M,
+        pid: Pid,
+        local: &mut ProcLocal,
+        cell: usize,
+        mut head: usize,
+    ) {
+        loop {
+            if mem.sticky_word_read(pid, self.cells[cell].next).is_some() {
+                self.release(mem, pid, local, head);
+                return;
+            }
+            mem.sticky_word_jam(pid, self.cells[head].prev, cell as u64);
+            let winner = mem
+                .sticky_word_read(pid, self.cells[head].prev)
+                .expect("just jammed") as usize;
+            assert!(winner < self.cells.len(), "Prev out of range");
+            if winner == cell {
+                mem.sticky_word_jam(pid, self.cells[cell].next, head as u64);
+                mem.sticky_jam(pid, self.cells[head].not_head, true);
+                self.release(mem, pid, local, head);
+                return;
+            }
+            // Lost the race: finish linking the winner (it may have
+            // crashed), then continue from it as the new head candidate.
+            if self.grab(mem, pid, local, winner) {
+                mem.sticky_word_jam(pid, self.cells[winner].next, head as u64);
+                mem.sticky_jam(pid, self.cells[head].not_head, true);
+                self.release(mem, pid, local, head);
+                head = winner;
+                continue;
+            }
+            // The winner is being reclaimed — only possible once it is n
+            // deep in the list, by which time our cell must have been
+            // appended by a helper (Lemma 6.5). Re-check and, if the world
+            // is stranger than the lemma, rescan for a fresh head.
+            self.release(mem, pid, local, head);
+            match self.find_head(mem, pid, local, cell) {
+                None => return,
+                Some(h) => head = h,
+            }
+        }
+    }
+}

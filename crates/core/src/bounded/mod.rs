@@ -1,0 +1,305 @@
+//! The paper's bounded-memory universal construction (Sections 5–6).
+//!
+//! A fixed pool of **cells** (Figure 3) is linked into a list: appending a
+//! cell *is* the linearization of its operation. Every decision that must
+//! be agreed on — who owns a cell, which cell succeeds the head, where a
+//! cell points — is a sticky field, decided by jamming. Every protocol is
+//! paired with a *helping* protocol so that a crashed processor can never
+//! block anyone:
+//!
+//! * **GFC** (get free cell, Figure 6, `gfc.rs`) — announce, claim a cell by
+//!   jamming your id into its `ProcID`, then prepare cells for everyone
+//!   else still searching.
+//! * **APPEND** (Figures 7–8, `list.rs`) — announce the cell, find the head
+//!   (a full-pool scan for `Next ≠ ⊥ ∧ ¬NotHead`), jam the head's `Prev`
+//!   to become its successor, then help every announced append.
+//! * **GRAB/RELEASE/INIT** (Figures 4–5, `sync.rs`) — the reclamation
+//!   handshake that makes the *non-atomic* `Flush` safe: a processor may
+//!   only flush (reinitialize) a cell after observing every `r_j` bit at 0
+//!   with the `Init` flag raised, so no reader can be inside the cell.
+//! * **Freeing** (Section 5) — after writing its state snapshot, a
+//!   processor marks distance bits `b_1..b_n` on the `n` cells behind it;
+//!   an owner reclaims only fully-marked cells, which no scan can still
+//!   reach.
+//!
+//! The `apply` loop itself is Section 5's six steps: get a cell, store the
+//! command, append, scan back to the nearest state snapshot (at most `n`
+//! command cells away), recompute, publish the new snapshot, mark, return.
+
+mod cell;
+mod gfc;
+mod list;
+mod sync;
+
+pub use cell::UniversalConfig;
+
+use crate::{CellPayload, UniversalObject};
+use cell::CellHandles;
+use parking_lot::Mutex;
+use sbu_mem::{DataMem, Pid, SafeId, WordMem};
+use sbu_spec::SequentialSpec;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Index of the anchor cell, which holds the initial state and is never
+/// reclaimed.
+pub(crate) const ANCHOR: usize = 0;
+
+/// One pool cell's observable (sticky/safe-flag) state — a read-only view
+/// for tests and debugging; see [`Universal::debug_pool_snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellSnapshot {
+    /// The `Claimed` sticky bit.
+    pub claimed: sbu_mem::Tri,
+    /// The `ProcID` sticky word (owner pid, or the anchor sentinel `n`).
+    pub owner: Option<u64>,
+    /// The `NotHead` sticky bit.
+    pub not_head: sbu_mem::Tri,
+    /// The `Next` pointer.
+    pub next: Option<usize>,
+    /// The `Prev` pointer.
+    pub prev: Option<usize>,
+    /// Whether a command has been published.
+    pub has_cmd: bool,
+    /// Whether a state snapshot has been published.
+    pub has_state: bool,
+}
+
+/// Per-processor private memory (the paper's processors have local state;
+/// none of this is shared).
+#[derive(Debug, Default)]
+pub(crate) struct ProcLocal {
+    /// Cells this processor has claimed and not yet reclaimed.
+    owned: Vec<usize>,
+    /// Re-entrant grab counts per cell (a processor holds at most 3 grabs,
+    /// Theorem 6.6's accounting).
+    grabs: HashMap<usize, usize>,
+    /// Last head this processor observed (the FIND-HEAD fast path).
+    head_hint: Option<usize>,
+    /// Cells this processor reclaimed, retried first by GFC (fast path).
+    free_hints: Vec<usize>,
+}
+
+pub(crate) struct Inner<S> {
+    pub(crate) n: usize,
+    pub(crate) use_fast_paths: bool,
+    pub(crate) cells: Vec<CellHandles>,
+    pub(crate) announce_gfc: Vec<SafeId>,
+    pub(crate) announce_append: Vec<SafeId>,
+    pub(crate) announce_append_cell: Vec<SafeId>,
+    pub(crate) locals: Vec<Mutex<ProcLocal>>,
+    pub(crate) _spec: std::marker::PhantomData<fn() -> S>,
+}
+
+/// The bounded wait-free universal construction (Theorem 6.6).
+///
+/// Transforms the *safe* sequential implementation `S` (a plain Rust state
+/// machine) into a linearizable, wait-free shared object for `n`
+/// processors, using only sticky primitives and safe registers.
+///
+/// ```
+/// use sbu_core::{Universal, bounded::UniversalConfig};
+/// use sbu_mem::{native::NativeMem, Pid};
+/// use sbu_spec::specs::{CounterSpec, CounterOp};
+///
+/// let mut mem = NativeMem::new();
+/// let counter = Universal::new(&mut mem, 2, UniversalConfig::for_procs(2),
+///                              CounterSpec::new());
+/// assert_eq!(counter.apply(&mem, Pid(0), &CounterOp::Inc), 1);
+/// assert_eq!(counter.apply(&mem, Pid(1), &CounterOp::Inc), 2);
+/// ```
+pub struct Universal<S: SequentialSpec> {
+    pub(crate) inner: Arc<Inner<S>>,
+}
+
+impl<S: SequentialSpec> std::fmt::Debug for Universal<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Universal")
+            .field("n_procs", &self.inner.n)
+            .field("pool", &self.inner.cells.len())
+            .field("fast_paths", &self.inner.use_fast_paths)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S: SequentialSpec> Clone for Universal<S> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<S> Universal<S>
+where
+    S: SequentialSpec + Send + Sync,
+    S::Op: Send + Sync,
+{
+    /// Build the object: allocates the cell pool, the announce arrays, and
+    /// the anchor cell holding `initial` (setup phase, single-threaded).
+    pub fn new<M: DataMem<CellPayload<S>>>(
+        mem: &mut M,
+        n: usize,
+        config: UniversalConfig,
+        initial: S,
+    ) -> Self {
+        assert!(n >= 1, "at least one processor");
+        assert!(
+            config.cells >= 2 * n + 2,
+            "pool of {} cells is too small for {n} processors",
+            config.cells
+        );
+        let cells: Vec<CellHandles> = (0..config.cells)
+            .map(|_| CellHandles::alloc(mem, n))
+            .collect();
+        let inner = Inner {
+            n,
+            use_fast_paths: config.fast_paths,
+            cells,
+            announce_gfc: (0..n).map(|_| mem.alloc_safe(0)).collect(),
+            announce_append: (0..n).map(|_| mem.alloc_safe(0)).collect(),
+            announce_append_cell: (0..n).map(|_| mem.alloc_safe(0)).collect(),
+            locals: (0..n).map(|_| Mutex::new(ProcLocal::default())).collect(),
+            _spec: std::marker::PhantomData,
+        };
+        // The anchor: permanently claimed by the non-existent processor
+        // `n`, holding the initial state, linked to itself so FIND-HEAD's
+        // `Next ≠ ⊥` criterion matches it from the start.
+        let anchor = &inner.cells[ANCHOR];
+        let pid0 = Pid(0);
+        mem.sticky_jam(pid0, anchor.claimed, true);
+        mem.sticky_word_jam(pid0, anchor.proc_id, n as u64);
+        mem.data_write(pid0, anchor.state, CellPayload::State(initial));
+        mem.safe_write(pid0, anchor.has_state, 1);
+        mem.sticky_word_jam(pid0, anchor.next, ANCHOR as u64);
+        Self {
+            inner: Arc::new(inner),
+        }
+    }
+
+    /// Number of processors.
+    pub fn n_procs(&self) -> usize {
+        self.inner.n
+    }
+
+    /// Size of the cell pool.
+    pub fn pool_size(&self) -> usize {
+        self.inner.cells.len()
+    }
+
+    /// Number of pool cells currently claimed (live), for Theorem 6.6's
+    /// space accounting (experiment E3). Counts the anchor.
+    pub fn cells_in_use<M: DataMem<CellPayload<S>>>(&self, mem: &M, pid: Pid) -> usize {
+        self.inner
+            .cells
+            .iter()
+            .filter(|c| !mem.sticky_read(pid, c.claimed).is_undef())
+            .count()
+    }
+
+    /// Observable per-cell state, for tests and forensics.
+    pub fn debug_pool_snapshot<M: DataMem<CellPayload<S>>>(
+        &self,
+        mem: &M,
+        pid: Pid,
+    ) -> Vec<CellSnapshot> {
+        self.inner
+            .cells
+            .iter()
+            .map(|c| CellSnapshot {
+                claimed: mem.sticky_read(pid, c.claimed),
+                owner: mem.sticky_word_read(pid, c.proc_id),
+                not_head: mem.sticky_read(pid, c.not_head),
+                next: mem.sticky_word_read(pid, c.next).map(|v| v as usize),
+                prev: mem.sticky_word_read(pid, c.prev).map(|v| v as usize),
+                has_cmd: mem.safe_read(pid, c.has_cmd) != 0,
+                has_state: mem.safe_read(pid, c.has_state) != 0,
+            })
+            .collect()
+    }
+
+    /// Execute `op`, linearized at the step its cell is appended to the
+    /// list. Wait-free: O(n) safe-implementation calls plus O(pool · n)
+    /// register operations (Section 6.4).
+    pub fn apply<M: DataMem<CellPayload<S>>>(&self, mem: &M, pid: Pid, op: &S::Op) -> S::Resp {
+        assert!(pid.0 < self.inner.n, "pid out of range");
+        let mut local = self.inner.locals[pid.0].lock();
+        let inner = &*self.inner;
+
+        // Step 1: get a free cell (frees eligible owned cells first).
+        let cell = inner.gfc(mem, pid, &mut local);
+
+        // Step 2: store the command, then publish it (write-once, so no
+        // reader can overlap the write).
+        mem.data_write(pid, inner.cells[cell].cmd, CellPayload::Cmd(op.clone()));
+        mem.safe_write(pid, inner.cells[cell].has_cmd, 1);
+
+        // Step 3: append — the linearization point.
+        inner.append(mem, pid, &mut local, cell);
+
+        // Step 4: scan back to the nearest state snapshot, collecting the
+        // commands in between (at most ~n of them).
+        let mut chain: Vec<S::Op> = Vec::new();
+        let mut cur = inner.next_of(mem, pid, cell);
+        let base: S = loop {
+            let ch = &inner.cells[cur];
+            if mem.safe_read(pid, ch.has_state) != 0 {
+                match mem.data_read(pid, ch.state) {
+                    Some(CellPayload::State(s)) => break s,
+                    _ => panic!("cell {cur}: state slot missing or holding a command"),
+                }
+            }
+            match mem.data_read(pid, ch.cmd) {
+                Some(CellPayload::Cmd(o)) => chain.push(o),
+                _ => panic!("cell {cur}: command slot missing or holding a state"),
+            }
+            cur = inner.next_of(mem, pid, cur);
+        };
+
+        // Step 5: recompute the state (oldest command first), apply my own
+        // command, publish the snapshot.
+        let mut state = base;
+        for o in chain.iter().rev() {
+            state.apply(o);
+        }
+        let resp = state.apply(op);
+        mem.data_write(pid, inner.cells[cell].state, CellPayload::State(state));
+        mem.safe_write(pid, inner.cells[cell].has_state, 1);
+
+        // Step 6: mark distance bits on the n cells behind me so their
+        // owners can eventually reclaim them (Section 5).
+        let mut cur = inner.next_of(mem, pid, cell);
+        for d in 0..inner.n {
+            if cur == ANCHOR {
+                break;
+            }
+            mem.safe_write(pid, inner.cells[cur].b[d], 1);
+            cur = inner.next_of(mem, pid, cur);
+        }
+        resp
+    }
+}
+
+impl<S> Inner<S> {
+    /// Follow a cell's `Next` pointer (must be defined — cells we walk are
+    /// appended and, by the distance-bit argument, cannot be reclaimed
+    /// while we can still reach them).
+    pub(crate) fn next_of<M: WordMem + ?Sized>(&self, mem: &M, pid: Pid, c: usize) -> usize {
+        let nxt = mem
+            .sticky_word_read(pid, self.cells[c].next)
+            .unwrap_or_else(|| panic!("cell {c}: followed a ⊥ Next pointer"))
+            as usize;
+        assert!(nxt < self.cells.len(), "cell {c}: Next out of range");
+        nxt
+    }
+}
+
+impl<S> UniversalObject<S> for Universal<S>
+where
+    S: SequentialSpec + Send + Sync,
+    S::Op: Send + Sync,
+{
+    fn apply<M: DataMem<CellPayload<S>>>(&self, mem: &M, pid: Pid, op: &S::Op) -> S::Resp {
+        Universal::apply(self, mem, pid, op)
+    }
+}

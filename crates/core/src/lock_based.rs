@@ -1,0 +1,153 @@
+//! The mutual-exclusion strawman from the introduction.
+//!
+//! "One way to transform a safe implementation … is to use mutual
+//! exclusion to lock the object before each access … the main
+//! disadvantage is that it causes one processor to wait for another,
+//! essentially reducing the speed of the system to the speed of the
+//! slowest component, which can be zero if this component has failed."
+//!
+//! [`SpinLockUniversal`] is exactly that transformation: atomic
+//! (trivially linearizable — operations are serialized by the lock) but
+//! **not** wait-free. Experiment E5 crashes the lock holder and watches
+//! every other processor spin forever, while the constructions of
+//! Sections 5–6 sail on.
+
+use crate::{CellPayload, UniversalObject};
+use sbu_mem::{AtomicId, DataId, DataMem, Pid};
+use sbu_spec::SequentialSpec;
+
+/// Lock-based (atomic, blocking, non-wait-free) object.
+///
+/// ```
+/// use sbu_core::SpinLockUniversal;
+/// use sbu_mem::{native::NativeMem, Pid};
+/// use sbu_spec::specs::{CounterSpec, CounterOp};
+///
+/// let mut mem = NativeMem::new();
+/// let counter = SpinLockUniversal::new(&mut mem, CounterSpec::new());
+/// assert_eq!(counter.apply(&mem, Pid(0), &CounterOp::Inc), 1);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SpinLockUniversal {
+    lock: AtomicId,
+    state: DataId,
+}
+
+impl SpinLockUniversal {
+    /// Build the object: one lock word plus one state cell.
+    pub fn new<S, M>(mem: &mut M, initial: S) -> Self
+    where
+        S: SequentialSpec,
+        M: DataMem<CellPayload<S>>,
+    {
+        let lock = mem.alloc_atomic(0);
+        let state = mem.alloc_data(Some(CellPayload::State(initial)));
+        Self { lock, state }
+    }
+
+    /// Execute `op` under the lock. **Blocks** (spins) while another
+    /// processor holds the lock — including one that crashed inside it.
+    pub fn apply<S, M>(&self, mem: &M, pid: Pid, op: &S::Op) -> S::Resp
+    where
+        S: SequentialSpec,
+        M: DataMem<CellPayload<S>>,
+    {
+        // Acquire: RMW the lock word 0 → 1. The yield matters on few-core
+        // hosts, where a pure spin burns a whole scheduling quantum per
+        // lock handoff; under the simulator it is a no-op (the conductor
+        // already owns scheduling).
+        while mem.rmw(pid, self.lock, &|x| if x == 0 { 1 } else { x }) != 0 {
+            std::thread::yield_now();
+        }
+        // Critical section: exclusive, so the safe data cell is never
+        // accessed concurrently (the simulator verifies this).
+        let mut state = match mem.data_read(pid, self.state) {
+            Some(CellPayload::State(s)) => s,
+            _ => panic!("state cell missing or holding a command"),
+        };
+        let resp = state.apply(op);
+        mem.data_write(pid, self.state, CellPayload::State(state));
+        // Release.
+        mem.atomic_write(pid, self.lock, 0);
+        resp
+    }
+}
+
+impl<S> UniversalObject<S> for SpinLockUniversal
+where
+    S: SequentialSpec + Send + Sync,
+    S::Op: Send + Sync,
+{
+    fn apply<M: DataMem<CellPayload<S>>>(&self, mem: &M, pid: Pid, op: &S::Op) -> S::Resp {
+        SpinLockUniversal::apply::<S, M>(self, mem, pid, op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbu_mem::native::NativeMem;
+    use sbu_sim::{run_uniform, CrashPlan, RandomAdversary, RoundRobin, RunOptions, SimMem};
+    use sbu_spec::specs::{CounterOp, CounterSpec};
+    use std::sync::Arc;
+
+    #[test]
+    fn serializes_operations() {
+        for seed in 0..10 {
+            let mut mem: SimMem<CellPayload<CounterSpec>> = SimMem::new(3);
+            let obj = SpinLockUniversal::new(&mut mem, CounterSpec::new());
+            let out = run_uniform(
+                &mem,
+                Box::new(RandomAdversary::new(seed)),
+                RunOptions::default(),
+                3,
+                move |mem, pid| obj.apply::<CounterSpec, _>(mem, pid, &CounterOp::Inc),
+            );
+            out.assert_clean();
+            let mut responses: Vec<u64> = out.results().into_iter().copied().collect();
+            responses.sort_unstable();
+            assert_eq!(responses, vec![1, 2, 3]);
+        }
+    }
+
+    /// The introduction's complaint, executable: crash the lock holder and
+    /// the others never finish (the run hits the step limit).
+    #[test]
+    fn crash_under_lock_wedges_everyone() {
+        let mut mem: SimMem<CellPayload<CounterSpec>> = SimMem::new(2);
+        let obj = SpinLockUniversal::new(&mut mem, CounterSpec::new());
+        // Let pid 0 acquire the lock (its first step is the RMW), then
+        // crash it; pid 1 spins forever.
+        let out = run_uniform(
+            &mem,
+            Box::new(CrashPlan::new(vec![(Pid(0), 1)], RoundRobin::new())),
+            RunOptions { max_steps: 5_000 },
+            2,
+            move |mem, pid| obj.apply::<CounterSpec, _>(mem, pid, &CounterOp::Inc),
+        );
+        assert!(out.aborted, "survivor must be wedged at the step limit");
+        assert_eq!(out.completed_count(), 0);
+    }
+
+    #[test]
+    fn native_threads_count_correctly() {
+        let mut mem: NativeMem<CellPayload<CounterSpec>> = NativeMem::new();
+        let obj = SpinLockUniversal::new(&mut mem, CounterSpec::new());
+        let mem = Arc::new(mem);
+        let per = 200;
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let mem = Arc::clone(&mem);
+                s.spawn(move || {
+                    for _ in 0..per {
+                        obj.apply::<CounterSpec, _>(&*mem, Pid(i), &CounterOp::Inc);
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            obj.apply::<CounterSpec, _>(&*mem, Pid(0), &CounterOp::Read),
+            4 * per
+        );
+    }
+}

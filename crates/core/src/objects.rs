@@ -1,0 +1,531 @@
+//! Ready-made wait-free objects, built by instantiating the universal
+//! construction — the paper's punchline applied: "any sequential object".
+//!
+//! Each wrapper is generic over the [`UniversalObject`] powering it, so the
+//! same queue can run on the bounded construction, the unbounded baseline,
+//! or the lock-based strawman — which is exactly how the experiments
+//! compare them.
+
+use crate::{CellPayload, UniversalObject};
+use sbu_mem::{DataMem, Pid};
+use sbu_spec::specs::{
+    BankOp, BankResp, BankSpec, CasOp, CasResp, CasSpec, CounterOp, CounterSpec, DequeOp,
+    DequeResp, DequeSpec, KvOp, KvResp, KvSpec, PqOp, PqResp, PriorityQueueSpec, QueueOp,
+    QueueResp, QueueSpec, SetOp, SetResp, SetSpec, SnapshotOp, SnapshotResp, SnapshotSpec, StackOp,
+    StackResp, StackSpec,
+};
+
+/// A wait-free FIFO queue.
+#[derive(Debug, Clone)]
+pub struct WaitFreeQueue<U> {
+    inner: U,
+}
+
+impl<U: UniversalObject<QueueSpec>> WaitFreeQueue<U> {
+    /// Wrap a universal implementation of [`QueueSpec`].
+    pub fn new(inner: U) -> Self {
+        Self { inner }
+    }
+
+    /// Append `value` at the tail.
+    pub fn enqueue<M: DataMem<CellPayload<QueueSpec>>>(&self, mem: &M, pid: Pid, value: u64) {
+        let resp = self.inner.apply(mem, pid, &QueueOp::Enqueue(value));
+        debug_assert_eq!(resp, QueueResp::Ack);
+    }
+
+    /// Remove and return the head, or `None` when empty.
+    pub fn dequeue<M: DataMem<CellPayload<QueueSpec>>>(&self, mem: &M, pid: Pid) -> Option<u64> {
+        match self.inner.apply(mem, pid, &QueueOp::Dequeue) {
+            QueueResp::Value(v) => Some(v),
+            QueueResp::Empty => None,
+            other => panic!("queue protocol violation: {other:?}"),
+        }
+    }
+
+    /// Current length.
+    pub fn len<M: DataMem<CellPayload<QueueSpec>>>(&self, mem: &M, pid: Pid) -> usize {
+        match self.inner.apply(mem, pid, &QueueOp::Len) {
+            QueueResp::Len(l) => l,
+            other => panic!("queue protocol violation: {other:?}"),
+        }
+    }
+}
+
+/// A wait-free LIFO stack.
+#[derive(Debug, Clone)]
+pub struct WaitFreeStack<U> {
+    inner: U,
+}
+
+impl<U: UniversalObject<StackSpec>> WaitFreeStack<U> {
+    /// Wrap a universal implementation of [`StackSpec`].
+    pub fn new(inner: U) -> Self {
+        Self { inner }
+    }
+
+    /// Push a value.
+    pub fn push<M: DataMem<CellPayload<StackSpec>>>(&self, mem: &M, pid: Pid, value: u64) {
+        let resp = self.inner.apply(mem, pid, &StackOp::Push(value));
+        debug_assert_eq!(resp, StackResp::Ack);
+    }
+
+    /// Pop the top value, or `None` when empty.
+    pub fn pop<M: DataMem<CellPayload<StackSpec>>>(&self, mem: &M, pid: Pid) -> Option<u64> {
+        match self.inner.apply(mem, pid, &StackOp::Pop) {
+            StackResp::Value(v) => Some(v),
+            StackResp::Empty => None,
+            other => panic!("stack protocol violation: {other:?}"),
+        }
+    }
+
+    /// Read the top value without removing it.
+    pub fn peek<M: DataMem<CellPayload<StackSpec>>>(&self, mem: &M, pid: Pid) -> Option<u64> {
+        match self.inner.apply(mem, pid, &StackOp::Peek) {
+            StackResp::Value(v) => Some(v),
+            StackResp::Empty => None,
+            other => panic!("stack protocol violation: {other:?}"),
+        }
+    }
+}
+
+/// A wait-free fetch-and-add counter.
+#[derive(Debug, Clone)]
+pub struct WaitFreeCounter<U> {
+    inner: U,
+}
+
+impl<U: UniversalObject<CounterSpec>> WaitFreeCounter<U> {
+    /// Wrap a universal implementation of [`CounterSpec`].
+    pub fn new(inner: U) -> Self {
+        Self { inner }
+    }
+
+    /// Increment; returns the new value (so concurrent increments are
+    /// totally ordered — this needs consensus, which is the whole point).
+    pub fn inc<M: DataMem<CellPayload<CounterSpec>>>(&self, mem: &M, pid: Pid) -> u64 {
+        self.inner.apply(mem, pid, &CounterOp::Inc)
+    }
+
+    /// Add `k`; returns the new value.
+    pub fn add<M: DataMem<CellPayload<CounterSpec>>>(&self, mem: &M, pid: Pid, k: u64) -> u64 {
+        self.inner.apply(mem, pid, &CounterOp::Add(k))
+    }
+
+    /// Read the current value.
+    pub fn read<M: DataMem<CellPayload<CounterSpec>>>(&self, mem: &M, pid: Pid) -> u64 {
+        self.inner.apply(mem, pid, &CounterOp::Read)
+    }
+}
+
+/// A wait-free key-value store.
+#[derive(Debug, Clone)]
+pub struct WaitFreeKv<U> {
+    inner: U,
+}
+
+impl<U: UniversalObject<KvSpec>> WaitFreeKv<U> {
+    /// Wrap a universal implementation of [`KvSpec`].
+    pub fn new(inner: U) -> Self {
+        Self { inner }
+    }
+
+    /// Insert or overwrite; returns the previous binding.
+    pub fn put<M: DataMem<CellPayload<KvSpec>>>(
+        &self,
+        mem: &M,
+        pid: Pid,
+        key: u64,
+        value: u64,
+    ) -> Option<u64> {
+        match self.inner.apply(mem, pid, &KvOp::Put(key, value)) {
+            KvResp::Value(v) => v,
+            other => panic!("kv protocol violation: {other:?}"),
+        }
+    }
+
+    /// Look up a key.
+    pub fn get<M: DataMem<CellPayload<KvSpec>>>(&self, mem: &M, pid: Pid, key: u64) -> Option<u64> {
+        match self.inner.apply(mem, pid, &KvOp::Get(key)) {
+            KvResp::Value(v) => v,
+            other => panic!("kv protocol violation: {other:?}"),
+        }
+    }
+
+    /// Remove a binding; returns it.
+    pub fn remove<M: DataMem<CellPayload<KvSpec>>>(
+        &self,
+        mem: &M,
+        pid: Pid,
+        key: u64,
+    ) -> Option<u64> {
+        match self.inner.apply(mem, pid, &KvOp::Remove(key)) {
+            KvResp::Value(v) => v,
+            other => panic!("kv protocol violation: {other:?}"),
+        }
+    }
+}
+
+/// A wait-free compare-and-swap register — an object of *infinite*
+/// consensus number implemented from 3-valued primitives: the constructive
+/// content of "the RMW hierarchy collapses" (Section 7).
+#[derive(Debug, Clone)]
+pub struct WaitFreeCas<U> {
+    inner: U,
+}
+
+impl<U: UniversalObject<CasSpec>> WaitFreeCas<U> {
+    /// Wrap a universal implementation of [`CasSpec`].
+    pub fn new(inner: U) -> Self {
+        Self { inner }
+    }
+
+    /// Compare-and-swap; returns `(swapped, witnessed_value)`.
+    pub fn cas<M: DataMem<CellPayload<CasSpec>>>(
+        &self,
+        mem: &M,
+        pid: Pid,
+        expect: u64,
+        new: u64,
+    ) -> (bool, u64) {
+        match self.inner.apply(mem, pid, &CasOp::Cas { expect, new }) {
+            CasResp::Swapped { ok, witness } => (ok, witness),
+            other => panic!("cas protocol violation: {other:?}"),
+        }
+    }
+
+    /// Unconditional write.
+    pub fn write<M: DataMem<CellPayload<CasSpec>>>(&self, mem: &M, pid: Pid, value: u64) {
+        let resp = self.inner.apply(mem, pid, &CasOp::Write(value));
+        debug_assert_eq!(resp, CasResp::Ack);
+    }
+
+    /// Read the current value.
+    pub fn read<M: DataMem<CellPayload<CasSpec>>>(&self, mem: &M, pid: Pid) -> u64 {
+        match self.inner.apply(mem, pid, &CasOp::Read) {
+            CasResp::Value(v) => v,
+            other => panic!("cas protocol violation: {other:?}"),
+        }
+    }
+}
+
+/// A wait-free bank with atomic transfers (see
+/// [`BankSpec`]): the example object for the `bank_teller` demo.
+#[derive(Debug, Clone)]
+pub struct WaitFreeBank<U> {
+    inner: U,
+}
+
+impl<U: UniversalObject<BankSpec>> WaitFreeBank<U> {
+    /// Wrap a universal implementation of [`BankSpec`].
+    pub fn new(inner: U) -> Self {
+        Self { inner }
+    }
+
+    /// Atomically move funds.
+    pub fn transfer<M: DataMem<CellPayload<BankSpec>>>(
+        &self,
+        mem: &M,
+        pid: Pid,
+        from: usize,
+        to: usize,
+        amount: u64,
+    ) -> BankResp {
+        self.inner
+            .apply(mem, pid, &BankOp::Transfer { from, to, amount })
+    }
+
+    /// Deposit funds.
+    pub fn deposit<M: DataMem<CellPayload<BankSpec>>>(
+        &self,
+        mem: &M,
+        pid: Pid,
+        account: usize,
+        amount: u64,
+    ) -> BankResp {
+        self.inner
+            .apply(mem, pid, &BankOp::Deposit { account, amount })
+    }
+
+    /// One balance.
+    pub fn balance<M: DataMem<CellPayload<BankSpec>>>(
+        &self,
+        mem: &M,
+        pid: Pid,
+        account: usize,
+    ) -> Option<u64> {
+        match self.inner.apply(mem, pid, &BankOp::Balance(account)) {
+            BankResp::Amount(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The conserved total.
+    pub fn total<M: DataMem<CellPayload<BankSpec>>>(&self, mem: &M, pid: Pid) -> u64 {
+        match self.inner.apply(mem, pid, &BankOp::Total) {
+            BankResp::Amount(a) => a,
+            other => panic!("bank protocol violation: {other:?}"),
+        }
+    }
+}
+
+/// A wait-free atomic snapshot.
+#[derive(Debug, Clone)]
+pub struct WaitFreeSnapshot<U> {
+    inner: U,
+}
+
+impl<U: UniversalObject<SnapshotSpec>> WaitFreeSnapshot<U> {
+    /// Wrap a universal implementation of [`SnapshotSpec`].
+    pub fn new(inner: U) -> Self {
+        Self { inner }
+    }
+
+    /// Overwrite one component.
+    pub fn update<M: DataMem<CellPayload<SnapshotSpec>>>(
+        &self,
+        mem: &M,
+        pid: Pid,
+        index: usize,
+        value: u64,
+    ) {
+        let resp = self
+            .inner
+            .apply(mem, pid, &SnapshotOp::Update { index, value });
+        debug_assert_eq!(resp, SnapshotResp::Ack);
+    }
+
+    /// Atomically read all components.
+    pub fn scan<M: DataMem<CellPayload<SnapshotSpec>>>(&self, mem: &M, pid: Pid) -> Vec<u64> {
+        match self.inner.apply(mem, pid, &SnapshotOp::Scan) {
+            SnapshotResp::View(v) => v,
+            other => panic!("snapshot protocol violation: {other:?}"),
+        }
+    }
+}
+
+/// A wait-free double-ended queue — an object with no known simple
+/// lock-free algorithm, free via universality.
+#[derive(Debug, Clone)]
+pub struct WaitFreeDeque<U> {
+    inner: U,
+}
+
+impl<U: UniversalObject<DequeSpec>> WaitFreeDeque<U> {
+    /// Wrap a universal implementation of [`DequeSpec`].
+    pub fn new(inner: U) -> Self {
+        Self { inner }
+    }
+
+    /// Insert at the front.
+    pub fn push_front<M: DataMem<CellPayload<DequeSpec>>>(&self, mem: &M, pid: Pid, v: u64) {
+        let resp = self.inner.apply(mem, pid, &DequeOp::PushFront(v));
+        debug_assert_eq!(resp, DequeResp::Ack);
+    }
+
+    /// Insert at the back.
+    pub fn push_back<M: DataMem<CellPayload<DequeSpec>>>(&self, mem: &M, pid: Pid, v: u64) {
+        let resp = self.inner.apply(mem, pid, &DequeOp::PushBack(v));
+        debug_assert_eq!(resp, DequeResp::Ack);
+    }
+
+    /// Remove from the front.
+    pub fn pop_front<M: DataMem<CellPayload<DequeSpec>>>(&self, mem: &M, pid: Pid) -> Option<u64> {
+        match self.inner.apply(mem, pid, &DequeOp::PopFront) {
+            DequeResp::Value(v) => Some(v),
+            DequeResp::Empty => None,
+            other => panic!("deque protocol violation: {other:?}"),
+        }
+    }
+
+    /// Remove from the back.
+    pub fn pop_back<M: DataMem<CellPayload<DequeSpec>>>(&self, mem: &M, pid: Pid) -> Option<u64> {
+        match self.inner.apply(mem, pid, &DequeOp::PopBack) {
+            DequeResp::Value(v) => Some(v),
+            DequeResp::Empty => None,
+            other => panic!("deque protocol violation: {other:?}"),
+        }
+    }
+}
+
+/// A wait-free min-priority queue.
+#[derive(Debug, Clone)]
+pub struct WaitFreePriorityQueue<U> {
+    inner: U,
+}
+
+impl<U: UniversalObject<PriorityQueueSpec>> WaitFreePriorityQueue<U> {
+    /// Wrap a universal implementation of [`PriorityQueueSpec`].
+    pub fn new(inner: U) -> Self {
+        Self { inner }
+    }
+
+    /// Insert with a priority (lower = served first).
+    pub fn insert<M: DataMem<CellPayload<PriorityQueueSpec>>>(
+        &self,
+        mem: &M,
+        pid: Pid,
+        priority: u64,
+        value: u64,
+    ) {
+        let resp = self
+            .inner
+            .apply(mem, pid, &PqOp::Insert { priority, value });
+        debug_assert_eq!(resp, PqResp::Ack);
+    }
+
+    /// Remove and return `(priority, value)` of the minimum item.
+    pub fn extract_min<M: DataMem<CellPayload<PriorityQueueSpec>>>(
+        &self,
+        mem: &M,
+        pid: Pid,
+    ) -> Option<(u64, u64)> {
+        match self.inner.apply(mem, pid, &PqOp::ExtractMin) {
+            PqResp::Item(p, v) => Some((p, v)),
+            PqResp::Empty => None,
+            other => panic!("priority-queue protocol violation: {other:?}"),
+        }
+    }
+}
+
+/// A wait-free ordered set.
+#[derive(Debug, Clone)]
+pub struct WaitFreeSet<U> {
+    inner: U,
+}
+
+impl<U: UniversalObject<SetSpec>> WaitFreeSet<U> {
+    /// Wrap a universal implementation of [`SetSpec`].
+    pub fn new(inner: U) -> Self {
+        Self { inner }
+    }
+
+    /// Insert; `true` iff the element was new.
+    pub fn insert<M: DataMem<CellPayload<SetSpec>>>(&self, mem: &M, pid: Pid, v: u64) -> bool {
+        match self.inner.apply(mem, pid, &SetOp::Insert(v)) {
+            SetResp::Bool(b) => b,
+            other => panic!("set protocol violation: {other:?}"),
+        }
+    }
+
+    /// Remove; `true` iff the element was present.
+    pub fn remove<M: DataMem<CellPayload<SetSpec>>>(&self, mem: &M, pid: Pid, v: u64) -> bool {
+        match self.inner.apply(mem, pid, &SetOp::Remove(v)) {
+            SetResp::Bool(b) => b,
+            other => panic!("set protocol violation: {other:?}"),
+        }
+    }
+
+    /// Membership test.
+    pub fn contains<M: DataMem<CellPayload<SetSpec>>>(&self, mem: &M, pid: Pid, v: u64) -> bool {
+        match self.inner.apply(mem, pid, &SetOp::Contains(v)) {
+            SetResp::Bool(b) => b,
+            other => panic!("set protocol violation: {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounded::UniversalConfig;
+    use crate::Universal;
+    use sbu_mem::native::NativeMem;
+
+    #[test]
+    fn deque_wrapper_roundtrip() {
+        let mut mem: NativeMem<CellPayload<DequeSpec>> = NativeMem::new();
+        let d = WaitFreeDeque::new(Universal::new(
+            &mut mem,
+            1,
+            UniversalConfig::for_procs(1),
+            DequeSpec::new(),
+        ));
+        d.push_back(&mem, Pid(0), 2);
+        d.push_front(&mem, Pid(0), 1);
+        assert_eq!(d.pop_back(&mem, Pid(0)), Some(2));
+        assert_eq!(d.pop_front(&mem, Pid(0)), Some(1));
+        assert_eq!(d.pop_front(&mem, Pid(0)), None);
+    }
+
+    #[test]
+    fn priority_queue_wrapper_orders() {
+        let mut mem: NativeMem<CellPayload<PriorityQueueSpec>> = NativeMem::new();
+        let pq = WaitFreePriorityQueue::new(Universal::new(
+            &mut mem,
+            1,
+            UniversalConfig::for_procs(1),
+            PriorityQueueSpec::new(),
+        ));
+        pq.insert(&mem, Pid(0), 9, 90);
+        pq.insert(&mem, Pid(0), 1, 10);
+        assert_eq!(pq.extract_min(&mem, Pid(0)), Some((1, 10)));
+        assert_eq!(pq.extract_min(&mem, Pid(0)), Some((9, 90)));
+        assert_eq!(pq.extract_min(&mem, Pid(0)), None);
+    }
+
+    #[test]
+    fn set_wrapper_semantics() {
+        let mut mem: NativeMem<CellPayload<SetSpec>> = NativeMem::new();
+        let s = WaitFreeSet::new(Universal::new(
+            &mut mem,
+            2,
+            UniversalConfig::for_procs(2),
+            SetSpec::new(),
+        ));
+        assert!(s.insert(&mem, Pid(0), 7));
+        assert!(!s.insert(&mem, Pid(1), 7));
+        assert!(s.contains(&mem, Pid(0), 7));
+        assert!(s.remove(&mem, Pid(1), 7));
+        assert!(!s.contains(&mem, Pid(0), 7));
+    }
+
+    #[test]
+    fn counter_and_queue_wrappers_sequential() {
+        let mut mem: NativeMem<CellPayload<CounterSpec>> = NativeMem::new();
+        let c = WaitFreeCounter::new(Universal::new(
+            &mut mem,
+            1,
+            UniversalConfig::for_procs(1),
+            CounterSpec::new(),
+        ));
+        assert_eq!(c.inc(&mem, Pid(0)), 1);
+        assert_eq!(c.add(&mem, Pid(0), 9), 10);
+        assert_eq!(c.read(&mem, Pid(0)), 10);
+
+        let mut mem: NativeMem<CellPayload<QueueSpec>> = NativeMem::new();
+        let q = WaitFreeQueue::new(Universal::new(
+            &mut mem,
+            1,
+            UniversalConfig::for_procs(1),
+            QueueSpec::new(),
+        ));
+        q.enqueue(&mem, Pid(0), 5);
+        assert_eq!(q.len(&mem, Pid(0)), 1);
+        assert_eq!(q.dequeue(&mem, Pid(0)), Some(5));
+    }
+
+    #[test]
+    fn kv_and_snapshot_wrappers_sequential() {
+        let mut mem: NativeMem<CellPayload<KvSpec>> = NativeMem::new();
+        let kv = WaitFreeKv::new(Universal::new(
+            &mut mem,
+            1,
+            UniversalConfig::for_procs(1),
+            KvSpec::new(),
+        ));
+        assert_eq!(kv.put(&mem, Pid(0), 1, 100), None);
+        assert_eq!(kv.get(&mem, Pid(0), 1), Some(100));
+        assert_eq!(kv.remove(&mem, Pid(0), 1), Some(100));
+
+        let mut mem: NativeMem<CellPayload<SnapshotSpec>> = NativeMem::new();
+        let snap = WaitFreeSnapshot::new(Universal::new(
+            &mut mem,
+            2,
+            UniversalConfig::for_procs(2),
+            SnapshotSpec::new(2),
+        ));
+        snap.update(&mem, Pid(0), 0, 5);
+        snap.update(&mem, Pid(1), 1, 6);
+        assert_eq!(snap.scan(&mem, Pid(0)), vec![5, 6]);
+    }
+}

@@ -1,0 +1,299 @@
+//! Herlihy's unbounded universal construction (the paper's Section 5
+//! starting point, and its explicit foil).
+//!
+//! "Herlihy's construction … uses unbounded memory": every operation
+//! consumes a fresh cell from a grow-only arena and nothing is ever
+//! reclaimed — no GRAB/INIT handshake, no freeing protocol, no cell reuse.
+//! In exchange the algorithm is much simpler, which makes it the perfect
+//! differential-testing reference for the bounded construction and the
+//! memory-growth baseline for experiment E3.
+//!
+//! Cells are linked *forward*: `succ` is a sticky word deciding the unique
+//! next-appended cell (the paper's "atomic operation that prepends an
+//! element to the beginning of a list", realized as consensus). Appending
+//! uses the classic priority-helping rule: at sequence number `s`, every
+//! appender tries to append the announced cell of processor `s mod n`
+//! first, so an announced operation is appended within `n` rounds.
+//!
+//! Since registers cannot be allocated mid-run, the "unbounded" arena is
+//! preallocated with a per-processor operation budget; exceeding it panics
+//! (that *is* the bounded-memory critique, executably).
+
+use crate::{CellPayload, UniversalObject};
+use parking_lot::Mutex;
+use sbu_mem::{DataId, DataMem, Pid, SafeId, StickyWordId};
+use sbu_spec::SequentialSpec;
+use std::sync::Arc;
+
+struct ArenaCell {
+    cmd: DataId,
+    has_cmd: SafeId,
+    state: DataId,
+    has_state: SafeId,
+    /// Consensus on the next appended cell (`⊥` at the list's end).
+    succ: StickyWordId,
+    /// Back-pointer to the predecessor; jammed (identically) by whoever
+    /// links this cell, so helpers cannot tear it.
+    pred: StickyWordId,
+    /// Position in the list; jammed by the linkers.
+    seq: StickyWordId,
+}
+
+struct Inner<S> {
+    n: usize,
+    ops_per_proc: usize,
+    cells: Vec<ArenaCell>,
+    /// Announced pending cell per processor: `0 = ⊥`, else index + 1.
+    announce: Vec<SafeId>,
+    locals: Vec<Mutex<ProcLocal>>,
+    _spec: std::marker::PhantomData<fn() -> S>,
+}
+
+#[derive(Default)]
+struct ProcLocal {
+    /// Next unused cell in my arena region.
+    used: usize,
+    /// Hint: deepest list cell I have seen (walks resume here).
+    head_hint: usize,
+}
+
+const ANCHOR: usize = 0;
+
+/// Herlihy-style unbounded universal construction.
+///
+/// ```
+/// use sbu_core::UnboundedUniversal;
+/// use sbu_mem::{native::NativeMem, Pid};
+/// use sbu_spec::specs::{CounterSpec, CounterOp};
+///
+/// let mut mem = NativeMem::new();
+/// let counter = UnboundedUniversal::new(&mut mem, 2, 16, CounterSpec::new());
+/// assert_eq!(counter.apply(&mem, Pid(0), &CounterOp::Inc), 1);
+/// assert_eq!(counter.apply(&mem, Pid(1), &CounterOp::Inc), 2);
+/// ```
+pub struct UnboundedUniversal<S: SequentialSpec> {
+    inner: Arc<Inner<S>>,
+}
+
+impl<S: SequentialSpec> std::fmt::Debug for UnboundedUniversal<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UnboundedUniversal")
+            .field("n_procs", &self.inner.n)
+            .field("arena", &self.inner.cells.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S: SequentialSpec> Clone for UnboundedUniversal<S> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<S> UnboundedUniversal<S>
+where
+    S: SequentialSpec + Send + Sync,
+    S::Op: Send + Sync,
+{
+    /// Build the object with an arena of `ops_per_proc` cells per
+    /// processor ("unbounded", realized as a generous preallocation).
+    pub fn new<M: DataMem<CellPayload<S>>>(
+        mem: &mut M,
+        n: usize,
+        ops_per_proc: usize,
+        initial: S,
+    ) -> Self {
+        assert!(n >= 1 && ops_per_proc >= 1);
+        let total = 1 + n * ops_per_proc;
+        let cells: Vec<ArenaCell> = (0..total)
+            .map(|_| ArenaCell {
+                cmd: mem.alloc_data(None),
+                has_cmd: mem.alloc_safe(0),
+                state: mem.alloc_data(None),
+                has_state: mem.alloc_safe(0),
+                succ: mem.alloc_sticky_word(),
+                pred: mem.alloc_sticky_word(),
+                seq: mem.alloc_sticky_word(),
+            })
+            .collect();
+        let inner = Inner {
+            n,
+            ops_per_proc,
+            cells,
+            announce: (0..n).map(|_| mem.alloc_safe(0)).collect(),
+            locals: (0..n).map(|_| Mutex::new(ProcLocal::default())).collect(),
+            _spec: std::marker::PhantomData,
+        };
+        let pid0 = Pid(0);
+        mem.data_write(pid0, inner.cells[ANCHOR].state, CellPayload::State(initial));
+        mem.safe_write(pid0, inner.cells[ANCHOR].has_state, 1);
+        mem.sticky_word_jam(pid0, inner.cells[ANCHOR].seq, 0);
+        Self {
+            inner: Arc::new(inner),
+        }
+    }
+
+    /// Total arena cells consumed so far (experiment E3's growth curve).
+    pub fn cells_consumed<M: DataMem<CellPayload<S>>>(&self, mem: &M, pid: Pid) -> usize {
+        self.inner
+            .cells
+            .iter()
+            .skip(1)
+            .filter(|c| mem.safe_read(pid, c.has_cmd) != 0)
+            .count()
+    }
+
+    /// Render the arena's link state for debugging.
+    #[doc(hidden)]
+    pub fn debug_dump<M: DataMem<CellPayload<S>>>(&self, mem: &M, pid: Pid) -> String {
+        use std::fmt::Write;
+        let inner = &*self.inner;
+        let mut s = String::new();
+        for (i, c) in inner.cells.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "cell {i}: has_cmd={} has_state={} succ={:?} pred={:?} seq={:?}",
+                mem.safe_read(pid, c.has_cmd),
+                mem.safe_read(pid, c.has_state),
+                mem.sticky_word_read(pid, c.succ),
+                mem.sticky_word_read(pid, c.pred),
+                mem.sticky_word_read(pid, c.seq),
+            );
+        }
+        for j in 0..inner.n {
+            let _ = writeln!(s, "announce[{j}]={}", mem.safe_read(pid, inner.announce[j]));
+        }
+        s
+    }
+
+    /// Execute `op`; linearized when its cell's predecessor's `succ` is
+    /// jammed with it.
+    pub fn apply<M: DataMem<CellPayload<S>>>(&self, mem: &M, pid: Pid, op: &S::Op) -> S::Resp {
+        assert!(pid.0 < self.inner.n);
+        let inner = &*self.inner;
+        let mut local = inner.locals[pid.0].lock();
+
+        // A fresh cell from my arena region.
+        assert!(
+            local.used < inner.ops_per_proc,
+            "arena exhausted after {} ops by {pid}: the unbounded construction \
+             really does need unbounded memory (raise ops_per_proc)",
+            local.used
+        );
+        let cell = 1 + pid.0 * inner.ops_per_proc + local.used;
+        local.used += 1;
+
+        mem.data_write(pid, inner.cells[cell].cmd, CellPayload::Cmd(op.clone()));
+        mem.safe_write(pid, inner.cells[cell].has_cmd, 1);
+        mem.safe_write(pid, inner.announce[pid.0], cell as u64 + 1);
+
+        // Append with priority helping until my cell is in.
+        while mem.sticky_word_read(pid, inner.cells[cell].seq).is_none() {
+            // Walk to the end of the list from my hint, repairing links on
+            // the way: a jammer may be suspended (or dead) between deciding
+            // `succ` and writing the winner's `pred`/`seq`, so every walker
+            // re-jams them (idempotent — sticky fields, identical values).
+            let mut head = local.head_hint;
+            let mut head_seq = mem
+                .sticky_word_read(pid, inner.cells[head].seq)
+                .expect("the head hint always points at a fully linked cell");
+            #[cfg(debug_assertions)]
+            let mut visited = vec![false; inner.cells.len()];
+            while let Some(s) = mem.sticky_word_read(pid, inner.cells[head].succ) {
+                let s = s as usize;
+                #[cfg(debug_assertions)]
+                {
+                    assert!(
+                        !std::mem::replace(&mut visited[s], true),
+                        "cycle in the list: cell {s} reached twice"
+                    );
+                }
+                mem.sticky_word_jam(pid, inner.cells[s].pred, head as u64);
+                mem.sticky_word_jam(pid, inner.cells[s].seq, head_seq + 1);
+                head = s;
+                head_seq += 1;
+            }
+            local.head_hint = head;
+            // Post-walk self-validation. A helper may have appended my cell
+            // *during* the walk — possibly mid-chain, with more cells
+            // following. My own walk then repaired its `seq`, so this check
+            // is authoritative in my program order. Without it the fallback
+            // candidate below would propose my already-linked cell at the
+            // fresh end, closing a cycle (found by the native stall probe:
+            // the announced candidate is validated after the walk, but the
+            // fallback `cand = cell` was not).
+            if mem
+                .sticky_word_read(pid, inner.cells[cell].seq)
+                .is_some()
+            {
+                break;
+            }
+            // Priority: the processor whose turn it is, else myself.
+            let turn = ((head_seq + 1) % inner.n as u64) as usize;
+            let cand = {
+                let a = mem.safe_read(pid, inner.announce[turn]) as usize;
+                let idx = a.wrapping_sub(1);
+                if a != 0
+                    && idx < inner.cells.len()
+                    && idx != head
+                    && mem.safe_read(pid, inner.cells[idx].has_cmd) != 0
+                    && mem.sticky_word_read(pid, inner.cells[idx].seq).is_none()
+                {
+                    idx
+                } else {
+                    cell
+                }
+            };
+            mem.sticky_word_jam(pid, inner.cells[head].succ, cand as u64);
+            let winner = mem
+                .sticky_word_read(pid, inner.cells[head].succ)
+                .expect("just jammed") as usize;
+            // Link the winner (idempotent sticky jams: all helpers agree).
+            mem.sticky_word_jam(pid, inner.cells[winner].pred, head as u64);
+            mem.sticky_word_jam(pid, inner.cells[winner].seq, head_seq + 1);
+        }
+        mem.safe_write(pid, inner.announce[pid.0], 0);
+
+        // Compute my response: walk back to the nearest state snapshot.
+        let mut chain: Vec<S::Op> = Vec::new();
+        let mut cur = mem
+            .sticky_word_read(pid, inner.cells[cell].pred)
+            .expect("appended cells are linked") as usize;
+        let base: S = loop {
+            let c = &inner.cells[cur];
+            if mem.safe_read(pid, c.has_state) != 0 {
+                match mem.data_read(pid, c.state) {
+                    Some(CellPayload::State(s)) => break s,
+                    _ => panic!("cell {cur}: state slot missing or holding a command"),
+                }
+            }
+            match mem.data_read(pid, c.cmd) {
+                Some(CellPayload::Cmd(o)) => chain.push(o),
+                _ => panic!("cell {cur}: command slot missing or holding a state"),
+            }
+            cur = mem
+                .sticky_word_read(pid, c.pred)
+                .expect("appended cells are linked") as usize;
+        };
+        let mut state = base;
+        for o in chain.iter().rev() {
+            state.apply(o);
+        }
+        let resp = state.apply(op);
+        mem.data_write(pid, inner.cells[cell].state, CellPayload::State(state));
+        mem.safe_write(pid, inner.cells[cell].has_state, 1);
+        resp
+    }
+}
+
+impl<S> UniversalObject<S> for UnboundedUniversal<S>
+where
+    S: SequentialSpec + Send + Sync,
+    S::Op: Send + Sync,
+{
+    fn apply<M: DataMem<CellPayload<S>>>(&self, mem: &M, pid: Pid, op: &S::Op) -> S::Resp {
+        UnboundedUniversal::apply(self, mem, pid, op)
+    }
+}

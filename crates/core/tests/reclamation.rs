@@ -1,0 +1,162 @@
+//! Theorem 6.6's space claim, exercised: the bounded construction reuses
+//! its Θ(n²) pool indefinitely, while the unbounded baseline consumes one
+//! cell per operation forever.
+
+use sbu_core::{bounded::UniversalConfig, CellPayload, UnboundedUniversal, Universal};
+use sbu_mem::Pid;
+use sbu_sim::{run_uniform, RandomAdversary, RoundRobin, RunOptions, SimMem};
+use sbu_spec::specs::{CounterOp, CounterSpec};
+
+/// Many more operations than pool cells: reuse must work, live cells must
+/// stay bounded.
+#[test]
+fn bounded_pool_is_reused_forever() {
+    let n = 2;
+    let ops_each = 60; // 120 ops through a 36-cell pool
+    let mut mem: SimMem<CellPayload<CounterSpec>> = SimMem::new(n);
+    let obj = Universal::new(
+        &mut mem,
+        n,
+        UniversalConfig::for_procs(n),
+        CounterSpec::new(),
+    );
+    let obj2 = obj.clone();
+    let out = run_uniform(
+        &mem,
+        Box::new(RoundRobin::new()),
+        RunOptions {
+            max_steps: 50_000_000,
+        },
+        n,
+        move |mem, pid| {
+            for _ in 0..ops_each {
+                obj2.apply(mem, pid, &CounterOp::Inc);
+            }
+        },
+    );
+    out.assert_clean();
+    assert_eq!(
+        obj.apply(&mem, Pid(0), &CounterOp::Read),
+        (n * ops_each) as u64
+    );
+    // Live cells bounded well below total ops.
+    let live = obj.cells_in_use(&mem, Pid(0));
+    assert!(
+        live <= obj.pool_size(),
+        "live {live} exceeds pool {}",
+        obj.pool_size()
+    );
+    assert!(
+        live < n * ops_each / 2,
+        "live {live}: reclamation is not keeping up"
+    );
+}
+
+/// Same workload under an adversarial schedule.
+#[test]
+fn bounded_pool_reuse_under_adversary() {
+    for seed in 0..5 {
+        let n = 3;
+        let ops_each = 25;
+        let mut mem: SimMem<CellPayload<CounterSpec>> = SimMem::new(n);
+        let obj = Universal::new(
+            &mut mem,
+            n,
+            UniversalConfig::for_procs(n),
+            CounterSpec::new(),
+        );
+        let obj2 = obj.clone();
+        let out = run_uniform(
+            &mem,
+            Box::new(RandomAdversary::new(seed)),
+            RunOptions {
+                max_steps: 50_000_000,
+            },
+            n,
+            move |mem, pid| {
+                for _ in 0..ops_each {
+                    obj2.apply(mem, pid, &CounterOp::Inc);
+                }
+            },
+        );
+        out.assert_clean();
+        assert_eq!(
+            obj.apply(&mem, Pid(0), &CounterOp::Read),
+            (n * ops_each) as u64,
+            "seed {seed}"
+        );
+        // 75 ops >> 88-cell pool is fine; the point is it never exhausts.
+        assert!(obj.cells_in_use(&mem, Pid(0)) <= obj.pool_size());
+    }
+}
+
+/// The unbounded construction's memory grows linearly with operations —
+/// the paper's critique, measured.
+#[test]
+fn unbounded_consumes_one_cell_per_op() {
+    let n = 2;
+    let ops_each = 10;
+    let mut mem: SimMem<CellPayload<CounterSpec>> = SimMem::new(n);
+    let obj = UnboundedUniversal::new(&mut mem, n, ops_each, CounterSpec::new());
+    let obj2 = obj.clone();
+    let out = run_uniform(
+        &mem,
+        Box::new(RoundRobin::new()),
+        RunOptions::default(),
+        n,
+        move |mem, pid| {
+            for _ in 0..ops_each {
+                obj2.apply(mem, pid, &CounterOp::Inc);
+            }
+        },
+    );
+    out.assert_clean();
+    assert_eq!(obj.cells_consumed(&mem, Pid(0)), n * ops_each);
+}
+
+/// Exhausting the unbounded arena panics loudly (that *is* the critique).
+#[test]
+fn unbounded_arena_exhaustion_is_loud() {
+    let mut mem: sbu_mem::native::NativeMem<CellPayload<CounterSpec>> =
+        sbu_mem::native::NativeMem::new();
+    let obj = UnboundedUniversal::new(&mut mem, 1, 3, CounterSpec::new());
+    for _ in 0..3 {
+        obj.apply(&mem, Pid(0), &CounterOp::Inc);
+    }
+    let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        obj.apply(&mem, Pid(0), &CounterOp::Inc)
+    }));
+    assert!(res.is_err(), "4th op must exhaust the 3-op arena");
+}
+
+/// A crashed processor leaks at most a bounded number of cells: the pool
+/// still serves many subsequent operations by survivors.
+#[test]
+fn crash_leaks_are_bounded() {
+    for seed in 0..5 {
+        let n = 3;
+        let mut mem: SimMem<CellPayload<CounterSpec>> = SimMem::new(n);
+        let obj = Universal::new(
+            &mut mem,
+            n,
+            UniversalConfig::for_procs(n),
+            CounterSpec::new(),
+        );
+        let obj2 = obj.clone();
+        let out = run_uniform(
+            &mem,
+            Box::new(RandomAdversary::new(seed).with_crashes(2, 2_000)),
+            RunOptions {
+                max_steps: 50_000_000,
+            },
+            n,
+            move |mem, pid| {
+                for _ in 0..20 {
+                    obj2.apply(mem, pid, &CounterOp::Inc);
+                }
+            },
+        );
+        assert!(!out.aborted, "seed {seed}: pool exhausted after crashes?");
+        assert!(out.violations.is_empty(), "seed {seed}");
+    }
+}

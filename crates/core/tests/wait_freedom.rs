@@ -1,0 +1,174 @@
+//! Definition 3.2, observed: every operation completes in a bounded number
+//! of its own steps, no matter what the other processors do — including
+//! doing nothing at all (solo termination) or dying mid-operation.
+//! Contrast with the lock-based construction, which wedges.
+
+use sbu_core::{bounded::UniversalConfig, CellPayload, SpinLockUniversal, Universal};
+use sbu_mem::Pid;
+use sbu_sim::{run, run_uniform, CrashPlan, RoundRobin, RunOptions, Scripted, SimMem};
+use sbu_spec::specs::{CounterOp, CounterSpec};
+
+/// Solo termination: the adversary only ever schedules processor 0 (the
+/// scripted policy picks the lowest waiting pid); its operations must
+/// complete without anyone else taking a single step.
+#[test]
+fn solo_termination_under_total_starvation_of_others() {
+    let n = 3;
+    let mut mem: SimMem<CellPayload<CounterSpec>> = SimMem::new(n);
+    let obj = Universal::new(
+        &mut mem,
+        n,
+        UniversalConfig::for_procs(n),
+        CounterSpec::new(),
+    );
+    let obj2 = obj.clone();
+    let out = run(
+        &mem,
+        // Empty script = always option 0 = lowest waiting pid: pid 0 runs
+        // to completion before pid 1 starts, etc. — each runs solo.
+        Box::new(Scripted::new(vec![])),
+        RunOptions::default(),
+        (0..n)
+            .map(|_| {
+                let obj = obj2.clone();
+                move |mem: &SimMem<CellPayload<CounterSpec>>, pid: Pid| {
+                    let mut last = 0;
+                    for _ in 0..5 {
+                        last = obj.apply(mem, pid, &CounterOp::Inc);
+                    }
+                    last
+                }
+            })
+            .collect(),
+    );
+    out.assert_clean();
+    assert_eq!(out.completed_count(), n);
+    assert_eq!(*out.results()[2], 15);
+}
+
+/// Crash both other processors mid-operation; the survivor finishes all its
+/// operations in bounded steps.
+#[test]
+fn survivor_completes_after_everyone_else_dies_mid_op() {
+    let n = 3;
+    let mut mem: SimMem<CellPayload<CounterSpec>> = SimMem::new(n);
+    let obj = Universal::new(
+        &mut mem,
+        n,
+        UniversalConfig::for_procs(n),
+        CounterSpec::new(),
+    );
+    let obj2 = obj.clone();
+    let out = run_uniform(
+        &mem,
+        // Let everyone run round-robin briefly, then kill pids 1 and 2.
+        Box::new(CrashPlan::new(
+            vec![(Pid(1), 400), (Pid(2), 800)],
+            RoundRobin::new(),
+        )),
+        RunOptions::default(),
+        n,
+        move |mem, pid| {
+            for _ in 0..6 {
+                obj2.apply(mem, pid, &CounterOp::Inc);
+            }
+        },
+    );
+    assert!(!out.aborted);
+    assert!(out.violations.is_empty());
+    assert!(out.outcomes[1].is_crashed() && out.outcomes[2].is_crashed());
+    assert!(out.outcomes[0].completed().is_some());
+    // The survivor's operations all linearized; crashed ops may or may not
+    // have. Final count ∈ [6, 18].
+    let total = obj.apply(&mem, Pid(0), &CounterOp::Read);
+    assert!((6..=18).contains(&total), "total {total}");
+}
+
+/// Per-operation step bound: across adversarial schedules, the maximum
+/// steps any single operation consumes is bounded by a fixed budget for
+/// fixed n (we measure a generous envelope; E4 measures the growth curve).
+#[test]
+fn per_op_steps_are_bounded() {
+    let n = 3;
+    let mut worst = 0u64;
+    for seed in 0..10 {
+        let mut mem: SimMem<CellPayload<CounterSpec>> = SimMem::new(n);
+        let obj = Universal::new(
+            &mut mem,
+            n,
+            UniversalConfig::for_procs(n),
+            CounterSpec::new(),
+        );
+        let obj2 = obj.clone();
+        let steps = std::sync::Arc::new(parking_lot::Mutex::new(Vec::<u64>::new()));
+        let steps2 = std::sync::Arc::clone(&steps);
+        let out = run_uniform(
+            &mem,
+            Box::new(sbu_sim::RandomAdversary::new(seed)),
+            RunOptions::default(),
+            n,
+            move |mem, pid| {
+                use sbu_mem::WordMem;
+                for _ in 0..3 {
+                    let t0 = mem.op_invoke(pid);
+                    obj2.apply(mem, pid, &CounterOp::Inc);
+                    let t1 = mem.op_return(pid);
+                    steps2.lock().push(t1 - t0);
+                }
+            },
+        );
+        out.assert_clean();
+        for s in steps.lock().iter() {
+            worst = worst.max(*s);
+        }
+    }
+    // Envelope: the pool has 88 cells; a full GFC + APPEND + scan is a few
+    // thousand register steps under contention. The bound's existence (not
+    // its constant) is the wait-freedom claim.
+    assert!(worst > 0);
+    assert!(
+        worst < 200_000,
+        "a single operation took {worst} steps — wait-freedom regression?"
+    );
+}
+
+/// The lock-based strawman is NOT wait-free: identical crash scenario, and
+/// the survivors never finish.
+#[test]
+fn lock_based_object_is_not_wait_free() {
+    let n = 2;
+    let mut mem: SimMem<CellPayload<CounterSpec>> = SimMem::new(n);
+    let obj = SpinLockUniversal::new(&mut mem, CounterSpec::new());
+    let out = run_uniform(
+        &mem,
+        Box::new(CrashPlan::new(vec![(Pid(0), 1)], RoundRobin::new())),
+        RunOptions { max_steps: 20_000 },
+        n,
+        move |mem, pid| obj.apply::<CounterSpec, _>(mem, pid, &CounterOp::Inc),
+    );
+    assert!(out.aborted, "the survivor must spin forever");
+    assert_eq!(out.completed_count(), 0);
+}
+
+/// The same scenario on the bounded universal construction completes.
+#[test]
+fn universal_object_survives_the_lock_killer_scenario() {
+    let n = 2;
+    let mut mem: SimMem<CellPayload<CounterSpec>> = SimMem::new(n);
+    let obj = Universal::new(
+        &mut mem,
+        n,
+        UniversalConfig::for_procs(n),
+        CounterSpec::new(),
+    );
+    let obj2 = obj.clone();
+    let out = run_uniform(
+        &mem,
+        Box::new(CrashPlan::new(vec![(Pid(0), 1)], RoundRobin::new())),
+        RunOptions::default(),
+        n,
+        move |mem, pid| obj2.apply(mem, pid, &CounterOp::Inc),
+    );
+    assert!(!out.aborted);
+    assert!(out.outcomes[1].completed().is_some());
+}

@@ -1,0 +1,111 @@
+//! # sbu-mem — primitive shared-memory objects
+//!
+//! The paper's constructions are built from a small set of primitive memory
+//! objects:
+//!
+//! * **safe registers** (Lamport): a read that overlaps a write may return an
+//!   *arbitrary* value; only reads not concurrent with any write are
+//!   meaningful,
+//! * **atomic registers**: linearizable read/write (used by the randomized
+//!   consensus substrate and by baselines),
+//! * **sticky bits** (Definition 4.1): three-valued `{⊥, 0, 1}` with atomic
+//!   `Jam`/`Read` and a *non-atomic* `Flush`,
+//! * **sticky words**: the multi-bit variant; the paper constructs these
+//!   from `⌈log₂⌉` sticky bits (Figure 2, reproduced in `sbu-sticky`) and we
+//!   additionally expose them as primitives for tractable model checking,
+//! * **test-and-set bits** and a **general RMW** register, used by the
+//!   RMW-hierarchy experiments (`sbu-rmw`),
+//! * **data cells**: safe registers "large enough to hold a state of the
+//!   object" (Theorem 6.6), carrying an arbitrary `Clone` payload.
+//!
+//! All algorithm code in this workspace is written once, generically over
+//! the [`WordMem`]/[`DataMem`] traits, and runs on two backends:
+//!
+//! * [`native::NativeMem`] — real `std::sync::atomic` operations, for
+//!   multi-threaded execution and throughput benchmarks. Its registers are
+//!   *stronger* than safe (they are atomic), which is sound: any algorithm
+//!   correct over safe registers stays correct over atomic ones.
+//! * `sbu-sim`'s `SimMem` — a deterministic, adversarially scheduled
+//!   backend that faithfully models safe-register overlap (arbitrary values)
+//!   and flags non-atomic `Flush` overlap, with crash injection and step
+//!   accounting.
+//!
+//! Objects are *handle bundles*: construction allocates registers out of a
+//! backend (`&mut` setup phase) and returns plain-old-data handles; all
+//! shared state lives in the backend, so the same object value can be used
+//! from many threads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conformance;
+pub mod native;
+mod traits;
+
+pub use sbu_spec::specs::Tri;
+pub use sbu_spec::Pid;
+pub use traits::{DataMem, JamOutcome, WordMem};
+
+/// The word type of every register in the workspace.
+pub type Word = u64;
+
+/// Sticky words reserve this sentinel to encode `⊥`; user payloads must be
+/// strictly smaller. Cell indices and processor ids always are.
+pub const STICKY_WORD_UNDEF: Word = Word::MAX;
+
+macro_rules! handle {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub usize);
+
+        impl $name {
+            /// The raw slot index in the owning backend.
+            pub fn index(self) -> usize {
+                self.0
+            }
+        }
+    };
+}
+
+handle! {
+    /// Handle to a safe word register.
+    SafeId
+}
+handle! {
+    /// Handle to an atomic word register.
+    AtomicId
+}
+handle! {
+    /// Handle to a sticky bit (Definition 4.1).
+    StickyBitId
+}
+handle! {
+    /// Handle to a primitive sticky word.
+    StickyWordId
+}
+handle! {
+    /// Handle to a test-and-set bit.
+    TasId
+}
+handle! {
+    /// Handle to a data cell (a safe register holding a payload).
+    DataId
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_expose_their_index() {
+        assert_eq!(SafeId(3).index(), 3);
+        assert_eq!(DataId(0).index(), 0);
+        assert!(StickyBitId(1) < StickyBitId(2));
+    }
+
+    #[test]
+    fn sticky_word_sentinel_is_max() {
+        assert_eq!(STICKY_WORD_UNDEF, u64::MAX);
+    }
+}

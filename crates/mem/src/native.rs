@@ -1,0 +1,464 @@
+//! The native backend: primitives mapped directly onto `std::sync::atomic`.
+//!
+//! Every register kind is implemented with sequentially consistent atomics,
+//! which is *stronger* than its contract requires (safe ⊆ atomic), so every
+//! algorithm validated under the simulator runs unchanged — and fast — on
+//! real threads. A sticky bit is a single `AtomicU8` compare-exchange: the
+//! paper's observation that the primitive "can be easily implemented in
+//! hardware" (Section 4) is literally one CAS on every modern ISA.
+
+use crate::{
+    AtomicId, DataId, DataMem, JamOutcome, Pid, SafeId, StickyBitId, StickyWordId, TasId, Tri,
+    Word, WordMem, STICKY_WORD_UNDEF,
+};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+
+const TRI_UNDEF: u8 = 0;
+const TRI_ZERO: u8 = 1;
+const TRI_ONE: u8 = 2;
+
+fn tri_encode(bit: bool) -> u8 {
+    if bit {
+        TRI_ONE
+    } else {
+        TRI_ZERO
+    }
+}
+
+fn tri_decode(raw: u8) -> Tri {
+    match raw {
+        TRI_UNDEF => Tri::Undef,
+        TRI_ZERO => Tri::Zero,
+        _ => Tri::One,
+    }
+}
+
+/// Shared memory backed by real atomics.
+///
+/// `P` is the payload type of data cells; use `()` when only word-level
+/// registers are needed.
+///
+/// ```
+/// use sbu_mem::{native::NativeMem, WordMem, JamOutcome, Pid, Tri};
+///
+/// let mut mem: NativeMem<()> = NativeMem::new();
+/// let s = mem.alloc_sticky_bit();
+/// assert_eq!(mem.sticky_jam(Pid(0), s, true), JamOutcome::Success);
+/// assert_eq!(mem.sticky_jam(Pid(1), s, false), JamOutcome::Fail);
+/// assert_eq!(mem.sticky_read(Pid(1), s), Tri::One);
+/// ```
+#[derive(Debug, Default)]
+pub struct NativeMem<P> {
+    safes: Vec<AtomicU64>,
+    atomics: Vec<AtomicU64>,
+    stickies: Vec<AtomicU8>,
+    sticky_words: Vec<AtomicU64>,
+    tas_bits: Vec<AtomicBool>,
+    data: Vec<RwLock<Option<P>>>,
+    clock: AtomicU64,
+}
+
+impl<P> NativeMem<P> {
+    /// An empty backend.
+    pub fn new() -> Self {
+        Self {
+            safes: Vec::new(),
+            atomics: Vec::new(),
+            stickies: Vec::new(),
+            sticky_words: Vec::new(),
+            tas_bits: Vec::new(),
+            data: Vec::new(),
+            clock: AtomicU64::new(0),
+        }
+    }
+
+    /// Total number of allocated registers of all kinds (for footprint
+    /// accounting in experiments).
+    pub fn allocation_census(&self) -> AllocationCensus {
+        AllocationCensus {
+            safe_words: self.safes.len(),
+            atomic_words: self.atomics.len(),
+            sticky_bits: self.stickies.len(),
+            sticky_words: self.sticky_words.len(),
+            tas_bits: self.tas_bits.len(),
+            data_cells: self.data.len(),
+        }
+    }
+}
+
+/// Counts of allocated primitives, for Theorem 6.6 space accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AllocationCensus {
+    /// Safe word registers.
+    pub safe_words: usize,
+    /// Atomic word registers.
+    pub atomic_words: usize,
+    /// Sticky bits.
+    pub sticky_bits: usize,
+    /// Primitive sticky words.
+    pub sticky_words: usize,
+    /// Test-and-set bits.
+    pub tas_bits: usize,
+    /// Data cells.
+    pub data_cells: usize,
+}
+
+impl AllocationCensus {
+    /// Sticky-bit cost with sticky words charged at `word_bits` bits each,
+    /// matching the paper's accounting where every multi-bit sticky field is
+    /// ⌈log₂⌉ sticky bits (Figure 2 construction).
+    pub fn sticky_bit_equivalent(&self, word_bits: usize) -> usize {
+        self.sticky_bits + self.sticky_words * word_bits
+    }
+}
+
+impl<P: Send + Sync> WordMem for NativeMem<P> {
+    fn alloc_safe(&mut self, init: Word) -> SafeId {
+        self.safes.push(AtomicU64::new(init));
+        SafeId(self.safes.len() - 1)
+    }
+
+    fn alloc_atomic(&mut self, init: Word) -> AtomicId {
+        self.atomics.push(AtomicU64::new(init));
+        AtomicId(self.atomics.len() - 1)
+    }
+
+    fn alloc_sticky_bit(&mut self) -> StickyBitId {
+        self.stickies.push(AtomicU8::new(TRI_UNDEF));
+        StickyBitId(self.stickies.len() - 1)
+    }
+
+    fn alloc_sticky_word(&mut self) -> StickyWordId {
+        self.sticky_words.push(AtomicU64::new(STICKY_WORD_UNDEF));
+        StickyWordId(self.sticky_words.len() - 1)
+    }
+
+    fn alloc_tas(&mut self) -> TasId {
+        self.tas_bits.push(AtomicBool::new(false));
+        TasId(self.tas_bits.len() - 1)
+    }
+
+    fn safe_read(&self, _pid: Pid, r: SafeId) -> Word {
+        self.safes[r.0].load(Ordering::SeqCst)
+    }
+
+    fn safe_write(&self, _pid: Pid, r: SafeId, v: Word) {
+        self.safes[r.0].store(v, Ordering::SeqCst);
+    }
+
+    fn atomic_read(&self, _pid: Pid, r: AtomicId) -> Word {
+        self.atomics[r.0].load(Ordering::SeqCst)
+    }
+
+    fn atomic_write(&self, _pid: Pid, r: AtomicId, v: Word) {
+        self.atomics[r.0].store(v, Ordering::SeqCst);
+    }
+
+    fn rmw(&self, _pid: Pid, r: AtomicId, f: &dyn Fn(Word) -> Word) -> Word {
+        self.atomics[r.0]
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |x| Some(f(x)))
+            .expect("fetch_update closure never returns None")
+    }
+
+    fn sticky_jam(&self, _pid: Pid, s: StickyBitId, v: bool) -> JamOutcome {
+        let enc = tri_encode(v);
+        match self.stickies[s.0].compare_exchange(
+            TRI_UNDEF,
+            enc,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        ) {
+            Ok(_) => JamOutcome::Success,
+            Err(current) if current == enc => JamOutcome::Success,
+            Err(_) => JamOutcome::Fail,
+        }
+    }
+
+    fn sticky_read(&self, _pid: Pid, s: StickyBitId) -> Tri {
+        tri_decode(self.stickies[s.0].load(Ordering::SeqCst))
+    }
+
+    fn sticky_flush(&self, _pid: Pid, s: StickyBitId) {
+        self.stickies[s.0].store(TRI_UNDEF, Ordering::SeqCst);
+    }
+
+    fn sticky_word_jam(&self, _pid: Pid, s: StickyWordId, v: Word) -> JamOutcome {
+        assert!(
+            v != STICKY_WORD_UNDEF,
+            "sticky word payloads must be < STICKY_WORD_UNDEF"
+        );
+        match self.sticky_words[s.0].compare_exchange(
+            STICKY_WORD_UNDEF,
+            v,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        ) {
+            Ok(_) => JamOutcome::Success,
+            Err(current) if current == v => JamOutcome::Success,
+            Err(_) => JamOutcome::Fail,
+        }
+    }
+
+    fn sticky_word_read(&self, _pid: Pid, s: StickyWordId) -> Option<Word> {
+        match self.sticky_words[s.0].load(Ordering::SeqCst) {
+            STICKY_WORD_UNDEF => None,
+            v => Some(v),
+        }
+    }
+
+    fn sticky_word_flush(&self, _pid: Pid, s: StickyWordId) {
+        self.sticky_words[s.0].store(STICKY_WORD_UNDEF, Ordering::SeqCst);
+    }
+
+    fn tas_test_and_set(&self, _pid: Pid, t: TasId) -> bool {
+        self.tas_bits[t.0].swap(true, Ordering::SeqCst)
+    }
+
+    fn tas_read(&self, _pid: Pid, t: TasId) -> bool {
+        self.tas_bits[t.0].load(Ordering::SeqCst)
+    }
+
+    fn tas_reset(&self, _pid: Pid, t: TasId) {
+        self.tas_bits[t.0].store(false, Ordering::SeqCst);
+    }
+
+    fn op_invoke(&self, _pid: Pid) -> u64 {
+        self.clock.fetch_add(1, Ordering::SeqCst)
+    }
+
+    fn op_return(&self, _pid: Pid) -> u64 {
+        self.clock.fetch_add(1, Ordering::SeqCst)
+    }
+}
+
+impl<P: Clone + Send + Sync> DataMem<P> for NativeMem<P> {
+    fn alloc_data(&mut self, init: Option<P>) -> DataId {
+        self.data.push(RwLock::new(init));
+        DataId(self.data.len() - 1)
+    }
+
+    fn data_read(&self, _pid: Pid, d: DataId) -> Option<P> {
+        self.data[d.0].read().clone()
+    }
+
+    fn data_write(&self, _pid: Pid, d: DataId, v: P) {
+        *self.data[d.0].write() = Some(v);
+    }
+
+    fn data_clear(&self, _pid: Pid, d: DataId) {
+        *self.data[d.0].write() = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn safe_and_atomic_registers_roundtrip() {
+        let mut mem: NativeMem<()> = NativeMem::new();
+        let s = mem.alloc_safe(7);
+        let a = mem.alloc_atomic(9);
+        assert_eq!(mem.safe_read(Pid(0), s), 7);
+        mem.safe_write(Pid(0), s, 8);
+        assert_eq!(mem.safe_read(Pid(1), s), 8);
+        assert_eq!(mem.atomic_read(Pid(0), a), 9);
+        mem.atomic_write(Pid(0), a, 10);
+        assert_eq!(mem.atomic_read(Pid(1), a), 10);
+    }
+
+    #[test]
+    fn sticky_bit_definition_4_1() {
+        let mut mem: NativeMem<()> = NativeMem::new();
+        let s = mem.alloc_sticky_bit();
+        assert_eq!(mem.sticky_read(Pid(0), s), Tri::Undef);
+        assert_eq!(mem.sticky_jam(Pid(0), s, false), JamOutcome::Success);
+        // Agreeing jam succeeds; disagreeing jam fails.
+        assert_eq!(mem.sticky_jam(Pid(1), s, false), JamOutcome::Success);
+        assert_eq!(mem.sticky_jam(Pid(2), s, true), JamOutcome::Fail);
+        assert_eq!(mem.sticky_read(Pid(2), s), Tri::Zero);
+        mem.sticky_flush(Pid(0), s);
+        assert_eq!(mem.sticky_read(Pid(0), s), Tri::Undef);
+        assert_eq!(mem.sticky_jam(Pid(2), s, true), JamOutcome::Success);
+    }
+
+    #[test]
+    fn sticky_word_semantics() {
+        let mut mem: NativeMem<()> = NativeMem::new();
+        let s = mem.alloc_sticky_word();
+        assert_eq!(mem.sticky_word_read(Pid(0), s), None);
+        assert_eq!(mem.sticky_word_jam(Pid(0), s, 42), JamOutcome::Success);
+        assert_eq!(mem.sticky_word_jam(Pid(1), s, 42), JamOutcome::Success);
+        assert_eq!(mem.sticky_word_jam(Pid(1), s, 43), JamOutcome::Fail);
+        assert_eq!(mem.sticky_word_read(Pid(1), s), Some(42));
+        mem.sticky_word_flush(Pid(0), s);
+        assert_eq!(mem.sticky_word_read(Pid(0), s), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "sticky word payloads")]
+    fn sticky_word_rejects_sentinel() {
+        let mut mem: NativeMem<()> = NativeMem::new();
+        let s = mem.alloc_sticky_word();
+        mem.sticky_word_jam(Pid(0), s, STICKY_WORD_UNDEF);
+    }
+
+    #[test]
+    fn tas_returns_old_value() {
+        let mut mem: NativeMem<()> = NativeMem::new();
+        let t = mem.alloc_tas();
+        assert!(!mem.tas_test_and_set(Pid(0), t));
+        assert!(mem.tas_test_and_set(Pid(1), t));
+        assert!(mem.tas_read(Pid(1), t));
+        mem.tas_reset(Pid(0), t);
+        assert!(!mem.tas_read(Pid(0), t));
+    }
+
+    #[test]
+    fn rmw_applies_function_atomically_and_returns_old() {
+        let mut mem: NativeMem<()> = NativeMem::new();
+        let a = mem.alloc_atomic(5);
+        let old = mem.rmw(Pid(0), a, &|x| x * 2);
+        assert_eq!(old, 5);
+        assert_eq!(mem.atomic_read(Pid(0), a), 10);
+    }
+
+    #[test]
+    fn data_cells_hold_payloads() {
+        let mut mem: NativeMem<String> = NativeMem::new();
+        let d = mem.alloc_data(None);
+        assert_eq!(mem.data_read(Pid(0), d), None);
+        mem.data_write(Pid(0), d, "state".to_string());
+        assert_eq!(mem.data_read(Pid(1), d), Some("state".to_string()));
+        mem.data_clear(Pid(0), d);
+        assert_eq!(mem.data_read(Pid(0), d), None);
+        let d2 = mem.alloc_data(Some("init".to_string()));
+        assert_eq!(mem.data_read(Pid(0), d2), Some("init".to_string()));
+    }
+
+    #[test]
+    fn clock_is_strictly_monotone() {
+        let mut mem: NativeMem<()> = NativeMem::new();
+        let _ = &mut mem;
+        let t0 = mem.op_invoke(Pid(0));
+        let t1 = mem.op_return(Pid(0));
+        let t2 = mem.op_invoke(Pid(1));
+        assert!(t0 < t1 && t1 < t2);
+    }
+
+    #[test]
+    fn census_counts_every_kind() {
+        let mut mem: NativeMem<u32> = NativeMem::new();
+        mem.alloc_safe(0);
+        mem.alloc_safe(0);
+        mem.alloc_atomic(0);
+        mem.alloc_sticky_bit();
+        mem.alloc_sticky_word();
+        mem.alloc_tas();
+        mem.alloc_data(None);
+        let census = mem.allocation_census();
+        assert_eq!(census.safe_words, 2);
+        assert_eq!(census.atomic_words, 1);
+        assert_eq!(census.sticky_bits, 1);
+        assert_eq!(census.sticky_words, 1);
+        assert_eq!(census.tas_bits, 1);
+        assert_eq!(census.data_cells, 1);
+        assert_eq!(census.sticky_bit_equivalent(16), 17);
+    }
+
+    #[test]
+    fn concurrent_jams_agree_on_one_winner() {
+        let mut mem: NativeMem<()> = NativeMem::new();
+        let s = mem.alloc_sticky_bit();
+        let mem = Arc::new(mem);
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let mem = Arc::clone(&mem);
+                std::thread::spawn(move || {
+                    let bit = i % 2 == 0;
+                    let out = mem.sticky_jam(Pid(i), s, bit);
+                    (bit, out)
+                })
+            })
+            .collect();
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let value = mem.sticky_read(Pid(0), s);
+        let winner_bit = value.bit().expect("someone jammed");
+        for (bit, out) in results {
+            if out.is_success() {
+                assert_eq!(bit, winner_bit, "successful jam must match final value");
+            } else {
+                assert_ne!(bit, winner_bit, "failed jam must disagree with final value");
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_tas_has_exactly_one_winner() {
+        let mut mem: NativeMem<()> = NativeMem::new();
+        let t = mem.alloc_tas();
+        let mem = Arc::new(mem);
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let mem = Arc::clone(&mem);
+                std::thread::spawn(move || !mem.tas_test_and_set(Pid(i), t))
+            })
+            .collect();
+        let winners = handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .filter(|&won| won)
+            .count();
+        assert_eq!(winners, 1);
+    }
+}
+
+#[cfg(test)]
+mod concurrent_tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn concurrent_sticky_word_jams_have_one_winner() {
+        for _ in 0..20 {
+            let mut mem: NativeMem<()> = NativeMem::new();
+            let w = mem.alloc_sticky_word();
+            let mem = Arc::new(mem);
+            let outs: Vec<(u64, JamOutcome)> = std::thread::scope(|s| {
+                (0..6)
+                    .map(|i| {
+                        let mem = Arc::clone(&mem);
+                        s.spawn(move || (i as u64, mem.sticky_word_jam(Pid(i), w, i as u64 + 1)))
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .collect()
+            });
+            let winner = mem.sticky_word_read(Pid(0), w).unwrap();
+            for (i, out) in outs {
+                assert_eq!(out.is_success(), i + 1 == winner);
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_rmw_is_atomic() {
+        let mut mem: NativeMem<()> = NativeMem::new();
+        let a = mem.alloc_atomic(0);
+        let mem = Arc::new(mem);
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let mem = Arc::clone(&mem);
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        mem.rmw(Pid(i), a, &|x| x + 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(mem.atomic_read(Pid(0), a), 40_000);
+    }
+}

@@ -1,0 +1,130 @@
+//! The backend traits every algorithm in the workspace is generic over.
+
+use crate::{AtomicId, DataId, Pid, SafeId, StickyBitId, StickyWordId, TasId, Tri, Word};
+
+/// Outcome of a `Jam` operation (Definition 4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JamOutcome {
+    /// The value was `⊥` or already agreed; it is now the jammed value.
+    Success,
+    /// The value disagreed with an earlier jam.
+    Fail,
+}
+
+impl JamOutcome {
+    /// Whether the jam stuck.
+    pub fn is_success(self) -> bool {
+        self == JamOutcome::Success
+    }
+}
+
+/// Word-level shared memory: allocation plus operations on every primitive
+/// register kind.
+///
+/// Allocation (`alloc_*`) takes `&mut self` and happens during the
+/// single-threaded setup phase; operations take `&self` plus the acting
+/// processor's [`Pid`] and may be invoked concurrently from many threads.
+///
+/// # Semantics contract per backend
+///
+/// * `safe_*`: at least Lamport-safe. A backend may implement them
+///   atomically (native); the simulator deliberately returns
+///   adversary-chosen words for reads that overlap writes.
+/// * `atomic_*` and `rmw`: linearizable.
+/// * `sticky_*`: `jam`/`read` linearizable, `flush` **non-atomic** — the
+///   caller must guarantee no concurrent operation on the same object
+///   (Definition 4.1); the simulator reports a protocol violation otherwise.
+/// * `tas_*`: `test_and_set` linearizable; `reset` non-atomic like `flush`.
+/// * `op_invoke`/`op_return`: logical-clock hooks bracketing *object-level*
+///   operations, used to build [`sbu_spec::history::History`] records with
+///   real-time timestamps.
+pub trait WordMem: Send + Sync {
+    /// Allocate a safe register initialized to `init`.
+    fn alloc_safe(&mut self, init: Word) -> SafeId;
+    /// Allocate an atomic register initialized to `init`.
+    fn alloc_atomic(&mut self, init: Word) -> AtomicId;
+    /// Allocate a sticky bit initialized to `⊥`.
+    fn alloc_sticky_bit(&mut self) -> StickyBitId;
+    /// Allocate a sticky word initialized to `⊥`.
+    fn alloc_sticky_word(&mut self) -> StickyWordId;
+    /// Allocate a test-and-set bit initialized to `false`.
+    fn alloc_tas(&mut self) -> TasId;
+
+    /// Read a safe register. If the read overlaps a write, the result is
+    /// arbitrary.
+    fn safe_read(&self, pid: Pid, r: SafeId) -> Word;
+    /// Write a safe register. Concurrent writes leave an arbitrary value.
+    fn safe_write(&self, pid: Pid, r: SafeId, v: Word);
+
+    /// Linearizable read of an atomic register.
+    fn atomic_read(&self, pid: Pid, r: AtomicId) -> Word;
+    /// Linearizable write of an atomic register.
+    fn atomic_write(&self, pid: Pid, r: AtomicId, v: Word);
+    /// Linearizable read-modify-write: atomically replace the contents `x`
+    /// with `f(x)` and return the old value `x`.
+    ///
+    /// This is the paper's general RMW operation (Section 1); restricting
+    /// the register's domain to `k` values yields a "k-valued RMW" — see
+    /// `sbu-rmw`.
+    fn rmw(&self, pid: Pid, r: AtomicId, f: &dyn Fn(Word) -> Word) -> Word;
+
+    /// `Jam(v)` on a sticky bit: atomically, if the value is `⊥` or
+    /// `Tri::from_bit(v)`, set it and succeed; otherwise fail.
+    fn sticky_jam(&self, pid: Pid, s: StickyBitId, v: bool) -> JamOutcome;
+    /// Linearizable read of a sticky bit.
+    fn sticky_read(&self, pid: Pid, s: StickyBitId) -> Tri;
+    /// Non-atomic reset of a sticky bit to `⊥`. Overlap with any other
+    /// operation on `s` is a protocol violation.
+    fn sticky_flush(&self, pid: Pid, s: StickyBitId);
+
+    /// `Jam(v)` on a sticky word; `v` must be `< STICKY_WORD_UNDEF`.
+    fn sticky_word_jam(&self, pid: Pid, s: StickyWordId, v: Word) -> JamOutcome;
+    /// Read a sticky word; `None` is `⊥`.
+    fn sticky_word_read(&self, pid: Pid, s: StickyWordId) -> Option<Word>;
+    /// Non-atomic reset of a sticky word to `⊥` (same caveat as
+    /// [`WordMem::sticky_flush`]).
+    fn sticky_word_flush(&self, pid: Pid, s: StickyWordId);
+
+    /// Atomically set the bit and return its previous value.
+    fn tas_test_and_set(&self, pid: Pid, t: TasId) -> bool;
+    /// Linearizable read of a test-and-set bit.
+    fn tas_read(&self, pid: Pid, t: TasId) -> bool;
+    /// Non-atomic reset to `false` (same caveat as [`WordMem::sticky_flush`]).
+    fn tas_reset(&self, pid: Pid, t: TasId);
+
+    /// Mark the invocation of an object-level operation; returns the
+    /// logical timestamp of the event.
+    fn op_invoke(&self, pid: Pid) -> u64;
+    /// Mark the response of an object-level operation; returns the logical
+    /// timestamp of the event.
+    fn op_return(&self, pid: Pid) -> u64;
+}
+
+/// Word memory extended with payload-carrying *data cells* — the safe
+/// registers "large enough to hold a state of the object" of Theorem 6.6.
+///
+/// Data cells are safe, not atomic: the protocols in `sbu-core` follow a
+/// write-once-then-publish discipline (a has-bit set after the write) so
+/// that no correct execution reads a cell concurrently with its write; the
+/// simulator verifies this and treats a violation as a test failure.
+pub trait DataMem<P: Clone>: WordMem {
+    /// Allocate a data cell, optionally pre-loaded.
+    fn alloc_data(&mut self, init: Option<P>) -> DataId;
+    /// Read a data cell (`None` if cleared/never written).
+    fn data_read(&self, pid: Pid, d: DataId) -> Option<P>;
+    /// Write a data cell.
+    fn data_write(&self, pid: Pid, d: DataId, v: P);
+    /// Clear a data cell back to `None` (non-atomic, like flush).
+    fn data_clear(&self, pid: Pid, d: DataId);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jam_outcome_helpers() {
+        assert!(JamOutcome::Success.is_success());
+        assert!(!JamOutcome::Fail.is_success());
+    }
+}

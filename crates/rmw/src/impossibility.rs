@@ -1,0 +1,199 @@
+//! Executable separations: where each level of the hierarchy *fails*.
+//!
+//! Impossibility theorems cannot be proven by running code, but their
+//! adversarial schedules can be *exhibited*. This module implements the
+//! natural wait-free protocol attempts that the proofs rule out, and the
+//! schedule explorer mechanically finds the interleavings on which they
+//! disagree:
+//!
+//! * [`NaiveRegisterConsensus`] — 2-processor consensus from registers
+//!   only. Any deterministic wait-free attempt must fail
+//!   (Dolev–Dwork–Stockmeyer \[5\], Chor–Israeli–Li \[4\], FLP \[6\]); the
+//!   explorer finds the classic "neither sees the other / both see each
+//!   other" ambiguity.
+//! * [`TasThreeConsensus`] — 3-processor consensus from a single
+//!   test-and-set plus registers. TAS has consensus number 2 (Herlihy \[7\],
+//!   Loui–Abu-Amara \[10\]): a loser that cannot yet see the winner's value
+//!   must decide *something* (wait-freedom!), and the explorer produces the
+//!   schedule where that guess is wrong.
+//!
+//! Contrast both with the sticky bit: `propose = Jam + Read` solves
+//! n-processor consensus outright (`sbu_sticky::consensus`), which is the
+//! content of the collapse theorem.
+
+use sbu_mem::{Pid, SafeId, TasId, Word, WordMem};
+use sbu_sticky::consensus::Consensus;
+
+/// A doomed-but-natural 2-processor consensus from registers: announce my
+/// value, then adopt the other's value if I can see it, else keep mine.
+///
+/// Deterministic, wait-free — and therefore *incorrect*: see
+/// [`crate::impossibility`] module docs. Exists to be refuted by the
+/// explorer (experiment E6).
+#[derive(Debug, Clone, Copy)]
+pub struct NaiveRegisterConsensus {
+    /// `0 = ⊥`, else `value + 1`; single-writer each.
+    proposals: [SafeId; 2],
+}
+
+impl NaiveRegisterConsensus {
+    /// Allocate the two announcement registers.
+    pub fn new<M: WordMem + ?Sized>(mem: &mut M) -> Self {
+        Self {
+            proposals: [mem.alloc_safe(0), mem.alloc_safe(0)],
+        }
+    }
+}
+
+impl<M: WordMem + ?Sized> Consensus<M> for NaiveRegisterConsensus {
+    fn propose(&self, mem: &M, pid: Pid, value: Word) -> Word {
+        assert!(pid.0 < 2);
+        mem.safe_write(pid, self.proposals[pid.0], value + 1);
+        let other = mem.safe_read(pid, self.proposals[1 - pid.0]);
+        if other != 0 {
+            other - 1
+        } else {
+            value
+        }
+    }
+
+    fn decision(&self, _mem: &M, _pid: Pid) -> Option<Word> {
+        None // no well-defined decision exists; that is the point
+    }
+}
+
+/// A doomed-but-natural 3-processor consensus from one TAS bit: the winner
+/// publishes its value in a decision register; a loser takes the published
+/// decision if visible, otherwise — forced by wait-freedom not to spin —
+/// guesses its own value.
+///
+/// The explorer finds the schedule where the winner is suspended between
+/// winning the TAS and publishing, so a loser's guess disagrees. This
+/// window is exactly the obstruction in the consensus-number-2 proof.
+#[derive(Debug, Clone, Copy)]
+pub struct TasThreeConsensus {
+    tas: TasId,
+    /// `0 = ⊥`, else `value + 1`; written only by the TAS winner.
+    decision: SafeId,
+}
+
+impl TasThreeConsensus {
+    /// Allocate the TAS bit and the decision register.
+    pub fn new<M: WordMem + ?Sized>(mem: &mut M) -> Self {
+        Self {
+            tas: mem.alloc_tas(),
+            decision: mem.alloc_safe(0),
+        }
+    }
+}
+
+impl<M: WordMem + ?Sized> Consensus<M> for TasThreeConsensus {
+    fn propose(&self, mem: &M, pid: Pid, value: Word) -> Word {
+        if !mem.tas_test_and_set(pid, self.tas) {
+            mem.safe_write(pid, self.decision, value + 1);
+            return value;
+        }
+        match mem.safe_read(pid, self.decision) {
+            0 => value, // the fatal guess
+            w => w - 1,
+        }
+    }
+
+    fn decision(&self, mem: &M, pid: Pid) -> Option<Word> {
+        match mem.safe_read(pid, self.decision) {
+            0 => None,
+            w => Some(w - 1),
+        }
+    }
+}
+
+/// Run a binary-consensus protocol over all schedules for `n` processors
+/// (inputs `pid % 2`) and report whether agreement+validity ever break.
+/// Returns `Ok(schedules)` if every schedule agreed, or `Err(script)` with
+/// a counterexample.
+pub fn find_consensus_counterexample<C, F>(
+    n: usize,
+    max_schedules: usize,
+    make: F,
+) -> Result<usize, Vec<usize>>
+where
+    C: Consensus<sbu_sim::SimMem<()>> + Clone + Send + Sync + 'static,
+    F: Fn(&mut sbu_sim::SimMem<()>) -> C,
+{
+    use sbu_sim::{run_uniform, EpisodeResult, Explorer, RunOptions, Scripted, SimMem};
+    let explorer = Explorer {
+        max_schedules,
+        max_failures: 1,
+    };
+    let report = explorer.explore(|script| {
+        let mut mem: SimMem<()> = SimMem::new(n);
+        let cons = make(&mut mem);
+        let out = run_uniform(
+            &mem,
+            Box::new(Scripted::new(script.to_vec())),
+            RunOptions::default(),
+            n,
+            move |mem, pid| cons.propose(mem, pid, (pid.0 % 2) as Word),
+        );
+        let choice_log = out.choice_log.clone();
+        let verdict = (|| {
+            let ds: Vec<Word> = out.results().into_iter().copied().collect();
+            if let Some(&first) = ds.first() {
+                if !ds.iter().all(|&d| d == first) {
+                    return Err(format!("disagreement {ds:?}"));
+                }
+                if first > 1 {
+                    return Err(format!("invalid {first}"));
+                }
+            }
+            Ok(())
+        })();
+        EpisodeResult {
+            choice_log,
+            verdict,
+        }
+    });
+    match report.failures.into_iter().next() {
+        Some((script, _)) => Err(script),
+        None => Ok(report.schedules),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbu_sticky::consensus::{RmwConsensus, StickyBinaryConsensus};
+
+    #[test]
+    fn registers_alone_fail_two_consensus() {
+        let result = find_consensus_counterexample(2, 100_000, NaiveRegisterConsensus::new);
+        let script = result.expect_err("DDS/CIL: a disagreeing schedule must exist");
+        assert!(!script.is_empty() || script.is_empty()); // counterexample found
+    }
+
+    #[test]
+    fn tas_fails_three_consensus() {
+        let result = find_consensus_counterexample(3, 500_000, TasThreeConsensus::new);
+        result.expect_err("Herlihy/Loui–Abu-Amara: a disagreeing schedule must exist");
+    }
+
+    #[test]
+    fn tas_succeeds_at_two_consensus() {
+        // Positive control for the same harness: the 2-processor TAS
+        // protocol survives every schedule.
+        let result = find_consensus_counterexample(2, 500_000, |mem| {
+            crate::two_consensus::TasTwoConsensus::new(mem)
+        });
+        let schedules = result.expect("TAS two-consensus is correct");
+        assert!(schedules > 10);
+    }
+
+    #[test]
+    fn sticky_bit_succeeds_at_three_consensus() {
+        // The collapse: one sticky bit (≡ 3-valued RMW) handles 3 procs.
+        let result = find_consensus_counterexample(3, 2_000_000, StickyBinaryConsensus::new);
+        result.expect("sticky-bit consensus is correct for any n");
+        let result = find_consensus_counterexample(3, 2_000_000, RmwConsensus::new);
+        result.expect("3-valued RMW consensus is correct for any n");
+    }
+}

@@ -1,0 +1,262 @@
+//! k-valued RMW registers and the collapse at k = 3.
+//!
+//! A *k-valued RMW register* holds one of `k` values and supports an atomic
+//! read-modify-write with an arbitrary function on that domain. The paper's
+//! hierarchy result: 2-valued RMW (a bit with TAS-like updates) cannot solve
+//! 3-consensus, but a **3-valued** RMW already simulates a sticky bit
+//! ([`RmwStickyBit`] below is the two-line simulation), and the sticky bit
+//! is universal — so the hierarchy collapses at the third level.
+
+use sbu_mem::{AtomicId, JamOutcome, Pid, Tri, Word, WordMem};
+
+/// A k-valued RMW register: an atomic register whose every update goes
+/// through [`KRmw::apply`], which enforces that values stay in `0..k`.
+///
+/// ```
+/// use sbu_mem::{native::NativeMem, Pid};
+/// use sbu_rmw::KRmw;
+///
+/// let mut mem: NativeMem<()> = NativeMem::new();
+/// let r = KRmw::new(&mut mem, 3, 0);
+/// // Saturating increment on the domain {0, 1, 2}.
+/// let old = r.apply(&mem, Pid(0), |x| (x + 1).min(2));
+/// assert_eq!(old, 0);
+/// assert_eq!(r.read(&mem, Pid(0)), 1);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct KRmw {
+    reg: AtomicId,
+    k: Word,
+}
+
+impl KRmw {
+    /// Allocate a register over the domain `0..k`, initialized to `init`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2` or `init >= k`.
+    pub fn new<M: WordMem + ?Sized>(mem: &mut M, k: Word, init: Word) -> Self {
+        assert!(k >= 2, "a register needs at least two values");
+        assert!(init < k, "initial value outside the domain");
+        Self {
+            reg: mem.alloc_atomic(init),
+            k,
+        }
+    }
+
+    /// Domain size.
+    pub fn k(&self) -> Word {
+        self.k
+    }
+
+    /// Atomically replace the contents `x` by `f(x)`, returning `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (inside the atomic step) if `f` leaves the domain — the type
+    /// system cannot see `k`, so this is enforced dynamically.
+    pub fn apply<M: WordMem + ?Sized>(&self, mem: &M, pid: Pid, f: impl Fn(Word) -> Word) -> Word {
+        let k = self.k;
+        mem.rmw(pid, self.reg, &move |x| {
+            let y = f(x);
+            assert!(y < k, "RMW result {y} outside domain 0..{k}");
+            y
+        })
+    }
+
+    /// Linearizable read.
+    pub fn read<M: WordMem + ?Sized>(&self, mem: &M, pid: Pid) -> Word {
+        mem.atomic_read(pid, self.reg)
+    }
+
+    /// Non-atomic reset.
+    pub fn reset<M: WordMem + ?Sized>(&self, mem: &M, pid: Pid, value: Word) {
+        assert!(value < self.k);
+        mem.atomic_write(pid, self.reg, value);
+    }
+}
+
+/// A sticky bit simulated by one **3-valued** RMW register — the paper's
+/// observation that "an atomic Sticky-Bit is trivially simulated by an
+/// atomic 2-bit RMW" (Section 7), i.e. the constructive half of the
+/// hierarchy collapse: 3-valued RMW ⟹ sticky bit ⟹ universality.
+///
+/// Encoding: `0 = ⊥`, `1 = Zero`, `2 = One`.
+#[derive(Debug, Clone, Copy)]
+pub struct RmwStickyBit {
+    cell: KRmw,
+}
+
+impl RmwStickyBit {
+    /// Allocate the 3-valued register.
+    pub fn new<M: WordMem + ?Sized>(mem: &mut M) -> Self {
+        Self {
+            cell: KRmw::new(mem, 3, 0),
+        }
+    }
+
+    /// `Jam(v)` per Definition 4.1, in a single RMW.
+    pub fn jam<M: WordMem + ?Sized>(&self, mem: &M, pid: Pid, v: bool) -> JamOutcome {
+        let enc = v as Word + 1;
+        let old = self
+            .cell
+            .apply(mem, pid, move |x| if x == 0 { enc } else { x });
+        if old == 0 || old == enc {
+            JamOutcome::Success
+        } else {
+            JamOutcome::Fail
+        }
+    }
+
+    /// `Read` per Definition 4.1.
+    pub fn read<M: WordMem + ?Sized>(&self, mem: &M, pid: Pid) -> Tri {
+        match self.cell.read(mem, pid) {
+            0 => Tri::Undef,
+            1 => Tri::Zero,
+            _ => Tri::One,
+        }
+    }
+
+    /// `Flush` (non-atomic, Definition 4.1 caveat).
+    pub fn flush<M: WordMem + ?Sized>(&self, mem: &M, pid: Pid) {
+        self.cell.reset(mem, pid, 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbu_mem::native::NativeMem;
+    use sbu_sim::{
+        run_uniform, EpisodeResult, Explorer, HistoryRecorder, RunOptions, Scripted, SimMem,
+    };
+    use sbu_spec::linearize::check;
+    use sbu_spec::specs::{StickyOp, StickyResp, StickySpec};
+    use std::sync::Arc;
+
+    #[test]
+    fn krmw_enforces_domain() {
+        let mut mem: NativeMem<()> = NativeMem::new();
+        let r = KRmw::new(&mut mem, 4, 3);
+        assert_eq!(r.k(), 4);
+        assert_eq!(r.apply(&mem, Pid(0), |x| x.saturating_sub(1)), 3);
+        assert_eq!(r.read(&mem, Pid(0)), 2);
+        r.reset(&mem, Pid(0), 0);
+        assert_eq!(r.read(&mem, Pid(0)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside domain")]
+    fn krmw_rejects_escaping_update() {
+        let mut mem: NativeMem<()> = NativeMem::new();
+        let r = KRmw::new(&mut mem, 2, 0);
+        r.apply(&mem, Pid(0), |x| x + 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two values")]
+    fn krmw_rejects_degenerate_domain() {
+        let mut mem: NativeMem<()> = NativeMem::new();
+        let _ = KRmw::new(&mut mem, 1, 0);
+    }
+
+    #[test]
+    fn rmw_sticky_bit_sequential_semantics() {
+        let mut mem: NativeMem<()> = NativeMem::new();
+        let sb = RmwStickyBit::new(&mut mem);
+        assert_eq!(sb.read(&mem, Pid(0)), Tri::Undef);
+        assert_eq!(sb.jam(&mem, Pid(0), true), JamOutcome::Success);
+        assert_eq!(sb.jam(&mem, Pid(1), true), JamOutcome::Success);
+        assert_eq!(sb.jam(&mem, Pid(2), false), JamOutcome::Fail);
+        assert_eq!(sb.read(&mem, Pid(2)), Tri::One);
+        sb.flush(&mem, Pid(0));
+        assert_eq!(sb.read(&mem, Pid(0)), Tri::Undef);
+    }
+
+    /// The collapse, checked: the 3-valued-RMW sticky bit is linearizable
+    /// against the sticky-bit specification over all schedules (3 procs,
+    /// one crash allowed).
+    #[test]
+    fn rmw_sticky_bit_exhaustively_linearizable() {
+        let explorer = Explorer {
+            max_schedules: 3_000_000,
+            max_failures: 1,
+        };
+        let report = explorer.explore(|script| {
+            let mut mem: SimMem<()> = SimMem::new(3);
+            let sb = RmwStickyBit::new(&mut mem);
+            let rec: Arc<HistoryRecorder<StickyOp, StickyResp>> = Arc::new(HistoryRecorder::new());
+            let rec2 = Arc::clone(&rec);
+            let out = run_uniform(
+                &mem,
+                Box::new(Scripted::new(script.to_vec()).with_crashes(1)),
+                RunOptions::default(),
+                3,
+                move |mem, pid| match pid.0 {
+                    0 => {
+                        rec2.record(mem, pid, StickyOp::Jam(true), || {
+                            match sb.jam(mem, pid, true) {
+                                JamOutcome::Success => StickyResp::Success,
+                                JamOutcome::Fail => StickyResp::Fail,
+                            }
+                        });
+                    }
+                    1 => {
+                        rec2.record(mem, pid, StickyOp::Jam(false), || {
+                            match sb.jam(mem, pid, false) {
+                                JamOutcome::Success => StickyResp::Success,
+                                JamOutcome::Fail => StickyResp::Fail,
+                            }
+                        });
+                    }
+                    _ => {
+                        rec2.record(mem, pid, StickyOp::Read, || {
+                            StickyResp::Value(sb.read(mem, pid))
+                        });
+                    }
+                },
+            );
+            let choice_log = out.choice_log.clone();
+            let verdict = (|| {
+                if !out.violations.is_empty() {
+                    return Err(format!("violations: {:?}", out.violations));
+                }
+                let h = rec.history();
+                if !check(&h, StickySpec::new()).is_linearizable() {
+                    return Err(format!("not linearizable: {h:?}"));
+                }
+                Ok(())
+            })();
+            EpisodeResult {
+                choice_log,
+                verdict,
+            }
+        });
+        report.assert_all_ok();
+    }
+
+    #[test]
+    fn native_concurrent_jams_have_one_sticking_value() {
+        let mut mem: NativeMem<()> = NativeMem::new();
+        let sb = RmwStickyBit::new(&mut mem);
+        let mem = Arc::new(mem);
+        let outcomes: Vec<(bool, JamOutcome)> = std::thread::scope(|s| {
+            (0..8)
+                .map(|i| {
+                    let mem = Arc::clone(&mem);
+                    s.spawn(move || {
+                        let bit = i % 2 == 0;
+                        (bit, sb.jam(&*mem, Pid(i), bit))
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        let winner = sb.read(&*mem, Pid(0)).bit().unwrap();
+        for (bit, out) in outcomes {
+            assert_eq!(out.is_success(), bit == winner);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! # sbu-rmw — the Read-Modify-Write hierarchy and its collapse (Sections 1 & 7)
+//!
+//! The paper's second headline result: although
+//!
+//! * safe registers cannot implement wait-free 2-processor consensus
+//!   (Dolev–Dwork–Stockmeyer, Chor–Israeli–Li — the paper's refs \[4, 5\]),
+//! * and 1-bit RMW (test-and-set) cannot implement wait-free 3-processor
+//!   consensus (Herlihy, Loui–Abu-Amara — refs \[7, 10\]),
+//!
+//! the hierarchy **collapses at the third level**: a 3-valued RMW register
+//! is enough to implement a sticky bit, the sticky bit is universal
+//! (Sections 5–6, `sbu-core`), and therefore *any* RMW — indeed any
+//! sequential object — has a bounded wait-free implementation from 3-valued
+//! RMW.
+//!
+//! What this crate provides:
+//!
+//! * [`tas::StickyTas`] — test-and-set built from sticky bits via leader
+//!   election (level 1 from the universal primitive), and
+//!   [`tas::TasSpec`], its sequential specification;
+//! * [`two_consensus::TasTwoConsensus`] — the classic 2-processor consensus
+//!   from one TAS plus registers (level 1 *does* exceed level 0);
+//! * [`kvalued::KRmw`] — a k-valued RMW register with domain enforcement,
+//!   and [`kvalued::RmwStickyBit`] — a sticky bit from a 3-valued RMW
+//!   (the constructive collapse; universality then follows via `sbu-core`);
+//! * [`impossibility`] — *empirical* separations: natural wait-free
+//!   protocols for 2-consensus-from-registers and
+//!   3-consensus-from-TAS, with the schedule explorer exhibiting the
+//!   adversarial interleavings the impossibility proofs construct. (A
+//!   failing protocol is evidence, not proof — the module documents the
+//!   correspondence to the published proofs.)
+//!
+//! The remaining direction of the collapse — an arbitrary k-valued RMW
+//! object implemented *from sticky bits* — is an instance of the universal
+//! construction and lives in `sbu-core` (see the `rmw_from_sticky` API and
+//! the workspace integration tests).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod impossibility;
+pub mod kvalued;
+pub mod tas;
+pub mod two_consensus;
+
+pub use kvalued::{KRmw, RmwStickyBit};
+pub use tas::{StickyTas, TasSpec};
+pub use two_consensus::TasTwoConsensus;

@@ -1,0 +1,244 @@
+//! Test-and-set: the first level of the RMW hierarchy.
+//!
+//! A TAS bit supports `test_and_set()` (atomically set the bit, returning
+//! the old value) and `read()`. The backends provide it as a primitive;
+//! here we additionally *construct* it from sticky bits via leader election,
+//! demonstrating that the universal primitive subsumes level 1.
+
+use sbu_mem::{Pid, WordMem};
+use sbu_spec::SequentialSpec;
+use sbu_sticky::LeaderElection;
+
+/// Sequential specification of a test-and-set bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TasSpec {
+    set: bool,
+}
+
+/// Commands accepted by [`TasSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TasOp {
+    /// Set the bit; respond with its previous value.
+    TestAndSet,
+    /// Read the bit.
+    Read,
+}
+
+/// Responses produced by [`TasSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TasResp {
+    /// Previous value returned by a test-and-set.
+    Old(bool),
+    /// Current value returned by a read.
+    Value(bool),
+}
+
+impl TasSpec {
+    /// A cleared TAS bit.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SequentialSpec for TasSpec {
+    type Op = TasOp;
+    type Resp = TasResp;
+
+    fn apply(&mut self, op: &TasOp) -> TasResp {
+        match op {
+            TasOp::TestAndSet => {
+                let old = self.set;
+                self.set = true;
+                TasResp::Old(old)
+            }
+            TasOp::Read => TasResp::Value(self.set),
+        }
+    }
+}
+
+/// A one-shot test-and-set bit built from sticky bits.
+///
+/// `test_and_set` runs a leader election among the callers (jamming ids
+/// into a sticky byte, Section 4); the unique winner observes `false`, all
+/// others — and all later callers — observe `true`. The linearization point
+/// of the winner's operation is the step that completed the election.
+///
+/// ```
+/// use sbu_mem::{native::NativeMem, Pid};
+/// use sbu_rmw::StickyTas;
+///
+/// let mut mem: NativeMem<()> = NativeMem::new();
+/// let t = StickyTas::new(&mut mem, 2);
+/// assert!(!t.test_and_set(&mem, Pid(1))); // first caller wins
+/// assert!(t.test_and_set(&mem, Pid(0)));
+/// assert!(t.read(&mem, Pid(0)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct StickyTas {
+    election: LeaderElection,
+}
+
+impl StickyTas {
+    /// Allocate for processors `0..n`.
+    pub fn new<M: WordMem + ?Sized>(mem: &mut M, n: usize) -> Self {
+        Self {
+            election: LeaderElection::new(mem, n),
+        }
+    }
+
+    /// Atomically set the bit, returning its previous value.
+    pub fn test_and_set<M: WordMem + ?Sized>(&self, mem: &M, pid: Pid) -> bool {
+        self.election.elect(mem, pid) != pid
+    }
+
+    /// Whether the bit is set.
+    pub fn read<M: WordMem + ?Sized>(&self, mem: &M, pid: Pid) -> bool {
+        self.election.leader(mem, pid).is_some()
+    }
+
+    /// Non-atomic reset (Definition 4.1 caveat).
+    pub fn reset<M: WordMem + ?Sized>(&self, mem: &M, pid: Pid) {
+        self.election.flush(mem, pid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbu_mem::native::NativeMem;
+    use sbu_sim::{
+        run_uniform, EpisodeResult, Explorer, HistoryRecorder, RunOptions, Scripted, SimMem,
+    };
+    use sbu_spec::linearize::check;
+    use std::sync::Arc;
+
+    #[test]
+    fn tas_spec_semantics() {
+        let mut t = TasSpec::new();
+        assert_eq!(t.apply(&TasOp::Read), TasResp::Value(false));
+        assert_eq!(t.apply(&TasOp::TestAndSet), TasResp::Old(false));
+        assert_eq!(t.apply(&TasOp::TestAndSet), TasResp::Old(true));
+        assert_eq!(t.apply(&TasOp::Read), TasResp::Value(true));
+    }
+
+    #[test]
+    fn exactly_one_winner_exhaustively_with_crashes() {
+        let explorer = Explorer {
+            max_schedules: 2_000_000,
+            max_failures: 1,
+        };
+        let report = explorer.explore(|script| {
+            let mut mem: SimMem<()> = SimMem::new(2);
+            let t = StickyTas::new(&mut mem, 2);
+            let t2 = t.clone();
+            let out = run_uniform(
+                &mem,
+                Box::new(Scripted::new(script.to_vec()).with_crashes(1)),
+                RunOptions::default(),
+                2,
+                move |mem, pid| t2.test_and_set(mem, pid),
+            );
+            let choice_log = out.choice_log.clone();
+            let verdict = (|| {
+                if !out.violations.is_empty() {
+                    return Err(format!("violations: {:?}", out.violations));
+                }
+                let winners = out
+                    .results()
+                    .into_iter()
+                    .filter(|&&got_true| !got_true)
+                    .count();
+                if winners > 1 {
+                    return Err(format!("{winners} winners"));
+                }
+                if out.completed_count() == 2 && winners != 1 {
+                    return Err("both completed but no winner".into());
+                }
+                Ok(())
+            })();
+            EpisodeResult {
+                choice_log,
+                verdict,
+            }
+        });
+        report.assert_all_ok();
+    }
+
+    #[test]
+    fn linearizable_against_tas_spec() {
+        let explorer = Explorer::new(2_000_000);
+        let report = explorer.explore(|script| {
+            let mut mem: SimMem<()> = SimMem::new(2);
+            let t = StickyTas::new(&mut mem, 2);
+            let t2 = t.clone();
+            let rec: Arc<HistoryRecorder<TasOp, TasResp>> = Arc::new(HistoryRecorder::new());
+            let rec2 = Arc::clone(&rec);
+            let out = run_uniform(
+                &mem,
+                Box::new(Scripted::new(script.to_vec())),
+                RunOptions::default(),
+                2,
+                move |mem, pid| {
+                    if pid.0 == 0 {
+                        rec2.record(mem, pid, TasOp::TestAndSet, || {
+                            TasResp::Old(t2.test_and_set(mem, pid))
+                        });
+                    } else {
+                        rec2.record(mem, pid, TasOp::Read, || TasResp::Value(t2.read(mem, pid)));
+                        rec2.record(mem, pid, TasOp::TestAndSet, || {
+                            TasResp::Old(t2.test_and_set(mem, pid))
+                        });
+                    }
+                },
+            );
+            let choice_log = out.choice_log.clone();
+            let verdict = (|| {
+                out.assert_clean();
+                let h = rec.history();
+                if !check(&h, TasSpec::new()).is_linearizable() {
+                    return Err(format!("not linearizable: {h:?}"));
+                }
+                Ok(())
+            })();
+            EpisodeResult {
+                choice_log,
+                verdict,
+            }
+        });
+        report.assert_all_ok();
+    }
+
+    #[test]
+    fn native_contention_has_one_winner() {
+        for _ in 0..10 {
+            let mut mem: NativeMem<()> = NativeMem::new();
+            let n = 8;
+            let t = StickyTas::new(&mut mem, n);
+            let mem = Arc::new(mem);
+            let wins: usize = std::thread::scope(|s| {
+                (0..n)
+                    .map(|i| {
+                        let mem = Arc::clone(&mem);
+                        let t = t.clone();
+                        s.spawn(move || !t.test_and_set(&*mem, Pid(i)))
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|h| h.join().unwrap() as usize)
+                    .sum()
+            });
+            assert_eq!(wins, 1);
+            assert!(t.read(&*mem, Pid(0)));
+        }
+    }
+
+    #[test]
+    fn reset_reopens_the_bit() {
+        let mut mem: NativeMem<()> = NativeMem::new();
+        let t = StickyTas::new(&mut mem, 2);
+        assert!(!t.test_and_set(&mem, Pid(0)));
+        t.reset(&mem, Pid(1));
+        assert!(!t.read(&mem, Pid(1)));
+        assert!(!t.test_and_set(&mem, Pid(1)));
+    }
+}

@@ -1,0 +1,136 @@
+//! 2-processor consensus from one test-and-set bit plus registers.
+//!
+//! The classic separation witness: level 1 of the RMW hierarchy (TAS)
+//! strictly exceeds level 0 (registers). Each processor announces its
+//! proposal in a single-writer register and then races on the TAS bit; the
+//! winner decides its own value, the loser decides the winner's.
+//!
+//! This works *only* for two processors — the loser knows who the winner is
+//! by elimination. With three processors the loser cannot identify the
+//! winner through a single bit, which is the intuition behind
+//! Herlihy/Loui–Abu-Amara's proof that TAS has consensus number exactly 2
+//! (see [`crate::impossibility`] for the executable counterexample).
+
+use sbu_mem::{Pid, SafeId, TasId, Word, WordMem};
+use sbu_sticky::consensus::Consensus;
+
+/// Wait-free 2-processor consensus from one TAS bit and two safe registers.
+///
+/// ```
+/// use sbu_mem::{native::NativeMem, Pid};
+/// use sbu_rmw::TasTwoConsensus;
+/// use sbu_sticky::Consensus;
+///
+/// let mut mem: NativeMem<()> = NativeMem::new();
+/// let c = TasTwoConsensus::new(&mut mem);
+/// assert_eq!(c.propose(&mem, Pid(0), 42), 42);
+/// assert_eq!(c.propose(&mem, Pid(1), 7), 42);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct TasTwoConsensus {
+    tas: TasId,
+    /// Proposal announcements, single-writer; `0 = ⊥`, else `value + 1`.
+    proposals: [SafeId; 2],
+}
+
+impl TasTwoConsensus {
+    /// Allocate the TAS bit and the two proposal registers.
+    pub fn new<M: WordMem + ?Sized>(mem: &mut M) -> Self {
+        Self {
+            tas: mem.alloc_tas(),
+            proposals: [mem.alloc_safe(0), mem.alloc_safe(0)],
+        }
+    }
+}
+
+impl<M: WordMem + ?Sized> Consensus<M> for TasTwoConsensus {
+    fn propose(&self, mem: &M, pid: Pid, value: Word) -> Word {
+        assert!(pid.0 < 2, "2-processor consensus");
+        assert!(value < Word::MAX, "reserve MAX for ⊥");
+        mem.safe_write(pid, self.proposals[pid.0], value + 1);
+        if !mem.tas_test_and_set(pid, self.tas) {
+            // Winner: my own value decides.
+            value
+        } else {
+            // Loser: by elimination the other processor won; its proposal
+            // register was written before it touched the TAS bit, and it
+            // is never rewritten, so this read is overlap-free.
+            let other = 1 - pid.0;
+            let w = mem.safe_read(pid, self.proposals[other]);
+            debug_assert_ne!(w, 0, "winner must have announced before winning");
+            w - 1
+        }
+    }
+
+    fn decision(&self, mem: &M, pid: Pid) -> Option<Word> {
+        if !mem.tas_read(pid, self.tas) {
+            return None;
+        }
+        // The bit is set, so some proposer won; at most one announcement
+        // can still be missing (a proposer that crashed pre-announce never
+        // reached the TAS).
+        (0..2)
+            .map(|j| mem.safe_read(pid, self.proposals[j]))
+            .find(|&w| w != 0)
+            .map(|w| w - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbu_mem::native::NativeMem;
+    use sbu_sim::{run_uniform, EpisodeResult, Explorer, RunOptions, Scripted, SimMem};
+
+    #[test]
+    fn exhaustive_agreement_validity_with_crash() {
+        let explorer = Explorer {
+            max_schedules: 2_000_000,
+            max_failures: 1,
+        };
+        let report = explorer.explore(|script| {
+            let mut mem: SimMem<()> = SimMem::new(2);
+            let c = TasTwoConsensus::new(&mut mem);
+            let out = run_uniform(
+                &mem,
+                Box::new(Scripted::new(script.to_vec()).with_crashes(1)),
+                RunOptions::default(),
+                2,
+                move |mem, pid| c.propose(mem, pid, pid.0 as Word + 100),
+            );
+            let choice_log = out.choice_log.clone();
+            let verdict = (|| {
+                if !out.violations.is_empty() {
+                    return Err(format!("violations: {:?}", out.violations));
+                }
+                let ds: Vec<Word> = out.results().into_iter().copied().collect();
+                if let Some(&first) = ds.first() {
+                    if !ds.iter().all(|&d| d == first) {
+                        return Err(format!("disagreement {ds:?}"));
+                    }
+                    if first != 100 && first != 101 {
+                        return Err(format!("invalid decision {first}"));
+                    }
+                }
+                Ok(())
+            })();
+            EpisodeResult {
+                choice_log,
+                verdict,
+            }
+        });
+        report.assert_all_ok();
+    }
+
+    #[test]
+    fn decision_observation() {
+        let mut mem: NativeMem<()> = NativeMem::new();
+        let c = TasTwoConsensus::new(&mut mem);
+        assert_eq!(Consensus::<NativeMem<()>>::decision(&c, &mem, Pid(0)), None);
+        assert_eq!(c.propose(&mem, Pid(1), 5), 5);
+        assert_eq!(
+            Consensus::<NativeMem<()>>::decision(&c, &mem, Pid(0)),
+            Some(5)
+        );
+    }
+}

@@ -1,0 +1,436 @@
+//! Scheduling adversaries.
+//!
+//! At every scheduling point the conductor presents the policy with the list
+//! of processors parked at their next step (sorted by pid) and the policy
+//! picks one of them — optionally crashing it instead of letting it step.
+//! The policy also fabricates the words returned by safe-register reads that
+//! overlap writes (Lamport's "arbitrary value").
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sbu_mem::{Pid, Word};
+
+use crate::state::ChoicePoint;
+
+/// What the adversary does with its turn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Let `waiting[index]` take one step.
+    Step(usize),
+    /// Crash `waiting[index]` (fail-stop) instead of stepping it.
+    Crash(usize),
+}
+
+/// A scheduling policy. Implementations must be deterministic functions of
+/// their own state and the arguments (the conductor guarantees the `waiting`
+/// list itself is deterministic).
+pub trait Adversary: Send {
+    /// Choose the next action. `waiting` is non-empty and sorted by pid;
+    /// `step` is the number of steps taken so far.
+    fn decide(&mut self, waiting: &[Pid], step: u64) -> Decision;
+
+    /// Fabricate the word observed by a safe-register read that overlapped a
+    /// write (or left in a register by racing writes).
+    fn corrupt_word(&mut self, step: u64) -> Word {
+        let _ = step;
+        0xDEAD_BEEF_DEAD_BEEF
+    }
+
+    /// Hand back the recorded choice log, if this adversary keeps one
+    /// (used by the schedule explorer). Default: none.
+    fn take_choice_log(&mut self) -> Vec<ChoicePoint> {
+        Vec::new()
+    }
+}
+
+/// Fair round-robin scheduling, no crashes. The "benign" baseline: useful
+/// for smoke tests and for measuring solo/sequential step counts.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    cursor: usize,
+}
+
+impl RoundRobin {
+    /// A fresh round-robin policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Adversary for RoundRobin {
+    fn decide(&mut self, waiting: &[Pid], _step: u64) -> Decision {
+        // Advance to the next pid at or after the cursor, wrapping.
+        let pos = waiting.iter().position(|p| p.0 >= self.cursor).unwrap_or(0);
+        self.cursor = waiting[pos].0 + 1;
+        Decision::Step(pos)
+    }
+}
+
+/// Seeded random scheduling with optional random crashes and hostile corrupt
+/// words. The workhorse fuzzing adversary.
+#[derive(Debug)]
+pub struct RandomAdversary {
+    rng: StdRng,
+    /// Probability (×1e-6) of crashing the chosen processor at any step.
+    crash_ppm: u32,
+    /// Maximum number of crashes to inject.
+    max_crashes: usize,
+    crashes: usize,
+    /// Palette of hostile words returned on safe-read overlap; when empty, a
+    /// uniformly random word is used.
+    corrupt_palette: Vec<Word>,
+}
+
+impl RandomAdversary {
+    /// A random policy without crashes.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            crash_ppm: 0,
+            max_crashes: 0,
+            crashes: 0,
+            corrupt_palette: Vec::new(),
+        }
+    }
+
+    /// Enable up to `max_crashes` crashes, each chosen with probability
+    /// `ppm / 1_000_000` per scheduling decision.
+    pub fn with_crashes(mut self, max_crashes: usize, ppm: u32) -> Self {
+        self.max_crashes = max_crashes;
+        self.crash_ppm = ppm;
+        self
+    }
+
+    /// Use a fixed palette of hostile words for corrupt reads (e.g. valid
+    /// cell indices, 0, `u64::MAX`) instead of uniform random words.
+    pub fn with_corrupt_palette(mut self, palette: Vec<Word>) -> Self {
+        self.corrupt_palette = palette;
+        self
+    }
+
+    /// Number of crashes injected so far.
+    pub fn crashes(&self) -> usize {
+        self.crashes
+    }
+}
+
+impl Adversary for RandomAdversary {
+    fn decide(&mut self, waiting: &[Pid], _step: u64) -> Decision {
+        let index = self.rng.gen_range(0..waiting.len());
+        if self.crashes < self.max_crashes && self.rng.gen_range(0..1_000_000) < self.crash_ppm {
+            self.crashes += 1;
+            Decision::Crash(index)
+        } else {
+            Decision::Step(index)
+        }
+    }
+
+    fn corrupt_word(&mut self, _step: u64) -> Word {
+        if self.corrupt_palette.is_empty() {
+            self.rng.gen()
+        } else {
+            let i = self.rng.gen_range(0..self.corrupt_palette.len());
+            self.corrupt_palette[i]
+        }
+    }
+}
+
+/// Crash specific processors once the global step count reaches per-pid
+/// thresholds; schedule the rest with an inner policy. Used by the paper's
+/// "lock holder dies" demonstrations (experiment E5).
+#[derive(Debug)]
+pub struct CrashPlan<A> {
+    targets: Vec<(Pid, u64)>,
+    inner: A,
+}
+
+impl<A: Adversary> CrashPlan<A> {
+    /// Crash each `(pid, at_step)` target the first time it is seen waiting
+    /// at or after `at_step`; defer all other decisions to `inner`.
+    pub fn new(targets: Vec<(Pid, u64)>, inner: A) -> Self {
+        Self { targets, inner }
+    }
+}
+
+impl<A: Adversary> Adversary for CrashPlan<A> {
+    fn decide(&mut self, waiting: &[Pid], step: u64) -> Decision {
+        if let Some(t) = self
+            .targets
+            .iter()
+            .position(|&(pid, at)| step >= at && waiting.contains(&pid))
+        {
+            let (pid, _) = self.targets.swap_remove(t);
+            let index = waiting.iter().position(|&p| p == pid).expect("checked");
+            return Decision::Crash(index);
+        }
+        self.inner.decide(waiting, step)
+    }
+
+    fn corrupt_word(&mut self, step: u64) -> Word {
+        self.inner.corrupt_word(step)
+    }
+}
+
+/// Replay a scripted decision sequence, recording the branching factor of
+/// every choice point — the engine under [`crate::explore::Explorer`].
+///
+/// Decisions are encoded as indices in `0..options` where
+/// `options = waiting.len()` without crash exploration and
+/// `2 × waiting.len()` with it (the upper half crashes the corresponding
+/// processor). Once the script is exhausted the first option (index 0) is
+/// taken, so an empty script yields the "always lowest pid" schedule.
+#[derive(Debug)]
+pub struct Scripted {
+    script: Vec<usize>,
+    cursor: usize,
+    max_crashes: usize,
+    crashes: usize,
+    log: Vec<ChoicePoint>,
+    corrupt_palette: Vec<Word>,
+    corrupt_cursor: usize,
+    /// `Some(k)`: at most `k` preemptions (CHESS-style context-switch
+    /// bounding); `None`: unrestricted.
+    preemption_bound: Option<usize>,
+    preemptions: usize,
+    last_pid: Option<Pid>,
+}
+
+impl Scripted {
+    /// Replay `script`, exploring schedules only (no crashes).
+    pub fn new(script: Vec<usize>) -> Self {
+        Self {
+            script,
+            cursor: 0,
+            max_crashes: 0,
+            crashes: 0,
+            log: Vec::new(),
+            corrupt_palette: vec![0xDEAD_BEEF_DEAD_BEEF],
+            corrupt_cursor: 0,
+            preemption_bound: None,
+            preemptions: 0,
+            last_pid: None,
+        }
+    }
+
+    /// Restrict exploration to schedules with at most `k` *preemptions* —
+    /// decisions that switch away from a processor that could still run.
+    /// The classic context-switch-bounding result (Musuvathi–Qadeer's
+    /// CHESS): most concurrency bugs manifest within 2 preemptions, and the
+    /// schedule tree shrinks from exponential to polynomial, making
+    /// bounded-exhaustive exploration of large protocols (like the full
+    /// universal construction) feasible.
+    pub fn with_preemption_bound(mut self, k: usize) -> Self {
+        self.preemption_bound = Some(k);
+        self
+    }
+
+    /// Also branch on crashing (up to `max_crashes` crash decisions).
+    pub fn with_crashes(mut self, max_crashes: usize) -> Self {
+        self.max_crashes = max_crashes;
+        self
+    }
+
+    /// Cycle corrupt reads deterministically through `palette`.
+    pub fn with_corrupt_palette(mut self, palette: Vec<Word>) -> Self {
+        assert!(!palette.is_empty(), "corrupt palette must be non-empty");
+        self.corrupt_palette = palette;
+        self
+    }
+}
+
+impl Adversary for Scripted {
+    fn decide(&mut self, waiting: &[Pid], _step: u64) -> Decision {
+        // Under a preemption bound with the budget spent, the previous
+        // processor must keep running while it can.
+        let allowed: Vec<Pid> = match (self.preemption_bound, self.last_pid) {
+            (Some(k), Some(last)) if self.preemptions >= k && waiting.contains(&last) => {
+                vec![last]
+            }
+            _ => waiting.to_vec(),
+        };
+        let crash_allowed = self.crashes < self.max_crashes;
+        let options = allowed.len() * if crash_allowed { 2 } else { 1 };
+        // Out-of-range entries wrap (property-test convenience); explorer
+        // scripts are in range by construction, so this never affects it.
+        let chosen = if self.cursor < self.script.len() {
+            self.script[self.cursor] % options
+        } else {
+            0
+        };
+        self.cursor += 1;
+        self.log.push(ChoicePoint { options, chosen });
+        let (pid, decision) = if chosen < allowed.len() {
+            let pid = allowed[chosen];
+            let index = waiting.iter().position(|&p| p == pid).expect("allowed ⊆ waiting");
+            (pid, Decision::Step(index))
+        } else {
+            self.crashes += 1;
+            let pid = allowed[chosen - allowed.len()];
+            let index = waiting.iter().position(|&p| p == pid).expect("allowed ⊆ waiting");
+            (pid, Decision::Crash(index))
+        };
+        // Preemption accounting: switching away from a still-runnable
+        // processor costs one preemption.
+        if let Some(last) = self.last_pid {
+            if pid != last && waiting.contains(&last) {
+                self.preemptions += 1;
+            }
+        }
+        self.last_pid = match decision {
+            Decision::Crash(_) => None,
+            Decision::Step(_) => Some(pid),
+        };
+        decision
+    }
+
+    fn corrupt_word(&mut self, _step: u64) -> Word {
+        let w = self.corrupt_palette[self.corrupt_cursor % self.corrupt_palette.len()];
+        self.corrupt_cursor += 1;
+        w
+    }
+
+    fn take_choice_log(&mut self) -> Vec<ChoicePoint> {
+        std::mem::take(&mut self.log)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pids(v: &[usize]) -> Vec<Pid> {
+        v.iter().map(|&i| Pid(i)).collect()
+    }
+
+    #[test]
+    fn round_robin_cycles_fairly() {
+        let mut rr = RoundRobin::new();
+        let w = pids(&[0, 1, 2]);
+        assert_eq!(rr.decide(&w, 0), Decision::Step(0));
+        assert_eq!(rr.decide(&w, 1), Decision::Step(1));
+        assert_eq!(rr.decide(&w, 2), Decision::Step(2));
+        assert_eq!(rr.decide(&w, 3), Decision::Step(0));
+    }
+
+    #[test]
+    fn round_robin_skips_missing_pids() {
+        let mut rr = RoundRobin::new();
+        assert_eq!(rr.decide(&pids(&[0, 2]), 0), Decision::Step(0));
+        // cursor is now 1; pid 2 is the next at-or-after.
+        assert_eq!(rr.decide(&pids(&[0, 2]), 1), Decision::Step(1));
+        // wrapped
+        assert_eq!(rr.decide(&pids(&[0, 2]), 2), Decision::Step(0));
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let w = pids(&[0, 1, 2, 3]);
+        let run = |seed| {
+            let mut a = RandomAdversary::new(seed);
+            (0..32).map(|s| a.decide(&w, s)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn random_crash_budget_is_respected() {
+        let mut a = RandomAdversary::new(1).with_crashes(2, 1_000_000);
+        let w = pids(&[0, 1]);
+        let crashes = (0..100)
+            .filter(|&s| matches!(a.decide(&w, s), Decision::Crash(_)))
+            .count();
+        assert_eq!(crashes, 2);
+        assert_eq!(a.crashes(), 2);
+    }
+
+    #[test]
+    fn crash_plan_fires_once_at_threshold() {
+        let mut a = CrashPlan::new(vec![(Pid(1), 5)], RoundRobin::new());
+        let w = pids(&[0, 1]);
+        assert_eq!(a.decide(&w, 0), Decision::Step(0));
+        assert_eq!(a.decide(&w, 5), Decision::Crash(1));
+        // Fired: afterwards it's plain round-robin.
+        assert!(matches!(a.decide(&w, 6), Decision::Step(_)));
+    }
+
+    #[test]
+    fn scripted_records_branching() {
+        let mut a = Scripted::new(vec![1, 0]);
+        let w = pids(&[0, 1]);
+        assert_eq!(a.decide(&w, 0), Decision::Step(1));
+        assert_eq!(a.decide(&w, 1), Decision::Step(0));
+        // script exhausted: defaults to 0
+        assert_eq!(a.decide(&w, 2), Decision::Step(0));
+        let log = a.take_choice_log();
+        assert_eq!(log.len(), 3);
+        assert!(log.iter().all(|c| c.options == 2));
+        assert_eq!(log[0].chosen, 1);
+    }
+
+    #[test]
+    fn scripted_crash_indices_use_upper_half() {
+        let mut a = Scripted::new(vec![3]).with_crashes(1);
+        let w = pids(&[0, 1]);
+        assert_eq!(a.decide(&w, 0), Decision::Crash(1));
+        // Crash budget used: branching halves.
+        assert_eq!(a.decide(&w, 1), Decision::Step(0));
+        let log = a.take_choice_log();
+        assert_eq!(log[0].options, 4);
+        assert_eq!(log[1].options, 2);
+    }
+
+    #[test]
+    fn scripted_corrupt_palette_cycles() {
+        let mut a = Scripted::new(vec![]).with_corrupt_palette(vec![1, 2]);
+        assert_eq!(a.corrupt_word(0), 1);
+        assert_eq!(a.corrupt_word(1), 2);
+        assert_eq!(a.corrupt_word(2), 1);
+    }
+}
+
+#[cfg(test)]
+mod preemption_tests {
+    use super::*;
+
+    fn pids(v: &[usize]) -> Vec<Pid> {
+        v.iter().map(|&i| Pid(i)).collect()
+    }
+
+    #[test]
+    fn zero_preemption_bound_pins_the_running_processor() {
+        let mut a = Scripted::new(vec![1, 1, 1]).with_preemption_bound(0);
+        let w = pids(&[0, 1]);
+        // First decision: no previous pid, free choice (index 1 = p1).
+        assert_eq!(a.decide(&w, 0), Decision::Step(1));
+        // Budget 0: p1 must keep running; scripted "1" wraps onto p1.
+        assert_eq!(a.decide(&w, 1), Decision::Step(1));
+        assert_eq!(a.decide(&w, 2), Decision::Step(1));
+        // Branching factor collapses to 1 after the first decision.
+        let log = a.take_choice_log();
+        assert_eq!(log[0].options, 2);
+        assert_eq!(log[1].options, 1);
+        assert_eq!(log[2].options, 1);
+    }
+
+    #[test]
+    fn preemption_budget_is_consumed_by_switches() {
+        let mut a = Scripted::new(vec![0, 1, 0]).with_preemption_bound(1);
+        let w = pids(&[0, 1]);
+        assert_eq!(a.decide(&w, 0), Decision::Step(0)); // run p0
+        assert_eq!(a.decide(&w, 1), Decision::Step(1)); // preempt -> p1
+        // Budget gone: must keep running p1.
+        assert_eq!(a.decide(&w, 2), Decision::Step(1));
+    }
+
+    #[test]
+    fn finishing_a_processor_is_not_a_preemption() {
+        let mut a = Scripted::new(vec![0, 0, 1]).with_preemption_bound(0);
+        assert_eq!(a.decide(&pids(&[0, 1]), 0), Decision::Step(0)); // p0
+        // p0 finished: only p1 waits; switching is forced, not a preemption.
+        assert_eq!(a.decide(&pids(&[1]), 1), Decision::Step(0));
+        // p1 continues freely.
+        assert_eq!(a.decide(&pids(&[1]), 2), Decision::Step(0));
+        assert_eq!(a.take_choice_log()[1].options, 1);
+    }
+}

@@ -1,0 +1,343 @@
+//! Bounded-exhaustive schedule exploration (stateless model checking).
+//!
+//! The paper argues correctness over *all* interleavings; for small systems
+//! we can enumerate them. Each episode rebuilds the system from scratch and
+//! replays it under a [`crate::adversary::Scripted`] policy; the recorded
+//! [`ChoicePoint`] log tells the explorer how many alternatives existed at
+//! every decision, and a DFS odometer walks the whole schedule tree.
+//!
+//! With `Scripted::with_crashes(k)` the tree also branches on crashing any
+//! processor at any point (up to `k` crashes), covering the fail-stop
+//! adversary of the wait-freedom arguments.
+
+use crate::state::ChoicePoint;
+
+/// What one episode (a full run under one script) reports back.
+#[derive(Debug, Clone)]
+pub struct EpisodeResult {
+    /// The scripted adversary's recorded choice log
+    /// ([`crate::runner::RunOutcome::choice_log`]).
+    pub choice_log: Vec<ChoicePoint>,
+    /// The caller's verdict for this schedule (e.g. the linearizability
+    /// check): `Err` descriptions are collected as counterexamples.
+    pub verdict: Result<(), String>,
+}
+
+/// Outcome of an exploration.
+#[derive(Debug, Clone)]
+pub struct ExploreReport {
+    /// Number of schedules executed.
+    pub schedules: usize,
+    /// Whether the whole tree was exhausted (false if `max_schedules` was
+    /// hit first).
+    pub complete: bool,
+    /// Counterexamples: `(script, description)`.
+    pub failures: Vec<(Vec<usize>, String)>,
+}
+
+impl ExploreReport {
+    /// Panic with the first counterexample, if any. Also asserts the tree
+    /// was exhausted, so a passing test really means "all schedules".
+    pub fn assert_all_ok(&self) {
+        if let Some((script, msg)) = self.failures.first() {
+            panic!(
+                "schedule {:?} failed (of {} explored): {}",
+                script, self.schedules, msg
+            );
+        }
+        assert!(
+            self.complete,
+            "exploration truncated at {} schedules; raise max_schedules",
+            self.schedules
+        );
+    }
+
+    /// Panic with the first counterexample, if any — but tolerate a
+    /// truncated tree. For systems whose full schedule tree is too large:
+    /// the guarantee is then "no failure among the first N schedules in
+    /// DFS order", a bounded-exhaustive prefix.
+    pub fn assert_no_failures(&self) {
+        if let Some((script, msg)) = self.failures.first() {
+            panic!(
+                "schedule {:?} failed (of {} explored): {}",
+                script, self.schedules, msg
+            );
+        }
+    }
+
+    /// Panic if the tree was exhausted without any failing schedule —
+    /// used to confirm that a counterexample *exists* (e.g. the FLP-style
+    /// demonstrations in `sbu-rmw`).
+    pub fn assert_some_failure(&self) {
+        assert!(
+            !self.failures.is_empty(),
+            "expected a counterexample among {} schedules but found none",
+            self.schedules
+        );
+    }
+}
+
+/// Exhaustive schedule explorer.
+///
+/// ```
+/// use sbu_sim::{run_uniform, EpisodeResult, Explorer, RunOptions, Scripted, SimMem};
+/// use sbu_mem::WordMem;
+///
+/// // Two single-step processors have exactly two interleavings.
+/// let report = Explorer::new(100).explore(|script| {
+///     let mut mem: SimMem<()> = SimMem::new(2);
+///     let reg = mem.alloc_atomic(0);
+///     let out = run_uniform(
+///         &mem,
+///         Box::new(Scripted::new(script.to_vec())),
+///         RunOptions::default(),
+///         2,
+///         |mem, pid| mem.atomic_write(pid, reg, pid.0 as u64),
+///     );
+///     EpisodeResult { choice_log: out.choice_log, verdict: Ok(()) }
+/// });
+/// report.assert_all_ok();
+/// assert_eq!(report.schedules, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Explorer {
+    /// Stop after this many schedules (safety valve; `complete` reports
+    /// whether it fired).
+    pub max_schedules: usize,
+    /// Keep at most this many counterexamples.
+    pub max_failures: usize,
+}
+
+impl Default for Explorer {
+    fn default() -> Self {
+        Self {
+            max_schedules: 200_000,
+            max_failures: 1,
+        }
+    }
+}
+
+impl Explorer {
+    /// An explorer with a schedule budget.
+    pub fn new(max_schedules: usize) -> Self {
+        Self {
+            max_schedules,
+            ..Self::default()
+        }
+    }
+
+    /// Run `episode` on every schedule in DFS order.
+    ///
+    /// `episode` receives the decision script (a prefix; decisions beyond it
+    /// default to option 0) and must rebuild the system, run it with
+    /// `Scripted::new(script.to_vec())` (configured identically every time),
+    /// and return the resulting choice log and verdict.
+    pub fn explore<F>(&self, mut episode: F) -> ExploreReport
+    where
+        F: FnMut(&[usize]) -> EpisodeResult,
+    {
+        let mut script: Vec<usize> = Vec::new();
+        let mut schedules = 0usize;
+        let mut failures = Vec::new();
+        let mut complete = true;
+        loop {
+            if schedules >= self.max_schedules {
+                complete = false;
+                break;
+            }
+            let result = episode(&script);
+            schedules += 1;
+            if let Err(msg) = result.verdict {
+                failures.push((script.clone(), msg));
+                if failures.len() >= self.max_failures {
+                    complete = false;
+                    break;
+                }
+            }
+            // Odometer: advance the deepest choice that still has an
+            // unexplored sibling.
+            let mut log = result.choice_log;
+            debug_assert!(
+                log.len() >= script.len(),
+                "episode must replay at least the scripted prefix \
+                 (non-deterministic episode?)"
+            );
+            let mut advanced = false;
+            while let Some(last) = log.pop() {
+                if last.chosen + 1 < last.options {
+                    script = log.iter().map(|c| c.chosen).collect();
+                    script.push(last.chosen + 1);
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                break;
+            }
+        }
+        ExploreReport {
+            schedules,
+            complete,
+            failures,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::Scripted;
+    use crate::mem::SimMem;
+    use crate::runner::{run_uniform, RunOptions};
+    use sbu_mem::WordMem;
+
+    /// Two processors, each taking exactly one step: exactly 2 interleavings
+    /// of the first step × 1 of the remaining = 2 schedules.
+    #[test]
+    fn counts_schedules_of_two_single_step_procs() {
+        let explorer = Explorer::new(1000);
+        let report = explorer.explore(|script| {
+            let mut mem: SimMem<()> = SimMem::new(2);
+            let a = mem.alloc_atomic(0);
+            let out = run_uniform(
+                &mem,
+                Box::new(Scripted::new(script.to_vec())),
+                RunOptions::default(),
+                2,
+                |mem, pid| {
+                    mem.atomic_write(pid, a, pid.0 as u64 + 1);
+                },
+            );
+            EpisodeResult {
+                choice_log: out.choice_log,
+                verdict: Ok(()),
+            }
+        });
+        report.assert_all_ok();
+        assert_eq!(report.schedules, 2);
+    }
+
+    /// Two procs with two steps each: C(4,2) = 6 interleavings.
+    #[test]
+    fn counts_interleavings_of_two_two_step_procs() {
+        let explorer = Explorer::new(1000);
+        let report = explorer.explore(|script| {
+            let mut mem: SimMem<()> = SimMem::new(2);
+            let a = mem.alloc_atomic(0);
+            let b = mem.alloc_atomic(0);
+            let out = run_uniform(
+                &mem,
+                Box::new(Scripted::new(script.to_vec())),
+                RunOptions::default(),
+                2,
+                |mem, pid| {
+                    mem.atomic_write(pid, a, 1);
+                    mem.atomic_write(pid, b, 1);
+                },
+            );
+            EpisodeResult {
+                choice_log: out.choice_log,
+                verdict: Ok(()),
+            }
+        });
+        report.assert_all_ok();
+        assert_eq!(report.schedules, 6);
+    }
+
+    /// The explorer finds the one schedule where a read slips between two
+    /// writes.
+    #[test]
+    fn finds_a_specific_interleaving() {
+        let explorer = Explorer::new(1000);
+        let report = explorer.explore(|script| {
+            let mut mem: SimMem<()> = SimMem::new(2);
+            let a = mem.alloc_atomic(0);
+            let observed = run_uniform(
+                &mem,
+                Box::new(Scripted::new(script.to_vec())),
+                RunOptions::default(),
+                2,
+                |mem, pid| {
+                    if pid.0 == 0 {
+                        mem.atomic_write(pid, a, 1);
+                        mem.atomic_write(pid, a, 2);
+                        0
+                    } else {
+                        mem.atomic_read(pid, a)
+                    }
+                },
+            );
+            let read = *observed.outcomes[1].completed().unwrap();
+            EpisodeResult {
+                choice_log: observed.choice_log,
+                verdict: if read == 1 {
+                    Err("read the intermediate value".into())
+                } else {
+                    Ok(())
+                },
+            }
+        });
+        report.assert_some_failure();
+    }
+
+    /// Crash exploration: with one crash allowed among two one-step procs,
+    /// the tree includes schedules where either proc dies first.
+    #[test]
+    fn crash_exploration_reaches_crashed_outcomes() {
+        let explorer = Explorer::new(10_000);
+        let mut saw_crash_of = [false, false];
+        let report = explorer.explore(|script| {
+            let mut mem: SimMem<()> = SimMem::new(2);
+            let a = mem.alloc_atomic(0);
+            let out = run_uniform(
+                &mem,
+                Box::new(Scripted::new(script.to_vec()).with_crashes(1)),
+                RunOptions::default(),
+                2,
+                |mem, pid| {
+                    mem.rmw(pid, a, &|x| x + 1);
+                },
+            );
+            for (i, o) in out.outcomes.iter().enumerate() {
+                if o.is_crashed() {
+                    saw_crash_of[i] = true;
+                }
+            }
+            EpisodeResult {
+                choice_log: out.choice_log,
+                verdict: Ok(()),
+            }
+        });
+        report.assert_all_ok();
+        assert!(saw_crash_of[0] && saw_crash_of[1]);
+        // step0/step1 each followed by {step, crash} of the survivor, plus
+        // crash0/crash1 followed by the forced survivor step: 2×2 + 2 = 6,
+        // versus 2 schedules without crash branching.
+        assert_eq!(report.schedules, 6);
+    }
+
+    #[test]
+    fn max_schedules_truncates() {
+        let explorer = Explorer::new(3);
+        let report = explorer.explore(|script| {
+            let mut mem: SimMem<()> = SimMem::new(3);
+            let a = mem.alloc_atomic(0);
+            let out = run_uniform(
+                &mem,
+                Box::new(Scripted::new(script.to_vec())),
+                RunOptions::default(),
+                3,
+                |mem, pid| {
+                    mem.atomic_write(pid, a, 1);
+                    mem.atomic_write(pid, a, 2);
+                },
+            );
+            EpisodeResult {
+                choice_log: out.choice_log,
+                verdict: Ok(()),
+            }
+        });
+        assert!(!report.complete);
+        assert_eq!(report.schedules, 3);
+    }
+}

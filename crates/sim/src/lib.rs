@@ -1,0 +1,54 @@
+//! # sbu-sim — deterministic adversarial simulation of shared memory
+//!
+//! The paper's correctness claims quantify over *all* interleavings of an
+//! asynchronous shared-memory multiprocessor with fail-stop processors, and
+//! over *arbitrary* values returned by safe registers under overlap. This
+//! crate makes that adversary executable:
+//!
+//! * [`SimMem`] implements the `sbu-mem` backend traits on top of a
+//!   **conductor**: every primitive memory operation is a scheduling point
+//!   at which a single processor, chosen by an [`adversary::Adversary`]
+//!   policy, takes one atomic step. Safe-register reads and writes occupy
+//!   *two* points (begin/commit) so genuinely overlapping accesses exist and
+//!   yield adversary-fabricated words, exactly per Lamport's definition.
+//! * Non-atomic operations (`Flush` on sticky bits/words, TAS reset, data
+//!   cells read during a write) are **monitored**: an overlap the protocol
+//!   was supposed to prevent is recorded as a [`Violation`], failing tests.
+//! * The adversary can **crash** processors at any scheduling point
+//!   (fail-stop); the run continues, letting wait-freedom be observed rather
+//!   than assumed. Per-processor step counts support the paper's complexity
+//!   accounting (Theorem 6.6, Section 6.4).
+//! * [`runner::run`] executes a set of processor closures to completion
+//!   under a policy and returns results, step counts, violations and the
+//!   recorded choice log.
+//! * [`explore::Explorer`] enumerates *every* schedule of a small system
+//!   (optionally with every ≤ k crash placement) by scripted replay — a
+//!   stateless model checker standing in for the paper's case analyses.
+//!   [`adversary::Scripted::with_preemption_bound`] adds CHESS-style
+//!   context-switch bounding, shrinking the tree enough to exhaust every
+//!   ≤ k-preemption schedule of even the full universal construction.
+//! * [`recorder::HistoryRecorder`] assembles typed
+//!   [`sbu_spec::history::History`] values (with conductor timestamps) for
+//!   the linearizability checker.
+//!
+//! Determinism: workers advance in lockstep — the conductor waits until
+//! every live processor is parked at its next scheduling point before
+//! consulting the policy — so the policy's decisions fully determine the
+//! execution, independent of OS thread timing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod explore;
+pub mod mem;
+pub mod recorder;
+pub mod runner;
+mod state;
+
+pub use adversary::{Adversary, CrashPlan, Decision, RandomAdversary, RoundRobin, Scripted};
+pub use explore::{EpisodeResult, ExploreReport, Explorer};
+pub use mem::SimMem;
+pub use recorder::HistoryRecorder;
+pub use runner::{run, run_uniform, ProcOutcome, RunOptions, RunOutcome};
+pub use state::{ChoicePoint, Violation};

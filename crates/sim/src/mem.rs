@@ -1,0 +1,339 @@
+//! [`SimMem`]: the simulated backend implementing the `sbu-mem` traits.
+
+use crate::adversary::RoundRobin;
+use crate::state::{CrashSignal, SimCore, SimState, Status};
+use sbu_mem::{
+    AtomicId, DataId, DataMem, JamOutcome, Pid, SafeId, StickyBitId, StickyWordId, TasId, Tri,
+    Word, WordMem, STICKY_WORD_UNDEF,
+};
+use std::panic::panic_any;
+use std::sync::Arc;
+
+/// Handle to a simulated shared memory. Cloning is cheap (an `Arc`); all
+/// clones refer to the same memory and conductor.
+///
+/// Outside of [`crate::runner::run`] — during object setup and post-run
+/// inspection — operations execute inline without scheduling. During a run,
+/// every operation is one or two scheduling points mediated by the
+/// conductor.
+pub struct SimMem<P> {
+    core: Arc<SimCore<P>>,
+}
+
+impl<P> std::fmt::Debug for SimMem<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.core.state.lock();
+        f.debug_struct("SimMem")
+            .field("n_procs", &st.n_procs)
+            .field("running", &st.running)
+            .field("step", &st.step)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<P> Clone for SimMem<P> {
+    fn clone(&self) -> Self {
+        Self {
+            core: Arc::clone(&self.core),
+        }
+    }
+}
+
+impl<P: Clone + Send> SimMem<P> {
+    /// A simulated memory for `n_procs` processors (pids `0..n_procs`).
+    pub fn new(n_procs: usize) -> Self {
+        Self {
+            core: Arc::new(SimCore::new(n_procs, Box::new(RoundRobin::new()))),
+        }
+    }
+
+    /// Number of processors this memory was configured for.
+    pub fn n_procs(&self) -> usize {
+        self.core.state.lock().n_procs
+    }
+
+    pub(crate) fn core(&self) -> &Arc<SimCore<P>> {
+        &self.core
+    }
+
+    /// Violations recorded so far (typically inspected after a run).
+    pub fn violations(&self) -> Vec<crate::state::Violation> {
+        self.core.state.lock().violations.clone()
+    }
+
+    /// Counts of allocated registers, for Theorem 6.6 space accounting.
+    /// Returns `(safe, atomic, sticky_bits, sticky_words, tas, data)`.
+    pub fn census(&self) -> (usize, usize, usize, usize, usize, usize) {
+        let st = self.core.state.lock();
+        (
+            st.safes.len(),
+            st.atomics.len(),
+            st.stickies.len(),
+            st.sticky_words.len(),
+            st.tas_bits.len(),
+            st.data.len(),
+        )
+    }
+
+    /// Execute one scheduling point for `pid`, applying `effect` atomically
+    /// when granted. Inline (no scheduling) outside of a run.
+    fn step<R>(&self, pid: Pid, effect: impl FnOnce(&mut SimState<P>) -> R) -> R {
+        let core = &*self.core;
+        let mut st = core.state.lock();
+        if !st.running {
+            st.clock += 1;
+            return effect(&mut st);
+        }
+        debug_assert!(
+            matches!(st.statuses[pid.0], Status::Busy),
+            "processor {pid} must be busy when reaching a scheduling point"
+        );
+        st.statuses[pid.0] = Status::Waiting;
+        core.sched_cv.notify_all();
+        loop {
+            if st.aborting {
+                st.statuses[pid.0] = Status::Crashed;
+                st.close_windows(pid);
+                core.sched_cv.notify_all();
+                drop(st);
+                panic_any(CrashSignal);
+            }
+            if st.granted == Some(pid) {
+                break;
+            }
+            core.worker_cv.wait(&mut st);
+        }
+        st.granted = None;
+        if st.crash_granted {
+            st.crash_granted = false;
+            st.statuses[pid.0] = Status::Crashed;
+            st.close_windows(pid);
+            core.sched_cv.notify_all();
+            drop(st);
+            panic_any(CrashSignal);
+        }
+        st.statuses[pid.0] = Status::Busy;
+        st.step += 1;
+        st.clock += 1;
+        st.steps_per_proc[pid.0] += 1;
+        let r = effect(&mut st);
+        core.sched_cv.notify_all();
+        r
+    }
+}
+
+impl<P: Clone + Send + Sync> WordMem for SimMem<P> {
+    fn alloc_safe(&mut self, init: Word) -> SafeId {
+        let mut st = self.core.state.lock();
+        assert!(!st.running, "allocation is a setup-phase operation");
+        st.safes.push(Default::default());
+        let ix = st.safes.len() - 1;
+        st.safe_write_begin(Pid(0), ix, init);
+        st.safe_write_end(Pid(0), ix);
+        SafeId(ix)
+    }
+
+    fn alloc_atomic(&mut self, init: Word) -> AtomicId {
+        let mut st = self.core.state.lock();
+        assert!(!st.running, "allocation is a setup-phase operation");
+        st.atomics.push(init);
+        AtomicId(st.atomics.len() - 1)
+    }
+
+    fn alloc_sticky_bit(&mut self) -> StickyBitId {
+        let mut st = self.core.state.lock();
+        assert!(!st.running, "allocation is a setup-phase operation");
+        st.stickies.push(Default::default());
+        StickyBitId(st.stickies.len() - 1)
+    }
+
+    fn alloc_sticky_word(&mut self) -> StickyWordId {
+        let mut st = self.core.state.lock();
+        assert!(!st.running, "allocation is a setup-phase operation");
+        st.sticky_words.push(Default::default());
+        StickyWordId(st.sticky_words.len() - 1)
+    }
+
+    fn alloc_tas(&mut self) -> TasId {
+        let mut st = self.core.state.lock();
+        assert!(!st.running, "allocation is a setup-phase operation");
+        st.tas_bits.push(Default::default());
+        TasId(st.tas_bits.len() - 1)
+    }
+
+    fn safe_read(&self, pid: Pid, r: SafeId) -> Word {
+        self.step(pid, |st| st.safe_read_begin(pid, r.0));
+        self.step(pid, |st| st.safe_read_end(pid, r.0))
+    }
+
+    fn safe_write(&self, pid: Pid, r: SafeId, v: Word) {
+        self.step(pid, |st| st.safe_write_begin(pid, r.0, v));
+        self.step(pid, |st| st.safe_write_end(pid, r.0));
+    }
+
+    fn atomic_read(&self, pid: Pid, r: AtomicId) -> Word {
+        self.step(pid, |st| st.atomic_read(r.0))
+    }
+
+    fn atomic_write(&self, pid: Pid, r: AtomicId, v: Word) {
+        self.step(pid, |st| st.atomic_write(r.0, v));
+    }
+
+    fn rmw(&self, pid: Pid, r: AtomicId, f: &dyn Fn(Word) -> Word) -> Word {
+        self.step(pid, |st| st.atomic_rmw(r.0, f))
+    }
+
+    fn sticky_jam(&self, pid: Pid, s: StickyBitId, v: bool) -> JamOutcome {
+        self.step(pid, |st| st.sticky_jam(pid, s.0, v))
+    }
+
+    fn sticky_read(&self, pid: Pid, s: StickyBitId) -> Tri {
+        self.step(pid, |st| st.sticky_read(pid, s.0))
+    }
+
+    fn sticky_flush(&self, pid: Pid, s: StickyBitId) {
+        self.step(pid, |st| st.sticky_flush_begin(pid, s.0));
+        self.step(pid, |st| st.sticky_flush_end(pid, s.0));
+    }
+
+    fn sticky_word_jam(&self, pid: Pid, s: StickyWordId, v: Word) -> JamOutcome {
+        assert!(
+            v != STICKY_WORD_UNDEF,
+            "sticky word payloads must be < STICKY_WORD_UNDEF"
+        );
+        self.step(pid, |st| st.sticky_word_jam(pid, s.0, v))
+    }
+
+    fn sticky_word_read(&self, pid: Pid, s: StickyWordId) -> Option<Word> {
+        self.step(pid, |st| st.sticky_word_read(pid, s.0))
+    }
+
+    fn sticky_word_flush(&self, pid: Pid, s: StickyWordId) {
+        self.step(pid, |st| st.sticky_word_flush_begin(pid, s.0));
+        self.step(pid, |st| st.sticky_word_flush_end(pid, s.0));
+    }
+
+    fn tas_test_and_set(&self, pid: Pid, t: TasId) -> bool {
+        self.step(pid, |st| st.tas_test_and_set(pid, t.0))
+    }
+
+    fn tas_read(&self, pid: Pid, t: TasId) -> bool {
+        self.step(pid, |st| st.tas_read(pid, t.0))
+    }
+
+    fn tas_reset(&self, pid: Pid, t: TasId) {
+        self.step(pid, |st| st.tas_reset_begin(pid, t.0));
+        self.step(pid, |st| st.tas_reset_end(pid, t.0));
+    }
+
+    fn op_invoke(&self, pid: Pid) -> u64 {
+        self.step(pid, |st| st.clock)
+    }
+
+    fn op_return(&self, pid: Pid) -> u64 {
+        self.step(pid, |st| st.clock)
+    }
+}
+
+impl<P: Clone + Send + Sync> DataMem<P> for SimMem<P> {
+    fn alloc_data(&mut self, init: Option<P>) -> DataId {
+        let mut st = self.core.state.lock();
+        assert!(!st.running, "allocation is a setup-phase operation");
+        st.data.push(Default::default());
+        let ix = st.data.len() - 1;
+        if init.is_some() {
+            st.data_write_begin(Pid(0), ix, init);
+            st.data_write_end(Pid(0), ix);
+        }
+        DataId(ix)
+    }
+
+    fn data_read(&self, pid: Pid, d: DataId) -> Option<P> {
+        self.step(pid, |st| st.data_read_begin(pid, d.0));
+        self.step(pid, |st| st.data_read_end(pid, d.0))
+    }
+
+    fn data_write(&self, pid: Pid, d: DataId, v: P) {
+        self.step(pid, |st| st.data_write_begin(pid, d.0, Some(v)));
+        self.step(pid, |st| st.data_write_end(pid, d.0));
+    }
+
+    fn data_clear(&self, pid: Pid, d: DataId) {
+        self.step(pid, |st| st.data_write_begin(pid, d.0, None));
+        self.step(pid, |st| st.data_write_end(pid, d.0));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setup_mode_operations_execute_inline() {
+        let mut mem: SimMem<()> = SimMem::new(2);
+        let s = mem.alloc_safe(5);
+        assert_eq!(mem.safe_read(Pid(0), s), 5);
+        mem.safe_write(Pid(0), s, 6);
+        assert_eq!(mem.safe_read(Pid(1), s), 6);
+
+        let sb = mem.alloc_sticky_bit();
+        assert_eq!(mem.sticky_jam(Pid(0), sb, true), JamOutcome::Success);
+        assert_eq!(mem.sticky_read(Pid(1), sb), Tri::One);
+        mem.sticky_flush(Pid(0), sb);
+        assert_eq!(mem.sticky_read(Pid(1), sb), Tri::Undef);
+        assert!(mem.violations().is_empty());
+    }
+
+    #[test]
+    fn census_reports_allocations() {
+        let mut mem: SimMem<u8> = SimMem::new(1);
+        mem.alloc_safe(0);
+        mem.alloc_atomic(0);
+        mem.alloc_sticky_bit();
+        mem.alloc_sticky_bit();
+        mem.alloc_sticky_word();
+        mem.alloc_tas();
+        mem.alloc_data(Some(1));
+        assert_eq!(mem.census(), (1, 1, 2, 1, 1, 1));
+        assert_eq!(mem.n_procs(), 1);
+    }
+
+    #[test]
+    fn inline_rmw_and_tas() {
+        let mut mem: SimMem<()> = SimMem::new(1);
+        let a = mem.alloc_atomic(3);
+        assert_eq!(mem.rmw(Pid(0), a, &|x| x + 1), 3);
+        assert_eq!(mem.atomic_read(Pid(0), a), 4);
+        let t = mem.alloc_tas();
+        assert!(!mem.tas_test_and_set(Pid(0), t));
+        assert!(mem.tas_test_and_set(Pid(0), t));
+        mem.tas_reset(Pid(0), t);
+        assert!(!mem.tas_read(Pid(0), t));
+    }
+
+    #[test]
+    fn data_cells_inline() {
+        let mut mem: SimMem<String> = SimMem::new(1);
+        let d = mem.alloc_data(None);
+        assert_eq!(mem.data_read(Pid(0), d), None);
+        mem.data_write(Pid(0), d, "x".into());
+        assert_eq!(mem.data_read(Pid(0), d), Some("x".to_string()));
+        mem.data_clear(Pid(0), d);
+        assert_eq!(mem.data_read(Pid(0), d), None);
+    }
+}
+
+#[cfg(test)]
+mod conformance_tests {
+    use super::*;
+
+    /// The simulated backend satisfies the same sequential contract as the
+    /// native one (in inline/setup mode).
+    #[test]
+    fn sim_backend_conforms() {
+        let mut mem: SimMem<String> = SimMem::new(2);
+        sbu_mem::conformance::exercise_word_mem(&mut mem);
+        sbu_mem::conformance::exercise_data_mem(&mut mem, "a".to_string(), "b".to_string());
+        assert!(mem.violations().is_empty());
+    }
+}

@@ -1,0 +1,703 @@
+//! Executing a set of processor closures under the conductor.
+
+use crate::adversary::{Adversary, Decision};
+use crate::mem::SimMem;
+use crate::state::{ChoicePoint, CrashSignal, Status, Violation};
+use sbu_mem::Pid;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Once;
+
+/// Options for a simulation run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// Abort the run (crashing all processors) after this many scheduled
+    /// steps. Guards against non-wait-free algorithms live-locking the
+    /// conductor; wait-free code never comes close.
+    pub max_steps: u64,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self {
+            max_steps: 2_000_000,
+        }
+    }
+}
+
+/// Per-processor result of a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProcOutcome<T> {
+    /// The closure returned normally.
+    Completed(T),
+    /// The processor was fail-stopped (by the adversary or the step-limit
+    /// abort).
+    Crashed,
+}
+
+impl<T> ProcOutcome<T> {
+    /// The returned value, if completed.
+    pub fn completed(&self) -> Option<&T> {
+        match self {
+            ProcOutcome::Completed(v) => Some(v),
+            ProcOutcome::Crashed => None,
+        }
+    }
+
+    /// Whether the processor crashed.
+    pub fn is_crashed(&self) -> bool {
+        matches!(self, ProcOutcome::Crashed)
+    }
+}
+
+/// Everything observed during a run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome<T> {
+    /// Per-processor results, indexed by pid.
+    pub outcomes: Vec<ProcOutcome<T>>,
+    /// Total scheduled steps.
+    pub steps: u64,
+    /// Scheduled steps per processor.
+    pub steps_per_proc: Vec<u64>,
+    /// Monitored non-atomicity violations (should be empty for a correct
+    /// protocol).
+    pub violations: Vec<Violation>,
+    /// The run hit `max_steps` and was aborted.
+    pub aborted: bool,
+    /// The adversary's recorded choice log (empty unless it keeps one, e.g.
+    /// [`crate::adversary::Scripted`]).
+    pub choice_log: Vec<ChoicePoint>,
+}
+
+impl<T> RunOutcome<T> {
+    /// Number of processors that completed.
+    pub fn completed_count(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| !matches!(o, ProcOutcome::Crashed))
+            .count()
+    }
+
+    /// Number of processors that crashed.
+    pub fn crashed_count(&self) -> usize {
+        self.outcomes.len() - self.completed_count()
+    }
+
+    /// The completed results, in pid order.
+    pub fn results(&self) -> Vec<&T> {
+        self.outcomes.iter().filter_map(|o| o.completed()).collect()
+    }
+
+    /// Panic if the run aborted or recorded any violation. The standard
+    /// postcondition for correct wait-free protocols.
+    pub fn assert_clean(&self) {
+        assert!(!self.aborted, "run aborted at step limit");
+        assert!(
+            self.violations.is_empty(),
+            "non-atomicity violations: {:?}",
+            self.violations
+        );
+    }
+}
+
+static QUIET_CRASH_HOOK: Once = Once::new();
+
+/// Suppress panic-hook output for the conductor's own crash-unwind signal
+/// while leaving genuine panics visible.
+fn install_quiet_crash_hook() {
+    QUIET_CRASH_HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<CrashSignal>().is_some() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// Run one closure per processor to completion under `adversary`.
+///
+/// Each closure receives the shared memory and its [`Pid`]; every primitive
+/// memory operation inside it becomes one or two scheduling points. The
+/// function returns when every processor has completed or crashed.
+///
+/// ```
+/// use sbu_sim::{run_uniform, RandomAdversary, RunOptions, SimMem};
+/// use sbu_mem::{Pid, WordMem};
+///
+/// let mut mem: SimMem<()> = SimMem::new(2);
+/// let reg = mem.alloc_atomic(0);
+/// let out = run_uniform(
+///     &mem,
+///     Box::new(RandomAdversary::new(7)),
+///     RunOptions::default(),
+///     2,
+///     |mem, pid| mem.rmw(pid, reg, &|x| x + 1),
+/// );
+/// out.assert_clean();
+/// assert_eq!(mem.atomic_read(Pid(0), reg), 2);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `procs.len()` differs from the memory's processor count, or —
+/// re-raised on the caller's thread — if a closure panics with anything
+/// other than the conductor's crash signal (i.e. a genuine bug).
+pub fn run<P, T, F>(
+    mem: &SimMem<P>,
+    adversary: Box<dyn Adversary>,
+    opts: RunOptions,
+    procs: Vec<F>,
+) -> RunOutcome<T>
+where
+    P: Clone + Send + Sync,
+    T: Send,
+    F: FnOnce(&SimMem<P>, Pid) -> T + Send,
+{
+    install_quiet_crash_hook();
+    let n = procs.len();
+    assert_eq!(
+        n,
+        mem.n_procs(),
+        "one closure per configured processor is required"
+    );
+
+    // Reset per-run bookkeeping and install the adversary.
+    {
+        let core = mem.core();
+        let mut st = core.state.lock();
+        assert!(!st.running, "memory is already being driven by a run");
+        st.statuses = vec![Status::Busy; n];
+        st.granted = None;
+        st.crash_granted = false;
+        st.aborting = false;
+        st.step = 0;
+        st.steps_per_proc = vec![0; n];
+        st.violations.clear();
+        st.policy = adversary;
+        st.running = true;
+    }
+
+    let fatals: parking_lot::Mutex<Vec<Box<dyn std::any::Any + Send>>> =
+        parking_lot::Mutex::new(Vec::new());
+
+    let results: Vec<Option<T>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = procs
+            .into_iter()
+            .enumerate()
+            .map(|(i, f)| {
+                let mem2 = mem.clone();
+                let fatals = &fatals;
+                scope.spawn(move || {
+                    let out = catch_unwind(AssertUnwindSafe(|| f(&mem2, Pid(i))));
+                    let core = mem2.core();
+                    let mut st = core.state.lock();
+                    match out {
+                        Ok(v) => {
+                            st.statuses[i] = Status::Done;
+                            core.sched_cv.notify_all();
+                            Some(v)
+                        }
+                        Err(payload) => {
+                            st.statuses[i] = Status::Crashed;
+                            st.close_windows(Pid(i));
+                            core.sched_cv.notify_all();
+                            drop(st);
+                            if !payload.is::<CrashSignal>() {
+                                fatals.lock().push(payload);
+                            }
+                            None
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        scheduler_loop(mem, &opts);
+
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or(None))
+            .collect()
+    });
+
+    let core = mem.core();
+    let mut st = core.state.lock();
+    st.running = false;
+    if let Some(payload) = fatals.into_inner().into_iter().next() {
+        drop(st);
+        resume_unwind(payload);
+    }
+    let choice_log = st.policy.take_choice_log();
+    RunOutcome {
+        outcomes: results
+            .into_iter()
+            .map(|r| match r {
+                Some(v) => ProcOutcome::Completed(v),
+                None => ProcOutcome::Crashed,
+            })
+            .collect(),
+        steps: st.step,
+        steps_per_proc: st.steps_per_proc.clone(),
+        violations: st.violations.clone(),
+        aborted: st.aborting,
+        choice_log,
+    }
+}
+
+/// Run the same closure on `n` processors (branch on pid inside for
+/// asymmetric behaviour).
+pub fn run_uniform<P, T, F>(
+    mem: &SimMem<P>,
+    adversary: Box<dyn Adversary>,
+    opts: RunOptions,
+    n: usize,
+    f: F,
+) -> RunOutcome<T>
+where
+    P: Clone + Send + Sync,
+    T: Send,
+    F: Fn(&SimMem<P>, Pid) -> T + Sync,
+{
+    let f = &f;
+    run(
+        mem,
+        adversary,
+        opts,
+        (0..n)
+            .map(|_| move |mem: &SimMem<P>, pid: Pid| f(mem, pid))
+            .collect(),
+    )
+}
+
+fn scheduler_loop<P: Clone + Send + Sync>(mem: &SimMem<P>, opts: &RunOptions) {
+    let core = mem.core();
+    let mut st = core.state.lock();
+    loop {
+        // Lockstep: wait until no processor is computing between points.
+        while st.statuses.iter().any(|s| matches!(s, Status::Busy)) {
+            core.sched_cv.wait(&mut st);
+        }
+        let waiting: Vec<Pid> = st
+            .statuses
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, Status::Waiting))
+            .map(|(i, _)| Pid(i))
+            .collect();
+        if waiting.is_empty() {
+            break; // all done or crashed
+        }
+        if st.step >= opts.max_steps {
+            st.aborting = true;
+            core.worker_cv.notify_all();
+            while st
+                .statuses
+                .iter()
+                .any(|s| matches!(s, Status::Busy | Status::Waiting))
+            {
+                core.sched_cv.wait(&mut st);
+            }
+            break;
+        }
+        let step = st.step;
+        let decision = st.policy.decide(&waiting, step);
+        let (index, crash) = match decision {
+            Decision::Step(i) => (i, false),
+            Decision::Crash(i) => (i, true),
+        };
+        assert!(index < waiting.len(), "adversary chose out of range");
+        st.granted = Some(waiting[index]);
+        st.crash_granted = crash;
+        core.worker_cv.notify_all();
+        // Wait for the grant to be consumed.
+        loop {
+            match st.granted {
+                None => break,
+                Some(g) if matches!(st.statuses[g.0], Status::Crashed | Status::Done) => {
+                    st.granted = None;
+                    break;
+                }
+                Some(_) => core.sched_cv.wait(&mut st),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{CrashPlan, RandomAdversary, RoundRobin, Scripted};
+    use sbu_mem::WordMem;
+
+    #[test]
+    fn two_incrementers_always_sum_to_two() {
+        for seed in 0..20 {
+            let mut mem: SimMem<()> = SimMem::new(2);
+            let a = mem.alloc_atomic(0);
+            let out = run_uniform(
+                &mem,
+                Box::new(RandomAdversary::new(seed)),
+                RunOptions::default(),
+                2,
+                |mem, pid| mem.rmw(pid, a, &|x| x + 1),
+            );
+            out.assert_clean();
+            assert_eq!(out.completed_count(), 2);
+            assert_eq!(mem.atomic_read(Pid(0), a), 2);
+            // rmw returns old values: {0, 1} in some order.
+            let mut olds: Vec<u64> = out.results().into_iter().copied().collect();
+            olds.sort_unstable();
+            assert_eq!(olds, vec![0, 1]);
+        }
+    }
+
+    #[test]
+    fn deterministic_replay_per_seed() {
+        let episode = |seed: u64| {
+            let mut mem: SimMem<()> = SimMem::new(3);
+            let a = mem.alloc_atomic(0);
+            let out = run_uniform(
+                &mem,
+                Box::new(RandomAdversary::new(seed)),
+                RunOptions::default(),
+                3,
+                |mem, pid| {
+                    let old = mem.rmw(pid, a, &|x| x * 3 + 1);
+                    let v = mem.atomic_read(pid, a);
+                    (old, v)
+                },
+            );
+            (
+                out.steps,
+                out.results().into_iter().copied().collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(episode(42), episode(42));
+    }
+
+    #[test]
+    fn crash_plan_kills_victim_and_survivor_finishes() {
+        let mut mem: SimMem<()> = SimMem::new(2);
+        let a = mem.alloc_atomic(0);
+        let out = run_uniform(
+            &mem,
+            Box::new(CrashPlan::new(vec![(Pid(1), 0)], RoundRobin::new())),
+            RunOptions::default(),
+            2,
+            |mem, pid| {
+                for _ in 0..10 {
+                    mem.rmw(pid, a, &|x| x + 1);
+                }
+            },
+        );
+        assert!(out.outcomes[1].is_crashed());
+        assert_eq!(out.completed_count(), 1);
+        assert_eq!(mem.atomic_read(Pid(0), a), 10);
+        assert!(!out.aborted);
+    }
+
+    #[test]
+    fn step_limit_aborts_busy_wait() {
+        let mut mem: SimMem<()> = SimMem::new(2);
+        let flag = mem.alloc_atomic(0);
+        let out = run_uniform(
+            &mem,
+            // Adversary only ever runs pid 0, which spins on a flag pid 1
+            // would set: a busy-wait implementation is not wait-free.
+            Box::new(Scripted::new(vec![0; 4096])),
+            RunOptions { max_steps: 500 },
+            2,
+            |mem, pid| {
+                if pid.0 == 0 {
+                    while mem.atomic_read(pid, flag) == 0 {}
+                } else {
+                    mem.atomic_write(pid, flag, 1);
+                }
+            },
+        );
+        assert!(out.aborted);
+        assert_eq!(out.completed_count(), 0);
+    }
+
+    #[test]
+    fn safe_read_overlapping_write_returns_adversary_word() {
+        // pid 1 writes (two points); pid 0 reads in between.
+        // Schedule: grant 1 (write begin), grant 0 (read begin),
+        //           grant 0 (read end — dirty), grant 1 (write end).
+        let mut mem: SimMem<()> = SimMem::new(2);
+        let s = mem.alloc_safe(7);
+        let out = run(
+            &mem,
+            Box::new(Scripted::new(vec![1, 0, 0, 0]).with_corrupt_palette(vec![999])),
+            RunOptions::default(),
+            vec![
+                Box::new(|mem: &SimMem<()>, pid: Pid| mem.safe_read(pid, s) as i64)
+                    as Box<dyn FnOnce(&SimMem<()>, Pid) -> i64 + Send>,
+                Box::new(move |mem: &SimMem<()>, pid: Pid| {
+                    mem.safe_write(pid, s, 8);
+                    -1
+                }),
+            ],
+        );
+        out.assert_clean();
+        let read_value = out.outcomes[0].completed().copied().unwrap();
+        assert_eq!(read_value, 999, "overlapped safe read must be corrupt");
+        // After the run the register holds the written value.
+        assert_eq!(mem.safe_read(Pid(0), s), 8);
+    }
+
+    #[test]
+    fn non_overlapping_safe_ops_are_exact() {
+        let mut mem: SimMem<()> = SimMem::new(2);
+        let s = mem.alloc_safe(7);
+        // Default script (all zeros): p0 takes both write phases, finishes,
+        // then p1 reads — fully sequential, so the read is exact.
+        let out = run(
+            &mem,
+            Box::new(Scripted::new(vec![]).with_corrupt_palette(vec![999])),
+            RunOptions::default(),
+            vec![
+                Box::new(|mem: &SimMem<()>, pid: Pid| {
+                    mem.safe_write(pid, s, 8);
+                    0u64
+                }) as Box<dyn FnOnce(&SimMem<()>, Pid) -> u64 + Send>,
+                Box::new(|mem: &SimMem<()>, pid: Pid| mem.safe_read(pid, s)),
+            ],
+        );
+        out.assert_clean();
+        let seen = out.outcomes[1].completed().copied().unwrap();
+        assert_eq!(seen, 8, "a read not concurrent with any write is exact");
+    }
+
+    #[test]
+    fn sticky_flush_overlap_is_flagged() {
+        let mut mem: SimMem<()> = SimMem::new(2);
+        let s = mem.alloc_sticky_bit();
+        // pid 0 flushes (two points); pid 1 jams in between:
+        // grants: p0 (flush begin), p1 (jam -> violation), p0 (flush end).
+        let out = run(
+            &mem,
+            Box::new(Scripted::new(vec![0, 1, 0])),
+            RunOptions::default(),
+            vec![
+                Box::new(|mem: &SimMem<()>, pid: Pid| {
+                    mem.sticky_flush(pid, s);
+                }) as Box<dyn FnOnce(&SimMem<()>, Pid) + Send>,
+                Box::new(|mem: &SimMem<()>, pid: Pid| {
+                    mem.sticky_jam(pid, s, true);
+                }),
+            ],
+        );
+        assert!(
+            out.violations.iter().any(|v| v.object == "sticky"),
+            "expected a sticky flush-overlap violation, got {:?}",
+            out.violations
+        );
+    }
+
+    #[test]
+    fn genuine_panic_in_algorithm_code_propagates() {
+        let mut mem: SimMem<()> = SimMem::new(1);
+        let a = mem.alloc_atomic(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run_uniform(
+                &mem,
+                Box::new(RoundRobin::new()),
+                RunOptions::default(),
+                1,
+                |mem, pid| {
+                    mem.atomic_read(pid, a);
+                    panic!("algorithm bug");
+                },
+            )
+        }));
+        assert!(result.is_err(), "the bug must surface to the caller");
+        // The memory is reusable afterwards (running flag was reset).
+        assert_eq!(mem.atomic_read(Pid(0), a), 0);
+    }
+
+    #[test]
+    fn steps_are_attributed_per_processor() {
+        let mut mem: SimMem<()> = SimMem::new(2);
+        let a = mem.alloc_atomic(0);
+        let out = run_uniform(
+            &mem,
+            Box::new(RoundRobin::new()),
+            RunOptions::default(),
+            2,
+            |mem, pid| {
+                for _ in 0..pid.0 + 1 {
+                    mem.atomic_write(pid, a, 1);
+                }
+            },
+        );
+        out.assert_clean();
+        assert_eq!(out.steps_per_proc[0], 1);
+        assert_eq!(out.steps_per_proc[1], 2);
+        assert_eq!(out.steps, 3);
+    }
+}
+
+#[cfg(test)]
+mod crash_window_tests {
+    use super::*;
+    use crate::adversary::Scripted;
+    use crate::mem::SimMem;
+    use sbu_mem::{Pid, WordMem};
+
+    /// A processor crashing mid-write leaves the register holding an
+    /// arbitrary but **fixed** value: two subsequent non-overlapping reads
+    /// agree (a dead processor cannot keep corrupting reads).
+    #[test]
+    fn crashed_write_settles_to_a_fixed_value() {
+        let mut mem: SimMem<()> = SimMem::new(2);
+        let s = mem.alloc_safe(7);
+        // Script: p0 write-begin (index 0), crash p0 (index 2 + 0 with two
+        // waiting, crash half), then p1 reads twice (defaults).
+        let out = run(
+            &mem,
+            Box::new(Scripted::new(vec![0, 2]).with_crashes(1)),
+            RunOptions::default(),
+            vec![
+                Box::new(|mem: &SimMem<()>, pid: Pid| {
+                    mem.safe_write(pid, s, 8);
+                    (0u64, 0u64)
+                }) as Box<dyn FnOnce(&SimMem<()>, Pid) -> (u64, u64) + Send>,
+                Box::new(|mem: &SimMem<()>, pid: Pid| {
+                    (mem.safe_read(pid, s), mem.safe_read(pid, s))
+                }),
+            ],
+        );
+        assert!(out.outcomes[0].is_crashed());
+        let (r1, r2) = out.outcomes[1].completed().copied().unwrap();
+        assert_eq!(r1, r2, "the settled value must be stable");
+        // And it stays stable after the run.
+        assert_eq!(mem.safe_read(Pid(0), s), r1);
+    }
+
+    /// A processor crashing mid-flush completes the flush (the object
+    /// settles to ⊥ with the window closed): later operations see a
+    /// defined state and raise no violations.
+    #[test]
+    fn crashed_flush_settles_and_unblocks() {
+        let mut mem: SimMem<()> = SimMem::new(2);
+        let sb = mem.alloc_sticky_bit();
+        mem.sticky_jam(Pid(0), sb, true);
+        // p0: flush (2 phases); crash after phase 1. p1 then jams.
+        let out = run(
+            &mem,
+            Box::new(Scripted::new(vec![0, 2]).with_crashes(1)),
+            RunOptions::default(),
+            vec![
+                Box::new(|mem: &SimMem<()>, pid: Pid| {
+                    mem.sticky_flush(pid, sb);
+                }) as Box<dyn FnOnce(&SimMem<()>, Pid) + Send>,
+                Box::new(|mem: &SimMem<()>, pid: Pid| {
+                    mem.sticky_jam(pid, sb, false);
+                }),
+            ],
+        );
+        assert!(out.outcomes[0].is_crashed());
+        assert!(
+            out.violations.is_empty(),
+            "the closed flush window must not flag the later jam: {:?}",
+            out.violations
+        );
+        assert_eq!(mem.sticky_read(Pid(1), sb), sbu_mem::Tri::Zero);
+    }
+
+    /// Crashed readers simply vanish: their open read windows do not
+    /// corrupt the register for anyone else.
+    #[test]
+    fn crashed_read_window_vanishes() {
+        let mut mem: SimMem<()> = SimMem::new(2);
+        let s = mem.alloc_safe(5);
+        let out = run(
+            &mem,
+            // p0 read-begin, crash p0; p1 writes then reads.
+            Box::new(Scripted::new(vec![0, 2]).with_crashes(1)),
+            RunOptions::default(),
+            vec![
+                Box::new(|mem: &SimMem<()>, pid: Pid| mem.safe_read(pid, s))
+                    as Box<dyn FnOnce(&SimMem<()>, Pid) -> u64 + Send>,
+                Box::new(|mem: &SimMem<()>, pid: Pid| {
+                    mem.safe_write(pid, s, 6);
+                    mem.safe_read(pid, s)
+                }),
+            ],
+        );
+        assert!(out.outcomes[0].is_crashed());
+        assert_eq!(out.outcomes[1].completed().copied(), Some(6));
+    }
+}
+
+#[cfg(test)]
+mod safe_race_tests {
+    use super::*;
+    use crate::adversary::Scripted;
+    use crate::mem::SimMem;
+    use sbu_mem::{Pid, WordMem};
+
+    /// Two writers racing with the SAME value: the register settles to that
+    /// value (writing identical bit patterns concurrently is harmless) —
+    /// the property the two-safe-bit ASB construction of Section 4 needs.
+    #[test]
+    fn same_value_write_race_settles_to_that_value() {
+        let mut mem: SimMem<()> = SimMem::new(2);
+        let s = mem.alloc_safe(0);
+        // Interleave the two 2-phase writes: p0 begin, p1 begin, p0 end,
+        // p1 end — script [0, 1, 0, 0] (waiting list shrinks as they park).
+        let out = run_uniform(
+            &mem,
+            Box::new(Scripted::new(vec![0, 1, 0, 0]).with_corrupt_palette(vec![0xBAD])),
+            RunOptions::default(),
+            2,
+            |mem, pid| mem.safe_write(pid, s, 9),
+        );
+        out.assert_clean();
+        assert_eq!(
+            mem.safe_read(Pid(0), s),
+            9,
+            "agreeing race must settle to 9"
+        );
+    }
+
+    /// Two writers racing with DIFFERENT values: the adversary fabricates
+    /// the result.
+    #[test]
+    fn differing_write_race_is_adversarial() {
+        let mut mem: SimMem<()> = SimMem::new(2);
+        let s = mem.alloc_safe(0);
+        let out = run_uniform(
+            &mem,
+            Box::new(Scripted::new(vec![0, 1, 0, 0]).with_corrupt_palette(vec![0xBAD])),
+            RunOptions::default(),
+            2,
+            |mem, pid| mem.safe_write(pid, s, pid.0 as u64 + 1),
+        );
+        out.assert_clean();
+        assert_eq!(
+            mem.safe_read(Pid(0), s),
+            0xBAD,
+            "disagreeing race must yield the adversary's word"
+        );
+    }
+
+    /// Sequential (non-overlapping) writes never involve the adversary.
+    #[test]
+    fn sequential_writes_are_exact() {
+        let mut mem: SimMem<()> = SimMem::new(2);
+        let s = mem.alloc_safe(0);
+        let out = run_uniform(
+            &mem,
+            // Default script: p0 completes fully, then p1.
+            Box::new(Scripted::new(vec![]).with_corrupt_palette(vec![0xBAD])),
+            RunOptions::default(),
+            2,
+            |mem, pid| mem.safe_write(pid, s, pid.0 as u64 + 1),
+        );
+        out.assert_clean();
+        assert_eq!(mem.safe_read(Pid(0), s), 2, "last (p1's) write wins");
+    }
+}

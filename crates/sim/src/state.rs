@@ -1,0 +1,551 @@
+//! The conductor's shared state: register tables with overlap-window
+//! tracking, processor statuses, step accounting and violation records.
+
+use crate::adversary::Adversary;
+use parking_lot::{Condvar, Mutex};
+use sbu_mem::{JamOutcome, Pid, Tri, Word};
+use std::fmt;
+
+/// One scheduling decision: how many options the adversary had and which it
+/// chose. The schedule explorer enumerates scripts over these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChoicePoint {
+    /// Number of available options at this point.
+    pub options: usize,
+    /// The option taken (`0..options`).
+    pub chosen: usize,
+}
+
+/// A monitored non-atomicity violation: the protocol let two operations
+/// overlap on an object whose semantics forbid it (e.g. `Flush` overlapped
+/// by a `Jam`, or a data cell read during its write).
+///
+/// Violations do not stop the run; tests assert the list is empty.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Logical clock at detection.
+    pub clock: u64,
+    /// The processor whose operation detected the overlap.
+    pub pid: Pid,
+    /// Register kind ("sticky", "sticky_word", "tas", "data").
+    pub object: &'static str,
+    /// Register index within its kind.
+    pub index: usize,
+    /// Short description of the overlap.
+    pub what: &'static str,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[clock {}] {} on {}[{}]: {}",
+            self.clock, self.pid, self.object, self.index, self.what
+        )
+    }
+}
+
+/// Lifecycle of a simulated processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Status {
+    /// Executing local code between scheduling points (or not yet started).
+    Busy,
+    /// Parked at a scheduling point, awaiting a grant.
+    Waiting,
+    /// Returned from its closure.
+    Done,
+    /// Fail-stopped (by the adversary, the step-limit abort, or a fatal
+    /// panic in algorithm code).
+    Crashed,
+}
+
+/// Panic payload used to unwind a crashed processor's stack.
+pub(crate) struct CrashSignal;
+
+/// A safe word register with read/write windows.
+#[derive(Debug, Default)]
+pub(crate) struct SafeCell {
+    value: Word,
+    /// Active write windows: (writer, pending value).
+    writers: Vec<(Pid, Word)>,
+    /// Set once two write windows overlap; cleared when the last ends.
+    write_race: bool,
+    /// Pending values of all writers that participated in the current race.
+    /// If they all agree the race resolves to that value (writing identical
+    /// bit patterns concurrently is physically harmless); otherwise the
+    /// adversary fabricates the result.
+    race_values: Vec<Word>,
+    /// Active read windows: (reader, dirtied).
+    readers: Vec<(Pid, bool)>,
+}
+
+/// A sticky bit with a flush window.
+#[derive(Debug, Default)]
+pub(crate) struct StickyCell {
+    value: Tri,
+    flusher: Option<Pid>,
+}
+
+/// A sticky word with a flush window.
+#[derive(Debug, Default)]
+pub(crate) struct StickyWordCell {
+    value: Option<Word>,
+    flusher: Option<Pid>,
+}
+
+/// A test-and-set bit with a reset window.
+#[derive(Debug, Default)]
+pub(crate) struct TasCell {
+    value: bool,
+    resetter: Option<Pid>,
+}
+
+/// A data cell (payload-carrying safe register) with read/write windows.
+#[derive(Debug)]
+pub(crate) struct DataCell<P> {
+    value: Option<P>,
+    writers: Vec<(Pid, Option<P>)>,
+    write_race: bool,
+    readers: Vec<(Pid, bool)>,
+}
+
+impl<P> Default for DataCell<P> {
+    fn default() -> Self {
+        Self {
+            value: None,
+            writers: Vec::new(),
+            write_race: false,
+            readers: Vec::new(),
+        }
+    }
+}
+
+/// Everything behind the conductor's mutex.
+pub(crate) struct SimState<P> {
+    pub n_procs: usize,
+    pub statuses: Vec<Status>,
+    /// Processor currently allowed to take one step.
+    pub granted: Option<Pid>,
+    /// The grant is a crash order.
+    pub crash_granted: bool,
+    /// Step-limit abort in progress: all parked processors must unwind.
+    pub aborting: bool,
+    /// `true` while `runner::run` is driving; otherwise operations execute
+    /// inline (setup/inspection mode).
+    pub running: bool,
+    /// Scheduled steps taken.
+    pub step: u64,
+    /// Logical clock: increments on *every* effect, including setup-mode.
+    pub clock: u64,
+    pub steps_per_proc: Vec<u64>,
+    pub policy: Box<dyn Adversary>,
+    pub violations: Vec<Violation>,
+
+    pub safes: Vec<SafeCell>,
+    pub atomics: Vec<Word>,
+    pub stickies: Vec<StickyCell>,
+    pub sticky_words: Vec<StickyWordCell>,
+    pub tas_bits: Vec<TasCell>,
+    pub data: Vec<DataCell<P>>,
+}
+
+impl<P: Clone> SimState<P> {
+    pub fn new(n_procs: usize, policy: Box<dyn Adversary>) -> Self {
+        Self {
+            n_procs,
+            statuses: vec![Status::Busy; n_procs],
+            granted: None,
+            crash_granted: false,
+            aborting: false,
+            running: false,
+            step: 0,
+            clock: 0,
+            steps_per_proc: vec![0; n_procs],
+            policy,
+            violations: Vec::new(),
+            safes: Vec::new(),
+            atomics: Vec::new(),
+            stickies: Vec::new(),
+            sticky_words: Vec::new(),
+            tas_bits: Vec::new(),
+            data: Vec::new(),
+        }
+    }
+
+    fn violation(&mut self, pid: Pid, object: &'static str, index: usize, what: &'static str) {
+        self.violations.push(Violation {
+            clock: self.clock,
+            pid,
+            object,
+            index,
+            what,
+        });
+    }
+
+    /// Close every window a crashed processor left open (fail-stop
+    /// semantics): an interrupted write leaves the register holding an
+    /// *arbitrary but fixed* value — a dead processor cannot keep
+    /// corrupting reads forever. Interrupted flushes/resets complete (the
+    /// half-reset object is unreachable anyway under the GRAB protocol,
+    /// but a defined value keeps the model crisp). Read windows vanish.
+    pub fn close_windows(&mut self, pid: Pid) {
+        for ix in 0..self.safes.len() {
+            self.safes[ix].readers.retain(|&(p, _)| p != pid);
+            if self.safes[ix].writers.iter().any(|&(p, _)| p == pid) {
+                // The interrupted write leaves the register arbitrary —
+                // old value, new value, or garbage. The adversary picks,
+                // once; the value is fixed thereafter.
+                let settled = self.policy.corrupt_word(self.clock);
+                let cell = &mut self.safes[ix];
+                cell.writers.retain(|&(p, _)| p != pid);
+                if cell.writers.is_empty() {
+                    cell.value = settled;
+                    cell.write_race = false;
+                    cell.race_values.clear();
+                }
+            }
+        }
+        for cell in &mut self.data {
+            cell.readers.retain(|&(p, _)| p != pid);
+            if let Some(pos) = cell.writers.iter().position(|(p, _)| *p == pid) {
+                let (_, pending) = cell.writers.remove(pos);
+                if cell.writers.is_empty() {
+                    // We cannot fabricate a payload; model the interrupted
+                    // write as having taken effect.
+                    cell.value = pending;
+                    cell.write_race = false;
+                }
+            }
+        }
+        for cell in &mut self.stickies {
+            if cell.flusher == Some(pid) {
+                cell.value = Tri::Undef;
+                cell.flusher = None;
+            }
+        }
+        for cell in &mut self.sticky_words {
+            if cell.flusher == Some(pid) {
+                cell.value = None;
+                cell.flusher = None;
+            }
+        }
+        for cell in &mut self.tas_bits {
+            if cell.resetter == Some(pid) {
+                cell.value = false;
+                cell.resetter = None;
+            }
+        }
+    }
+
+    // ----- safe registers (two-phase) -------------------------------------
+
+    pub fn safe_write_begin(&mut self, pid: Pid, ix: usize, v: Word) {
+        let cell = &mut self.safes[ix];
+        if !cell.writers.is_empty() {
+            if !cell.write_race {
+                cell.write_race = true;
+                cell.race_values
+                    .extend(cell.writers.iter().map(|&(_, w)| w));
+            }
+            cell.race_values.push(v);
+        }
+        for r in &mut cell.readers {
+            r.1 = true;
+        }
+        cell.writers.push((pid, v));
+    }
+
+    pub fn safe_write_end(&mut self, pid: Pid, ix: usize) {
+        let race_disagrees = {
+            let cell = &self.safes[ix];
+            cell.write_race && cell.race_values.windows(2).any(|w| w[0] != w[1])
+        };
+        let corrupt = if race_disagrees {
+            Some(self.policy.corrupt_word(self.clock))
+        } else {
+            None
+        };
+        let cell = &mut self.safes[ix];
+        let pos = cell
+            .writers
+            .iter()
+            .position(|&(p, _)| p == pid)
+            .expect("write window must be open");
+        let (_, pending) = cell.writers.remove(pos);
+        if cell.write_race {
+            if cell.writers.is_empty() {
+                cell.value = match corrupt {
+                    Some(w) => w,
+                    None => cell.race_values[0],
+                };
+                cell.write_race = false;
+                cell.race_values.clear();
+            }
+            // else: leave resolution to the last racing writer.
+        } else {
+            cell.value = pending;
+        }
+    }
+
+    pub fn safe_read_begin(&mut self, pid: Pid, ix: usize) {
+        let cell = &mut self.safes[ix];
+        let dirty = !cell.writers.is_empty();
+        cell.readers.push((pid, dirty));
+    }
+
+    pub fn safe_read_end(&mut self, pid: Pid, ix: usize) -> Word {
+        let dirty = {
+            let cell = &mut self.safes[ix];
+            let pos = cell
+                .readers
+                .iter()
+                .position(|&(p, _)| p == pid)
+                .expect("read window must be open");
+            let (_, dirty) = cell.readers.remove(pos);
+            dirty
+        };
+        if dirty {
+            self.policy.corrupt_word(self.clock)
+        } else {
+            self.safes[ix].value
+        }
+    }
+
+    // ----- atomic registers (single-phase) ---------------------------------
+
+    pub fn atomic_read(&mut self, ix: usize) -> Word {
+        self.atomics[ix]
+    }
+
+    pub fn atomic_write(&mut self, ix: usize, v: Word) {
+        self.atomics[ix] = v;
+    }
+
+    pub fn atomic_rmw(&mut self, ix: usize, f: &dyn Fn(Word) -> Word) -> Word {
+        let old = self.atomics[ix];
+        self.atomics[ix] = f(old);
+        old
+    }
+
+    // ----- sticky bits ------------------------------------------------------
+
+    pub fn sticky_jam(&mut self, pid: Pid, ix: usize, bit: bool) -> JamOutcome {
+        if self.stickies[ix].flusher.is_some() {
+            self.violation(pid, "sticky", ix, "jam during flush");
+        }
+        let v = Tri::from_bit(bit);
+        let cell = &mut self.stickies[ix];
+        if cell.value == Tri::Undef || cell.value == v {
+            cell.value = v;
+            JamOutcome::Success
+        } else {
+            JamOutcome::Fail
+        }
+    }
+
+    pub fn sticky_read(&mut self, pid: Pid, ix: usize) -> Tri {
+        if self.stickies[ix].flusher.is_some() {
+            self.violation(pid, "sticky", ix, "read during flush");
+        }
+        self.stickies[ix].value
+    }
+
+    pub fn sticky_flush_begin(&mut self, pid: Pid, ix: usize) {
+        if self.stickies[ix].flusher.is_some() {
+            self.violation(pid, "sticky", ix, "flush during flush");
+        }
+        self.stickies[ix].flusher = Some(pid);
+    }
+
+    pub fn sticky_flush_end(&mut self, _pid: Pid, ix: usize) {
+        let cell = &mut self.stickies[ix];
+        cell.value = Tri::Undef;
+        cell.flusher = None;
+    }
+
+    // ----- sticky words -----------------------------------------------------
+
+    pub fn sticky_word_jam(&mut self, pid: Pid, ix: usize, v: Word) -> JamOutcome {
+        if self.sticky_words[ix].flusher.is_some() {
+            self.violation(pid, "sticky_word", ix, "jam during flush");
+        }
+        let cell = &mut self.sticky_words[ix];
+        match cell.value {
+            None => {
+                cell.value = Some(v);
+                JamOutcome::Success
+            }
+            Some(cur) if cur == v => JamOutcome::Success,
+            Some(_) => JamOutcome::Fail,
+        }
+    }
+
+    pub fn sticky_word_read(&mut self, pid: Pid, ix: usize) -> Option<Word> {
+        if self.sticky_words[ix].flusher.is_some() {
+            self.violation(pid, "sticky_word", ix, "read during flush");
+        }
+        self.sticky_words[ix].value
+    }
+
+    pub fn sticky_word_flush_begin(&mut self, pid: Pid, ix: usize) {
+        if self.sticky_words[ix].flusher.is_some() {
+            self.violation(pid, "sticky_word", ix, "flush during flush");
+        }
+        self.sticky_words[ix].flusher = Some(pid);
+    }
+
+    pub fn sticky_word_flush_end(&mut self, _pid: Pid, ix: usize) {
+        let cell = &mut self.sticky_words[ix];
+        cell.value = None;
+        cell.flusher = None;
+    }
+
+    // ----- test-and-set -----------------------------------------------------
+
+    pub fn tas_test_and_set(&mut self, pid: Pid, ix: usize) -> bool {
+        if self.tas_bits[ix].resetter.is_some() {
+            self.violation(pid, "tas", ix, "test-and-set during reset");
+        }
+        let cell = &mut self.tas_bits[ix];
+        let old = cell.value;
+        cell.value = true;
+        old
+    }
+
+    pub fn tas_read(&mut self, pid: Pid, ix: usize) -> bool {
+        if self.tas_bits[ix].resetter.is_some() {
+            self.violation(pid, "tas", ix, "read during reset");
+        }
+        self.tas_bits[ix].value
+    }
+
+    pub fn tas_reset_begin(&mut self, pid: Pid, ix: usize) {
+        if self.tas_bits[ix].resetter.is_some() {
+            self.violation(pid, "tas", ix, "reset during reset");
+        }
+        self.tas_bits[ix].resetter = Some(pid);
+    }
+
+    pub fn tas_reset_end(&mut self, _pid: Pid, ix: usize) {
+        let cell = &mut self.tas_bits[ix];
+        cell.value = false;
+        cell.resetter = None;
+    }
+
+    // ----- data cells (two-phase, monitored) --------------------------------
+
+    pub fn data_write_begin(&mut self, pid: Pid, ix: usize, v: Option<P>) {
+        if !self.data[ix].writers.is_empty() {
+            self.violation(pid, "data", ix, "write during write");
+            self.data[ix].write_race = true;
+        }
+        for r in &mut self.data[ix].readers {
+            r.1 = true;
+        }
+        self.data[ix].writers.push((pid, v));
+    }
+
+    pub fn data_write_end(&mut self, pid: Pid, ix: usize) {
+        let cell = &mut self.data[ix];
+        let pos = cell
+            .writers
+            .iter()
+            .position(|(p, _)| *p == pid)
+            .expect("write window must be open");
+        let (_, pending) = cell.writers.remove(pos);
+        // Unlike safe words we cannot fabricate a payload; last finisher
+        // wins, and the violation above is what tests key on.
+        cell.value = pending;
+        if cell.writers.is_empty() {
+            cell.write_race = false;
+        }
+    }
+
+    pub fn data_read_begin(&mut self, pid: Pid, ix: usize) {
+        let dirty = !self.data[ix].writers.is_empty();
+        self.data[ix].readers.push((pid, dirty));
+    }
+
+    pub fn data_read_end(&mut self, pid: Pid, ix: usize) -> Option<P> {
+        let cell = &mut self.data[ix];
+        let pos = cell
+            .readers
+            .iter()
+            .position(|(p, _)| *p == pid)
+            .expect("read window must be open");
+        let (_, dirty) = cell.readers.remove(pos);
+        if dirty {
+            // The violation was recorded at begin (or by the writer); the
+            // reader sees the current (possibly torn-in-spirit) value.
+            self.violations.push(Violation {
+                clock: self.clock,
+                pid,
+                object: "data",
+                index: ix,
+                what: "read overlapped a write",
+            });
+        }
+        cell.value.clone()
+    }
+}
+
+/// The conductor: state plus the two rendezvous condvars.
+pub(crate) struct SimCore<P> {
+    pub state: Mutex<SimState<P>>,
+    /// Workers wait here for their grant.
+    pub worker_cv: Condvar,
+    /// The scheduler waits here for workers to park, finish, or consume a
+    /// grant.
+    pub sched_cv: Condvar,
+}
+
+impl<P: Clone> SimCore<P> {
+    pub fn new(n_procs: usize, policy: Box<dyn Adversary>) -> Self {
+        Self {
+            state: Mutex::new(SimState::new(n_procs, policy)),
+            worker_cv: Condvar::new(),
+            sched_cv: Condvar::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod violation_tests {
+    use super::*;
+
+    #[test]
+    fn violation_displays_context() {
+        let v = Violation {
+            clock: 42,
+            pid: Pid(1),
+            object: "sticky",
+            index: 7,
+            what: "jam during flush",
+        };
+        let s = v.to_string();
+        assert!(s.contains("42") && s.contains("p1") && s.contains("sticky[7]"));
+        assert!(s.contains("jam during flush"));
+    }
+
+    #[test]
+    fn choice_point_equality() {
+        let a = ChoicePoint {
+            options: 3,
+            chosen: 1,
+        };
+        assert_eq!(
+            a,
+            ChoicePoint {
+                options: 3,
+                chosen: 1
+            }
+        );
+        assert_ne!(
+            a,
+            ChoicePoint {
+                options: 3,
+                chosen: 2
+            }
+        );
+    }
+}

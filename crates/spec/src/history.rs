@@ -1,0 +1,286 @@
+//! Concurrent operation histories and the real-time precedence order `≺_H`.
+//!
+//! A *history* is the restriction of a schedule (Section 2) to the external
+//! ports of one object: a set of operations, each an invocation possibly
+//! followed by a response. Operations carry logical timestamps (the step
+//! indices assigned by the simulator's conductor), which induce the partial
+//! order of Definition 3.1: `o ≺_H o'` iff `o`'s response occurs before
+//! `o'`'s invocation.
+
+use crate::Pid;
+use std::fmt;
+
+/// One operation in a history: a command and, unless the processor crashed
+/// mid-operation, its response.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct OpRecord<O, R> {
+    /// The invoking processor.
+    pub pid: Pid,
+    /// The command.
+    pub op: O,
+    /// The response, or `None` if the operation is *pending* (the processor
+    /// crashed or the run was truncated before it returned).
+    pub resp: Option<R>,
+    /// Logical time of the invocation event.
+    pub invoke: u64,
+    /// Logical time of the response event (`None` for pending operations).
+    pub ret: Option<u64>,
+}
+
+impl<O, R> OpRecord<O, R> {
+    /// A completed operation with both endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ret < invoke`.
+    pub fn completed(pid: Pid, op: O, resp: R, invoke: u64, ret: u64) -> Self {
+        assert!(ret >= invoke, "response cannot precede invocation");
+        Self {
+            pid,
+            op,
+            resp: Some(resp),
+            invoke,
+            ret: Some(ret),
+        }
+    }
+
+    /// A pending operation: invoked, never returned.
+    pub fn pending(pid: Pid, op: O, invoke: u64) -> Self {
+        Self {
+            pid,
+            op,
+            resp: None,
+            invoke,
+            ret: None,
+        }
+    }
+
+    /// Whether the operation has a response.
+    pub fn is_completed(&self) -> bool {
+        self.resp.is_some()
+    }
+
+    /// The `≺_H` relation: this operation returned before `other` was
+    /// invoked. Pending operations precede nothing.
+    pub fn precedes(&self, other: &Self) -> bool {
+        match self.ret {
+            Some(r) => r < other.invoke,
+            None => false,
+        }
+    }
+}
+
+/// A concurrent history of one object.
+///
+/// Maintains no ordering invariants on insertion; call [`History::validate`]
+/// to check per-processor well-formedness (Section 2: the restriction of a
+/// schedule to one port alternates command/response).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct History<O, R> {
+    ops: Vec<OpRecord<O, R>>,
+}
+
+impl<O, R> Default for History<O, R> {
+    fn default() -> Self {
+        Self { ops: Vec::new() }
+    }
+}
+
+impl<O, R> History<O, R> {
+    /// An empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an operation record.
+    pub fn push(&mut self, op: OpRecord<O, R>) {
+        self.ops.push(op);
+    }
+
+    /// All records, in insertion order.
+    pub fn ops(&self) -> &[OpRecord<O, R>] {
+        &self.ops
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the history has no records.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Iterate over records.
+    pub fn iter(&self) -> std::slice::Iter<'_, OpRecord<O, R>> {
+        self.ops.iter()
+    }
+
+    /// Number of completed operations.
+    pub fn completed_count(&self) -> usize {
+        self.ops.iter().filter(|o| o.is_completed()).count()
+    }
+
+    /// Number of pending operations.
+    pub fn pending_count(&self) -> usize {
+        self.len() - self.completed_count()
+    }
+
+    /// `≺_H` between records `i` and `j` (by index).
+    pub fn precedes(&self, i: usize, j: usize) -> bool {
+        self.ops[i].precedes(&self.ops[j])
+    }
+
+    /// Check structural sanity: every completed op has `invoke ≤ ret`, and
+    /// per processor the operation intervals are disjoint and at most one
+    /// operation is pending (a sequential thread runs one procedure at a
+    /// time, Section 2).
+    pub fn validate(&self) -> Result<(), HistoryError> {
+        let mut per_pid: std::collections::BTreeMap<Pid, Vec<&OpRecord<O, R>>> =
+            std::collections::BTreeMap::new();
+        for rec in &self.ops {
+            if let Some(ret) = rec.ret {
+                if ret < rec.invoke {
+                    return Err(HistoryError::ResponseBeforeInvoke { pid: rec.pid });
+                }
+            }
+            per_pid.entry(rec.pid).or_default().push(rec);
+        }
+        for (pid, mut recs) in per_pid {
+            recs.sort_by_key(|r| r.invoke);
+            for pair in recs.windows(2) {
+                match pair[0].ret {
+                    None => return Err(HistoryError::OverlapWithinProcessor { pid }),
+                    Some(ret) if ret >= pair[1].invoke => {
+                        return Err(HistoryError::OverlapWithinProcessor { pid })
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<O, R> FromIterator<OpRecord<O, R>> for History<O, R> {
+    fn from_iter<I: IntoIterator<Item = OpRecord<O, R>>>(iter: I) -> Self {
+        Self {
+            ops: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Structural defects detected by [`History::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistoryError {
+    /// An operation's response timestamp precedes its invocation.
+    ResponseBeforeInvoke {
+        /// The offending processor.
+        pid: Pid,
+    },
+    /// Two operations of the same processor overlap (a sequential thread
+    /// cannot have two procedures in flight).
+    OverlapWithinProcessor {
+        /// The offending processor.
+        pid: Pid,
+    },
+}
+
+impl fmt::Display for HistoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HistoryError::ResponseBeforeInvoke { pid } => {
+                write!(f, "{pid}: response timestamp precedes invocation")
+            }
+            HistoryError::OverlapWithinProcessor { pid } => {
+                write!(f, "{pid}: overlapping operations within one processor")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HistoryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Rec = OpRecord<&'static str, u32>;
+
+    #[test]
+    fn precedence_is_real_time() {
+        let a: Rec = OpRecord::completed(Pid(0), "a", 0, 0, 5);
+        let b: Rec = OpRecord::completed(Pid(1), "b", 0, 6, 8);
+        let c: Rec = OpRecord::completed(Pid(2), "c", 0, 3, 7);
+        assert!(a.precedes(&b));
+        assert!(!b.precedes(&a));
+        assert!(!a.precedes(&c)); // overlap: incomparable
+        assert!(!c.precedes(&a));
+    }
+
+    #[test]
+    fn pending_ops_precede_nothing() {
+        let a: Rec = OpRecord::pending(Pid(0), "a", 0);
+        let b: Rec = OpRecord::completed(Pid(1), "b", 0, 100, 101);
+        assert!(!a.precedes(&b));
+        assert!(!a.is_completed());
+    }
+
+    #[test]
+    fn validate_accepts_sequential_thread() {
+        let h: History<&str, u32> = [
+            OpRecord::completed(Pid(0), "a", 0, 0, 1),
+            OpRecord::completed(Pid(0), "b", 0, 2, 3),
+            OpRecord::pending(Pid(0), "c", 4),
+        ]
+        .into_iter()
+        .collect();
+        assert!(h.validate().is_ok());
+        assert_eq!(h.completed_count(), 2);
+        assert_eq!(h.pending_count(), 1);
+    }
+
+    #[test]
+    fn validate_rejects_overlap_within_processor() {
+        let h: History<&str, u32> = [
+            OpRecord::completed(Pid(0), "a", 0, 0, 5),
+            OpRecord::completed(Pid(0), "b", 0, 3, 8),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(
+            h.validate(),
+            Err(HistoryError::OverlapWithinProcessor { pid: Pid(0) })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_pending_followed_by_more_ops() {
+        let h: History<&str, u32> = [
+            OpRecord::pending(Pid(0), "a", 0),
+            OpRecord::completed(Pid(0), "b", 0, 3, 8),
+        ]
+        .into_iter()
+        .collect();
+        assert!(h.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "response cannot precede invocation")]
+    fn completed_ctor_rejects_inverted_interval() {
+        let _: Rec = OpRecord::completed(Pid(0), "a", 0, 5, 3);
+    }
+
+    #[test]
+    fn precedes_by_index() {
+        let h: History<&str, u32> = [
+            OpRecord::completed(Pid(0), "a", 0, 0, 1),
+            OpRecord::completed(Pid(1), "b", 0, 2, 3),
+        ]
+        .into_iter()
+        .collect();
+        assert!(h.precedes(0, 1));
+        assert!(!h.precedes(1, 0));
+    }
+}

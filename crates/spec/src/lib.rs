@@ -1,0 +1,124 @@
+//! # sbu-spec — sequential specifications, histories, and atomicity
+//!
+//! This crate is the semantic foundation of the workspace. It provides:
+//!
+//! * [`SequentialSpec`] — the paper's notion of a *sequential object*
+//!   (Section 3): a deterministic state machine mapping `(state, command)`
+//!   to `(state, response)`. Concrete specifications for registers, counters,
+//!   queues, stacks, key-value maps, snapshots and the sticky bit itself live
+//!   in [`specs`].
+//! * [`history`] — concurrent operation histories: invocation/response
+//!   intervals on a logical clock, pending (crashed) operations, and the
+//!   real-time precedence partial order `≺_H` of Definition 3.1.
+//! * [`linearize`] — a Wing–Gong style linearizability checker (the paper's
+//!   **atomicity**, Definition 3.1), with memoization, plus a brute-force
+//!   reference used as a property-test oracle.
+//! * [`schedule`] — the Section 2 port-automata formalism made executable:
+//!   schedules of command/response actions, the *well-formed*, *sequential*
+//!   and *balanced* predicates, and the "S is a linearization of H" check.
+//!
+//! The simulator (`sbu-sim`) records histories; every wait-free object built
+//! in `sbu-sticky`, `sbu-rmw` and `sbu-core` is validated against its
+//! sequential specification through this crate.
+//!
+//! ```
+//! use sbu_spec::specs::CounterSpec;
+//! use sbu_spec::{SequentialSpec, history::{History, OpRecord}, linearize::check};
+//! use sbu_spec::Pid;
+//!
+//! // Two increments overlapping in real time: linearizable in either order.
+//! let mut h = History::new();
+//! h.push(OpRecord::completed(Pid(0), sbu_spec::specs::CounterOp::Inc, 1, 0, 3));
+//! h.push(OpRecord::completed(Pid(1), sbu_spec::specs::CounterOp::Inc, 2, 1, 2));
+//! assert!(check(&h, CounterSpec::new()).is_linearizable());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+pub mod history;
+pub mod linearize;
+pub mod schedule;
+pub mod specs;
+
+/// Identifier of a participating processor (the paper's `p_i`).
+///
+/// Processor ids are dense indices `0..n`. They double as indices into the
+/// announce arrays and per-processor register banks used throughout the
+/// constructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pid(pub usize);
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<usize> for Pid {
+    fn from(v: usize) -> Self {
+        Pid(v)
+    }
+}
+
+/// A sequential object specification (Section 3 of the paper).
+///
+/// A *sequential object* is one specified entirely by its sequential
+/// schedules; equivalently, a deterministic transition function
+/// `apply : State × Op → State × Resp`. Implementations of this trait are the
+/// "safe implementations" that the universal construction of Sections 5–6
+/// transforms into wait-free atomic ones: the construction invokes `apply`
+/// only in contexts where no two invocations overlap, which is exactly the
+/// guarantee a *safe* implementation requires.
+///
+/// The state must be `Clone` because the universal construction stores
+/// snapshots of it in list cells, and `self` is the state.
+pub trait SequentialSpec: Clone {
+    /// A command (the paper's `cmd`): an operation request sent to the object.
+    type Op: Clone + PartialEq + fmt::Debug;
+    /// A response (`rsp`) returned by the object.
+    type Resp: Clone + PartialEq + fmt::Debug;
+
+    /// Apply one command, mutating the state and producing the response.
+    ///
+    /// Must be deterministic: the universal construction relies on every
+    /// processor recomputing identical states from identical command
+    /// sequences.
+    fn apply(&mut self, op: &Self::Op) -> Self::Resp;
+
+    /// Apply a whole sequence of commands, discarding responses.
+    ///
+    /// Convenience used when replaying suffixes of the cell list.
+    fn apply_all<'a, I>(&mut self, ops: I)
+    where
+        I: IntoIterator<Item = &'a Self::Op>,
+        Self::Op: 'a,
+    {
+        for op in ops {
+            self.apply(op);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specs::{CounterOp, CounterSpec};
+
+    #[test]
+    fn pid_display_and_conversions() {
+        let p: Pid = 3.into();
+        assert_eq!(p, Pid(3));
+        assert_eq!(p.to_string(), "p3");
+        assert_eq!(Pid::default(), Pid(0));
+    }
+
+    #[test]
+    fn apply_all_replays_commands() {
+        let mut s = CounterSpec::new();
+        s.apply_all([&CounterOp::Inc, &CounterOp::Inc, &CounterOp::Inc]);
+        assert_eq!(s.apply(&CounterOp::Read), 3);
+    }
+}

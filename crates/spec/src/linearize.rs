@@ -1,0 +1,432 @@
+//! Linearizability (the paper's **atomicity**, Definition 3.1) checking.
+//!
+//! Given a concurrent [`History`] and a [`SequentialSpec`], decide whether
+//! there is a sequential schedule `S` with the same operations such that
+//! `≺_H ⊆ ≺_S` and `S` is legal for the specification. Pending operations
+//! (crashed processors) may either take effect — with whatever response the
+//! specification yields — or be dropped, per the "balanced extension" in
+//! Definition 3.1.
+//!
+//! The main entry point [`check`] implements the Wing–Gong search with
+//! memoization on `(linearized-set, state)`; [`check_brute_force`] enumerates
+//! permutations directly and serves as the oracle in property tests.
+
+use crate::history::History;
+use crate::SequentialSpec;
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// Maximum number of operations [`check`] accepts (the linearized-set is a
+/// `u128` bitmask).
+pub const MAX_OPS: usize = 128;
+
+/// Result of a linearizability check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckResult {
+    /// A witness order exists: indices into the history's records, in
+    /// linearization order. Pending operations absent from the witness were
+    /// dropped (they never took effect).
+    Linearizable {
+        /// Linearization order (indices into `History::ops`).
+        witness: Vec<usize>,
+    },
+    /// No linearization exists.
+    NotLinearizable,
+}
+
+impl CheckResult {
+    /// Whether the history is linearizable.
+    pub fn is_linearizable(&self) -> bool {
+        matches!(self, CheckResult::Linearizable { .. })
+    }
+
+    /// The witness order, if linearizable.
+    pub fn witness(&self) -> Option<&[usize]> {
+        match self {
+            CheckResult::Linearizable { witness } => Some(witness),
+            CheckResult::NotLinearizable => None,
+        }
+    }
+}
+
+/// Check linearizability of `history` against the specification starting in
+/// state `init`.
+///
+/// # Panics
+///
+/// Panics if the history has more than [`MAX_OPS`] operations or fails
+/// [`History::validate`]. Call sites that record histories through the
+/// simulator always satisfy both.
+pub fn check<S>(history: &History<S::Op, S::Resp>, init: S) -> CheckResult
+where
+    S: SequentialSpec + Hash + Eq,
+{
+    assert!(
+        history.len() <= MAX_OPS,
+        "history of {} ops exceeds MAX_OPS = {MAX_OPS}",
+        history.len()
+    );
+    history
+        .validate()
+        .expect("structurally invalid history passed to linearizability checker");
+
+    let n = history.len();
+    let completed_mask: u128 = history
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.is_completed())
+        .fold(0u128, |m, (i, _)| m | (1u128 << i));
+
+    // precede[i] = bitmask of ops that must be linearized before op i may be.
+    let precede: Vec<u128> = (0..n)
+        .map(|i| {
+            (0..n)
+                .filter(|&j| j != i && history.precedes(j, i))
+                .fold(0u128, |m, j| m | (1u128 << j))
+        })
+        .collect();
+
+    let mut memo: HashSet<(u128, S)> = HashSet::new();
+    let mut witness = Vec::with_capacity(n);
+
+    fn dfs<S>(
+        history: &History<S::Op, S::Resp>,
+        completed_mask: u128,
+        precede: &[u128],
+        memo: &mut HashSet<(u128, S)>,
+        witness: &mut Vec<usize>,
+        mask: u128,
+        state: &S,
+    ) -> bool
+    where
+        S: SequentialSpec + Hash + Eq,
+    {
+        if mask & completed_mask == completed_mask {
+            return true;
+        }
+        if !memo.insert((mask, state.clone())) {
+            return false;
+        }
+        for i in 0..history.len() {
+            let bit = 1u128 << i;
+            if mask & bit != 0 || precede[i] & !mask != 0 {
+                continue;
+            }
+            let rec = &history.ops()[i];
+            let mut next = state.clone();
+            let resp = next.apply(&rec.op);
+            // Completed ops must reproduce their observed response; pending
+            // ops may take effect with any response.
+            if let Some(expected) = &rec.resp {
+                if resp != *expected {
+                    continue;
+                }
+            }
+            witness.push(i);
+            if dfs(
+                history,
+                completed_mask,
+                precede,
+                memo,
+                witness,
+                mask | bit,
+                &next,
+            ) {
+                return true;
+            }
+            witness.pop();
+        }
+        false
+    }
+
+    if dfs(
+        history,
+        completed_mask,
+        &precede,
+        &mut memo,
+        &mut witness,
+        0,
+        &init,
+    ) {
+        CheckResult::Linearizable { witness }
+    } else {
+        CheckResult::NotLinearizable
+    }
+}
+
+/// Brute-force reference checker: tries every permutation of every subset
+/// that contains all completed operations. Exponential; intended for
+/// histories of at most ~8 operations in tests.
+pub fn check_brute_force<S>(history: &History<S::Op, S::Resp>, init: S) -> CheckResult
+where
+    S: SequentialSpec,
+{
+    let n = history.len();
+    assert!(n <= 16, "brute force checker limited to 16 ops");
+
+    fn rec<S>(
+        history: &History<S::Op, S::Resp>,
+        completed_mask: u32,
+        mask: u32,
+        state: &S,
+        witness: &mut Vec<usize>,
+    ) -> bool
+    where
+        S: SequentialSpec,
+    {
+        if mask & completed_mask == completed_mask {
+            return true;
+        }
+        for i in 0..history.len() {
+            let bit = 1u32 << i;
+            if mask & bit != 0 {
+                continue;
+            }
+            // Real-time order: everything that precedes i must already be in.
+            let ok = (0..history.len())
+                .all(|j| j == i || mask & (1 << j) != 0 || !history.precedes(j, i));
+            if !ok {
+                continue;
+            }
+            let rec_i = &history.ops()[i];
+            let mut next = state.clone();
+            let resp = next.apply(&rec_i.op);
+            if let Some(expected) = &rec_i.resp {
+                if resp != *expected {
+                    continue;
+                }
+            }
+            witness.push(i);
+            if rec(history, completed_mask, mask | bit, &next, witness) {
+                return true;
+            }
+            witness.pop();
+        }
+        false
+    }
+
+    let completed_mask: u32 = history
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.is_completed())
+        .fold(0u32, |m, (i, _)| m | (1u32 << i));
+    let mut witness = Vec::new();
+    if rec(history, completed_mask, 0, &init, &mut witness) {
+        CheckResult::Linearizable { witness }
+    } else {
+        CheckResult::NotLinearizable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::OpRecord;
+    use crate::specs::{
+        CounterOp, CounterSpec, QueueOp, QueueResp, QueueSpec, RegisterOp, RegisterResp,
+        RegisterSpec,
+    };
+    use crate::Pid;
+
+    fn reg_completed(
+        pid: usize,
+        op: RegisterOp,
+        resp: RegisterResp,
+        invoke: u64,
+        ret: u64,
+    ) -> OpRecord<RegisterOp, RegisterResp> {
+        OpRecord::completed(Pid(pid), op, resp, invoke, ret)
+    }
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        let h: History<RegisterOp, RegisterResp> = History::new();
+        assert!(check(&h, RegisterSpec::new()).is_linearizable());
+    }
+
+    #[test]
+    fn sequential_legal_history() {
+        let h: History<_, _> = [
+            reg_completed(0, RegisterOp::Write(1), RegisterResp::Ack, 0, 1),
+            reg_completed(1, RegisterOp::Read, RegisterResp::Value(1), 2, 3),
+        ]
+        .into_iter()
+        .collect();
+        let r = check(&h, RegisterSpec::new());
+        assert_eq!(r.witness(), Some(&[0, 1][..]));
+    }
+
+    #[test]
+    fn stale_read_after_write_is_not_linearizable() {
+        // Write(1) completes strictly before the Read, yet the Read sees 0.
+        let h: History<_, _> = [
+            reg_completed(0, RegisterOp::Write(1), RegisterResp::Ack, 0, 1),
+            reg_completed(1, RegisterOp::Read, RegisterResp::Value(0), 2, 3),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(check(&h, RegisterSpec::new()), CheckResult::NotLinearizable);
+    }
+
+    #[test]
+    fn overlapping_read_may_see_either_value() {
+        for seen in [0u64, 1] {
+            let h: History<_, _> = [
+                reg_completed(0, RegisterOp::Write(1), RegisterResp::Ack, 0, 10),
+                reg_completed(1, RegisterOp::Read, RegisterResp::Value(seen), 5, 6),
+            ]
+            .into_iter()
+            .collect();
+            assert!(
+                check(&h, RegisterSpec::new()).is_linearizable(),
+                "read of {seen} during write should linearize"
+            );
+        }
+    }
+
+    #[test]
+    fn pending_op_may_take_effect() {
+        // A crashed Write(7) never returned, but a later Read sees 7: legal.
+        let h: History<_, _> = [
+            OpRecord::pending(Pid(0), RegisterOp::Write(7), 0),
+            reg_completed(1, RegisterOp::Read, RegisterResp::Value(7), 5, 6),
+        ]
+        .into_iter()
+        .collect();
+        let r = check(&h, RegisterSpec::new());
+        assert_eq!(r.witness(), Some(&[0, 1][..]));
+    }
+
+    #[test]
+    fn pending_op_may_be_dropped() {
+        let h: History<_, _> = [
+            OpRecord::pending(Pid(0), RegisterOp::Write(7), 0),
+            reg_completed(1, RegisterOp::Read, RegisterResp::Value(0), 5, 6),
+        ]
+        .into_iter()
+        .collect();
+        let r = check(&h, RegisterSpec::new());
+        assert_eq!(r.witness(), Some(&[1][..]));
+    }
+
+    #[test]
+    fn duplicated_dequeue_is_caught() {
+        // Two concurrent dequeues both return the same element: not
+        // linearizable for a queue holding a single 5.
+        let mut init = QueueSpec::new();
+        use crate::SequentialSpec;
+        init.apply(&QueueOp::Enqueue(5));
+        let h: History<_, _> = [
+            OpRecord::completed(Pid(0), QueueOp::Dequeue, QueueResp::Value(5), 0, 10),
+            OpRecord::completed(Pid(1), QueueOp::Dequeue, QueueResp::Value(5), 1, 9),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(check(&h, init), CheckResult::NotLinearizable);
+    }
+
+    #[test]
+    fn concurrent_increments_must_be_distinct() {
+        // Two Incs both returning 1 is illegal even fully concurrent.
+        let h: History<_, _> = [
+            OpRecord::completed(Pid(0), CounterOp::Inc, 1u64, 0, 10),
+            OpRecord::completed(Pid(1), CounterOp::Inc, 1u64, 1, 9),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(check(&h, CounterSpec::new()), CheckResult::NotLinearizable);
+
+        let h2: History<_, _> = [
+            OpRecord::completed(Pid(0), CounterOp::Inc, 2u64, 0, 10),
+            OpRecord::completed(Pid(1), CounterOp::Inc, 1u64, 1, 9),
+        ]
+        .into_iter()
+        .collect();
+        assert!(check(&h2, CounterSpec::new()).is_linearizable());
+    }
+
+    #[test]
+    fn witness_respects_real_time_order() {
+        let h: History<_, _> = [
+            reg_completed(0, RegisterOp::Write(1), RegisterResp::Ack, 0, 1),
+            reg_completed(0, RegisterOp::Write(2), RegisterResp::Ack, 2, 3),
+            reg_completed(1, RegisterOp::Read, RegisterResp::Value(2), 4, 5),
+        ]
+        .into_iter()
+        .collect();
+        let r = check(&h, RegisterSpec::new());
+        assert_eq!(r.witness(), Some(&[0, 1, 2][..]));
+    }
+
+    #[test]
+    fn brute_force_agrees_on_small_cases() {
+        let cases: Vec<History<RegisterOp, RegisterResp>> = vec![
+            [
+                reg_completed(0, RegisterOp::Write(1), RegisterResp::Ack, 0, 10),
+                reg_completed(1, RegisterOp::Read, RegisterResp::Value(1), 5, 6),
+                reg_completed(2, RegisterOp::Read, RegisterResp::Value(0), 7, 8),
+            ]
+            .into_iter()
+            .collect(),
+            [
+                reg_completed(0, RegisterOp::Write(1), RegisterResp::Ack, 0, 2),
+                reg_completed(1, RegisterOp::Read, RegisterResp::Value(0), 3, 4),
+            ]
+            .into_iter()
+            .collect(),
+        ];
+        for h in &cases {
+            assert_eq!(
+                check(h, RegisterSpec::new()).is_linearizable(),
+                check_brute_force(h, RegisterSpec::new()).is_linearizable()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod guard_tests {
+    use super::*;
+    use crate::history::OpRecord;
+    use crate::specs::{RegisterOp, RegisterResp, RegisterSpec};
+    use crate::Pid;
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_OPS")]
+    fn oversized_histories_are_rejected() {
+        let h: History<RegisterOp, RegisterResp> = (0..129)
+            .map(|i| {
+                OpRecord::completed(
+                    Pid(i),
+                    RegisterOp::Write(0),
+                    RegisterResp::Ack,
+                    2 * i as u64,
+                    2 * i as u64 + 1,
+                )
+            })
+            .collect();
+        check(&h, RegisterSpec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "structurally invalid")]
+    fn invalid_histories_are_rejected() {
+        let h: History<RegisterOp, RegisterResp> = [
+            OpRecord::completed(Pid(0), RegisterOp::Read, RegisterResp::Value(0), 0, 10),
+            OpRecord::completed(Pid(0), RegisterOp::Read, RegisterResp::Value(0), 5, 15),
+        ]
+        .into_iter()
+        .collect();
+        check(&h, RegisterSpec::new());
+    }
+
+    #[test]
+    fn check_result_accessors() {
+        let r = CheckResult::Linearizable { witness: vec![1, 0] };
+        assert!(r.is_linearizable());
+        assert_eq!(r.witness(), Some(&[1, 0][..]));
+        let n = CheckResult::NotLinearizable;
+        assert!(!n.is_linearizable());
+        assert_eq!(n.witness(), None);
+    }
+}

@@ -1,0 +1,494 @@
+//! The Section 2 port-automata formalism, made executable.
+//!
+//! The paper models processors and data objects as port automata whose
+//! executions are *schedules*: sequences of command and response actions on
+//! ports. This module implements the schedule-level predicates the paper
+//! uses — *well-formed* (per port, alternating command/response starting
+//! with a command), *sequential* (every command is immediately followed by
+//! its response on the same port), *balanced* (no port has a command
+//! outstanding) — together with the precedence order `≺_H` on operations and
+//! the "S is a linearization of H" check of Definition 3.1.
+//!
+//! The simulator records object-level schedules in this form; conversion to
+//! a [`History`](crate::history::History) bridges to the linearizability
+//! checker.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of an external port. In the canonical decomposition of
+/// Section 2 there is one external slave port per front-end processor, so
+/// ports are numbered like processors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PortId(pub usize);
+
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "π{}", self.0)
+    }
+}
+
+/// Whether an action is a command (sent from a master port) or a response
+/// (sent from a slave port).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActionKind {
+    /// A command: invocation of an operation.
+    Command,
+    /// A response: completion of an operation.
+    Response,
+}
+
+/// One action in a schedule: a value crossing a port.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Action<V> {
+    /// The port the action occurs on.
+    pub port: PortId,
+    /// Command or response.
+    pub kind: ActionKind,
+    /// The message payload (an operation or a response value).
+    pub value: V,
+}
+
+impl<V> Action<V> {
+    /// A command action.
+    pub fn command(port: PortId, value: V) -> Self {
+        Self {
+            port,
+            kind: ActionKind::Command,
+            value,
+        }
+    }
+
+    /// A response action.
+    pub fn response(port: PortId, value: V) -> Self {
+        Self {
+            port,
+            kind: ActionKind::Response,
+            value,
+        }
+    }
+}
+
+/// An *operation* extracted from a schedule: a command action paired with its
+/// matching response action (by index), or pending.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleOp {
+    /// The port the operation runs on.
+    pub port: PortId,
+    /// Index of the command action in the schedule.
+    pub command_index: usize,
+    /// Index of the matching response action, if it occurred.
+    pub response_index: Option<usize>,
+}
+
+impl ScheduleOp {
+    /// The `≺_H` relation of Definition 3.1: both the command and the
+    /// response of `self` appear before the command of `other`.
+    pub fn precedes(&self, other: &ScheduleOp) -> bool {
+        match self.response_index {
+            Some(r) => r < other.command_index,
+            None => false,
+        }
+    }
+}
+
+/// A schedule: a sequence of external actions of one object.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schedule<V> {
+    actions: Vec<Action<V>>,
+}
+
+impl<V> Schedule<V> {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        Self {
+            actions: Vec::new(),
+        }
+    }
+
+    /// Append an action.
+    pub fn push(&mut self, action: Action<V>) {
+        self.actions.push(action);
+    }
+
+    /// The actions in order.
+    pub fn actions(&self) -> &[Action<V>] {
+        &self.actions
+    }
+
+    /// Number of actions.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Restriction `H|π`: the subsequence of actions on one port.
+    pub fn restrict_to_port(&self, port: PortId) -> Schedule<V>
+    where
+        V: Clone,
+    {
+        Schedule {
+            actions: self
+                .actions
+                .iter()
+                .filter(|a| a.port == port)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Well-formedness (Section 2): restricted to any port, the schedule
+    /// starts with a command and alternates commands and responses.
+    pub fn is_well_formed(&self) -> bool {
+        let mut outstanding: BTreeMap<PortId, bool> = BTreeMap::new();
+        for action in &self.actions {
+            let pending = outstanding.entry(action.port).or_insert(false);
+            match action.kind {
+                ActionKind::Command => {
+                    if *pending {
+                        return false;
+                    }
+                    *pending = true;
+                }
+                ActionKind::Response => {
+                    if !*pending {
+                        return false;
+                    }
+                    *pending = false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Sequential (Section 3): every command is immediately followed by the
+    /// corresponding response on the same port.
+    pub fn is_sequential(&self) -> bool {
+        if !self.actions.len().is_multiple_of(2) {
+            return false;
+        }
+        self.actions.chunks(2).all(|pair| {
+            pair[0].kind == ActionKind::Command
+                && pair[1].kind == ActionKind::Response
+                && pair[0].port == pair[1].port
+        })
+    }
+
+    /// Balanced (Section 2): well-formed with no outstanding command on any
+    /// port (every slave port is again input-enabled).
+    pub fn is_balanced(&self) -> bool {
+        if !self.is_well_formed() {
+            return false;
+        }
+        let mut outstanding: BTreeMap<PortId, i64> = BTreeMap::new();
+        for action in &self.actions {
+            let d = match action.kind {
+                ActionKind::Command => 1,
+                ActionKind::Response => -1,
+            };
+            *outstanding.entry(action.port).or_insert(0) += d;
+        }
+        outstanding.values().all(|&v| v == 0)
+    }
+
+    /// Extract the operations (command/response pairs) of a well-formed
+    /// schedule, in command order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule is not well-formed.
+    pub fn operations(&self) -> Vec<ScheduleOp> {
+        assert!(
+            self.is_well_formed(),
+            "operations() requires well-formedness"
+        );
+        let mut open: BTreeMap<PortId, usize> = BTreeMap::new();
+        let mut ops: Vec<ScheduleOp> = Vec::new();
+        for (i, action) in self.actions.iter().enumerate() {
+            match action.kind {
+                ActionKind::Command => {
+                    open.insert(action.port, ops.len());
+                    ops.push(ScheduleOp {
+                        port: action.port,
+                        command_index: i,
+                        response_index: None,
+                    });
+                }
+                ActionKind::Response => {
+                    let ix = open.remove(&action.port).expect("well-formed");
+                    ops[ix].response_index = Some(i);
+                }
+            }
+        }
+        ops
+    }
+}
+
+impl<V> FromIterator<Action<V>> for Schedule<V> {
+    fn from_iter<I: IntoIterator<Item = Action<V>>>(iter: I) -> Self {
+        Self {
+            actions: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Definition 3.1 structural check: is `s` a linearization of `h`?
+///
+/// Requires: `s` sequential, consisting of the same multiset of actions as a
+/// balanced extension of `h` (here: exactly `h`'s completed operations — the
+/// caller supplies the extension), and `≺_h ⊆ ≺_s`. Operations are matched
+/// by port and payload equality.
+pub fn is_linearization_of<V: PartialEq + Clone>(s: &Schedule<V>, h: &Schedule<V>) -> bool {
+    if !s.is_sequential() || !h.is_well_formed() || !h.is_balanced() {
+        return false;
+    }
+    let h_ops = h.operations();
+    let s_ops = s.operations();
+    if h_ops.len() != s_ops.len() {
+        return false;
+    }
+    // Match each h-op to a distinct s-op with identical port and payloads.
+    let mut used = vec![false; s_ops.len()];
+    let mut assignment = vec![usize::MAX; h_ops.len()];
+    fn matches<V: PartialEq>(
+        h: &Schedule<V>,
+        s: &Schedule<V>,
+        ho: &ScheduleOp,
+        so: &ScheduleOp,
+    ) -> bool {
+        if ho.port != so.port {
+            return false;
+        }
+        let hc = &h.actions()[ho.command_index].value;
+        let sc = &s.actions()[so.command_index].value;
+        if hc != sc {
+            return false;
+        }
+        match (ho.response_index, so.response_index) {
+            (Some(hr), Some(sr)) => h.actions()[hr].value == s.actions()[sr].value,
+            _ => false,
+        }
+    }
+    // Backtracking bipartite match that also enforces order preservation.
+    fn assign<V: PartialEq + Clone>(
+        i: usize,
+        h: &Schedule<V>,
+        s: &Schedule<V>,
+        h_ops: &[ScheduleOp],
+        s_ops: &[ScheduleOp],
+        used: &mut [bool],
+        assignment: &mut [usize],
+    ) -> bool {
+        if i == h_ops.len() {
+            // Check ≺_h ⊆ ≺_s under the assignment.
+            for a in 0..h_ops.len() {
+                for b in 0..h_ops.len() {
+                    if a != b && h_ops[a].precedes(&h_ops[b]) {
+                        let (sa, sb) = (assignment[a], assignment[b]);
+                        if !s_ops[sa].precedes(&s_ops[sb]) {
+                            return false;
+                        }
+                    }
+                }
+            }
+            return true;
+        }
+        for j in 0..s_ops.len() {
+            if !used[j] && matches(h, s, &h_ops[i], &s_ops[j]) {
+                used[j] = true;
+                assignment[i] = j;
+                if assign(i + 1, h, s, h_ops, s_ops, used, assignment) {
+                    return true;
+                }
+                used[j] = false;
+            }
+        }
+        false
+    }
+    assign(0, h, s, &h_ops, &s_ops, &mut used, &mut assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cmd(p: usize, v: &'static str) -> Action<&'static str> {
+        Action::command(PortId(p), v)
+    }
+    fn rsp(p: usize, v: &'static str) -> Action<&'static str> {
+        Action::response(PortId(p), v)
+    }
+
+    #[test]
+    fn well_formed_alternation() {
+        let h: Schedule<_> = [cmd(0, "w1"), cmd(1, "r"), rsp(0, "ok"), rsp(1, "1")]
+            .into_iter()
+            .collect();
+        assert!(h.is_well_formed());
+        assert!(h.is_balanced());
+        assert!(!h.is_sequential());
+    }
+
+    #[test]
+    fn response_without_command_is_ill_formed() {
+        let h: Schedule<_> = [rsp(0, "ok")].into_iter().collect();
+        assert!(!h.is_well_formed());
+    }
+
+    #[test]
+    fn double_command_is_ill_formed() {
+        let h: Schedule<_> = [cmd(0, "a"), cmd(0, "b")].into_iter().collect();
+        assert!(!h.is_well_formed());
+    }
+
+    #[test]
+    fn sequential_implies_well_formed_and_balanced_here() {
+        let s: Schedule<_> = [cmd(0, "w1"), rsp(0, "ok"), cmd(1, "r"), rsp(1, "1")]
+            .into_iter()
+            .collect();
+        assert!(s.is_sequential());
+        assert!(s.is_well_formed());
+        assert!(s.is_balanced());
+    }
+
+    #[test]
+    fn unbalanced_pending_command() {
+        let h: Schedule<_> = [cmd(0, "w1")].into_iter().collect();
+        assert!(h.is_well_formed());
+        assert!(!h.is_balanced());
+    }
+
+    #[test]
+    fn operations_pair_commands_with_responses() {
+        let h: Schedule<_> = [cmd(0, "a"), cmd(1, "b"), rsp(1, "rb"), rsp(0, "ra")]
+            .into_iter()
+            .collect();
+        let ops = h.operations();
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops[0].port, PortId(0));
+        assert_eq!(ops[0].response_index, Some(3));
+        assert_eq!(ops[1].response_index, Some(2));
+        // Overlapping: neither precedes the other.
+        assert!(!ops[0].precedes(&ops[1]));
+        assert!(!ops[1].precedes(&ops[0]));
+    }
+
+    #[test]
+    fn restriction_keeps_only_one_port() {
+        let h: Schedule<_> = [cmd(0, "a"), cmd(1, "b"), rsp(0, "ra"), rsp(1, "rb")]
+            .into_iter()
+            .collect();
+        let h0 = h.restrict_to_port(PortId(0));
+        assert_eq!(h0.len(), 2);
+        assert!(h0.is_sequential());
+    }
+
+    #[test]
+    fn linearization_accepts_reordering_of_concurrent_ops() {
+        // h: ops on ports 0 and 1 fully overlap.
+        let h: Schedule<_> = [cmd(0, "a"), cmd(1, "b"), rsp(1, "rb"), rsp(0, "ra")]
+            .into_iter()
+            .collect();
+        let s1: Schedule<_> = [cmd(0, "a"), rsp(0, "ra"), cmd(1, "b"), rsp(1, "rb")]
+            .into_iter()
+            .collect();
+        let s2: Schedule<_> = [cmd(1, "b"), rsp(1, "rb"), cmd(0, "a"), rsp(0, "ra")]
+            .into_iter()
+            .collect();
+        assert!(is_linearization_of(&s1, &h));
+        assert!(is_linearization_of(&s2, &h));
+    }
+
+    #[test]
+    fn linearization_rejects_real_time_inversion() {
+        // Port 0's op completes strictly before port 1's op begins.
+        let h: Schedule<_> = [cmd(0, "a"), rsp(0, "ra"), cmd(1, "b"), rsp(1, "rb")]
+            .into_iter()
+            .collect();
+        let s_bad: Schedule<_> = [cmd(1, "b"), rsp(1, "rb"), cmd(0, "a"), rsp(0, "ra")]
+            .into_iter()
+            .collect();
+        assert!(!is_linearization_of(&s_bad, &h));
+    }
+
+    #[test]
+    fn linearization_rejects_different_payloads() {
+        let h: Schedule<_> = [cmd(0, "a"), rsp(0, "ra")].into_iter().collect();
+        let s: Schedule<_> = [cmd(0, "a"), rsp(0, "DIFFERENT")].into_iter().collect();
+        assert!(!is_linearization_of(&s, &h));
+    }
+}
+
+/// Convert a [`History`](crate::history::History) into a schedule whose
+/// actions carry `(op, Option<resp>)` payloads, ordering events by their
+/// logical timestamps. Each processor becomes one port (the canonical
+/// decomposition of Section 2).
+///
+/// Pending operations contribute a command with no matching response, so
+/// the result of a crashed run is well-formed but unbalanced — exactly the
+/// situation Definition 3.1's "balanced extension" addresses.
+pub fn history_to_schedule<O: Clone, R: Clone>(
+    history: &crate::history::History<O, R>,
+) -> Schedule<(O, Option<R>)> {
+    type Event<O, R> = (u64, Action<(O, Option<R>)>);
+    let mut events: Vec<Event<O, R>> = Vec::new();
+    for rec in history.iter() {
+        events.push((
+            rec.invoke,
+            Action::command(PortId(rec.pid.0), (rec.op.clone(), None)),
+        ));
+        if let (Some(ret), Some(resp)) = (rec.ret, rec.resp.clone()) {
+            events.push((
+                ret,
+                Action::response(PortId(rec.pid.0), (rec.op.clone(), Some(resp))),
+            ));
+        }
+    }
+    events.sort_by_key(|(t, _)| *t);
+    events.into_iter().map(|(_, a)| a).collect()
+}
+
+#[cfg(test)]
+mod bridge_tests {
+    use super::*;
+    use crate::history::{History, OpRecord};
+    use crate::Pid;
+
+    #[test]
+    fn histories_become_well_formed_schedules() {
+        let h: History<&str, u32> = [
+            OpRecord::completed(Pid(0), "a", 1, 0, 3),
+            OpRecord::completed(Pid(1), "b", 2, 1, 2),
+            OpRecord::completed(Pid(0), "c", 3, 5, 6),
+        ]
+        .into_iter()
+        .collect();
+        let s = history_to_schedule(&h);
+        assert!(s.is_well_formed());
+        assert!(s.is_balanced());
+        assert_eq!(s.operations().len(), 3);
+        // The overlapping pair is incomparable; the later op is preceded
+        // by both.
+        let ops = s.operations();
+        assert!(!ops[0].precedes(&ops[1]) && !ops[1].precedes(&ops[0]));
+        assert!(ops[0].precedes(&ops[2]) && ops[1].precedes(&ops[2]));
+    }
+
+    #[test]
+    fn pending_ops_make_unbalanced_schedules() {
+        let h: History<&str, u32> = [
+            OpRecord::completed(Pid(0), "a", 1, 0, 1),
+            OpRecord::pending(Pid(1), "b", 2),
+        ]
+        .into_iter()
+        .collect();
+        let s = history_to_schedule(&h);
+        assert!(s.is_well_formed());
+        assert!(!s.is_balanced());
+        assert_eq!(s.operations()[1].response_index, None);
+    }
+}

@@ -1,0 +1,204 @@
+//! A toy bank: the motivating "realistic" object for examples and demos.
+
+use crate::SequentialSpec;
+
+/// Commands accepted by [`BankSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BankOp {
+    /// Add funds to an account.
+    Deposit {
+        /// Target account index.
+        account: usize,
+        /// Amount to add.
+        amount: u64,
+    },
+    /// Remove funds if the balance suffices.
+    Withdraw {
+        /// Source account index.
+        account: usize,
+        /// Amount to remove.
+        amount: u64,
+    },
+    /// Atomically move funds between two accounts.
+    Transfer {
+        /// Source account index.
+        from: usize,
+        /// Destination account index.
+        to: usize,
+        /// Amount to move.
+        amount: u64,
+    },
+    /// Read one balance.
+    Balance(usize),
+    /// Read the sum of all balances (a global invariant probe).
+    Total,
+}
+
+/// Responses produced by [`BankSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BankResp {
+    /// The operation took effect.
+    Ok,
+    /// Withdraw/transfer rejected for lack of funds.
+    InsufficientFunds,
+    /// Unknown account index.
+    NoSuchAccount,
+    /// A balance or total.
+    Amount(u64),
+}
+
+/// A fixed set of accounts with conservation-checked transfers.
+///
+/// `Transfer` must be atomic: a lock-free bank built from per-account atomics
+/// cannot express it, which makes `BankSpec` a good showcase for the
+/// universal construction. `Total` lets tests assert conservation of money
+/// across arbitrary concurrent histories.
+///
+/// ```
+/// use sbu_spec::{SequentialSpec, specs::{BankSpec, BankOp, BankResp}};
+/// let mut b = BankSpec::new(2, 100);
+/// assert_eq!(b.apply(&BankOp::Transfer { from: 0, to: 1, amount: 30 }), BankResp::Ok);
+/// assert_eq!(b.apply(&BankOp::Balance(1)), BankResp::Amount(130));
+/// assert_eq!(b.apply(&BankOp::Total), BankResp::Amount(200));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BankSpec {
+    balances: Vec<u64>,
+}
+
+impl BankSpec {
+    /// `accounts` accounts, each holding `initial` units.
+    pub fn new(accounts: usize, initial: u64) -> Self {
+        Self {
+            balances: vec![initial; accounts],
+        }
+    }
+
+    /// Number of accounts.
+    pub fn accounts(&self) -> usize {
+        self.balances.len()
+    }
+
+    /// Sum of all balances.
+    pub fn total(&self) -> u64 {
+        self.balances.iter().sum()
+    }
+}
+
+impl SequentialSpec for BankSpec {
+    type Op = BankOp;
+    type Resp = BankResp;
+
+    fn apply(&mut self, op: &BankOp) -> BankResp {
+        match *op {
+            BankOp::Deposit { account, amount } => match self.balances.get_mut(account) {
+                Some(b) => {
+                    *b = b.saturating_add(amount);
+                    BankResp::Ok
+                }
+                None => BankResp::NoSuchAccount,
+            },
+            BankOp::Withdraw { account, amount } => match self.balances.get_mut(account) {
+                Some(b) if *b >= amount => {
+                    *b -= amount;
+                    BankResp::Ok
+                }
+                Some(_) => BankResp::InsufficientFunds,
+                None => BankResp::NoSuchAccount,
+            },
+            BankOp::Transfer { from, to, amount } => {
+                if from >= self.balances.len() || to >= self.balances.len() {
+                    return BankResp::NoSuchAccount;
+                }
+                if self.balances[from] < amount {
+                    return BankResp::InsufficientFunds;
+                }
+                if from != to {
+                    self.balances[from] -= amount;
+                    self.balances[to] = self.balances[to].saturating_add(amount);
+                }
+                BankResp::Ok
+            }
+            BankOp::Balance(account) => match self.balances.get(account) {
+                Some(&b) => BankResp::Amount(b),
+                None => BankResp::NoSuchAccount,
+            },
+            BankOp::Total => BankResp::Amount(self.total()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfers_conserve_money() {
+        let mut b = BankSpec::new(3, 10);
+        assert_eq!(
+            b.apply(&BankOp::Transfer {
+                from: 0,
+                to: 2,
+                amount: 10
+            }),
+            BankResp::Ok
+        );
+        assert_eq!(
+            b.apply(&BankOp::Transfer {
+                from: 0,
+                to: 1,
+                amount: 1
+            }),
+            BankResp::InsufficientFunds
+        );
+        assert_eq!(b.total(), 30);
+    }
+
+    #[test]
+    fn self_transfer_is_identity() {
+        let mut b = BankSpec::new(1, 5);
+        assert_eq!(
+            b.apply(&BankOp::Transfer {
+                from: 0,
+                to: 0,
+                amount: 5
+            }),
+            BankResp::Ok
+        );
+        assert_eq!(b.apply(&BankOp::Balance(0)), BankResp::Amount(5));
+    }
+
+    #[test]
+    fn bad_account_indices_are_rejected() {
+        let mut b = BankSpec::new(1, 5);
+        assert_eq!(
+            b.apply(&BankOp::Deposit {
+                account: 7,
+                amount: 1
+            }),
+            BankResp::NoSuchAccount
+        );
+        assert_eq!(b.apply(&BankOp::Balance(7)), BankResp::NoSuchAccount);
+        assert_eq!(
+            b.apply(&BankOp::Transfer {
+                from: 0,
+                to: 9,
+                amount: 1
+            }),
+            BankResp::NoSuchAccount
+        );
+    }
+
+    #[test]
+    fn withdraw_exact_balance() {
+        let mut b = BankSpec::new(1, 5);
+        assert_eq!(
+            b.apply(&BankOp::Withdraw {
+                account: 0,
+                amount: 5
+            }),
+            BankResp::Ok
+        );
+        assert_eq!(b.apply(&BankOp::Balance(0)), BankResp::Amount(0));
+    }
+}

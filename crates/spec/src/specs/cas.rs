@@ -1,0 +1,125 @@
+//! A compare-and-swap register.
+
+use crate::SequentialSpec;
+
+/// Commands accepted by [`CasSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CasOp {
+    /// If the value equals `expect`, replace it with `new`.
+    Cas {
+        /// Expected current value.
+        expect: u64,
+        /// Replacement value.
+        new: u64,
+    },
+    /// Unconditional write.
+    Write(u64),
+    /// Read the current value.
+    Read,
+}
+
+/// Responses produced by [`CasSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CasResp {
+    /// CAS outcome: whether the swap happened, plus the witnessed value.
+    Swapped {
+        /// `true` iff the exchange took place.
+        ok: bool,
+        /// The value observed at the linearization point (old value).
+        witness: u64,
+    },
+    /// Acknowledgement of a write.
+    Ack,
+    /// The value returned by a read.
+    Value(u64),
+}
+
+/// A 64-bit register with compare-and-swap.
+///
+/// CAS has infinite consensus number; obtaining it wait-free from 3-valued
+/// sticky bits via the universal construction is the constructive content of
+/// the paper's "RMW hierarchy collapses" claim (Section 7) — see `sbu-rmw`.
+///
+/// ```
+/// use sbu_spec::{SequentialSpec, specs::{CasSpec, CasOp, CasResp}};
+/// let mut r = CasSpec::new();
+/// assert_eq!(
+///     r.apply(&CasOp::Cas { expect: 0, new: 5 }),
+///     CasResp::Swapped { ok: true, witness: 0 }
+/// );
+/// assert_eq!(
+///     r.apply(&CasOp::Cas { expect: 0, new: 9 }),
+///     CasResp::Swapped { ok: false, witness: 5 }
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CasSpec {
+    value: u64,
+}
+
+impl CasSpec {
+    /// A CAS register initialized to zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A CAS register initialized to `value`.
+    pub fn with_value(value: u64) -> Self {
+        Self { value }
+    }
+}
+
+impl SequentialSpec for CasSpec {
+    type Op = CasOp;
+    type Resp = CasResp;
+
+    fn apply(&mut self, op: &CasOp) -> CasResp {
+        match *op {
+            CasOp::Cas { expect, new } => {
+                let witness = self.value;
+                let ok = witness == expect;
+                if ok {
+                    self.value = new;
+                }
+                CasResp::Swapped { ok, witness }
+            }
+            CasOp::Write(v) => {
+                self.value = v;
+                CasResp::Ack
+            }
+            CasOp::Read => CasResp::Value(self.value),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cas_succeeds_only_on_match() {
+        let mut r = CasSpec::with_value(3);
+        assert_eq!(
+            r.apply(&CasOp::Cas { expect: 4, new: 9 }),
+            CasResp::Swapped {
+                ok: false,
+                witness: 3
+            }
+        );
+        assert_eq!(
+            r.apply(&CasOp::Cas { expect: 3, new: 9 }),
+            CasResp::Swapped {
+                ok: true,
+                witness: 3
+            }
+        );
+        assert_eq!(r.apply(&CasOp::Read), CasResp::Value(9));
+    }
+
+    #[test]
+    fn write_is_unconditional() {
+        let mut r = CasSpec::with_value(3);
+        assert_eq!(r.apply(&CasOp::Write(100)), CasResp::Ack);
+        assert_eq!(r.apply(&CasOp::Read), CasResp::Value(100));
+    }
+}

@@ -1,0 +1,97 @@
+//! A fetch-and-increment counter.
+
+use crate::SequentialSpec;
+
+/// Commands accepted by [`CounterSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CounterOp {
+    /// Increment by one and return the *new* value.
+    Inc,
+    /// Add an arbitrary amount and return the new value.
+    Add(u64),
+    /// Return the current value without modifying it.
+    Read,
+}
+
+/// A wrapping 64-bit counter.
+///
+/// The simplest non-trivial sequential object: because `Inc` returns the new
+/// value, concurrent increments must be totally ordered, which already
+/// requires consensus — safe registers alone cannot implement it wait-free
+/// (Section 1 of the paper).
+///
+/// ```
+/// use sbu_spec::{SequentialSpec, specs::{CounterSpec, CounterOp}};
+/// let mut c = CounterSpec::new();
+/// assert_eq!(c.apply(&CounterOp::Inc), 1);
+/// assert_eq!(c.apply(&CounterOp::Add(10)), 11);
+/// assert_eq!(c.apply(&CounterOp::Read), 11);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CounterSpec {
+    value: u64,
+}
+
+impl CounterSpec {
+    /// A counter starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A counter starting at `value`.
+    pub fn with_value(value: u64) -> Self {
+        Self { value }
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+}
+
+impl SequentialSpec for CounterSpec {
+    type Op = CounterOp;
+    type Resp = u64;
+
+    fn apply(&mut self, op: &CounterOp) -> u64 {
+        match *op {
+            CounterOp::Inc => {
+                self.value = self.value.wrapping_add(1);
+                self.value
+            }
+            CounterOp::Add(k) => {
+                self.value = self.value.wrapping_add(k);
+                self.value
+            }
+            CounterOp::Read => self.value,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn increments_are_sequential() {
+        let mut c = CounterSpec::new();
+        for i in 1..=100 {
+            assert_eq!(c.apply(&CounterOp::Inc), i);
+        }
+        assert_eq!(c.value(), 100);
+    }
+
+    #[test]
+    fn add_wraps() {
+        let mut c = CounterSpec::with_value(u64::MAX);
+        assert_eq!(c.apply(&CounterOp::Inc), 0);
+        assert_eq!(c.apply(&CounterOp::Add(u64::MAX)), u64::MAX);
+    }
+
+    #[test]
+    fn read_does_not_mutate() {
+        let mut c = CounterSpec::with_value(7);
+        assert_eq!(c.apply(&CounterOp::Read), 7);
+        assert_eq!(c.apply(&CounterOp::Read), 7);
+    }
+}

@@ -1,0 +1,121 @@
+//! A double-ended queue.
+
+use crate::SequentialSpec;
+use std::collections::VecDeque;
+
+/// Commands accepted by [`DequeSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DequeOp {
+    /// Insert at the front.
+    PushFront(u64),
+    /// Insert at the back.
+    PushBack(u64),
+    /// Remove from the front.
+    PopFront,
+    /// Remove from the back.
+    PopBack,
+    /// Current length.
+    Len,
+}
+
+/// Responses produced by [`DequeSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DequeResp {
+    /// Acknowledgement of a push.
+    Ack,
+    /// A popped value.
+    Value(u64),
+    /// Pop on an empty deque.
+    Empty,
+    /// The length.
+    Len(usize),
+}
+
+/// An unbounded double-ended queue of 64-bit words.
+///
+/// Deques are a classic "hard" concurrent object (no simple lock-free
+/// algorithm is known for the general case); through the universal
+/// construction they come for free.
+///
+/// ```
+/// use sbu_spec::{SequentialSpec, specs::{DequeSpec, DequeOp, DequeResp}};
+/// let mut d = DequeSpec::new();
+/// d.apply(&DequeOp::PushBack(2));
+/// d.apply(&DequeOp::PushFront(1));
+/// assert_eq!(d.apply(&DequeOp::PopBack), DequeResp::Value(2));
+/// assert_eq!(d.apply(&DequeOp::PopFront), DequeResp::Value(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct DequeSpec {
+    items: VecDeque<u64>,
+}
+
+impl DequeSpec {
+    /// An empty deque.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the deque holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+impl SequentialSpec for DequeSpec {
+    type Op = DequeOp;
+    type Resp = DequeResp;
+
+    fn apply(&mut self, op: &DequeOp) -> DequeResp {
+        match *op {
+            DequeOp::PushFront(v) => {
+                self.items.push_front(v);
+                DequeResp::Ack
+            }
+            DequeOp::PushBack(v) => {
+                self.items.push_back(v);
+                DequeResp::Ack
+            }
+            DequeOp::PopFront => match self.items.pop_front() {
+                Some(v) => DequeResp::Value(v),
+                None => DequeResp::Empty,
+            },
+            DequeOp::PopBack => match self.items.pop_back() {
+                Some(v) => DequeResp::Value(v),
+                None => DequeResp::Empty,
+            },
+            DequeOp::Len => DequeResp::Len(self.items.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_ends_work() {
+        let mut d = DequeSpec::new();
+        d.apply(&DequeOp::PushBack(1));
+        d.apply(&DequeOp::PushBack(2));
+        d.apply(&DequeOp::PushFront(0));
+        assert_eq!(d.apply(&DequeOp::Len), DequeResp::Len(3));
+        assert_eq!(d.apply(&DequeOp::PopFront), DequeResp::Value(0));
+        assert_eq!(d.apply(&DequeOp::PopBack), DequeResp::Value(2));
+        assert_eq!(d.apply(&DequeOp::PopFront), DequeResp::Value(1));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn empty_pops_report_empty() {
+        let mut d = DequeSpec::new();
+        assert_eq!(d.apply(&DequeOp::PopFront), DequeResp::Empty);
+        assert_eq!(d.apply(&DequeOp::PopBack), DequeResp::Empty);
+        assert_eq!(d.len(), 0);
+    }
+}

@@ -1,0 +1,97 @@
+//! An ordered key-value map.
+
+use crate::SequentialSpec;
+use std::collections::BTreeMap;
+
+/// Commands accepted by [`KvSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KvOp {
+    /// Insert or overwrite a binding, returning the previous value if any.
+    Put(u64, u64),
+    /// Look up a key.
+    Get(u64),
+    /// Remove a binding, returning the removed value if any.
+    Remove(u64),
+    /// Number of bindings.
+    Len,
+}
+
+/// Responses produced by [`KvSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KvResp {
+    /// The previous/current/removed value, or `None` if the key was unbound.
+    Value(Option<u64>),
+    /// The number of bindings.
+    Len(usize),
+}
+
+/// A word-keyed, word-valued map.
+///
+/// Backed by a `BTreeMap` so the state is `Hash`-able (required by the
+/// memoizing linearizability checker) and iteration order is deterministic.
+///
+/// ```
+/// use sbu_spec::{SequentialSpec, specs::{KvSpec, KvOp, KvResp}};
+/// let mut m = KvSpec::new();
+/// assert_eq!(m.apply(&KvOp::Put(1, 10)), KvResp::Value(None));
+/// assert_eq!(m.apply(&KvOp::Get(1)), KvResp::Value(Some(10)));
+/// assert_eq!(m.apply(&KvOp::Remove(1)), KvResp::Value(Some(10)));
+/// assert_eq!(m.apply(&KvOp::Get(1)), KvResp::Value(None));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct KvSpec {
+    map: BTreeMap<u64, u64>,
+}
+
+impl KvSpec {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the map holds no bindings.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl SequentialSpec for KvSpec {
+    type Op = KvOp;
+    type Resp = KvResp;
+
+    fn apply(&mut self, op: &KvOp) -> KvResp {
+        match *op {
+            KvOp::Put(k, v) => KvResp::Value(self.map.insert(k, v)),
+            KvOp::Get(k) => KvResp::Value(self.map.get(&k).copied()),
+            KvOp::Remove(k) => KvResp::Value(self.map.remove(&k)),
+            KvOp::Len => KvResp::Len(self.map.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_remove_roundtrip() {
+        let mut m = KvSpec::new();
+        assert_eq!(m.apply(&KvOp::Put(5, 50)), KvResp::Value(None));
+        assert_eq!(m.apply(&KvOp::Put(5, 51)), KvResp::Value(Some(50)));
+        assert_eq!(m.apply(&KvOp::Len), KvResp::Len(1));
+        assert_eq!(m.apply(&KvOp::Remove(5)), KvResp::Value(Some(51)));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn get_missing_key() {
+        let mut m = KvSpec::new();
+        assert_eq!(m.apply(&KvOp::Get(99)), KvResp::Value(None));
+        assert_eq!(m.apply(&KvOp::Remove(99)), KvResp::Value(None));
+    }
+}

@@ -1,0 +1,33 @@
+//! Ready-made sequential object specifications.
+//!
+//! These are the "safe implementations of sequential objects" that the
+//! universal construction (Sections 5–6 of the paper) turns into wait-free
+//! atomic objects: plain, single-threaded Rust state machines. Each one
+//! implements [`SequentialSpec`](crate::SequentialSpec) and derives
+//! `Hash`/`Eq` so the linearizability checker can memoize on states.
+
+mod bank;
+mod cas;
+mod counter;
+mod deque;
+mod kv;
+mod pqueue;
+mod queue;
+mod register;
+mod set;
+mod snapshot;
+mod stack;
+mod sticky;
+
+pub use bank::{BankOp, BankResp, BankSpec};
+pub use cas::{CasOp, CasResp, CasSpec};
+pub use counter::{CounterOp, CounterSpec};
+pub use deque::{DequeOp, DequeResp, DequeSpec};
+pub use kv::{KvOp, KvResp, KvSpec};
+pub use pqueue::{PqOp, PqResp, PriorityQueueSpec};
+pub use queue::{QueueOp, QueueResp, QueueSpec};
+pub use register::{RegisterOp, RegisterResp, RegisterSpec};
+pub use set::{SetOp, SetResp, SetSpec};
+pub use snapshot::{SnapshotOp, SnapshotResp, SnapshotSpec};
+pub use stack::{StackOp, StackResp, StackSpec};
+pub use sticky::{StickyOp, StickyResp, StickySpec, Tri};

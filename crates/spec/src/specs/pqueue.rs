@@ -1,0 +1,145 @@
+//! A min-priority queue.
+
+use crate::SequentialSpec;
+use std::collections::BTreeMap;
+
+/// Commands accepted by [`PriorityQueueSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PqOp {
+    /// Insert a value with a priority (lower = served first).
+    Insert {
+        /// Service priority (lower first; FIFO among equals).
+        priority: u64,
+        /// The payload.
+        value: u64,
+    },
+    /// Remove and return the minimum-priority value.
+    ExtractMin,
+    /// Return the minimum-priority value without removing it.
+    PeekMin,
+    /// Number of queued items.
+    Len,
+}
+
+/// Responses produced by [`PriorityQueueSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PqResp {
+    /// Acknowledgement of an insert.
+    Ack,
+    /// `(priority, value)` of the served item.
+    Item(u64, u64),
+    /// Operation on an empty queue.
+    Empty,
+    /// The length.
+    Len(usize),
+}
+
+/// A min-priority queue, FIFO within each priority class.
+///
+/// Backed by a `BTreeMap<priority, VecDeque-ish Vec>` so the state hashes
+/// deterministically for the linearizability checker.
+///
+/// ```
+/// use sbu_spec::{SequentialSpec, specs::{PriorityQueueSpec, PqOp, PqResp}};
+/// let mut pq = PriorityQueueSpec::new();
+/// pq.apply(&PqOp::Insert { priority: 2, value: 20 });
+/// pq.apply(&PqOp::Insert { priority: 1, value: 10 });
+/// assert_eq!(pq.apply(&PqOp::ExtractMin), PqResp::Item(1, 10));
+/// assert_eq!(pq.apply(&PqOp::ExtractMin), PqResp::Item(2, 20));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct PriorityQueueSpec {
+    classes: BTreeMap<u64, Vec<u64>>,
+    len: usize,
+}
+
+impl PriorityQueueSpec {
+    /// An empty priority queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the queue holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl SequentialSpec for PriorityQueueSpec {
+    type Op = PqOp;
+    type Resp = PqResp;
+
+    fn apply(&mut self, op: &PqOp) -> PqResp {
+        match *op {
+            PqOp::Insert { priority, value } => {
+                self.classes.entry(priority).or_default().push(value);
+                self.len += 1;
+                PqResp::Ack
+            }
+            PqOp::ExtractMin => {
+                let Some((&p, _)) = self.classes.iter().next() else {
+                    return PqResp::Empty;
+                };
+                let class = self.classes.get_mut(&p).expect("present");
+                let v = class.remove(0);
+                if class.is_empty() {
+                    self.classes.remove(&p);
+                }
+                self.len -= 1;
+                PqResp::Item(p, v)
+            }
+            PqOp::PeekMin => match self.classes.iter().next() {
+                Some((&p, class)) => PqResp::Item(p, class[0]),
+                None => PqResp::Empty,
+            },
+            PqOp::Len => PqResp::Len(self.len),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_in_priority_order_fifo_within_class() {
+        let mut pq = PriorityQueueSpec::new();
+        pq.apply(&PqOp::Insert {
+            priority: 5,
+            value: 50,
+        });
+        pq.apply(&PqOp::Insert {
+            priority: 1,
+            value: 10,
+        });
+        pq.apply(&PqOp::Insert {
+            priority: 1,
+            value: 11,
+        });
+        assert_eq!(pq.apply(&PqOp::PeekMin), PqResp::Item(1, 10));
+        assert_eq!(pq.apply(&PqOp::ExtractMin), PqResp::Item(1, 10));
+        assert_eq!(pq.apply(&PqOp::ExtractMin), PqResp::Item(1, 11));
+        assert_eq!(pq.apply(&PqOp::ExtractMin), PqResp::Item(5, 50));
+        assert_eq!(pq.apply(&PqOp::ExtractMin), PqResp::Empty);
+        assert!(pq.is_empty());
+    }
+
+    #[test]
+    fn len_tracks_inserts_and_extracts() {
+        let mut pq = PriorityQueueSpec::new();
+        for i in 0..5 {
+            pq.apply(&PqOp::Insert {
+                priority: i % 2,
+                value: i,
+            });
+        }
+        assert_eq!(pq.apply(&PqOp::Len), PqResp::Len(5));
+        pq.apply(&PqOp::ExtractMin);
+        assert_eq!(pq.len(), 4);
+    }
+}

@@ -1,0 +1,110 @@
+//! A FIFO queue.
+
+use crate::SequentialSpec;
+use std::collections::VecDeque;
+
+/// Commands accepted by [`QueueSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueueOp {
+    /// Append a value at the tail.
+    Enqueue(u64),
+    /// Remove and return the head, or report emptiness.
+    Dequeue,
+    /// Return the current length.
+    Len,
+}
+
+/// Responses produced by [`QueueSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueueResp {
+    /// Acknowledgement of an enqueue.
+    Ack,
+    /// The dequeued value.
+    Value(u64),
+    /// Dequeue on an empty queue (the paper's "exception" convention, §3).
+    Empty,
+    /// The length.
+    Len(usize),
+}
+
+/// An unbounded FIFO queue of 64-bit words.
+///
+/// The paper's (and Herlihy's) canonical example of an object with no
+/// wait-free implementation from safe registers, and therefore the flagship
+/// client of the universal construction.
+///
+/// ```
+/// use sbu_spec::{SequentialSpec, specs::{QueueSpec, QueueOp, QueueResp}};
+/// let mut q = QueueSpec::new();
+/// q.apply(&QueueOp::Enqueue(1));
+/// q.apply(&QueueOp::Enqueue(2));
+/// assert_eq!(q.apply(&QueueOp::Dequeue), QueueResp::Value(1));
+/// assert_eq!(q.apply(&QueueOp::Dequeue), QueueResp::Value(2));
+/// assert_eq!(q.apply(&QueueOp::Dequeue), QueueResp::Empty);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct QueueSpec {
+    items: VecDeque<u64>,
+}
+
+impl QueueSpec {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+impl SequentialSpec for QueueSpec {
+    type Op = QueueOp;
+    type Resp = QueueResp;
+
+    fn apply(&mut self, op: &QueueOp) -> QueueResp {
+        match *op {
+            QueueOp::Enqueue(v) => {
+                self.items.push_back(v);
+                QueueResp::Ack
+            }
+            QueueOp::Dequeue => match self.items.pop_front() {
+                Some(v) => QueueResp::Value(v),
+                None => QueueResp::Empty,
+            },
+            QueueOp::Len => QueueResp::Len(self.items.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut q = QueueSpec::new();
+        for v in [3, 1, 4, 1, 5] {
+            assert_eq!(q.apply(&QueueOp::Enqueue(v)), QueueResp::Ack);
+        }
+        for v in [3, 1, 4, 1, 5] {
+            assert_eq!(q.apply(&QueueOp::Dequeue), QueueResp::Value(v));
+        }
+        assert_eq!(q.apply(&QueueOp::Dequeue), QueueResp::Empty);
+    }
+
+    #[test]
+    fn len_tracks_contents() {
+        let mut q = QueueSpec::new();
+        assert!(q.is_empty());
+        q.apply(&QueueOp::Enqueue(9));
+        assert_eq!(q.apply(&QueueOp::Len), QueueResp::Len(1));
+        assert_eq!(q.len(), 1);
+    }
+}

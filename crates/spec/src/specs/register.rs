@@ -1,0 +1,80 @@
+//! A read/write register over 64-bit words.
+
+use crate::SequentialSpec;
+
+/// Commands accepted by [`RegisterSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegisterOp {
+    /// Return the current contents.
+    Read,
+    /// Overwrite the contents.
+    Write(u64),
+}
+
+/// Responses produced by [`RegisterSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegisterResp {
+    /// Acknowledgement of a write.
+    Ack,
+    /// The value returned by a read.
+    Value(u64),
+}
+
+/// A 64-bit read/write register (Lamport's canonical sequential object).
+///
+/// ```
+/// use sbu_spec::{SequentialSpec, specs::{RegisterSpec, RegisterOp, RegisterResp}};
+/// let mut r = RegisterSpec::new();
+/// assert_eq!(r.apply(&RegisterOp::Write(42)), RegisterResp::Ack);
+/// assert_eq!(r.apply(&RegisterOp::Read), RegisterResp::Value(42));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct RegisterSpec {
+    value: u64,
+}
+
+impl RegisterSpec {
+    /// A register initialized to zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A register initialized to `value`.
+    pub fn with_value(value: u64) -> Self {
+        Self { value }
+    }
+}
+
+impl SequentialSpec for RegisterSpec {
+    type Op = RegisterOp;
+    type Resp = RegisterResp;
+
+    fn apply(&mut self, op: &RegisterOp) -> RegisterResp {
+        match *op {
+            RegisterOp::Read => RegisterResp::Value(self.value),
+            RegisterOp::Write(v) => {
+                self.value = v;
+                RegisterResp::Ack
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn last_write_wins() {
+        let mut r = RegisterSpec::new();
+        r.apply(&RegisterOp::Write(1));
+        r.apply(&RegisterOp::Write(2));
+        assert_eq!(r.apply(&RegisterOp::Read), RegisterResp::Value(2));
+    }
+
+    #[test]
+    fn initial_value_is_zero() {
+        let mut r = RegisterSpec::new();
+        assert_eq!(r.apply(&RegisterOp::Read), RegisterResp::Value(0));
+    }
+}

@@ -1,0 +1,106 @@
+//! An ordered set with rank queries.
+
+use crate::SequentialSpec;
+use std::collections::BTreeSet;
+
+/// Commands accepted by [`SetSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SetOp {
+    /// Insert; reports whether the element was new.
+    Insert(u64),
+    /// Remove; reports whether the element was present.
+    Remove(u64),
+    /// Membership test.
+    Contains(u64),
+    /// Smallest element ≥ the argument.
+    Ceiling(u64),
+    /// Number of elements.
+    Len,
+}
+
+/// Responses produced by [`SetSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SetResp {
+    /// Outcome of insert/remove/contains.
+    Bool(bool),
+    /// A found element, or `None`.
+    Element(Option<u64>),
+    /// The cardinality.
+    Len(usize),
+}
+
+/// An ordered set of 64-bit words with a ceiling query.
+///
+/// ```
+/// use sbu_spec::{SequentialSpec, specs::{SetSpec, SetOp, SetResp}};
+/// let mut s = SetSpec::new();
+/// assert_eq!(s.apply(&SetOp::Insert(10)), SetResp::Bool(true));
+/// assert_eq!(s.apply(&SetOp::Insert(10)), SetResp::Bool(false));
+/// assert_eq!(s.apply(&SetOp::Ceiling(5)), SetResp::Element(Some(10)));
+/// assert_eq!(s.apply(&SetOp::Ceiling(11)), SetResp::Element(None));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct SetSpec {
+    items: BTreeSet<u64>,
+}
+
+impl SetSpec {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+impl SequentialSpec for SetSpec {
+    type Op = SetOp;
+    type Resp = SetResp;
+
+    fn apply(&mut self, op: &SetOp) -> SetResp {
+        match *op {
+            SetOp::Insert(v) => SetResp::Bool(self.items.insert(v)),
+            SetOp::Remove(v) => SetResp::Bool(self.items.remove(&v)),
+            SetOp::Contains(v) => SetResp::Bool(self.items.contains(&v)),
+            SetOp::Ceiling(v) => SetResp::Element(self.items.range(v..).next().copied()),
+            SetOp::Len => SetResp::Len(self.items.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = SetSpec::new();
+        assert_eq!(s.apply(&SetOp::Contains(1)), SetResp::Bool(false));
+        assert_eq!(s.apply(&SetOp::Insert(1)), SetResp::Bool(true));
+        assert_eq!(s.apply(&SetOp::Contains(1)), SetResp::Bool(true));
+        assert_eq!(s.apply(&SetOp::Remove(1)), SetResp::Bool(true));
+        assert_eq!(s.apply(&SetOp::Remove(1)), SetResp::Bool(false));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn ceiling_finds_the_next_element() {
+        let mut s = SetSpec::new();
+        for v in [10, 20, 30] {
+            s.apply(&SetOp::Insert(v));
+        }
+        assert_eq!(s.apply(&SetOp::Ceiling(0)), SetResp::Element(Some(10)));
+        assert_eq!(s.apply(&SetOp::Ceiling(20)), SetResp::Element(Some(20)));
+        assert_eq!(s.apply(&SetOp::Ceiling(21)), SetResp::Element(Some(30)));
+        assert_eq!(s.apply(&SetOp::Ceiling(31)), SetResp::Element(None));
+        assert_eq!(s.apply(&SetOp::Len), SetResp::Len(3));
+    }
+}

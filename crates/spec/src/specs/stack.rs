@@ -1,0 +1,104 @@
+//! A LIFO stack.
+
+use crate::SequentialSpec;
+
+/// Commands accepted by [`StackSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StackOp {
+    /// Push a value.
+    Push(u64),
+    /// Pop the most recently pushed value, or report emptiness.
+    Pop,
+    /// Return the top value without removing it.
+    Peek,
+}
+
+/// Responses produced by [`StackSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StackResp {
+    /// Acknowledgement of a push.
+    Ack,
+    /// The popped or peeked value.
+    Value(u64),
+    /// Pop/peek on an empty stack.
+    Empty,
+}
+
+/// An unbounded LIFO stack of 64-bit words.
+///
+/// ```
+/// use sbu_spec::{SequentialSpec, specs::{StackSpec, StackOp, StackResp}};
+/// let mut s = StackSpec::new();
+/// s.apply(&StackOp::Push(1));
+/// s.apply(&StackOp::Push(2));
+/// assert_eq!(s.apply(&StackOp::Pop), StackResp::Value(2));
+/// assert_eq!(s.apply(&StackOp::Pop), StackResp::Value(1));
+/// assert_eq!(s.apply(&StackOp::Pop), StackResp::Empty);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct StackSpec {
+    items: Vec<u64>,
+}
+
+impl StackSpec {
+    /// An empty stack.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stacked items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the stack holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+impl SequentialSpec for StackSpec {
+    type Op = StackOp;
+    type Resp = StackResp;
+
+    fn apply(&mut self, op: &StackOp) -> StackResp {
+        match *op {
+            StackOp::Push(v) => {
+                self.items.push(v);
+                StackResp::Ack
+            }
+            StackOp::Pop => match self.items.pop() {
+                Some(v) => StackResp::Value(v),
+                None => StackResp::Empty,
+            },
+            StackOp::Peek => match self.items.last() {
+                Some(&v) => StackResp::Value(v),
+                None => StackResp::Empty,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut s = StackSpec::new();
+        s.apply(&StackOp::Push(1));
+        s.apply(&StackOp::Push(2));
+        assert_eq!(s.apply(&StackOp::Peek), StackResp::Value(2));
+        assert_eq!(s.apply(&StackOp::Pop), StackResp::Value(2));
+        assert_eq!(s.apply(&StackOp::Pop), StackResp::Value(1));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn empty_pop_is_exception_not_error() {
+        let mut s = StackSpec::new();
+        assert_eq!(s.apply(&StackOp::Pop), StackResp::Empty);
+        assert_eq!(s.apply(&StackOp::Peek), StackResp::Empty);
+        assert_eq!(s.len(), 0);
+    }
+}

@@ -1,0 +1,174 @@
+//! The sequential specification of the Sticky Bit itself (Definition 4.1).
+
+use crate::SequentialSpec;
+use std::fmt;
+
+/// The three-valued domain of a sticky bit: `⊥`, `0`, or `1`.
+///
+/// The paper's Definition 4.1. `Undef` is the initial "undefined" value that
+/// the first successful [`Jam`](StickyOp::Jam) replaces forever (until a
+/// `Flush`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Tri {
+    /// The undefined initial value `⊥`.
+    #[default]
+    Undef,
+    /// The bit value 0.
+    Zero,
+    /// The bit value 1.
+    One,
+}
+
+impl Tri {
+    /// Lift a boolean into the defined half of the domain.
+    pub fn from_bit(bit: bool) -> Self {
+        if bit {
+            Tri::One
+        } else {
+            Tri::Zero
+        }
+    }
+
+    /// The defined value as a boolean, or `None` for `⊥`.
+    pub fn bit(self) -> Option<bool> {
+        match self {
+            Tri::Undef => None,
+            Tri::Zero => Some(false),
+            Tri::One => Some(true),
+        }
+    }
+
+    /// Whether the value is still `⊥`.
+    pub fn is_undef(self) -> bool {
+        self == Tri::Undef
+    }
+}
+
+impl fmt::Display for Tri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tri::Undef => write!(f, "⊥"),
+            Tri::Zero => write!(f, "0"),
+            Tri::One => write!(f, "1"),
+        }
+    }
+}
+
+/// Commands accepted by [`StickySpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StickyOp {
+    /// `Jam(v)`: if the value is `⊥` or already `v`, set it to `v` and
+    /// succeed; otherwise fail.
+    Jam(bool),
+    /// Return the current value.
+    Read,
+    /// Reset to `⊥`. In the *atomic sequential* spec this is just another
+    /// operation; the real object's Flush is non-atomic, which is exactly the
+    /// gap the GRAB/INIT protocol of Section 6 closes.
+    Flush,
+}
+
+/// Responses produced by [`StickySpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StickyResp {
+    /// The jam stuck (value was `⊥` or agreed).
+    Success,
+    /// The jam disagreed with the already-written value.
+    Fail,
+    /// The current value.
+    Value(Tri),
+    /// Acknowledgement of a flush.
+    Flushed,
+}
+
+/// Sequential specification of the atomic Sticky Bit (Definition 4.1).
+///
+/// Used to validate primitive sticky-bit implementations (native atomics,
+/// simulated, consensus-based) with the linearizability checker.
+///
+/// ```
+/// use sbu_spec::{SequentialSpec, specs::{StickySpec, StickyOp, StickyResp, Tri}};
+/// let mut s = StickySpec::new();
+/// assert_eq!(s.apply(&StickyOp::Jam(true)), StickyResp::Success);
+/// assert_eq!(s.apply(&StickyOp::Jam(true)), StickyResp::Success); // agreeing re-jam
+/// assert_eq!(s.apply(&StickyOp::Jam(false)), StickyResp::Fail);
+/// assert_eq!(s.apply(&StickyOp::Read), StickyResp::Value(Tri::One));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct StickySpec {
+    value: Tri,
+}
+
+impl StickySpec {
+    /// A sticky bit holding `⊥`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current value.
+    pub fn value(&self) -> Tri {
+        self.value
+    }
+}
+
+impl SequentialSpec for StickySpec {
+    type Op = StickyOp;
+    type Resp = StickyResp;
+
+    fn apply(&mut self, op: &StickyOp) -> StickyResp {
+        match *op {
+            StickyOp::Jam(bit) => {
+                let v = Tri::from_bit(bit);
+                if self.value == Tri::Undef || self.value == v {
+                    self.value = v;
+                    StickyResp::Success
+                } else {
+                    StickyResp::Fail
+                }
+            }
+            StickyOp::Read => StickyResp::Value(self.value),
+            StickyOp::Flush => {
+                self.value = Tri::Undef;
+                StickyResp::Flushed
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_jam_wins_forever() {
+        let mut s = StickySpec::new();
+        assert_eq!(s.apply(&StickyOp::Read), StickyResp::Value(Tri::Undef));
+        assert_eq!(s.apply(&StickyOp::Jam(false)), StickyResp::Success);
+        assert_eq!(s.apply(&StickyOp::Jam(true)), StickyResp::Fail);
+        assert_eq!(s.apply(&StickyOp::Jam(false)), StickyResp::Success);
+        assert_eq!(s.apply(&StickyOp::Read), StickyResp::Value(Tri::Zero));
+    }
+
+    #[test]
+    fn flush_resets_to_undef() {
+        let mut s = StickySpec::new();
+        s.apply(&StickyOp::Jam(true));
+        assert_eq!(s.apply(&StickyOp::Flush), StickyResp::Flushed);
+        assert_eq!(s.value(), Tri::Undef);
+        assert_eq!(s.apply(&StickyOp::Jam(false)), StickyResp::Success);
+    }
+
+    #[test]
+    fn tri_helpers() {
+        assert_eq!(Tri::from_bit(true), Tri::One);
+        assert_eq!(Tri::from_bit(false), Tri::Zero);
+        assert_eq!(Tri::One.bit(), Some(true));
+        assert_eq!(Tri::Zero.bit(), Some(false));
+        assert_eq!(Tri::Undef.bit(), None);
+        assert!(Tri::Undef.is_undef());
+        assert_eq!(
+            format!("{} {} {}", Tri::Undef, Tri::Zero, Tri::One),
+            "⊥ 0 1"
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests for the linearizability checker: the memoized Wing–Gong
+//! search must agree with brute-force permutation search on arbitrary small
+//! histories, and any witness it produces must actually replay.
+
+use proptest::prelude::*;
+use sbu_spec::history::{History, OpRecord};
+use sbu_spec::linearize::{check, check_brute_force, CheckResult};
+use sbu_spec::specs::{RegisterOp, RegisterResp, RegisterSpec};
+use sbu_spec::{Pid, SequentialSpec};
+
+/// Generate a structurally valid history: per processor, non-overlapping
+/// intervals; responses chosen arbitrarily (often illegal — that's the
+/// point: the checker must classify them correctly).
+fn arb_history() -> impl Strategy<Value = History<RegisterOp, RegisterResp>> {
+    // Per-processor op counts (≤ 3 procs × ≤ 2 ops keeps brute force fast).
+    let per_proc = prop::collection::vec(0usize..3, 1..3);
+    (per_proc, any::<u64>()).prop_flat_map(|(counts, _)| {
+        let total: usize = counts.iter().sum::<usize>().max(1);
+        let ops = prop::collection::vec(
+            (
+                0u64..4,         // write value / irrelevant for reads
+                prop::bool::ANY, // is write?
+                0u64..4,         // read result (maybe illegal)
+                1u64..6,         // duration
+                0u64..8,         // gap to next op of this proc
+            ),
+            total,
+        );
+        (Just(counts), ops).prop_map(|(counts, raw)| {
+            let mut h = History::new();
+            let mut ix = 0usize;
+            for (pid, &k) in counts.iter().enumerate() {
+                let mut t = (pid as u64) % 3; // staggered starts → overlap
+                for _ in 0..k {
+                    let (wv, is_write, rv, dur, gap) = raw[ix % raw.len()];
+                    ix += 1;
+                    let (op, resp) = if is_write {
+                        (RegisterOp::Write(wv), RegisterResp::Ack)
+                    } else {
+                        (RegisterOp::Read, RegisterResp::Value(rv))
+                    };
+                    h.push(OpRecord::completed(Pid(pid), op, resp, t, t + dur));
+                    t += dur + gap + 1;
+                }
+            }
+            h
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Memoized checker ≡ brute force, on arbitrary histories.
+    #[test]
+    fn memoized_agrees_with_brute_force(h in arb_history()) {
+        prop_assume!(h.len() <= 6);
+        let fast = check(&h, RegisterSpec::new()).is_linearizable();
+        let slow = check_brute_force(&h, RegisterSpec::new()).is_linearizable();
+        prop_assert_eq!(fast, slow, "history: {:?}", h);
+    }
+
+    /// Any witness the checker returns replays to the observed responses
+    /// and respects the real-time precedence order.
+    #[test]
+    fn witnesses_replay(h in arb_history()) {
+        if let CheckResult::Linearizable { witness } = check(&h, RegisterSpec::new()) {
+            // Replay.
+            let mut state = RegisterSpec::new();
+            for &i in &witness {
+                let rec = &h.ops()[i];
+                let resp = state.apply(&rec.op);
+                if let Some(expected) = &rec.resp {
+                    prop_assert_eq!(&resp, expected);
+                }
+            }
+            // Real-time order: if a precedes b in H and both linearized,
+            // a comes first in the witness.
+            let pos: std::collections::HashMap<usize, usize> =
+                witness.iter().enumerate().map(|(k, &i)| (i, k)).collect();
+            for a in 0..h.len() {
+                for b in 0..h.len() {
+                    if a != b && h.precedes(a, b) {
+                        if let (Some(&pa), Some(&pb)) = (pos.get(&a), pos.get(&b)) {
+                            prop_assert!(pa < pb, "≺ violated: {} before {}", a, b);
+                        }
+                    }
+                }
+            }
+            // All completed ops are in the witness.
+            for (i, rec) in h.ops().iter().enumerate() {
+                if rec.is_completed() {
+                    prop_assert!(pos.contains_key(&i));
+                }
+            }
+        }
+    }
+
+    /// Legal sequential histories always linearize (soundness floor).
+    #[test]
+    fn sequential_legal_histories_pass(
+        writes in prop::collection::vec(0u64..10, 1..6)
+    ) {
+        let mut h = History::new();
+        let mut state = RegisterSpec::new();
+        let mut t = 0u64;
+        for (i, &v) in writes.iter().enumerate() {
+            let op = if i % 2 == 0 { RegisterOp::Write(v) } else { RegisterOp::Read };
+            let resp = state.apply(&op);
+            h.push(OpRecord::completed(Pid(i % 2), op, resp, t, t + 1));
+            t += 2;
+        }
+        prop_assert!(check(&h, RegisterSpec::new()).is_linearizable());
+    }
+}

@@ -1,0 +1,167 @@
+//! Property tests on the sequential specifications: determinism (the
+//! universal construction's replay depends on it), structural inverses,
+//! and conservation invariants.
+
+use proptest::prelude::*;
+use sbu_spec::specs::{
+    BankOp, BankResp, BankSpec, CounterOp, CounterSpec, KvOp, KvSpec, QueueOp, QueueResp,
+    QueueSpec, StackOp, StackResp, StackSpec,
+};
+use sbu_spec::SequentialSpec;
+
+fn arb_queue_ops() -> impl Strategy<Value = Vec<QueueOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..100).prop_map(QueueOp::Enqueue),
+            Just(QueueOp::Dequeue),
+            Just(QueueOp::Len),
+        ],
+        0..40,
+    )
+}
+
+fn arb_bank_ops(accounts: usize) -> impl Strategy<Value = Vec<BankOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0..accounts, 0u64..50).prop_map(|(a, amt)| BankOp::Deposit {
+                account: a,
+                amount: amt
+            }),
+            (0..accounts, 0u64..50).prop_map(|(a, amt)| BankOp::Withdraw {
+                account: a,
+                amount: amt
+            }),
+            (0..accounts, 0..accounts, 0u64..50).prop_map(|(f, t, amt)| BankOp::Transfer {
+                from: f,
+                to: t,
+                amount: amt
+            }),
+            (0..accounts).prop_map(BankOp::Balance),
+        ],
+        0..40,
+    )
+}
+
+proptest! {
+    /// Determinism: two clones fed the same commands produce identical
+    /// responses and end in identical states. The universal construction's
+    /// state recomputation (Section 5 step 4) silently assumes this.
+    #[test]
+    fn queue_is_deterministic(ops in arb_queue_ops()) {
+        let mut a = QueueSpec::new();
+        let mut b = QueueSpec::new();
+        for op in &ops {
+            prop_assert_eq!(a.apply(op), b.apply(op));
+        }
+        prop_assert_eq!(a, b);
+    }
+
+    /// Enqueue count − successful dequeue count = final length.
+    #[test]
+    fn queue_conserves_elements(ops in arb_queue_ops()) {
+        let mut q = QueueSpec::new();
+        let mut enq = 0i64;
+        let mut deq = 0i64;
+        for op in &ops {
+            match (op, q.apply(op)) {
+                (QueueOp::Enqueue(_), QueueResp::Ack) => enq += 1,
+                (QueueOp::Dequeue, QueueResp::Value(_)) => deq += 1,
+                _ => {}
+            }
+        }
+        prop_assert_eq!(enq - deq, q.len() as i64);
+    }
+
+    /// FIFO: a drain after arbitrary operations yields values in exactly
+    /// the un-dequeued enqueue order.
+    #[test]
+    fn queue_drains_in_fifo_order(ops in arb_queue_ops()) {
+        let mut q = QueueSpec::new();
+        let mut model: std::collections::VecDeque<u64> = Default::default();
+        for op in &ops {
+            match op {
+                QueueOp::Enqueue(v) => { q.apply(op); model.push_back(*v); }
+                QueueOp::Dequeue => {
+                    let expect = model.pop_front();
+                    let got = match q.apply(op) {
+                        QueueResp::Value(v) => Some(v),
+                        QueueResp::Empty => None,
+                        r => return Err(TestCaseError::fail(format!("{r:?}"))),
+                    };
+                    prop_assert_eq!(got, expect);
+                }
+                QueueOp::Len => { q.apply(op); }
+            }
+        }
+    }
+
+    /// Push-then-pop is identity on the stack.
+    #[test]
+    fn stack_push_pop_roundtrip(base in prop::collection::vec(0u64..50, 0..20), v in 0u64..50) {
+        let mut s = StackSpec::new();
+        for b in &base {
+            s.apply(&StackOp::Push(*b));
+        }
+        let snapshot = s.clone();
+        s.apply(&StackOp::Push(v));
+        prop_assert_eq!(s.apply(&StackOp::Pop), StackResp::Value(v));
+        prop_assert_eq!(s, snapshot);
+    }
+
+    /// Bank: deposits minus successful withdrawals equals total delta;
+    /// transfers never create or destroy money.
+    #[test]
+    fn bank_conserves_money(ops in arb_bank_ops(3)) {
+        let initial = 100u64;
+        let mut bank = BankSpec::new(3, initial);
+        let mut delta: i128 = 0;
+        for op in &ops {
+            let resp = bank.apply(op);
+            match (op, resp) {
+                (BankOp::Deposit { amount, .. }, BankResp::Ok) => delta += *amount as i128,
+                (BankOp::Withdraw { amount, .. }, BankResp::Ok) => delta -= *amount as i128,
+                _ => {}
+            }
+        }
+        prop_assert_eq!(bank.total() as i128, 3 * initial as i128 + delta);
+    }
+
+    /// Counter: value after a batch equals the sum of its increments.
+    #[test]
+    fn counter_sums(incs in prop::collection::vec(0u64..1000, 0..30)) {
+        let mut c = CounterSpec::new();
+        let mut sum = 0u64;
+        for &k in &incs {
+            sum = sum.wrapping_add(k);
+            prop_assert_eq!(c.apply(&CounterOp::Add(k)), sum);
+        }
+        prop_assert_eq!(c.apply(&CounterOp::Read), sum);
+    }
+
+    /// KV model equivalence against std BTreeMap.
+    #[test]
+    fn kv_matches_btreemap(
+        ops in prop::collection::vec((0u64..5, 0u64..100, 0u8..3), 0..40)
+    ) {
+        let mut kv = KvSpec::new();
+        let mut model = std::collections::BTreeMap::new();
+        for &(k, v, kind) in &ops {
+            match kind {
+                0 => {
+                    let got = kv.apply(&KvOp::Put(k, v));
+                    let expect = model.insert(k, v);
+                    prop_assert_eq!(got, sbu_spec::specs::KvResp::Value(expect));
+                }
+                1 => {
+                    let got = kv.apply(&KvOp::Get(k));
+                    prop_assert_eq!(got, sbu_spec::specs::KvResp::Value(model.get(&k).copied()));
+                }
+                _ => {
+                    let got = kv.apply(&KvOp::Remove(k));
+                    prop_assert_eq!(got, sbu_spec::specs::KvResp::Value(model.remove(&k)));
+                }
+            }
+        }
+        prop_assert_eq!(kv.len(), model.len());
+    }
+}

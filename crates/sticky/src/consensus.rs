@@ -1,0 +1,474 @@
+//! Consensus objects (Fischer–Lynch–Paterson interface, Section 4).
+//!
+//! A consensus object lets `n` processors each propose a value and agree on
+//! exactly one of the proposals. The paper positions the Sticky Bit as "a
+//! memory-oriented version of consensus": jamming *is* proposing, and the
+//! stuck value *is* the decision. This module fixes the trait and gives the
+//! deterministic implementations:
+//!
+//! * [`StickyBinaryConsensus`] — one sticky bit (binary values),
+//! * [`StickyWordConsensus`] — one primitive sticky word (multi-valued),
+//! * [`JamWordConsensus`] — ℓ sticky bits via Figure 2 (multi-valued, the
+//!   paper's own reduction),
+//! * [`RmwConsensus`] — one **3-valued** RMW register `{⊥, 0, 1}`: the
+//!   level at which the paper proves the RMW hierarchy collapses.
+//!
+//! All are *initializable*: a non-atomic `reset` restores the object for
+//! reuse, the property Section 4 requires for building sticky bits out of
+//! consensus (see [`crate::from_consensus`]).
+
+use crate::JamWord;
+#[allow(unused_imports)]
+use sbu_mem::SafeId;
+use sbu_mem::{AtomicId, Pid, StickyBitId, StickyWordId, Tri, Word, WordMem};
+
+/// Wait-free `n`-processor consensus.
+///
+/// `propose` must satisfy, in every concurrent execution:
+/// * **Agreement** — all returned decisions are equal;
+/// * **Validity** — the decision is some participant's proposal;
+/// * **Wait-freedom** — every call returns in a bounded number of steps.
+pub trait Consensus<M: WordMem + ?Sized> {
+    /// Propose `value`; returns the agreed decision.
+    fn propose(&self, mem: &M, pid: Pid, value: Word) -> Word;
+
+    /// The decision, if one has been reached (without proposing).
+    fn decision(&self, mem: &M, pid: Pid) -> Option<Word>;
+}
+
+/// Consensus that can be reused after a **non-atomic** reset: the caller
+/// must guarantee the reset overlaps no other operation (the same caveat as
+/// `Flush` in Definition 4.1).
+pub trait InitializableConsensus<M: WordMem + ?Sized>: Consensus<M> {
+    /// Restore the object to its undecided state.
+    fn reset(&self, mem: &M, pid: Pid);
+}
+
+/// Binary consensus from a single sticky bit: `propose(v)` jams `v` and
+/// decides whatever stuck. The most literal form of the paper's
+/// "Sticky Bit = consensus" slogan.
+#[derive(Debug, Clone, Copy)]
+pub struct StickyBinaryConsensus {
+    bit: StickyBitId,
+}
+
+impl StickyBinaryConsensus {
+    /// Allocate the underlying sticky bit.
+    pub fn new<M: WordMem + ?Sized>(mem: &mut M) -> Self {
+        Self {
+            bit: mem.alloc_sticky_bit(),
+        }
+    }
+}
+
+impl<M: WordMem + ?Sized> Consensus<M> for StickyBinaryConsensus {
+    fn propose(&self, mem: &M, pid: Pid, value: Word) -> Word {
+        assert!(value <= 1, "binary consensus takes 0 or 1");
+        mem.sticky_jam(pid, self.bit, value == 1);
+        match mem.sticky_read(pid, self.bit) {
+            Tri::One => 1,
+            Tri::Zero => 0,
+            Tri::Undef => unreachable!("read after jam cannot be undefined"),
+        }
+    }
+
+    fn decision(&self, mem: &M, pid: Pid) -> Option<Word> {
+        mem.sticky_read(pid, self.bit).bit().map(Word::from)
+    }
+}
+
+impl<M: WordMem + ?Sized> InitializableConsensus<M> for StickyBinaryConsensus {
+    fn reset(&self, mem: &M, pid: Pid) {
+        mem.sticky_flush(pid, self.bit);
+    }
+}
+
+/// Multi-valued consensus from one primitive sticky word.
+#[derive(Debug, Clone, Copy)]
+pub struct StickyWordConsensus {
+    word: StickyWordId,
+}
+
+impl StickyWordConsensus {
+    /// Allocate the underlying sticky word.
+    pub fn new<M: WordMem + ?Sized>(mem: &mut M) -> Self {
+        Self {
+            word: mem.alloc_sticky_word(),
+        }
+    }
+}
+
+impl<M: WordMem + ?Sized> Consensus<M> for StickyWordConsensus {
+    fn propose(&self, mem: &M, pid: Pid, value: Word) -> Word {
+        mem.sticky_word_jam(pid, self.word, value);
+        mem.sticky_word_read(pid, self.word)
+            .expect("read after jam cannot be undefined")
+    }
+
+    fn decision(&self, mem: &M, pid: Pid) -> Option<Word> {
+        mem.sticky_word_read(pid, self.word)
+    }
+}
+
+impl<M: WordMem + ?Sized> InitializableConsensus<M> for StickyWordConsensus {
+    fn reset(&self, mem: &M, pid: Pid) {
+        mem.sticky_word_flush(pid, self.word);
+    }
+}
+
+/// Multi-valued consensus from ℓ sticky *bits* via the Figure 2 helping
+/// algorithm — the paper's own construction, showing sticky words are not
+/// extra power.
+#[derive(Debug, Clone)]
+pub struct JamWordConsensus {
+    word: JamWord,
+}
+
+impl JamWordConsensus {
+    /// Consensus over values `0..2^width` for processors `0..n`.
+    pub fn new<M: WordMem + ?Sized>(mem: &mut M, n: usize, width: u32) -> Self {
+        Self {
+            word: JamWord::new(mem, n, width),
+        }
+    }
+}
+
+impl<M: WordMem + ?Sized> Consensus<M> for JamWordConsensus {
+    fn propose(&self, mem: &M, pid: Pid, value: Word) -> Word {
+        let (_, decided) = self.word.jam(mem, pid, value);
+        decided
+    }
+
+    fn decision(&self, mem: &M, pid: Pid) -> Option<Word> {
+        self.word.read(mem, pid)
+    }
+}
+
+impl<M: WordMem + ?Sized> InitializableConsensus<M> for JamWordConsensus {
+    fn reset(&self, mem: &M, pid: Pid) {
+        self.word.flush(mem, pid);
+    }
+}
+
+/// Binary consensus from a single **3-valued** atomic RMW register holding
+/// `{⊥, 0, 1}` (encoded 0/1/2).
+///
+/// This is the constructive half of the paper's hierarchy-collapse claim
+/// (Sections 1 and 7): a 2-bit RMW — three used values — already decides
+/// n-processor consensus, hence simulates sticky bits, hence is universal.
+#[derive(Debug, Clone, Copy)]
+pub struct RmwConsensus {
+    reg: AtomicId,
+}
+
+const RMW_UNDEF: Word = 0;
+
+impl RmwConsensus {
+    /// Allocate the 3-valued register, initialized to `⊥`.
+    pub fn new<M: WordMem + ?Sized>(mem: &mut M) -> Self {
+        Self {
+            reg: mem.alloc_atomic(RMW_UNDEF),
+        }
+    }
+}
+
+impl<M: WordMem + ?Sized> Consensus<M> for RmwConsensus {
+    fn propose(&self, mem: &M, pid: Pid, value: Word) -> Word {
+        assert!(value <= 1, "binary consensus takes 0 or 1");
+        let old = mem.rmw(pid, self.reg, &move |x| {
+            if x == RMW_UNDEF {
+                value + 1
+            } else {
+                x
+            }
+        });
+        if old == RMW_UNDEF {
+            value
+        } else {
+            old - 1
+        }
+    }
+
+    fn decision(&self, mem: &M, pid: Pid) -> Option<Word> {
+        match mem.atomic_read(pid, self.reg) {
+            RMW_UNDEF => None,
+            v => Some(v - 1),
+        }
+    }
+}
+
+impl<M: WordMem + ?Sized> InitializableConsensus<M> for RmwConsensus {
+    fn reset(&self, mem: &M, pid: Pid) {
+        mem.atomic_write(pid, self.reg, RMW_UNDEF);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbu_mem::native::NativeMem;
+    use sbu_sim::{run_uniform, EpisodeResult, Explorer, RunOptions, Scripted, SimMem};
+
+    /// Exhaustively check agreement + validity for a binary consensus
+    /// implementation over all 2-processor schedules with inputs 0/1.
+    fn exhaustive_binary_check<C, F>(make: F)
+    where
+        C: Consensus<SimMem<()>> + Clone + Send + Sync + 'static,
+        F: Fn(&mut SimMem<()>) -> C,
+    {
+        let explorer = Explorer::new(500_000);
+        let report = explorer.explore(|script| {
+            let mut mem: SimMem<()> = SimMem::new(2);
+            let cons = make(&mut mem);
+            let cons2 = cons.clone();
+            let out = run_uniform(
+                &mem,
+                Box::new(Scripted::new(script.to_vec()).with_crashes(1)),
+                RunOptions::default(),
+                2,
+                move |mem, pid| cons2.propose(mem, pid, pid.0 as Word),
+            );
+            let choice_log = out.choice_log.clone();
+            let verdict = (|| {
+                if !out.violations.is_empty() {
+                    return Err(format!("violations: {:?}", out.violations));
+                }
+                let decisions: Vec<Word> = out.results().into_iter().copied().collect();
+                if let Some(&first) = decisions.first() {
+                    if !decisions.iter().all(|&d| d == first) {
+                        return Err(format!("disagreement {decisions:?}"));
+                    }
+                    if first > 1 {
+                        return Err(format!("invalid decision {first}"));
+                    }
+                }
+                Ok(())
+            })();
+            EpisodeResult {
+                choice_log,
+                verdict,
+            }
+        });
+        report.assert_all_ok();
+    }
+
+    #[test]
+    fn sticky_binary_consensus_exhaustive() {
+        exhaustive_binary_check(StickyBinaryConsensus::new);
+    }
+
+    #[test]
+    fn sticky_word_consensus_exhaustive() {
+        exhaustive_binary_check(StickyWordConsensus::new);
+    }
+
+    #[test]
+    fn jam_word_consensus_exhaustive() {
+        exhaustive_binary_check(|mem| JamWordConsensus::new(mem, 2, 1));
+    }
+
+    #[test]
+    fn rmw_consensus_exhaustive() {
+        exhaustive_binary_check(RmwConsensus::new);
+    }
+
+    #[test]
+    fn decisions_are_observable_and_resettable() {
+        let mut mem: NativeMem<()> = NativeMem::new();
+        let objects: Vec<Box<dyn InitializableConsensus<NativeMem<()>>>> = vec![
+            Box::new(StickyBinaryConsensus::new(&mut mem)),
+            Box::new(StickyWordConsensus::new(&mut mem)),
+            Box::new(JamWordConsensus::new(&mut mem, 2, 1)),
+            Box::new(RmwConsensus::new(&mut mem)),
+        ];
+        for c in &objects {
+            assert_eq!(c.decision(&mem, Pid(0)), None);
+            assert_eq!(c.propose(&mem, Pid(0), 1), 1);
+            assert_eq!(c.decision(&mem, Pid(1)), Some(1));
+            // Latecomers adopt the decision.
+            assert_eq!(c.propose(&mem, Pid(1), 0), 1);
+            c.reset(&mem, Pid(0));
+            assert_eq!(c.decision(&mem, Pid(0)), None);
+            assert_eq!(c.propose(&mem, Pid(1), 0), 0);
+        }
+    }
+
+    #[test]
+    fn multivalued_consensus_over_wide_domain() {
+        let mut mem: NativeMem<()> = NativeMem::new();
+        let c = JamWordConsensus::new(&mut mem, 3, 20);
+        assert_eq!(c.propose(&mem, Pid(2), 777_777), 777_777);
+        assert_eq!(c.propose(&mem, Pid(0), 123), 777_777);
+        let w = StickyWordConsensus::new(&mut mem);
+        assert_eq!(w.propose(&mem, Pid(0), u64::MAX - 1), u64::MAX - 1);
+    }
+}
+
+/// Multi-valued consensus from ⌈log₂⌉ **binary** consensus objects — the
+/// Figure 2 algorithm with `propose` in place of `Jam`.
+///
+/// Every participant announces its value in a single-writer safe register,
+/// then agrees on the result bit by bit, always proposing the bits of a
+/// *candidate* value whose bits match the agreed prefix; when a decided bit
+/// disagrees, it adopts an announced value matching the new prefix (one
+/// must exist: the decided bit was proposed on behalf of an announced
+/// value). Composing this with
+/// [`RandomizedConsensus`](crate::RandomizedConsensus) yields multi-valued
+/// randomized consensus from registers only — which the
+/// consensus-parameterized universal construction in `sbu-core` turns into
+/// the paper's "(randomized) wait-free" universal object.
+#[derive(Debug, Clone)]
+pub struct BitwiseConsensus<C> {
+    n: usize,
+    width: u32,
+    bits: Vec<C>,
+    /// `g_i`: processor `i` has announced.
+    announced: Vec<sbu_mem::SafeId>,
+    /// `v_i`: processor `i`'s announced value (single-writer).
+    values: Vec<sbu_mem::SafeId>,
+}
+
+impl<C> BitwiseConsensus<C> {
+    /// Build from `width` binary consensus objects created by `make`.
+    pub fn new<M: WordMem>(
+        mem: &mut M,
+        n: usize,
+        width: u32,
+        mut make: impl FnMut(&mut M) -> C,
+    ) -> Self {
+        assert!(n >= 1 && (1..=63).contains(&width));
+        Self {
+            n,
+            width,
+            bits: (0..width).map(|_| make(mem)).collect(),
+            announced: (0..n).map(|_| mem.alloc_safe(0)).collect(),
+            values: (0..n).map(|_| mem.alloc_safe(0)).collect(),
+        }
+    }
+
+    /// Largest representable value.
+    pub fn max_value(&self) -> Word {
+        (1u64 << self.width) - 1
+    }
+
+    fn find_candidate<M: WordMem + ?Sized>(
+        &self,
+        mem: &M,
+        pid: Pid,
+        prefix_mask: Word,
+        target: Word,
+    ) -> Option<Word> {
+        for k in 0..self.n {
+            if mem.safe_read(pid, self.announced[k]) != 0 {
+                let vk = mem.safe_read(pid, self.values[k]);
+                if vk & prefix_mask == target && vk <= self.max_value() {
+                    return Some(vk);
+                }
+            }
+        }
+        None
+    }
+}
+
+impl<M, C> Consensus<M> for BitwiseConsensus<C>
+where
+    M: WordMem + ?Sized,
+    C: Consensus<M>,
+{
+    fn propose(&self, mem: &M, pid: Pid, value: Word) -> Word {
+        assert!(value <= self.max_value(), "value wider than the domain");
+        assert!(pid.0 < self.n, "pid out of range");
+        mem.safe_write(pid, self.values[pid.0], value);
+        mem.safe_write(pid, self.announced[pid.0], 1);
+        let mut candidate = value;
+        for j in 0..self.width {
+            let mine = candidate >> j & 1;
+            let decided = self.bits[j as usize].propose(mem, pid, mine);
+            if decided == mine {
+                continue;
+            }
+            let prefix_mask: Word = (1u64 << (j + 1)) - 1;
+            let target = (candidate & !(1u64 << j) | (decided << j)) & prefix_mask;
+            candidate = self
+                .find_candidate(mem, pid, prefix_mask, target)
+                .unwrap_or_else(|| {
+                    panic!(
+                        "bitwise-consensus invariant broken: bit {j} decided \
+                         {decided} but no announced value matches the prefix"
+                    )
+                });
+        }
+        candidate
+    }
+
+    fn decision(&self, mem: &M, pid: Pid) -> Option<Word> {
+        let mut value = 0u64;
+        for j in 0..self.width {
+            value |= self.bits[j as usize].decision(mem, pid)? << j;
+        }
+        Some(value)
+    }
+}
+
+impl<M, C> InitializableConsensus<M> for BitwiseConsensus<C>
+where
+    M: WordMem + ?Sized,
+    C: InitializableConsensus<M>,
+{
+    fn reset(&self, mem: &M, pid: Pid) {
+        for b in &self.bits {
+            b.reset(mem, pid);
+        }
+        for k in 0..self.n {
+            mem.safe_write(pid, self.announced[k], 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod bitwise_tests {
+    use super::*;
+    use sbu_mem::native::NativeMem;
+    use sbu_sim::{run_uniform, RandomAdversary, RunOptions, SimMem};
+
+    #[test]
+    fn sequential_semantics() {
+        let mut mem: NativeMem<()> = NativeMem::new();
+        let c = BitwiseConsensus::new(&mut mem, 2, 8, StickyBinaryConsensus::new);
+        assert_eq!(Consensus::<NativeMem<()>>::decision(&c, &mem, Pid(0)), None);
+        assert_eq!(c.propose(&mem, Pid(0), 0xA5), 0xA5);
+        assert_eq!(c.propose(&mem, Pid(1), 0x5A), 0xA5);
+        assert_eq!(
+            Consensus::<NativeMem<()>>::decision(&c, &mem, Pid(1)),
+            Some(0xA5)
+        );
+        InitializableConsensus::<NativeMem<()>>::reset(&c, &mem, Pid(0));
+        assert_eq!(Consensus::<NativeMem<()>>::decision(&c, &mem, Pid(0)), None);
+        assert_eq!(c.propose(&mem, Pid(1), 7), 7);
+    }
+
+    #[test]
+    fn randomized_multivalued_agreement_fuzz() {
+        for seed in 0..10 {
+            let n = 3;
+            let mut mem: SimMem<()> = SimMem::new(n);
+            let rc_seed = std::cell::Cell::new(seed * 100);
+            let c = BitwiseConsensus::new(&mut mem, n, 4, |mem| {
+                rc_seed.set(rc_seed.get() + 1);
+                crate::RandomizedConsensus::new(mem, n, rc_seed.get())
+            });
+            let c2 = c.clone();
+            let out = run_uniform(
+                &mem,
+                Box::new(RandomAdversary::new(seed)),
+                RunOptions::default(),
+                n,
+                move |mem, pid| c2.propose(mem, pid, pid.0 as Word + 5),
+            );
+            assert!(!out.aborted);
+            let ds: Vec<Word> = out.results().into_iter().copied().collect();
+            assert!(ds.iter().all(|&d| d == ds[0]), "seed {seed}: {ds:?}");
+            assert!((5..5 + n as u64).contains(&ds[0]), "validity, seed {seed}");
+        }
+    }
+}

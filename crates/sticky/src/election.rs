@@ -1,0 +1,219 @@
+//! Wait-free leader election (Section 4).
+//!
+//! "Observe, that if each processor tries to jam its own ID, the above
+//! algorithm implements a wait-free leader-election in O(log n) time."
+//! Exactly that: a ⌈log₂ n⌉-bit [`JamWord`] into which every candidate jams
+//! its own pid. The first value to fully stick wins; helpers complete a
+//! crashed winner's bits, so every participant — and any late reader —
+//! agrees on the unique leader.
+
+use crate::{bits_for, JamWord};
+use sbu_mem::{Pid, Word, WordMem};
+
+/// A one-shot wait-free leader election object for `n` processors.
+///
+/// ```
+/// use sbu_mem::{native::NativeMem, Pid};
+/// use sbu_sticky::LeaderElection;
+///
+/// let mut mem: NativeMem<()> = NativeMem::new();
+/// let le = LeaderElection::new(&mut mem, 4);
+/// let leader = le.elect(&mem, Pid(2));
+/// assert_eq!(leader, Pid(2)); // running solo, I win
+/// assert_eq!(le.elect(&mem, Pid(0)), Pid(2)); // latecomer learns the winner
+/// assert_eq!(le.leader(&mem, Pid(1)), Some(Pid(2)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LeaderElection {
+    word: JamWord,
+}
+
+impl LeaderElection {
+    /// Allocate an election object for processors `0..n`.
+    pub fn new<M: WordMem + ?Sized>(mem: &mut M, n: usize) -> Self {
+        Self {
+            word: JamWord::new(mem, n, bits_for(n)),
+        }
+    }
+
+    /// Participate: jam my own id; returns the elected leader (possibly me).
+    ///
+    /// Wait-free in O(log n) sticky-bit operations plus helping scans.
+    pub fn elect<M: WordMem + ?Sized>(&self, mem: &M, pid: Pid) -> Pid {
+        let (_, winner) = self.word.jam(mem, pid, pid.0 as Word);
+        Pid(winner as usize)
+    }
+
+    /// Observe the leader without participating; `None` if the election has
+    /// not completed.
+    pub fn leader<M: WordMem + ?Sized>(&self, mem: &M, pid: Pid) -> Option<Pid> {
+        self.word.read(mem, pid).map(|w| Pid(w as usize))
+    }
+
+    /// Reset for reuse. Non-atomic (Definition 4.1 caveat).
+    pub fn flush<M: WordMem + ?Sized>(&self, mem: &M, pid: Pid) {
+        self.word.flush(mem, pid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbu_mem::native::NativeMem;
+    use sbu_sim::{
+        run_uniform, EpisodeResult, Explorer, RandomAdversary, RunOptions, Scripted, SimMem,
+    };
+    use std::sync::Arc;
+
+    #[test]
+    fn solo_elects_self_and_is_idempotent() {
+        let mut mem: NativeMem<()> = NativeMem::new();
+        let le = LeaderElection::new(&mut mem, 3);
+        assert_eq!(le.leader(&mem, Pid(0)), None);
+        assert_eq!(le.elect(&mem, Pid(1)), Pid(1));
+        assert_eq!(le.elect(&mem, Pid(1)), Pid(1));
+        assert_eq!(le.elect(&mem, Pid(2)), Pid(1));
+    }
+
+    #[test]
+    fn flush_allows_a_fresh_election() {
+        let mut mem: NativeMem<()> = NativeMem::new();
+        let le = LeaderElection::new(&mut mem, 2);
+        assert_eq!(le.elect(&mem, Pid(0)), Pid(0));
+        le.flush(&mem, Pid(1));
+        assert_eq!(le.leader(&mem, Pid(1)), None);
+        assert_eq!(le.elect(&mem, Pid(1)), Pid(1));
+    }
+
+    /// Leader election correctness over schedules: the full tree for two
+    /// processors, and a bounded-exhaustive DFS prefix for three (the full
+    /// 3-processor tree is astronomically large).
+    fn explore_election(n: usize, max_schedules: usize) -> sbu_sim::ExploreReport {
+        let explorer = Explorer::new(max_schedules);
+        explorer.explore(|script| {
+            let mut mem: SimMem<()> = SimMem::new(n);
+            let le = LeaderElection::new(&mut mem, n);
+            let le2 = le.clone();
+            let out = run_uniform(
+                &mem,
+                Box::new(Scripted::new(script.to_vec())),
+                RunOptions::default(),
+                n,
+                move |mem, pid| le2.elect(mem, pid),
+            );
+            let choice_log = out.choice_log.clone();
+            let verdict = (|| {
+                out.assert_clean();
+                let leaders: Vec<Pid> = out.results().into_iter().copied().collect();
+                let first = leaders[0];
+                if !leaders.iter().all(|&l| l == first) {
+                    return Err(format!("disagreement: {leaders:?}"));
+                }
+                if first.0 >= n {
+                    return Err(format!("non-participant leader {first}"));
+                }
+                Ok(())
+            })();
+            EpisodeResult {
+                choice_log,
+                verdict,
+            }
+        })
+    }
+
+    #[test]
+    fn exhaustive_two_procs_unique_agreed_leader() {
+        let report = explore_election(2, 1_000_000);
+        report.assert_all_ok();
+    }
+
+    #[test]
+    fn bounded_exhaustive_three_procs_unique_agreed_leader() {
+        let report = explore_election(3, 30_000);
+        report.assert_no_failures();
+    }
+
+    /// Even if the would-be winner crashes mid-jam, survivors agree.
+    #[test]
+    fn crash_of_any_proc_keeps_agreement() {
+        for seed in 0..60 {
+            let n = 5;
+            let mut mem: SimMem<()> = SimMem::new(n);
+            let le = LeaderElection::new(&mut mem, n);
+            let le2 = le.clone();
+            let out = run_uniform(
+                &mem,
+                Box::new(RandomAdversary::new(seed).with_crashes(2, 50_000)),
+                RunOptions::default(),
+                n,
+                move |mem, pid| le2.elect(mem, pid),
+            );
+            assert!(out.violations.is_empty());
+            let leaders: Vec<Pid> = out.results().into_iter().copied().collect();
+            if let Some(&first) = leaders.first() {
+                assert!(
+                    leaders.iter().all(|&l| l == first),
+                    "seed {seed}: {leaders:?}"
+                );
+                assert!(first.0 < n);
+            }
+        }
+    }
+
+    #[test]
+    fn native_contended_election_has_one_winner() {
+        for _ in 0..10 {
+            let mut mem: NativeMem<()> = NativeMem::new();
+            let n = 8;
+            let le = LeaderElection::new(&mut mem, n);
+            let mem = Arc::new(mem);
+            let leaders: Vec<Pid> = std::thread::scope(|s| {
+                (0..n)
+                    .map(|i| {
+                        let mem = Arc::clone(&mem);
+                        let le = le.clone();
+                        s.spawn(move || le.elect(&*mem, Pid(i)))
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .collect()
+            });
+            let first = leaders[0];
+            assert!(leaders.iter().all(|&l| l == first));
+            assert!(first.0 < n);
+            assert_eq!(le.leader(&*mem, Pid(0)), Some(first));
+        }
+    }
+}
+
+#[cfg(test)]
+mod complexity_tests {
+    use super::*;
+    use sbu_sim::{run_uniform, RoundRobin, RunOptions, SimMem};
+
+    /// Lock in the measured O(log n) shape (experiment E2a) as a unit
+    /// test: a solo election costs exactly ⌈log₂ n⌉ bit-jams plus the
+    /// two announce writes (2 safe writes × 2 steps each).
+    #[test]
+    fn solo_election_costs_exactly_log2_n_plus_4_steps() {
+        for n in [2usize, 4, 8, 16, 32, 64, 128, 256] {
+            let mut mem: SimMem<()> = SimMem::new(1);
+            let le = LeaderElection::new(&mut mem, n);
+            let le2 = le.clone();
+            let out = run_uniform(
+                &mem,
+                Box::new(RoundRobin::new()),
+                RunOptions::default(),
+                1,
+                move |mem, _| le2.elect(mem, Pid(0)),
+            );
+            out.assert_clean();
+            let expected = crate::bits_for(n) as u64 + 4;
+            assert_eq!(
+                out.steps, expected,
+                "n = {n}: expected ⌈log₂ n⌉ + 4 = {expected} steps"
+            );
+        }
+    }
+}

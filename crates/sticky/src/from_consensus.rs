@@ -1,0 +1,249 @@
+//! An atomic sticky bit from one initializable consensus object and two
+//! safe bits (Section 4).
+//!
+//! > "It is easy to see that it is possible to construct an atomic Sticky
+//! > Bit from an initializable single-bit consensus object and two safe
+//! > bits."
+//!
+//! This module makes the observation concrete — and verifies it with the
+//! linearizability checker over exhaustive schedules. The construction:
+//!
+//! * `Jam(v)`: raise the safe *witness* bit `w_v`, then `propose(v)`;
+//!   succeed iff the decision is `v`.
+//! * `Read`: if both witness bits are down, return `⊥` (no jam has
+//!   completed its witness write, so `⊥` is linearizable); otherwise join
+//!   the consensus with a witnessed value and return the decision.
+//! * `Flush`: reset the consensus and the witness bits (non-atomic, per
+//!   Definition 4.1).
+//!
+//! Why reads are safe with *safe* bits: a read that observes garbage in
+//! `w_v` necessarily overlaps the jam writing it, so either serialization
+//! order is linearizable; a read that observes a stable `1` joins a
+//! consensus whose value was genuinely proposed (validity), and one that
+//! observes stable `0`s cannot have missed any *completed* jam.
+//!
+//! Combined with [`crate::randomized::RandomizedConsensus`] this yields a
+//! randomized wait-free sticky bit from registers only — the paper's
+//! corollary that polynomially many safe bits suffice for randomized
+//! universality.
+
+use crate::consensus::InitializableConsensus;
+use sbu_mem::{JamOutcome, Pid, SafeId, Tri, WordMem};
+
+/// A sticky bit built from a consensus object plus two safe witness bits.
+///
+/// ```
+/// use sbu_mem::{native::NativeMem, Pid, JamOutcome, Tri};
+/// use sbu_sticky::{ConsensusStickyBit, consensus::StickyWordConsensus};
+///
+/// let mut mem: NativeMem<()> = NativeMem::new();
+/// let cons = StickyWordConsensus::new(&mut mem);
+/// let sb = ConsensusStickyBit::new(&mut mem, cons);
+/// assert_eq!(sb.read(&mem, Pid(0)), Tri::Undef);
+/// assert_eq!(sb.jam(&mem, Pid(0), true), JamOutcome::Success);
+/// assert_eq!(sb.jam(&mem, Pid(1), false), JamOutcome::Fail);
+/// assert_eq!(sb.read(&mem, Pid(1)), Tri::One);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConsensusStickyBit<C> {
+    consensus: C,
+    /// Witness bits `w_0`, `w_1`: `w_v` is raised before proposing `v`.
+    witness: [SafeId; 2],
+}
+
+impl<C> ConsensusStickyBit<C> {
+    /// Wrap an initializable consensus object.
+    pub fn new<M: WordMem + ?Sized>(mem: &mut M, consensus: C) -> Self {
+        Self {
+            consensus,
+            witness: [mem.alloc_safe(0), mem.alloc_safe(0)],
+        }
+    }
+}
+
+impl<C> ConsensusStickyBit<C> {
+    /// `Jam(v)` per Definition 4.1.
+    pub fn jam<M: WordMem + ?Sized>(&self, mem: &M, pid: Pid, v: bool) -> JamOutcome
+    where
+        C: InitializableConsensus<M>,
+    {
+        mem.safe_write(pid, self.witness[v as usize], 1);
+        let decided = self.consensus.propose(mem, pid, v as u64);
+        if decided == v as u64 {
+            JamOutcome::Success
+        } else {
+            JamOutcome::Fail
+        }
+    }
+
+    /// `Read` per Definition 4.1.
+    pub fn read<M: WordMem + ?Sized>(&self, mem: &M, pid: Pid) -> Tri
+    where
+        C: InitializableConsensus<M>,
+    {
+        let w0 = mem.safe_read(pid, self.witness[0]) != 0;
+        let w1 = mem.safe_read(pid, self.witness[1]) != 0;
+        let propose = match (w0, w1) {
+            (false, false) => return Tri::Undef,
+            (_, true) => true,
+            (true, false) => false,
+        };
+        let decided = self.consensus.propose(mem, pid, propose as u64);
+        Tri::from_bit(decided == 1)
+    }
+
+    /// `Flush`: non-atomic reset (Definition 4.1 caveat applies).
+    pub fn flush<M: WordMem + ?Sized>(&self, mem: &M, pid: Pid)
+    where
+        C: InitializableConsensus<M>,
+    {
+        self.consensus.reset(mem, pid);
+        mem.safe_write(pid, self.witness[0], 0);
+        mem.safe_write(pid, self.witness[1], 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consensus::{StickyBinaryConsensus, StickyWordConsensus};
+    use crate::randomized::RandomizedConsensus;
+    use sbu_mem::native::NativeMem;
+    use sbu_sim::{
+        run_uniform, EpisodeResult, Explorer, HistoryRecorder, RandomAdversary, RunOptions,
+        Scripted, SimMem,
+    };
+    use sbu_spec::linearize::check;
+    use sbu_spec::specs::{StickyOp, StickyResp, StickySpec};
+
+    #[test]
+    fn sequential_semantics_match_definition_4_1() {
+        let mut mem: NativeMem<()> = NativeMem::new();
+        let cons = StickyWordConsensus::new(&mut mem);
+        let sb = ConsensusStickyBit::new(&mut mem, cons);
+        assert_eq!(sb.read(&mem, Pid(0)), Tri::Undef);
+        assert_eq!(sb.jam(&mem, Pid(0), false), JamOutcome::Success);
+        assert_eq!(sb.jam(&mem, Pid(1), false), JamOutcome::Success);
+        assert_eq!(sb.jam(&mem, Pid(2), true), JamOutcome::Fail);
+        assert_eq!(sb.read(&mem, Pid(2)), Tri::Zero);
+        sb.flush(&mem, Pid(0));
+        assert_eq!(sb.read(&mem, Pid(0)), Tri::Undef);
+        assert_eq!(sb.jam(&mem, Pid(2), true), JamOutcome::Success);
+        assert_eq!(sb.read(&mem, Pid(0)), Tri::One);
+    }
+
+    /// Exhaustive linearizability against `StickySpec` for two processors
+    /// (one jams, one reads, then both jam opposite values), with one crash.
+    #[test]
+    fn exhaustive_linearizable_against_sticky_spec() {
+        let explorer = Explorer {
+            max_schedules: 3_000_000,
+            max_failures: 1,
+        };
+        let report = explorer.explore(|script| {
+            let mut mem: SimMem<()> = SimMem::new(2);
+            let cons = StickyBinaryConsensus::new(&mut mem);
+            let sb = ConsensusStickyBit::new(&mut mem, cons);
+            let sb2 = sb.clone();
+            let rec: std::sync::Arc<HistoryRecorder<StickyOp, StickyResp>> =
+                std::sync::Arc::new(HistoryRecorder::new());
+            let rec2 = std::sync::Arc::clone(&rec);
+            let out = run_uniform(
+                &mem,
+                Box::new(Scripted::new(script.to_vec()).with_crashes(1)),
+                RunOptions::default(),
+                2,
+                move |mem, pid| {
+                    if pid.0 == 0 {
+                        rec2.record(mem, pid, StickyOp::Jam(true), || {
+                            match sb2.jam(mem, pid, true) {
+                                JamOutcome::Success => StickyResp::Success,
+                                JamOutcome::Fail => StickyResp::Fail,
+                            }
+                        });
+                    } else {
+                        rec2.record(mem, pid, StickyOp::Read, || {
+                            StickyResp::Value(sb2.read(mem, pid))
+                        });
+                        rec2.record(mem, pid, StickyOp::Jam(false), || {
+                            match sb2.jam(mem, pid, false) {
+                                JamOutcome::Success => StickyResp::Success,
+                                JamOutcome::Fail => StickyResp::Fail,
+                            }
+                        });
+                    }
+                },
+            );
+            let choice_log = out.choice_log.clone();
+            let verdict = (|| {
+                if !out.violations.is_empty() {
+                    return Err(format!("violations: {:?}", out.violations));
+                }
+                let h = rec.history();
+                if !check(&h, StickySpec::new()).is_linearizable() {
+                    return Err(format!("not linearizable: {h:?}"));
+                }
+                Ok(())
+            })();
+            EpisodeResult {
+                choice_log,
+                verdict,
+            }
+        });
+        report.assert_all_ok();
+    }
+
+    /// The paper's corollary: a randomized wait-free sticky bit from
+    /// registers only.
+    #[test]
+    fn randomized_sticky_bit_from_registers_only() {
+        for seed in 0..15 {
+            let n = 3;
+            let mut mem: SimMem<()> = SimMem::new(n);
+            let cons = RandomizedConsensus::new(&mut mem, n, seed);
+            let sb = ConsensusStickyBit::new(&mut mem, cons);
+            let sb2 = sb.clone();
+            let rec: std::sync::Arc<HistoryRecorder<StickyOp, StickyResp>> =
+                std::sync::Arc::new(HistoryRecorder::new());
+            let rec2 = std::sync::Arc::clone(&rec);
+            let out = run_uniform(
+                &mem,
+                Box::new(RandomAdversary::new(seed).with_crashes(1, 10_000)),
+                RunOptions::default(),
+                n,
+                move |mem, pid| {
+                    let bit = pid.0 % 2 == 0;
+                    rec2.record(mem, pid, StickyOp::Jam(bit), || {
+                        match sb2.jam(mem, pid, bit) {
+                            JamOutcome::Success => StickyResp::Success,
+                            JamOutcome::Fail => StickyResp::Fail,
+                        }
+                    });
+                    rec2.record(mem, pid, StickyOp::Read, || {
+                        StickyResp::Value(sb2.read(mem, pid))
+                    });
+                },
+            );
+            assert!(!out.aborted, "seed {seed}");
+            let h = rec.history();
+            assert!(
+                check(&h, StickySpec::new()).is_linearizable(),
+                "seed {seed}: {h:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn flush_then_fresh_round() {
+        let mut mem: NativeMem<()> = NativeMem::new();
+        let cons = StickyWordConsensus::new(&mut mem);
+        let sb = ConsensusStickyBit::new(&mut mem, cons);
+        for round in 0..5 {
+            let bit = round % 2 == 0;
+            assert_eq!(sb.jam(&mem, Pid(0), bit), JamOutcome::Success);
+            assert_eq!(sb.read(&mem, Pid(1)), Tri::from_bit(bit));
+            sb.flush(&mem, Pid(1));
+            assert_eq!(sb.read(&mem, Pid(0)), Tri::Undef);
+        }
+    }
+}

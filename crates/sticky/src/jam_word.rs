@@ -1,0 +1,548 @@
+//! The Sticky Byte: Figure 2's `Jam(v_i)` helping algorithm.
+//!
+//! An ℓ-bit write-once value represented by ℓ atomic sticky bits. A naive
+//! bit-by-bit jam is wrong — two processors jamming `(1,0)` and `(0,1)` can
+//! interleave into the never-proposed `(1,1)` — and a processor that simply
+//! returns "fail" on the first disagreeing bit may strand the winner's
+//! remaining bits undefined if the winner crashes.
+//!
+//! Figure 2's fix is the paper's helping paradigm: every participant first
+//! *announces* its value in a single-writer safe register (`v_i`, guarded by
+//! the flag `g_i`), then jams bits on behalf of a **candidate** value,
+//! initially its own. When a jam of bit `j` fails, the processor scans the
+//! announcements for a value that agrees with the sticky prefix jammed so
+//! far — such a value must exist, because whoever jammed bit `j` was working
+//! on behalf of an announced value — adopts it as its new candidate, and
+//! keeps jamming. All participants therefore drive the *same* surviving
+//! value to completion, and the object's final value is always one that some
+//! participant announced.
+
+use sbu_mem::{JamOutcome, Pid, SafeId, StickyBitId, Tri, Word, WordMem};
+
+/// An ℓ-bit sticky byte for `n` processors (Figure 2).
+///
+/// The object is a passive bundle of register handles; all shared state
+/// lives in the backend, so a `JamWord` can be freely copied/shared across
+/// threads.
+///
+/// ```
+/// use sbu_mem::{native::NativeMem, Pid, JamOutcome};
+/// use sbu_sticky::JamWord;
+///
+/// let mut mem: NativeMem<()> = NativeMem::new();
+/// let jw = JamWord::new(&mut mem, 2, 8);
+/// let (out, value) = jw.jam(&mem, Pid(0), 0xA5);
+/// assert_eq!(out, JamOutcome::Success);
+/// assert_eq!(value, 0xA5);
+/// // A disagreeing jam fails but reports the winning value.
+/// let (out, value) = jw.jam(&mem, Pid(1), 0x5A);
+/// assert_eq!(out, JamOutcome::Fail);
+/// assert_eq!(value, 0xA5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct JamWord {
+    n: usize,
+    width: u32,
+    bits: Vec<StickyBitId>,
+    /// `g_i`: processor `i` has a valid announcement.
+    announced: Vec<SafeId>,
+    /// `v_i`: processor `i`'s announced value (single-writer).
+    values: Vec<SafeId>,
+}
+
+impl JamWord {
+    /// Allocate a sticky byte of `width` bits for processors `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds 63 (values must stay below the
+    /// sticky-word sentinel), or if `n` is 0.
+    pub fn new<M: WordMem + ?Sized>(mem: &mut M, n: usize, width: u32) -> Self {
+        assert!(n > 0, "at least one processor");
+        assert!((1..=63).contains(&width), "width must be in 1..=63");
+        Self {
+            n,
+            width,
+            bits: (0..width).map(|_| mem.alloc_sticky_bit()).collect(),
+            announced: (0..n).map(|_| mem.alloc_safe(0)).collect(),
+            values: (0..n).map(|_| mem.alloc_safe(0)).collect(),
+        }
+    }
+
+    /// Width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Number of participating processors.
+    pub fn n_procs(&self) -> usize {
+        self.n
+    }
+
+    /// Largest representable value.
+    pub fn max_value(&self) -> Word {
+        (1u64 << self.width) - 1
+    }
+
+    fn bit_of(value: Word, j: u32) -> bool {
+        value >> j & 1 == 1
+    }
+
+    /// `Jam(value)`: returns the outcome and the object's (now fully
+    /// defined) value. `Success` iff the final value equals `value`.
+    ///
+    /// Wait-free: O(ℓ) jams plus at most ℓ candidate rescans of O(n) reads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` exceeds [`JamWord::max_value`] or `pid` is out of
+    /// range.
+    pub fn jam<M: WordMem + ?Sized>(&self, mem: &M, pid: Pid, value: Word) -> (JamOutcome, Word) {
+        assert!(
+            value <= self.max_value(),
+            "value wider than the sticky byte"
+        );
+        assert!(pid.0 < self.n, "pid out of range");
+        // Announce: write v_i, then raise g_i (order matters: a raised flag
+        // implies the value register is stable).
+        mem.safe_write(pid, self.values[pid.0], value);
+        mem.safe_write(pid, self.announced[pid.0], 1);
+
+        let mut candidate = value;
+        for j in 0..self.width {
+            let b = Self::bit_of(candidate, j);
+            if mem.sticky_jam(pid, self.bits[j as usize], b).is_success() {
+                continue;
+            }
+            // Bit j holds !b: adopt an announced value agreeing with the
+            // jammed prefix (bits 0..=j of the object).
+            let prefix_mask: Word = (1u64 << (j + 1)) - 1;
+            let target = (candidate & !(1u64 << j) | ((!b as u64) << j)) & prefix_mask;
+            candidate = self.find_candidate(mem, pid, j, target).unwrap_or_else(|| {
+                panic!(
+                    "Figure 2 invariant broken: bit {j} was jammed to {} but no \
+                     announced value matches prefix {target:#b}",
+                    !b
+                )
+            });
+            debug_assert_eq!(candidate & prefix_mask, target);
+        }
+        let outcome = if candidate == value {
+            JamOutcome::Success
+        } else {
+            JamOutcome::Fail
+        };
+        (outcome, candidate)
+    }
+
+    /// Scan announcements for a value whose low `j+1` bits equal `target`.
+    fn find_candidate<M: WordMem + ?Sized>(
+        &self,
+        mem: &M,
+        pid: Pid,
+        j: u32,
+        target: Word,
+    ) -> Option<Word> {
+        let prefix_mask: Word = (1u64 << (j + 1)) - 1;
+        for k in 0..self.n {
+            if mem.safe_read(pid, self.announced[k]) != 0 {
+                let vk = mem.safe_read(pid, self.values[k]);
+                if vk & prefix_mask == target && vk <= self.max_value() {
+                    return Some(vk);
+                }
+            }
+        }
+        None
+    }
+
+    /// The strawman `Jam` the paper warns against (Section 4): jam the bits
+    /// one by one with **no announcement and no helping**, giving up on the
+    /// first disagreement.
+    ///
+    /// Exists for the ablation experiment (E1d) and for tests that
+    /// demonstrate the two failure modes the paper describes:
+    /// * two concurrent jams can interleave into a *blended* value nobody
+    ///   proposed — e.g. `(1,0)` and `(0,1)` into `(1,1)`;
+    /// * an early-returning loser leaves the winner's remaining bits
+    ///   undefined if the winner crashes.
+    ///
+    /// Do not use for anything but demonstrating its own brokenness.
+    pub fn jam_naive<M: WordMem + ?Sized>(
+        &self,
+        mem: &M,
+        pid: Pid,
+        value: Word,
+    ) -> (JamOutcome, Option<Word>) {
+        assert!(
+            value <= self.max_value(),
+            "value wider than the sticky byte"
+        );
+        for j in 0..self.width {
+            let b = Self::bit_of(value, j);
+            if !mem.sticky_jam(pid, self.bits[j as usize], b).is_success() {
+                return (JamOutcome::Fail, self.read(mem, pid));
+            }
+        }
+        (JamOutcome::Success, Some(value))
+    }
+
+    /// The other strawman: jam *all* bits regardless of per-bit failures.
+    /// This keeps the object defined but can **blend** two proposals into a
+    /// value nobody proposed — the paper's `(1,0)` vs `(0,1)` → `(1,1)`
+    /// example, which the explorer finds mechanically (E1d / tests).
+    pub fn jam_oblivious<M: WordMem + ?Sized>(
+        &self,
+        mem: &M,
+        pid: Pid,
+        value: Word,
+    ) -> (JamOutcome, Option<Word>) {
+        assert!(
+            value <= self.max_value(),
+            "value wider than the sticky byte"
+        );
+        let mut all_stuck = true;
+        for j in 0..self.width {
+            let b = Self::bit_of(value, j);
+            all_stuck &= mem.sticky_jam(pid, self.bits[j as usize], b).is_success();
+        }
+        let outcome = if all_stuck {
+            JamOutcome::Success
+        } else {
+            JamOutcome::Fail
+        };
+        (outcome, self.read(mem, pid))
+    }
+
+    /// READ: the value if all bits are defined, `None` (`⊥`) otherwise.
+    ///
+    /// Linearizable: the object becomes defined at the step its last bit is
+    /// jammed; any read observing an undefined bit linearizes before that.
+    pub fn read<M: WordMem + ?Sized>(&self, mem: &M, pid: Pid) -> Option<Word> {
+        let mut value: Word = 0;
+        for j in 0..self.width {
+            match mem.sticky_read(pid, self.bits[j as usize]) {
+                Tri::Undef => return None,
+                Tri::One => value |= 1u64 << j,
+                Tri::Zero => {}
+            }
+        }
+        Some(value)
+    }
+
+    /// FLUSH: reset all bits and announcements to the initial state.
+    /// Non-atomic — the caller must guarantee no concurrent operation
+    /// (Definition 4.1), as the GRAB/INIT protocol of Section 6 does.
+    pub fn flush<M: WordMem + ?Sized>(&self, mem: &M, pid: Pid) {
+        for j in 0..self.width {
+            mem.sticky_flush(pid, self.bits[j as usize]);
+        }
+        for k in 0..self.n {
+            mem.safe_write(pid, self.announced[k], 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbu_mem::native::NativeMem;
+    use sbu_sim::{
+        run_uniform, EpisodeResult, Explorer, RandomAdversary, RunOptions, Scripted, SimMem,
+    };
+    use std::sync::Arc;
+
+    #[test]
+    fn solo_jam_defines_the_value() {
+        let mut mem: NativeMem<()> = NativeMem::new();
+        let jw = JamWord::new(&mut mem, 1, 16);
+        assert_eq!(jw.read(&mem, Pid(0)), None);
+        let (out, v) = jw.jam(&mem, Pid(0), 0xBEEF);
+        assert!(out.is_success());
+        assert_eq!(v, 0xBEEF);
+        assert_eq!(jw.read(&mem, Pid(0)), Some(0xBEEF));
+    }
+
+    #[test]
+    fn agreeing_jam_succeeds_after_the_fact() {
+        let mut mem: NativeMem<()> = NativeMem::new();
+        let jw = JamWord::new(&mut mem, 2, 8);
+        jw.jam(&mem, Pid(0), 7);
+        let (out, v) = jw.jam(&mem, Pid(1), 7);
+        assert!(out.is_success());
+        assert_eq!(v, 7);
+    }
+
+    #[test]
+    fn flush_resets_for_reuse() {
+        let mut mem: NativeMem<()> = NativeMem::new();
+        let jw = JamWord::new(&mut mem, 2, 4);
+        jw.jam(&mem, Pid(0), 9);
+        jw.flush(&mem, Pid(1));
+        assert_eq!(jw.read(&mem, Pid(0)), None);
+        let (out, v) = jw.jam(&mem, Pid(1), 3);
+        assert!(out.is_success());
+        assert_eq!(v, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than the sticky byte")]
+    fn oversized_value_is_rejected() {
+        let mut mem: NativeMem<()> = NativeMem::new();
+        let jw = JamWord::new(&mut mem, 1, 4);
+        jw.jam(&mem, Pid(0), 16);
+    }
+
+    /// The motivating counterexample from Section 4: (1,0) vs (0,1) must
+    /// never interleave into (1,1) — exhaustively over all schedules.
+    #[test]
+    fn exhaustive_two_procs_never_blend_values() {
+        let explorer = Explorer::new(500_000);
+        let report = explorer.explore(|script| {
+            let mut mem: SimMem<()> = SimMem::new(2);
+            let jw = JamWord::new(&mut mem, 2, 2);
+            let jw2 = jw.clone();
+            let out = run_uniform(
+                &mem,
+                Box::new(Scripted::new(script.to_vec())),
+                RunOptions::default(),
+                2,
+                move |mem, pid| {
+                    let value = if pid.0 == 0 { 0b01 } else { 0b10 };
+                    jw2.jam(mem, pid, value)
+                },
+            );
+            let choice_log = out.choice_log.clone();
+            let verdict = (|| {
+                out.assert_clean();
+                let results: Vec<(JamOutcome, Word)> = out.results().into_iter().cloned().collect();
+                let final_value = jw.read(&mem, Pid(0)).expect("defined after both jams");
+                if final_value != 0b01 && final_value != 0b10 {
+                    return Err(format!("blended value {final_value:#b}"));
+                }
+                for (i, (outcome, seen)) in results.iter().enumerate() {
+                    if *seen != final_value {
+                        return Err(format!(
+                            "p{i} saw {seen:#b} but object holds {final_value:#b}"
+                        ));
+                    }
+                    let mine = if i == 0 { 0b01 } else { 0b10 };
+                    let expect_ok = mine == final_value;
+                    if outcome.is_success() != expect_ok {
+                        return Err(format!(
+                            "p{i} outcome {outcome:?} vs final {final_value:#b}"
+                        ));
+                    }
+                }
+                Ok(())
+            })();
+            EpisodeResult {
+                choice_log,
+                verdict,
+            }
+        });
+        report.assert_all_ok();
+        assert!(report.schedules > 10, "non-trivial schedule tree expected");
+    }
+
+    /// With one crash allowed, survivors must still complete and agree, and
+    /// a crashed winner's bits must be finished by the helpers.
+    #[test]
+    fn exhaustive_two_procs_with_crash_still_agree() {
+        let explorer = Explorer {
+            max_schedules: 2_000_000,
+            max_failures: 1,
+        };
+        let report = explorer.explore(|script| {
+            let mut mem: SimMem<()> = SimMem::new(2);
+            let jw = JamWord::new(&mut mem, 2, 2);
+            let jw2 = jw.clone();
+            let out = run_uniform(
+                &mem,
+                Box::new(Scripted::new(script.to_vec()).with_crashes(1)),
+                RunOptions::default(),
+                2,
+                move |mem, pid| {
+                    let value = if pid.0 == 0 { 0b01 } else { 0b10 };
+                    jw2.jam(mem, pid, value)
+                },
+            );
+            let choice_log = out.choice_log.clone();
+            let verdict = (|| {
+                if !out.violations.is_empty() {
+                    return Err(format!("violations: {:?}", out.violations));
+                }
+                let final_value = jw.read(&mem, Pid(0));
+                for (i, o) in out.outcomes.iter().enumerate() {
+                    if let Some((outcome, seen)) = o.completed() {
+                        // Any completer fully defines the object.
+                        let fv = final_value.ok_or("completer left object undefined")?;
+                        if *seen != fv {
+                            return Err(format!("p{i} saw {seen:#b}, object {fv:#b}"));
+                        }
+                        if fv != 0b01 && fv != 0b10 {
+                            return Err(format!("blended value {fv:#b}"));
+                        }
+                        let mine = if i == 0 { 0b01 } else { 0b10 };
+                        if outcome.is_success() != (mine == fv) {
+                            return Err(format!("p{i} wrong outcome {outcome:?}"));
+                        }
+                    }
+                }
+                Ok(())
+            })();
+            EpisodeResult {
+                choice_log,
+                verdict,
+            }
+        });
+        report.assert_all_ok();
+    }
+
+    /// The paper's Section 4 counterexample, found mechanically: jamming
+    /// all bits obliviously, (0,1) vs (1,0) CAN blend into a value nobody
+    /// proposed.
+    #[test]
+    fn oblivious_jam_blends_values_on_some_schedule() {
+        let explorer = Explorer::new(100_000);
+        let report = explorer.explore(|script| {
+            let mut mem: SimMem<()> = SimMem::new(2);
+            let jw = JamWord::new(&mut mem, 2, 2);
+            let jw2 = jw.clone();
+            let out = run_uniform(
+                &mem,
+                Box::new(Scripted::new(script.to_vec())),
+                RunOptions::default(),
+                2,
+                move |mem, pid| {
+                    let value = if pid.0 == 0 { 0b01 } else { 0b10 };
+                    jw2.jam_oblivious(mem, pid, value)
+                },
+            );
+            let choice_log = out.choice_log.clone();
+            let verdict = match jw.read(&mem, Pid(0)) {
+                Some(v) if v != 0b01 && v != 0b10 => Err(format!("blended into {v:#b}")),
+                _ => Ok(()),
+            };
+            EpisodeResult {
+                choice_log,
+                verdict,
+            }
+        });
+        report.assert_some_failure();
+    }
+
+    /// Without helping, a loser that returns early may leave the object
+    /// undefined forever if the winner crashes — wait-freedom of READers
+    /// of the byte is lost. With Figure 2, the loser completes the winner's
+    /// bits.
+    #[test]
+    fn naive_jam_strands_bits_when_winner_crashes() {
+        // p0 jams 0b11 and will crash after its first bit; p1 jams 0b00,
+        // fails on bit 0, and (naively) gives up.
+        let mut mem: SimMem<()> = SimMem::new(2);
+        let jw = JamWord::new(&mut mem, 2, 2);
+        let jw2 = jw.clone();
+        let out = run_uniform(
+            &mem,
+            // Script: step p0 (jam bit0 = 1), crash p0 (index 2+0 = 2 with
+            // both waiting), then p1 runs: jam bit0=0 fails -> gives up.
+            Box::new(Scripted::new(vec![0, 2]).with_crashes(1)),
+            RunOptions::default(),
+            2,
+            move |mem, pid| {
+                let value = if pid.0 == 0 { 0b11 } else { 0b00 };
+                jw2.jam_naive(mem, pid, value)
+            },
+        );
+        assert!(out.outcomes[0].is_crashed());
+        assert_eq!(
+            jw.read(&mem, Pid(1)),
+            None,
+            "bit 1 stays undefined forever: the naive protocol is broken"
+        );
+        // The same scenario under Figure 2's helping: the loser completes
+        // the winner's value.
+        let mut mem: SimMem<()> = SimMem::new(2);
+        let jw = JamWord::new(&mut mem, 2, 2);
+        let jw2 = jw.clone();
+        let _ = run_uniform(
+            &mem,
+            // p0 announces (4 safe-write steps) and jams bit0, then crashes.
+            Box::new(Scripted::new(vec![0, 0, 0, 0, 0, 2]).with_crashes(1)),
+            RunOptions::default(),
+            2,
+            move |mem, pid| {
+                let value = if pid.0 == 0 { 0b11 } else { 0b00 };
+                jw2.jam(mem, pid, value)
+            },
+        );
+        assert_eq!(
+            jw.read(&mem, Pid(1)),
+            Some(0b11),
+            "helping completed the crashed winner's value"
+        );
+    }
+
+    /// Randomized stress: many processors, wide words, native threads.
+    #[test]
+    fn native_threads_agree_under_contention() {
+        for round in 0..20 {
+            let mut mem: NativeMem<()> = NativeMem::new();
+            let n = 8;
+            let jw = JamWord::new(&mut mem, n, 16);
+            let mem = Arc::new(mem);
+            let results: Vec<(JamOutcome, Word)> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..n)
+                    .map(|i| {
+                        let mem = Arc::clone(&mem);
+                        let jw = jw.clone();
+                        s.spawn(move || jw.jam(&*mem, Pid(i), (round * 100 + i as u64) & 0xFFFF))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            let final_value = jw.read(&*mem, Pid(0)).expect("defined");
+            let winners = results.iter().filter(|(o, _)| o.is_success()).count();
+            assert!(winners >= 1, "someone must win");
+            for (i, (outcome, seen)) in results.iter().enumerate() {
+                assert_eq!(*seen, final_value);
+                let mine = (round * 100 + i as u64) & 0xFFFF;
+                assert_eq!(outcome.is_success(), mine == final_value);
+            }
+            // Validity: the final value was somebody's proposal.
+            assert!((0..n).any(|i| (round * 100 + i as u64) & 0xFFFF == final_value));
+        }
+    }
+
+    /// Fuzz in the simulator with hostile corrupt words and random crashes.
+    #[test]
+    fn simulated_fuzz_many_procs() {
+        for seed in 0..40 {
+            let n = 4;
+            let mut mem: SimMem<()> = SimMem::new(n);
+            let jw = JamWord::new(&mut mem, n, 6);
+            let jw2 = jw.clone();
+            let out = run_uniform(
+                &mem,
+                Box::new(
+                    RandomAdversary::new(seed)
+                        .with_crashes(1, 20_000)
+                        .with_corrupt_palette(vec![0, 1, u64::MAX, 0b111111]),
+                ),
+                RunOptions::default(),
+                n,
+                move |mem, pid| jw2.jam(mem, pid, pid.0 as u64 + 10),
+            );
+            assert!(out.violations.is_empty(), "{:?}", out.violations);
+            let final_value = jw.read(&mem, Pid(0));
+            for (i, o) in out.outcomes.iter().enumerate() {
+                if let Some((outcome, seen)) = o.completed() {
+                    let fv = final_value.expect("completer defines object");
+                    assert_eq!(*seen, fv, "seed {seed} p{i}");
+                    assert!((10..10 + n as u64).contains(&fv), "validity, seed {seed}");
+                    assert_eq!(outcome.is_success(), i as u64 + 10 == fv);
+                }
+            }
+        }
+    }
+}

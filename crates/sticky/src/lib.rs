@@ -1,0 +1,66 @@
+//! # sbu-sticky — Sticky Bytes, leader election, and consensus (Section 4)
+//!
+//! This crate implements Section 4 of the paper plus the consensus substrate
+//! the rest of the workspace builds on:
+//!
+//! * [`jam_word::JamWord`] — the **Sticky Byte**: an ℓ-bit write-once value
+//!   built from ℓ atomic sticky bits using the helping algorithm of
+//!   Figure 2. Processors that discover they must fail *help* the processor
+//!   that can still succeed, the paper's central paradigm.
+//! * [`election::LeaderElection`] — wait-free leader election: every
+//!   processor jams its own id into a ⌈log₂ n⌉-bit sticky byte
+//!   (the paper's O(log n) observation).
+//! * [`consensus`] — the [`consensus::Consensus`] /
+//!   [`consensus::InitializableConsensus`] traits and deterministic
+//!   implementations from sticky primitives and from 3-valued RMW (the
+//!   level at which the RMW hierarchy collapses).
+//! * [`randomized`] — randomized binary consensus from **atomic registers
+//!   only** (adopt–commit rounds plus a voting weak shared coin, after
+//!   Aspnes–Herlihy, the paper's reference \[2\]), which together with
+//!   [`from_consensus`] yields the paper's corollary that polynomially many
+//!   safe bits suffice for a *randomized* wait-free universal construction.
+//! * [`from_consensus::ConsensusStickyBit`] — an atomic sticky bit from one
+//!   *initializable* single-bit consensus object and two safe bits
+//!   (Section 4's observation), closing the loop: sticky bit ≡ consensus.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod consensus;
+pub mod election;
+pub mod fig2_mem;
+pub mod from_consensus;
+pub mod jam_word;
+pub mod randomized;
+
+pub use consensus::{BitwiseConsensus, Consensus, InitializableConsensus};
+pub use election::LeaderElection;
+pub use fig2_mem::Fig2Mem;
+pub use from_consensus::ConsensusStickyBit;
+pub use jam_word::JamWord;
+pub use randomized::RandomizedConsensus;
+
+/// Number of bits needed to represent values `0..n` (at least 1).
+pub fn bits_for(n: usize) -> u32 {
+    usize::BITS - n.saturating_sub(1).leading_zeros().min(usize::BITS - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_for_covers_the_range() {
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 1);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(4), 2);
+        assert_eq!(bits_for(5), 3);
+        assert_eq!(bits_for(8), 3);
+        assert_eq!(bits_for(9), 4);
+        for n in 1..100usize {
+            let b = bits_for(n);
+            assert!(1u64 << b >= n as u64, "n={n} b={b}");
+        }
+    }
+}

@@ -1,0 +1,464 @@
+//! Randomized binary consensus from registers only (the paper's
+//! references \[1\]–\[4\] substrate).
+//!
+//! Deterministic wait-free consensus from registers is impossible (FLP /
+//! Dolev–Dwork–Stockmeyer, see `sbu-rmw`'s empirical demonstration), but
+//! *randomized* consensus — termination with probability 1 — is not. The
+//! paper's introduction leans on this: composing a randomized consensus with
+//! [`crate::from_consensus::ConsensusStickyBit`] yields a randomized
+//! wait-free sticky bit, hence a randomized universal construction from
+//! polynomially many bits.
+//!
+//! The implementation is the classic conciliator loop (after
+//! Aspnes–Herlihy \[2\] / Gafni's adopt–commit):
+//!
+//! ```text
+//! v ← input
+//! for round r = 0, 1, …:
+//!     v ← conciliator_r(v)            // probabilistically agreeing
+//!     (status, v) ← adopt_commit_r(v) // deterministically safe
+//!     if status = Commit: decide v
+//! ```
+//!
+//! * The **adopt–commit** object guarantees: two commits agree; a commit
+//!   forces every other participant to adopt the committed value; unanimous
+//!   inputs always commit. It is built from multi-writer atomic registers.
+//! * The **conciliator** makes all participants leave with the same value
+//!   with constant probability, using a *voting weak shared coin*: each
+//!   participant adds ±1 votes to its own single-writer register until the
+//!   global tally clears a threshold, then takes the sign.
+//!
+//! Agreement and validity are deterministic (never violated); only the
+//! number of rounds is random. A generous round budget is preallocated
+//! because registers cannot be allocated mid-run; exceeding it panics with
+//! vanishing probability (the paper's reference \[3\] is precisely about
+//! bounding this).
+//!
+//! Honest accounting: we build on *atomic* registers. Lamport's register
+//! constructions (reference \[9\]) implement single-writer atomic registers
+//! from safe bits, and multi-writer from single-writer; we take those
+//! classical reductions as given rather than reproducing them.
+
+use crate::consensus::{Consensus, InitializableConsensus};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sbu_mem::{AtomicId, Pid, Word, WordMem};
+use std::sync::Arc;
+
+/// Result of an adopt–commit round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcStatus {
+    /// Safe to decide: every participant leaves with this value.
+    Commit,
+    /// Carry this value into the next round.
+    Adopt,
+}
+
+/// Gafni-style adopt–commit object from atomic registers.
+#[derive(Debug, Clone)]
+pub struct AdoptCommit {
+    n: usize,
+    /// Announcements: `0 = ⊥`, else `value + 1`. Single-writer each.
+    announce: Vec<AtomicId>,
+    /// The racy write-once proposal register (multi-writer).
+    proposal: AtomicId,
+}
+
+impl AdoptCommit {
+    /// Allocate for processors `0..n`.
+    pub fn new<M: WordMem + ?Sized>(mem: &mut M, n: usize) -> Self {
+        Self {
+            n,
+            announce: (0..n).map(|_| mem.alloc_atomic(0)).collect(),
+            proposal: mem.alloc_atomic(0),
+        }
+    }
+
+    /// One adopt–commit round.
+    pub fn propose<M: WordMem + ?Sized>(&self, mem: &M, pid: Pid, v: Word) -> (AcStatus, Word) {
+        mem.atomic_write(pid, self.announce[pid.0], v + 1);
+        if mem.atomic_read(pid, self.proposal) == 0 {
+            mem.atomic_write(pid, self.proposal, v + 1);
+        }
+        let p = mem.atomic_read(pid, self.proposal);
+        debug_assert_ne!(p, 0, "someone wrote before any read returned non-zero");
+        let adopted = p - 1;
+        if adopted == v {
+            let unanimous = (0..self.n).all(|j| {
+                let a = mem.atomic_read(pid, self.announce[j]);
+                a == 0 || a == v + 1
+            });
+            if unanimous {
+                return (AcStatus::Commit, v);
+            }
+        }
+        (AcStatus::Adopt, adopted)
+    }
+
+    /// Non-atomic reset.
+    pub fn reset<M: WordMem + ?Sized>(&self, mem: &M, pid: Pid) {
+        for &a in &self.announce {
+            mem.atomic_write(pid, a, 0);
+        }
+        mem.atomic_write(pid, self.proposal, 0);
+    }
+}
+
+/// A voting weak shared coin plus value-announcement conciliator.
+#[derive(Debug, Clone)]
+pub struct Conciliator {
+    n: usize,
+    /// Per-processor vote tallies, biased by [`Conciliator::BIAS`].
+    votes: Vec<AtomicId>,
+    /// Value announcements: `0 = ⊥`, else `value + 1`.
+    seen: Vec<AtomicId>,
+    threshold: i64,
+}
+
+impl Conciliator {
+    const BIAS: Word = 1 << 32;
+
+    /// Allocate for processors `0..n`. The coin terminates when the global
+    /// tally reaches `±threshold` (default `n + 1` votes of margin).
+    pub fn new<M: WordMem + ?Sized>(mem: &mut M, n: usize) -> Self {
+        Self {
+            n,
+            votes: (0..n).map(|_| mem.alloc_atomic(Self::BIAS)).collect(),
+            seen: (0..n).map(|_| mem.alloc_atomic(0)).collect(),
+            threshold: n as i64 + 1,
+        }
+    }
+
+    /// Produce a value: the unanimous input if there is one (validity),
+    /// otherwise the shared coin's sign.
+    pub fn propose<M: WordMem + ?Sized>(
+        &self,
+        mem: &M,
+        pid: Pid,
+        v: Word,
+        rng: &mut SmallRng,
+    ) -> Word {
+        debug_assert!(v <= 1);
+        mem.atomic_write(pid, self.seen[pid.0], v + 1);
+        let coin = self.flip(mem, pid, rng);
+        let mut values = [false; 2];
+        for j in 0..self.n {
+            match mem.atomic_read(pid, self.seen[j]) {
+                0 => {}
+                w => values[(w - 1) as usize] = true,
+            }
+        }
+        match (values[0], values[1]) {
+            (true, false) => 0,
+            (false, true) => 1,
+            _ => coin as Word,
+        }
+    }
+
+    /// The voting weak shared coin: add ±1 votes until the global tally
+    /// clears the threshold; return its sign.
+    fn flip<M: WordMem + ?Sized>(&self, mem: &M, pid: Pid, rng: &mut SmallRng) -> bool {
+        let mut my_tally: i64 = mem.atomic_read(pid, self.votes[pid.0]) as i64 - Self::BIAS as i64;
+        loop {
+            let vote: i64 = if rng.gen() { 1 } else { -1 };
+            my_tally += vote;
+            mem.atomic_write(
+                pid,
+                self.votes[pid.0],
+                (my_tally + Self::BIAS as i64) as Word,
+            );
+            let total: i64 = (0..self.n)
+                .map(|j| mem.atomic_read(pid, self.votes[j]) as i64 - Self::BIAS as i64)
+                .sum();
+            if total.abs() >= self.threshold {
+                return total >= 0;
+            }
+        }
+    }
+
+    /// Non-atomic reset.
+    pub fn reset<M: WordMem + ?Sized>(&self, mem: &M, pid: Pid) {
+        for &r in &self.votes {
+            mem.atomic_write(pid, r, Self::BIAS);
+        }
+        for &r in &self.seen {
+            mem.atomic_write(pid, r, 0);
+        }
+    }
+}
+
+struct Inner {
+    n: usize,
+    rounds: Vec<(Conciliator, AdoptCommit)>,
+    /// Decision announcements: `0 = ⊥`, else `value + 1`.
+    decided: Vec<AtomicId>,
+    rngs: Vec<parking_lot::Mutex<SmallRng>>,
+}
+
+/// Randomized wait-free binary consensus from atomic registers only.
+///
+/// Agreement and validity hold in **every** execution; termination holds
+/// with probability 1 (within the preallocated round budget, which panicking
+/// enforces loudly rather than silently).
+///
+/// ```
+/// use sbu_mem::{native::NativeMem, Pid};
+/// use sbu_sticky::{Consensus, RandomizedConsensus};
+///
+/// let mut mem: NativeMem<()> = NativeMem::new();
+/// let rc = RandomizedConsensus::new(&mut mem, 2, 0xC0FFEE);
+/// let d = rc.propose(&mem, Pid(0), 1);
+/// assert_eq!(d, 1); // solo: my value wins
+/// assert_eq!(rc.propose(&mem, Pid(1), 0), 1);
+/// ```
+#[derive(Clone)]
+pub struct RandomizedConsensus {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for RandomizedConsensus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RandomizedConsensus")
+            .field("n_procs", &self.inner.n)
+            .field("round_budget", &self.inner.rounds.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Preallocated round budget. Each round commits unanimity with constant
+/// probability, so 64 rounds fail with probability ≈ 2⁻⁶⁴-ish.
+pub const MAX_ROUNDS: usize = 64;
+
+impl RandomizedConsensus {
+    /// Allocate for processors `0..n`, with deterministic per-processor
+    /// randomness derived from `seed`.
+    pub fn new<M: WordMem + ?Sized>(mem: &mut M, n: usize, seed: u64) -> Self {
+        let rounds = (0..MAX_ROUNDS)
+            .map(|_| (Conciliator::new(mem, n), AdoptCommit::new(mem, n)))
+            .collect();
+        Self {
+            inner: Arc::new(Inner {
+                n,
+                rounds,
+                decided: (0..n).map(|_| mem.alloc_atomic(0)).collect(),
+                rngs: (0..n)
+                    .map(|i| {
+                        parking_lot::Mutex::new(SmallRng::seed_from_u64(
+                            seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                                .wrapping_add(i as u64),
+                        ))
+                    })
+                    .collect(),
+            }),
+        }
+    }
+
+    /// Number of participating processors.
+    pub fn n_procs(&self) -> usize {
+        self.inner.n
+    }
+
+    /// Like [`Consensus::propose`], but also reports how many
+    /// conciliator/adopt–commit rounds this call used — the random variable
+    /// the expected-time analyses of references \[1\]–\[4\] bound.
+    pub fn propose_counting<M: WordMem + ?Sized>(
+        &self,
+        mem: &M,
+        pid: Pid,
+        value: Word,
+    ) -> (Word, usize) {
+        assert!(value <= 1, "binary consensus takes 0 or 1");
+        let mut rng = self.inner.rngs[pid.0].lock();
+        let mut v = value;
+        for (round, (conc, ac)) in self.inner.rounds.iter().enumerate() {
+            v = conc.propose(mem, pid, v, &mut rng);
+            let (status, w) = ac.propose(mem, pid, v);
+            v = w;
+            if status == AcStatus::Commit {
+                mem.atomic_write(pid, self.inner.decided[pid.0], v + 1);
+                return (v, round + 1);
+            }
+        }
+        panic!("randomized consensus exceeded its {MAX_ROUNDS} round budget");
+    }
+}
+
+impl<M: WordMem + ?Sized> Consensus<M> for RandomizedConsensus {
+    fn propose(&self, mem: &M, pid: Pid, value: Word) -> Word {
+        assert!(value <= 1, "binary consensus takes 0 or 1");
+        let mut rng = self.inner.rngs[pid.0].lock();
+        let mut v = value;
+        for (conc, ac) in &self.inner.rounds {
+            v = conc.propose(mem, pid, v, &mut rng);
+            let (status, w) = ac.propose(mem, pid, v);
+            v = w;
+            if status == AcStatus::Commit {
+                mem.atomic_write(pid, self.inner.decided[pid.0], v + 1);
+                return v;
+            }
+        }
+        panic!(
+            "randomized consensus exceeded its {} round budget \
+             (probability ~0; raise MAX_ROUNDS if it ever triggers)",
+            MAX_ROUNDS
+        );
+    }
+
+    fn decision(&self, mem: &M, pid: Pid) -> Option<Word> {
+        (0..self.inner.n)
+            .map(|j| mem.atomic_read(pid, self.inner.decided[j]))
+            .find(|&d| d != 0)
+            .map(|d| d - 1)
+    }
+}
+
+impl<M: WordMem + ?Sized> InitializableConsensus<M> for RandomizedConsensus {
+    fn reset(&self, mem: &M, pid: Pid) {
+        for (conc, ac) in &self.inner.rounds {
+            conc.reset(mem, pid);
+            ac.reset(mem, pid);
+        }
+        for &d in &self.inner.decided {
+            mem.atomic_write(pid, d, 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbu_mem::native::NativeMem;
+    use sbu_sim::{run_uniform, RandomAdversary, RunOptions, SimMem};
+    use std::sync::Arc as StdArc;
+
+    #[test]
+    fn adopt_commit_unanimous_inputs_commit() {
+        let mut mem: NativeMem<()> = NativeMem::new();
+        let ac = AdoptCommit::new(&mut mem, 3);
+        for i in 0..3 {
+            assert_eq!(ac.propose(&mem, Pid(i), 1), (AcStatus::Commit, 1));
+        }
+    }
+
+    #[test]
+    fn adopt_commit_commit_forces_adoption() {
+        let mut mem: NativeMem<()> = NativeMem::new();
+        let ac = AdoptCommit::new(&mut mem, 2);
+        assert_eq!(ac.propose(&mem, Pid(0), 0), (AcStatus::Commit, 0));
+        // A later conflicting proposal must adopt 0.
+        assert_eq!(ac.propose(&mem, Pid(1), 1), (AcStatus::Adopt, 0));
+    }
+
+    #[test]
+    fn adopt_commit_never_double_commits_exhaustively() {
+        use sbu_sim::{EpisodeResult, Explorer, Scripted};
+        let explorer = Explorer::new(2_000_000);
+        let report = explorer.explore(|script| {
+            let mut mem: SimMem<()> = SimMem::new(2);
+            let ac = AdoptCommit::new(&mut mem, 2);
+            let ac2 = ac.clone();
+            let out = run_uniform(
+                &mem,
+                Box::new(Scripted::new(script.to_vec())),
+                RunOptions::default(),
+                2,
+                move |mem, pid| ac2.propose(mem, pid, pid.0 as Word),
+            );
+            let choice_log = out.choice_log.clone();
+            let verdict = (|| {
+                let rs: Vec<(AcStatus, Word)> = out.results().into_iter().copied().collect();
+                // Two commits must agree; a commit forces the other to the
+                // same value.
+                if let Some((_, w)) = rs.iter().find(|(s, _)| *s == AcStatus::Commit) {
+                    if rs.iter().any(|(_, u)| u != w) {
+                        return Err(format!("commit {w} not respected: {rs:?}"));
+                    }
+                }
+                for (_, w) in &rs {
+                    if *w > 1 {
+                        return Err(format!("invalid value {w}"));
+                    }
+                }
+                Ok(())
+            })();
+            EpisodeResult {
+                choice_log,
+                verdict,
+            }
+        });
+        report.assert_all_ok();
+    }
+
+    #[test]
+    fn conciliator_preserves_unanimity() {
+        let mut mem: NativeMem<()> = NativeMem::new();
+        let c = Conciliator::new(&mut mem, 3);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for i in 0..3 {
+            assert_eq!(c.propose(&mem, Pid(i), 1, &mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn randomized_consensus_simulated_agreement_and_validity() {
+        for seed in 0..30 {
+            let n = 3;
+            let mut mem: SimMem<()> = SimMem::new(n);
+            let rc = RandomizedConsensus::new(&mut mem, n, seed);
+            let rc2 = rc.clone();
+            let out = run_uniform(
+                &mem,
+                Box::new(RandomAdversary::new(seed ^ 0xABCD).with_crashes(1, 5_000)),
+                RunOptions::default(),
+                n,
+                move |mem, pid| rc2.propose(mem, pid, (pid.0 % 2) as Word),
+            );
+            assert!(!out.aborted, "seed {seed}: round budget too small?");
+            let ds: Vec<Word> = out.results().into_iter().copied().collect();
+            if let Some(&first) = ds.first() {
+                assert!(ds.iter().all(|&d| d == first), "seed {seed}: {ds:?}");
+                assert!(first <= 1);
+                assert_eq!(
+                    Consensus::<SimMem<()>>::decision(&rc, &mem, Pid(0)),
+                    Some(first)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn randomized_consensus_native_threads() {
+        for seed in 0..10 {
+            let n = 6;
+            let mut mem: NativeMem<()> = NativeMem::new();
+            let rc = RandomizedConsensus::new(&mut mem, n, seed);
+            let mem = StdArc::new(mem);
+            let ds: Vec<Word> = std::thread::scope(|s| {
+                (0..n)
+                    .map(|i| {
+                        let mem = StdArc::clone(&mem);
+                        let rc = rc.clone();
+                        s.spawn(move || rc.propose(&*mem, Pid(i), (i % 2) as Word))
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .collect()
+            });
+            assert!(ds.iter().all(|&d| d == ds[0]), "seed {seed}: {ds:?}");
+        }
+    }
+
+    #[test]
+    fn reset_permits_reuse() {
+        let mut mem: NativeMem<()> = NativeMem::new();
+        let rc = RandomizedConsensus::new(&mut mem, 2, 9);
+        assert_eq!(rc.propose(&mem, Pid(0), 1), 1);
+        InitializableConsensus::<NativeMem<()>>::reset(&rc, &mem, Pid(0));
+        assert_eq!(
+            Consensus::<NativeMem<()>>::decision(&rc, &mem, Pid(1)),
+            None
+        );
+        assert_eq!(rc.propose(&mem, Pid(1), 0), 0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Property tests for the Figure 2 sticky byte: over proptest-generated
+//! schedules (decision scripts) and value assignments, agreement, validity
+//! and outcome-consistency always hold.
+
+use proptest::prelude::*;
+use sbu_mem::{JamOutcome, Pid, Word};
+use sbu_sim::{run_uniform, RunOptions, Scripted, SimMem};
+use sbu_sticky::{Consensus, JamWord};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Two processors, random 3-bit values, random schedule prefixes (the
+    /// Scripted adversary treats indices modulo the waiting set via the
+    /// generated range), optional crash decisions included.
+    #[test]
+    fn jam_word_agreement_validity_outcomes(
+        script in prop::collection::vec(0usize..2, 0..64),
+        v0 in 0u64..8,
+        v1 in 0u64..8,
+    ) {
+        let mut mem: SimMem<()> = SimMem::new(2);
+        let jw = JamWord::new(&mut mem, 2, 3);
+        let jw2 = jw.clone();
+        let out = run_uniform(
+            &mem,
+            Box::new(Scripted::new(script)),
+            RunOptions::default(),
+            2,
+            move |mem, pid| jw2.jam(mem, pid, if pid.0 == 0 { v0 } else { v1 }),
+        );
+        prop_assert!(out.violations.is_empty());
+        prop_assert!(!out.aborted);
+        let final_value = jw.read(&mem, Pid(0)).expect("both completed");
+        prop_assert!(final_value == v0 || final_value == v1, "blend {final_value:#b}");
+        for (i, o) in out.outcomes.iter().enumerate() {
+            let (outcome, seen) = o.completed().expect("no crashes scheduled");
+            let mine = if i == 0 { v0 } else { v1 };
+            prop_assert_eq!(*seen, final_value);
+            prop_assert_eq!(outcome.is_success(), mine == final_value);
+        }
+    }
+
+    /// Scripts with one crash decision allowed: survivors still agree and
+    /// never see a blended value.
+    #[test]
+    fn jam_word_with_crash_scripts(
+        script in prop::collection::vec(0usize..4, 0..48),
+        v0 in 0u64..4,
+        v1 in 0u64..4,
+    ) {
+        let mut mem: SimMem<()> = SimMem::new(2);
+        let jw = JamWord::new(&mut mem, 2, 2);
+        let jw2 = jw.clone();
+        let out = run_uniform(
+            &mem,
+            Box::new(Scripted::new(script).with_crashes(1)),
+            RunOptions::default(),
+            2,
+            move |mem, pid| jw2.jam(mem, pid, if pid.0 == 0 { v0 } else { v1 }),
+        );
+        prop_assert!(out.violations.is_empty());
+        let final_value = jw.read(&mem, Pid(0));
+        for (i, o) in out.outcomes.iter().enumerate() {
+            if let Some((outcome, seen)) = o.completed() {
+                let fv = final_value.expect("a completer defines the byte");
+                prop_assert!(fv == v0 || fv == v1);
+                prop_assert_eq!(*seen, fv);
+                let mine = if i == 0 { v0 } else { v1 };
+                prop_assert_eq!(outcome.is_success(), mine == fv);
+            }
+        }
+    }
+
+    /// Consensus objects built from sticky primitives: agreement + validity
+    /// over random schedules and inputs, three processors.
+    #[test]
+    fn sticky_consensus_properties(
+        script in prop::collection::vec(0usize..3, 0..64),
+        inputs in prop::collection::vec(0u64..2, 3),
+    ) {
+        use sbu_sticky::consensus::StickyBinaryConsensus;
+        let mut mem: SimMem<()> = SimMem::new(3);
+        let cons = StickyBinaryConsensus::new(&mut mem);
+        let inputs2 = inputs.clone();
+        let out = run_uniform(
+            &mem,
+            Box::new(Scripted::new(script)),
+            RunOptions::default(),
+            3,
+            move |mem, pid| cons.propose(mem, pid, inputs2[pid.0]),
+        );
+        prop_assert!(!out.aborted);
+        let ds: Vec<Word> = out.results().into_iter().copied().collect();
+        prop_assert!(ds.iter().all(|&d| d == ds[0]));
+        prop_assert!(inputs.contains(&ds[0]), "decision {} not an input", ds[0]);
+    }
+}
+
+/// Deterministic replay: the same script always yields the same outcome
+/// tuple (no hidden nondeterminism in the conductor).
+#[test]
+fn scripts_replay_identically() {
+    let script = vec![1usize, 0, 1, 1, 0, 0, 1];
+    let run = || {
+        let mut mem: SimMem<()> = SimMem::new(2);
+        let jw = JamWord::new(&mut mem, 2, 4);
+        let jw2 = jw.clone();
+        let out = run_uniform(
+            &mem,
+            Box::new(Scripted::new(script.clone())),
+            RunOptions::default(),
+            2,
+            move |mem, pid| jw2.jam(mem, pid, pid.0 as u64 + 5),
+        );
+        let results: Vec<(JamOutcome, Word)> = out.results().into_iter().cloned().collect();
+        (out.steps, results)
+    };
+    assert_eq!(run(), run());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Meta-property of the conductor: a scripted run is a pure function of
+    /// its script — replaying yields identical results, step counts, and
+    /// violation lists (the foundation the explorer stands on).
+    #[test]
+    fn replay_determinism_over_random_scripts(
+        script in prop::collection::vec(0usize..4, 0..80),
+        v0 in 0u64..16,
+        v1 in 0u64..16,
+    ) {
+        let run = |script: Vec<usize>| {
+            let mut mem: SimMem<()> = SimMem::new(2);
+            let jw = JamWord::new(&mut mem, 2, 4);
+            let jw2 = jw.clone();
+            let out = run_uniform(
+                &mem,
+                Box::new(Scripted::new(script).with_crashes(1)),
+                RunOptions::default(),
+                2,
+                move |mem, pid| jw2.jam(mem, pid, if pid.0 == 0 { v0 } else { v1 }),
+            );
+            (
+                out.steps,
+                out.steps_per_proc.clone(),
+                out.violations.len(),
+                out.results().into_iter().cloned().collect::<Vec<_>>(),
+                jw.read(&mem, Pid(0)),
+            )
+        };
+        prop_assert_eq!(run(script.clone()), run(script));
+    }
+}

@@ -1,0 +1,86 @@
+//! The RMW hierarchy, walked level by level (Sections 1 & 7):
+//!
+//! * registers alone cannot even do 2-consensus — the explorer *finds* the
+//!   disagreeing schedule;
+//! * one test-and-set bit does 2-consensus but not 3 — the explorer finds
+//!   the winner-suspended-before-publishing schedule;
+//! * one sticky bit (≡ one 3-valued RMW) does n-consensus — the explorer
+//!   exhausts every schedule without finding a counterexample;
+//! * and via the universal construction, 3-valued primitives implement a
+//!   full CAS register: the hierarchy has collapsed.
+//!
+//! ```sh
+//! cargo run --example hierarchy
+//! ```
+
+use std::sync::Arc;
+use sticky_universality::prelude::*;
+use sticky_universality::rmw::impossibility::{
+    find_consensus_counterexample, NaiveRegisterConsensus, TasThreeConsensus,
+};
+use sticky_universality::rmw::TasTwoConsensus;
+use sticky_universality::sticky::consensus::StickyBinaryConsensus;
+
+fn main() {
+    println!("level 0: registers, 2 processors");
+    match find_consensus_counterexample(2, 100_000, NaiveRegisterConsensus::new) {
+        Err(script) => println!(
+            "  ✗ disagreement found (schedule of {} decisions) — as Dolev–Dwork–Stockmeyer \
+             and Chor–Israeli–Li proved it must be",
+            script.len()
+        ),
+        Ok(n) => unreachable!("registers passed {n} schedules?!"),
+    }
+
+    println!("level 1: one test-and-set bit, 2 processors");
+    match find_consensus_counterexample(2, 500_000, TasTwoConsensus::new) {
+        Ok(schedules) => println!("  ✓ all {schedules} schedules agree"),
+        Err(script) => unreachable!("TAS 2-consensus failed: {script:?}"),
+    }
+
+    println!("level 1: one test-and-set bit, 3 processors");
+    match find_consensus_counterexample(3, 500_000, TasThreeConsensus::new) {
+        Err(script) => println!(
+            "  ✗ disagreement found (schedule of {} decisions) — consensus number of \
+             TAS is exactly 2 (Herlihy, Loui–Abu-Amara)",
+            script.len()
+        ),
+        Ok(n) => unreachable!("TAS 3-consensus passed {n} schedules?!"),
+    }
+
+    println!("level 3 (collapse): one sticky bit ≡ 3-valued RMW, 3 processors");
+    match find_consensus_counterexample(3, 2_000_000, StickyBinaryConsensus::new) {
+        Ok(schedules) => println!("  ✓ all {schedules} schedules agree"),
+        Err(script) => unreachable!("sticky-bit consensus failed: {script:?}"),
+    }
+
+    println!("\nand therefore (Theorem 6.6): CAS — consensus number ∞ — from sticky bits:");
+    let threads = 4;
+    let mut mem = NativeMem::new();
+    let cas = WaitFreeCas::new(Universal::new(
+        &mut mem,
+        threads,
+        UniversalConfig::for_procs(threads),
+        CasSpec::new(),
+    ));
+    let mem = Arc::new(mem);
+    let winners: usize = std::thread::scope(|s| {
+        (0..threads)
+            .map(|i| {
+                let mem = Arc::clone(&mem);
+                let cas = cas.clone();
+                s.spawn(move || cas.cas(&*mem, Pid(i), 0, i as u64 + 1).0 as usize)
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .sum()
+    });
+    println!(
+        "  {threads} threads raced CAS(0 → themselves): exactly {winners} won; \
+     register now holds {}",
+        cas.read(&*mem, Pid(0))
+    );
+    assert_eq!(winners, 1);
+    println!("\nthe RMW hierarchy collapses at three values. ∎");
+}

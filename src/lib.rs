@@ -1,0 +1,75 @@
+//! # sticky-universality
+//!
+//! A from-scratch Rust implementation of **"Sticky Bits and Universality of
+//! Consensus"** (Serge A. Plotkin, PODC 1989): the Sticky Bit primitive,
+//! the helping paradigm, and the bounded-memory universal construction
+//! turning any *safe* sequential object into a *wait-free atomic* one —
+//! plus every substrate the paper relies on and every baseline it argues
+//! against.
+//!
+//! This crate is the façade; the implementation lives in focused crates,
+//! re-exported here:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`spec`] | `sbu-spec` | sequential specifications, histories, the linearizability checker (Def 3.1), the §2 schedule formalism |
+//! | [`mem`] | `sbu-mem` | primitive registers (safe/atomic/sticky/TAS/RMW) and the native atomics backend |
+//! | [`sim`] | `sbu-sim` | the deterministic adversarial simulator: conductor scheduling, safe-register overlap semantics, crash injection, schedule exploration |
+//! | [`sticky`] | `sbu-sticky` | sticky bytes (Fig. 2), leader election, consensus objects, randomized consensus, ASB-from-consensus |
+//! | [`rmw`] | `sbu-rmw` | the RMW hierarchy, its empirical separations, and its collapse at 3 values |
+//! | [`core`] | `sbu-core` | **the universal constructions** (bounded Θ(n²), unbounded baseline, lock-based strawman) and ready-made wait-free objects |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sticky_universality::prelude::*;
+//!
+//! // A wait-free FIFO queue for 4 threads, from sticky bits + safe
+//! // registers, on real atomics:
+//! let mut mem = NativeMem::new();
+//! let queue = WaitFreeQueue::new(Universal::new(
+//!     &mut mem, 4, UniversalConfig::for_procs(4), QueueSpec::new(),
+//! ));
+//! queue.enqueue(&mem, Pid(0), 42);
+//! assert_eq!(queue.dequeue(&mem, Pid(1)), Some(42));
+//! ```
+//!
+//! See `examples/` for runnable demos and `EXPERIMENTS.md` for the
+//! paper-claim-by-claim reproduction record.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use sbu_core as core;
+pub use sbu_mem as mem;
+pub use sbu_rmw as rmw;
+pub use sbu_sim as sim;
+pub use sbu_spec as spec;
+pub use sbu_sticky as sticky;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use sbu_core::bounded::UniversalConfig;
+    pub use sbu_core::objects::{
+        WaitFreeBank, WaitFreeCas, WaitFreeCounter, WaitFreeDeque, WaitFreeKv,
+        WaitFreePriorityQueue, WaitFreeQueue, WaitFreeSet, WaitFreeSnapshot, WaitFreeStack,
+    };
+    pub use sbu_core::{
+        CellPayload, ConsensusUniversal, SpinLockUniversal, UnboundedUniversal, Universal,
+        UniversalObject,
+    };
+    pub use sbu_mem::native::NativeMem;
+    pub use sbu_mem::{DataMem, JamOutcome, Pid, Tri, Word, WordMem};
+    pub use sbu_sim::{
+        run, run_uniform, Explorer, HistoryRecorder, RandomAdversary, RoundRobin, RunOptions,
+        Scripted, SimMem,
+    };
+    pub use sbu_spec::specs::{
+        BankSpec, CasSpec, CounterOp, CounterSpec, DequeSpec, KvSpec, PriorityQueueSpec, QueueOp,
+        QueueSpec, RegisterSpec, SetSpec, SnapshotSpec, StackSpec, StickySpec,
+    };
+    pub use sbu_spec::SequentialSpec;
+    pub use sbu_sticky::{
+        BitwiseConsensus, Consensus, JamWord, LeaderElection, RandomizedConsensus,
+    };
+}

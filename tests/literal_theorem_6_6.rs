@@ -1,0 +1,98 @@
+//! Theorem 6.6 in its literal form: the bounded universal construction
+//! running over a backend whose *only* agreement primitives are sticky
+//! **bits** and safe registers — every sticky word realized by the Figure 2
+//! sticky-byte algorithm via [`Fig2Mem`].
+//!
+//! This discharges the one accounting substitution DESIGN.md documents
+//! (primitive sticky words for model-checking tractability): the same
+//! construction, the same adversaries, zero primitive sticky words.
+
+use std::sync::Arc;
+use sticky_universality::prelude::*;
+use sticky_universality::sticky::Fig2Mem;
+
+type Payload = CellPayload<CounterSpec>;
+
+/// Width needed for the sticky words of a universal object with this pool:
+/// they hold cell indices and pids.
+fn width_for(pool: usize, n: usize) -> u32 {
+    let max = pool.max(n + 1) as u64;
+    64 - max.leading_zeros()
+}
+
+#[test]
+fn universal_counter_over_literal_sticky_bits_sim() {
+    for seed in 0..6 {
+        let n = 2;
+        let sim: SimMem<Payload> = SimMem::new(n);
+        let config = UniversalConfig::for_procs(n);
+        let mut mem = Fig2Mem::new(sim.clone(), n, width_for(config.cells, n));
+        let obj = Universal::new(&mut mem, n, config, CounterSpec::new());
+        let rec: Arc<HistoryRecorder<CounterOp, u64>> = Arc::new(HistoryRecorder::new());
+        let rec2 = Arc::clone(&rec);
+        let obj2 = obj.clone();
+        let mem = Arc::new(mem);
+        let out = run_uniform(
+            &sim,
+            Box::new(RandomAdversary::new(seed)),
+            RunOptions {
+                max_steps: 80_000_000,
+            },
+            n,
+            move |_sim, pid| {
+                for _ in 0..2 {
+                    rec2.record(&*mem, pid, CounterOp::Inc, || {
+                        obj2.apply(&*mem, pid, &CounterOp::Inc)
+                    });
+                }
+            },
+        );
+        out.assert_clean();
+
+        // The headline: no primitive sticky words exist anywhere.
+        let (safe, _, sticky_bits, prim_words, _, _) = sim.census();
+        assert_eq!(prim_words, 0, "only sticky bits and safe registers");
+        assert!(sticky_bits > 0 && safe > 0);
+
+        let h = rec.history();
+        assert!(
+            sticky_universality::spec::linearize::check(&h, CounterSpec::new()).is_linearizable(),
+            "seed {seed}: {h:?}"
+        );
+    }
+}
+
+#[test]
+fn universal_counter_over_literal_sticky_bits_native() {
+    let threads = 3;
+    let config = UniversalConfig::for_procs(threads);
+    let native: NativeMem<Payload> = NativeMem::new();
+    let mut mem = Fig2Mem::new(native, threads, width_for(config.cells, threads));
+    let obj = Universal::new(&mut mem, threads, config, CounterSpec::new());
+    let mem = Arc::new(mem);
+    let per = 20;
+    std::thread::scope(|s| {
+        for i in 0..threads {
+            let mem = Arc::clone(&mem);
+            let obj = obj.clone();
+            s.spawn(move || {
+                for _ in 0..per {
+                    obj.apply(&*mem, Pid(i), &CounterOp::Inc);
+                }
+            });
+        }
+    });
+    assert_eq!(
+        obj.apply(&*mem, Pid(0), &CounterOp::Read),
+        (threads * per) as u64
+    );
+    assert_eq!(mem.inner().allocation_census().sticky_words, 0);
+    // Theorem 6.6's budget, measured literally: O(n² log n) sticky bits.
+    let bits = mem.inner().allocation_census().sticky_bits;
+    let n = threads as f64;
+    let budget = n * n * (config.cells as f64).log2();
+    assert!(
+        (bits as f64) < 80.0 * budget,
+        "{bits} sticky bits vs budget envelope {budget}"
+    );
+}
