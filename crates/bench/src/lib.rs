@@ -1,6 +1,6 @@
 //! # sbu-bench — the experiment harness
 //!
-//! One module per experiment of `EXPERIMENTS.md` (E1–E8), each regenerating
+//! One module per experiment of `EXPERIMENTS.md` (E1–E9), each regenerating
 //! the corresponding table from the paper's claims. Run them via the `exp`
 //! binary:
 //!
@@ -23,6 +23,7 @@ pub mod e5_crash;
 pub mod e6_hierarchy;
 pub mod e7_randomized;
 pub mod e8_throughput;
+pub mod e9_explore;
 
 /// Render a table: header row plus data rows, columns padded.
 pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {

@@ -224,10 +224,7 @@ where
             // fresh end, closing a cycle (found by the native stall probe:
             // the announced candidate is validated after the walk, but the
             // fallback `cand = cell` was not).
-            if mem
-                .sticky_word_read(pid, inner.cells[cell].seq)
-                .is_some()
-            {
+            if mem.sticky_word_read(pid, inner.cells[cell].seq).is_some() {
                 break;
             }
             // Priority: the processor whose turn it is, else myself.

@@ -239,7 +239,6 @@ fn bounded_exhaustive_prefix_of_universal_counter() {
             2,
             move |mem, pid| obj2.apply(mem, pid, &CounterOp::Inc),
         );
-        let choice_log = out.choice_log.clone();
         let verdict = (|| {
             if !out.violations.is_empty() {
                 return Err(format!("violations: {:?}", out.violations));
@@ -258,10 +257,7 @@ fn bounded_exhaustive_prefix_of_universal_counter() {
             }
             Ok(())
         })();
-        EpisodeResult {
-            choice_log,
-            verdict,
-        }
+        EpisodeResult::from_outcome(&out, verdict)
     });
     report.assert_no_failures();
     assert!(report.schedules >= 2_500, "prefix fully explored");
@@ -290,7 +286,6 @@ fn bounded_exhaustive_prefix_with_crashes() {
             2,
             move |mem, pid| obj2.apply(mem, pid, &CounterOp::Inc),
         );
-        let choice_log = out.choice_log.clone();
         let verdict = (|| {
             if !out.violations.is_empty() {
                 return Err(format!("violations: {:?}", out.violations));
@@ -313,10 +308,7 @@ fn bounded_exhaustive_prefix_with_crashes() {
             }
             Ok(())
         })();
-        EpisodeResult {
-            choice_log,
-            verdict,
-        }
+        EpisodeResult::from_outcome(&out, verdict)
     });
     report.assert_no_failures();
 }
@@ -335,7 +327,12 @@ fn exhaustive_all_one_preemption_schedules() {
     };
     let report = explorer.explore(|script| {
         let mut mem: Mem = SimMem::new(2);
-        let obj = Universal::new(&mut mem, 2, UniversalConfig::for_procs(2), CounterSpec::new());
+        let obj = Universal::new(
+            &mut mem,
+            2,
+            UniversalConfig::for_procs(2),
+            CounterSpec::new(),
+        );
         let obj2 = obj.clone();
         let out = run_uniform(
             &mem,
@@ -346,7 +343,6 @@ fn exhaustive_all_one_preemption_schedules() {
             2,
             move |mem, pid| obj2.apply(mem, pid, &CounterOp::Inc),
         );
-        let choice_log = out.choice_log.clone();
         let verdict = (|| {
             out.assert_clean();
             let mut rs: Vec<u64> = out.results().into_iter().copied().collect();
@@ -356,10 +352,7 @@ fn exhaustive_all_one_preemption_schedules() {
             }
             Ok(())
         })();
-        EpisodeResult {
-            choice_log,
-            verdict,
-        }
+        EpisodeResult::from_outcome(&out, verdict)
     });
     report.assert_all_ok();
     // The tree must be non-trivial (every suspension point × both starters).
@@ -382,7 +375,12 @@ fn bounded_exhaustive_two_preemption_prefix() {
     };
     let report = explorer.explore(|script| {
         let mut mem: Mem = SimMem::new(2);
-        let obj = Universal::new(&mut mem, 2, UniversalConfig::for_procs(2), CounterSpec::new());
+        let obj = Universal::new(
+            &mut mem,
+            2,
+            UniversalConfig::for_procs(2),
+            CounterSpec::new(),
+        );
         let obj2 = obj.clone();
         let out = run_uniform(
             &mem,
@@ -393,7 +391,6 @@ fn bounded_exhaustive_two_preemption_prefix() {
             2,
             move |mem, pid| obj2.apply(mem, pid, &CounterOp::Inc),
         );
-        let choice_log = out.choice_log.clone();
         let verdict = (|| {
             out.assert_clean();
             let mut rs: Vec<u64> = out.results().into_iter().copied().collect();
@@ -403,10 +400,7 @@ fn bounded_exhaustive_two_preemption_prefix() {
             }
             Ok(())
         })();
-        EpisodeResult {
-            choice_log,
-            verdict,
-        }
+        EpisodeResult::from_outcome(&out, verdict)
     });
     report.assert_no_failures();
 }

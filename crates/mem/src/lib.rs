@@ -93,6 +93,89 @@ handle! {
     DataId
 }
 
+/// A backend-independent identifier for one memory *location* — the unit of
+/// the independence relation used by partial-order-reduced schedule
+/// exploration (`sbu-sim`'s `Explorer::explore_dpor`).
+///
+/// Two primitive steps by different processors commute iff they touch
+/// different locations, or the same location without either mutating it.
+/// Both phases of a two-phase operation (safe read/write, flush, reset,
+/// data read/write) touch the operation's register location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LocId {
+    /// A safe word register.
+    Safe(usize),
+    /// An atomic word register.
+    Atomic(usize),
+    /// A sticky bit.
+    StickyBit(usize),
+    /// A primitive sticky word.
+    StickyWord(usize),
+    /// A test-and-set bit.
+    Tas(usize),
+    /// A data cell.
+    Data(usize),
+    /// The global operation clock sampled by `op_invoke`/`op_return`.
+    /// Timestamp steps conflict with each other (their relative order is
+    /// what a linearizability verdict observes) but commute with ordinary
+    /// memory steps.
+    Clock,
+    /// A whole-memory effect: a crash (which closes every window the victim
+    /// held open) or a step that consumed an adversary-fabricated corrupt
+    /// word (which advances shared adversary state). Conflicts with
+    /// everything.
+    Global,
+}
+
+impl From<SafeId> for LocId {
+    fn from(id: SafeId) -> Self {
+        LocId::Safe(id.0)
+    }
+}
+impl From<AtomicId> for LocId {
+    fn from(id: AtomicId) -> Self {
+        LocId::Atomic(id.0)
+    }
+}
+impl From<StickyBitId> for LocId {
+    fn from(id: StickyBitId) -> Self {
+        LocId::StickyBit(id.0)
+    }
+}
+impl From<StickyWordId> for LocId {
+    fn from(id: StickyWordId) -> Self {
+        LocId::StickyWord(id.0)
+    }
+}
+impl From<TasId> for LocId {
+    fn from(id: TasId) -> Self {
+        LocId::Tas(id.0)
+    }
+}
+impl From<DataId> for LocId {
+    fn from(id: DataId) -> Self {
+        LocId::Data(id.0)
+    }
+}
+
+/// How a primitive step interacts with its [`LocId`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Pure observation: commutes with other reads of the same location.
+    Read,
+    /// Mutation, or potential mutation (jam, test-and-set, RMW, opening and
+    /// closing write/flush/reset windows all count as writes).
+    Write,
+}
+
+impl AccessKind {
+    /// Whether two accesses of the *same* location conflict: at least one
+    /// of them must be a write.
+    pub fn conflicts(self, other: AccessKind) -> bool {
+        matches!(self, AccessKind::Write) || matches!(other, AccessKind::Write)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,5 +190,22 @@ mod tests {
     #[test]
     fn sticky_word_sentinel_is_max() {
         assert_eq!(STICKY_WORD_UNDEF, u64::MAX);
+    }
+
+    #[test]
+    fn loc_ids_distinguish_kinds_and_indices() {
+        assert_eq!(LocId::from(SafeId(2)), LocId::Safe(2));
+        assert_ne!(LocId::Safe(0), LocId::Atomic(0));
+        assert_ne!(LocId::StickyBit(1), LocId::StickyBit(2));
+        assert_ne!(LocId::Clock, LocId::Global);
+    }
+
+    #[test]
+    fn access_kinds_conflict_iff_a_write_is_involved() {
+        use AccessKind::{Read, Write};
+        assert!(!Read.conflicts(Read));
+        assert!(Read.conflicts(Write));
+        assert!(Write.conflicts(Read));
+        assert!(Write.conflicts(Write));
     }
 }

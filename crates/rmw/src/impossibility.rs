@@ -135,7 +135,6 @@ where
             n,
             move |mem, pid| cons.propose(mem, pid, (pid.0 % 2) as Word),
         );
-        let choice_log = out.choice_log.clone();
         let verdict = (|| {
             let ds: Vec<Word> = out.results().into_iter().copied().collect();
             if let Some(&first) = ds.first() {
@@ -148,10 +147,7 @@ where
             }
             Ok(())
         })();
-        EpisodeResult {
-            choice_log,
-            verdict,
-        }
+        EpisodeResult::from_outcome(&out, verdict)
     });
     match report.failures.into_iter().next() {
         Some((script, _)) => Err(script),

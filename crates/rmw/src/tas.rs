@@ -138,7 +138,6 @@ mod tests {
                 2,
                 move |mem, pid| t2.test_and_set(mem, pid),
             );
-            let choice_log = out.choice_log.clone();
             let verdict = (|| {
                 if !out.violations.is_empty() {
                     return Err(format!("violations: {:?}", out.violations));
@@ -156,10 +155,7 @@ mod tests {
                 }
                 Ok(())
             })();
-            EpisodeResult {
-                choice_log,
-                verdict,
-            }
+            EpisodeResult::from_outcome(&out, verdict)
         });
         report.assert_all_ok();
     }
@@ -191,7 +187,6 @@ mod tests {
                     }
                 },
             );
-            let choice_log = out.choice_log.clone();
             let verdict = (|| {
                 out.assert_clean();
                 let h = rec.history();
@@ -200,10 +195,7 @@ mod tests {
                 }
                 Ok(())
             })();
-            EpisodeResult {
-                choice_log,
-                verdict,
-            }
+            EpisodeResult::from_outcome(&out, verdict)
         });
         report.assert_all_ok();
     }

@@ -98,7 +98,6 @@ mod tests {
                 2,
                 move |mem, pid| c.propose(mem, pid, pid.0 as Word + 100),
             );
-            let choice_log = out.choice_log.clone();
             let verdict = (|| {
                 if !out.violations.is_empty() {
                     return Err(format!("violations: {:?}", out.violations));
@@ -114,10 +113,7 @@ mod tests {
                 }
                 Ok(())
             })();
-            EpisodeResult {
-                choice_log,
-                verdict,
-            }
+            EpisodeResult::from_outcome(&out, verdict)
         });
         report.assert_all_ok();
     }

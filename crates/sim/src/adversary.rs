@@ -117,7 +117,7 @@ impl RandomAdversary {
 impl Adversary for RandomAdversary {
     fn decide(&mut self, waiting: &[Pid], _step: u64) -> Decision {
         let index = self.rng.gen_range(0..waiting.len());
-        if self.crashes < self.max_crashes && self.rng.gen_range(0..1_000_000) < self.crash_ppm {
+        if self.crashes < self.max_crashes && self.rng.gen_range(0..1_000_000u32) < self.crash_ppm {
             self.crashes += 1;
             Decision::Crash(index)
         } else {
@@ -258,15 +258,31 @@ impl Adversary for Scripted {
             0
         };
         self.cursor += 1;
-        self.log.push(ChoicePoint { options, chosen });
+        let mut enabled = 0u64;
+        for p in &allowed {
+            assert!(p.0 < 64, "the choice log supports at most 64 processors");
+            enabled |= 1 << p.0;
+        }
+        self.log.push(ChoicePoint {
+            options,
+            chosen,
+            enabled,
+            crash_allowed,
+        });
         let (pid, decision) = if chosen < allowed.len() {
             let pid = allowed[chosen];
-            let index = waiting.iter().position(|&p| p == pid).expect("allowed ⊆ waiting");
+            let index = waiting
+                .iter()
+                .position(|&p| p == pid)
+                .expect("allowed ⊆ waiting");
             (pid, Decision::Step(index))
         } else {
             self.crashes += 1;
             let pid = allowed[chosen - allowed.len()];
-            let index = waiting.iter().position(|&p| p == pid).expect("allowed ⊆ waiting");
+            let index = waiting
+                .iter()
+                .position(|&p| p == pid)
+                .expect("allowed ⊆ waiting");
             (pid, Decision::Crash(index))
         };
         // Preemption accounting: switching away from a still-runnable
@@ -419,7 +435,7 @@ mod preemption_tests {
         let w = pids(&[0, 1]);
         assert_eq!(a.decide(&w, 0), Decision::Step(0)); // run p0
         assert_eq!(a.decide(&w, 1), Decision::Step(1)); // preempt -> p1
-        // Budget gone: must keep running p1.
+                                                        // Budget gone: must keep running p1.
         assert_eq!(a.decide(&w, 2), Decision::Step(1));
     }
 
@@ -427,7 +443,7 @@ mod preemption_tests {
     fn finishing_a_processor_is_not_a_preemption() {
         let mut a = Scripted::new(vec![0, 0, 1]).with_preemption_bound(0);
         assert_eq!(a.decide(&pids(&[0, 1]), 0), Decision::Step(0)); // p0
-        // p0 finished: only p1 waits; switching is forced, not a preemption.
+                                                                    // p0 finished: only p1 waits; switching is forced, not a preemption.
         assert_eq!(a.decide(&pids(&[1]), 1), Decision::Step(0));
         // p1 continues freely.
         assert_eq!(a.decide(&pids(&[1]), 2), Decision::Step(0));

@@ -1,0 +1,568 @@
+//! # Schedule corpus — replayable counterexamples on disk
+//!
+//! Exhaustive exploration finds bugs; this module keeps them found. A
+//! [`ScheduleCase`] records one adversary script together with the verdict
+//! it is expected to produce, serialized as a small hand-rolled JSON
+//! document (`.sbu-sched`). Checked-in cases under `tests/corpus/` form a
+//! regression corpus: every CI run replays each script against the named
+//! system and asserts the verdict is unchanged.
+//!
+//! The format is deliberately tiny and self-describing:
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "name": "atomic-intermediate-read",
+//!   "system": "atomic_intermediate_read",
+//!   "description": "reader observes the intermediate value 1",
+//!   "script": [0, 1, 0],
+//!   "expect_failure": true,
+//!   "message": "read the intermediate value"
+//! }
+//! ```
+//!
+//! `system` names an episode in the replaying test's registry (the corpus
+//! file does not carry code); `script` is the decision list fed to
+//! [`crate::adversary::Scripted::new`]. Serialization is canonical — fixed
+//! key order, fixed indentation — so `from_json(to_json(c)) == c` and
+//! re-serializing a loaded file reproduces it byte for byte.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Current on-disk format version. Bump on incompatible changes.
+pub const CORPUS_VERSION: u64 = 1;
+
+/// File extension for corpus entries.
+pub const CORPUS_EXT: &str = "sbu-sched";
+
+/// One replayable schedule: an adversary script plus its expected verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleCase {
+    /// Format version ([`CORPUS_VERSION`] when written by this crate).
+    pub version: u64,
+    /// Short unique identifier (conventionally the file stem).
+    pub name: String,
+    /// Registry key of the system the script drives.
+    pub system: String,
+    /// Human-readable account of what the schedule demonstrates.
+    pub description: String,
+    /// Decision list for [`crate::adversary::Scripted`].
+    pub script: Vec<usize>,
+    /// Whether replaying the script must produce a failing verdict.
+    pub expect_failure: bool,
+    /// Exact failure message when `expect_failure`, empty otherwise.
+    pub message: String,
+}
+
+impl ScheduleCase {
+    /// Canonical JSON rendering (fixed key order and layout).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"version\": {},", self.version);
+        let _ = writeln!(s, "  \"name\": {},", json_string(&self.name));
+        let _ = writeln!(s, "  \"system\": {},", json_string(&self.system));
+        let _ = writeln!(s, "  \"description\": {},", json_string(&self.description));
+        let mut script = String::new();
+        for (i, d) in self.script.iter().enumerate() {
+            if i > 0 {
+                script.push_str(", ");
+            }
+            let _ = write!(script, "{d}");
+        }
+        let _ = writeln!(s, "  \"script\": [{script}],");
+        let _ = writeln!(s, "  \"expect_failure\": {},", self.expect_failure);
+        let _ = writeln!(s, "  \"message\": {}", json_string(&self.message));
+        s.push_str("}\n");
+        s
+    }
+
+    /// Parse a case from JSON text (accepts any whitespace/key order, not
+    /// just the canonical layout).
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let value = json::parse(text)?;
+        let obj = value.as_object().ok_or("top level is not an object")?;
+        let field = |key: &str| {
+            obj.iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing field `{key}`"))
+        };
+        let version = field("version")?
+            .as_u64()
+            .ok_or("`version` is not an integer")?;
+        if version != CORPUS_VERSION {
+            return Err(format!(
+                "unsupported corpus version {version} (this build reads {CORPUS_VERSION})"
+            ));
+        }
+        let string = |key: &str| -> Result<String, String> {
+            Ok(field(key)?
+                .as_str()
+                .ok_or_else(|| format!("`{key}` is not a string"))?
+                .to_owned())
+        };
+        let script = field("script")?
+            .as_array()
+            .ok_or("`script` is not an array")?
+            .iter()
+            .map(|v| {
+                v.as_u64()
+                    .map(|n| n as usize)
+                    .ok_or_else(|| "`script` entry is not an integer".to_string())
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ScheduleCase {
+            version,
+            name: string("name")?,
+            system: string("system")?,
+            description: string("description")?,
+            script,
+            expect_failure: field("expect_failure")?
+                .as_bool()
+                .ok_or("`expect_failure` is not a boolean")?,
+            message: string("message")?,
+        })
+    }
+
+    /// Write the case to `dir/<name>.sbu-sched`, returning the path.
+    pub fn save(&self, dir: &Path) -> io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.{CORPUS_EXT}", self.name));
+        fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    /// Load a single case from a file.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let text = fs::read_to_string(path)?;
+        Self::from_json(&text).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: {e}", path.display()),
+            )
+        })
+    }
+}
+
+/// Load every `.sbu-sched` file under `dir`, sorted by file name so replay
+/// order (and report text) is deterministic across platforms.
+pub fn load_corpus(dir: &Path) -> io::Result<Vec<ScheduleCase>> {
+    let mut paths: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some(CORPUS_EXT))
+        .collect();
+    paths.sort();
+    paths.iter().map(|p| ScheduleCase::load(p)).collect()
+}
+
+/// Outcome of replaying a corpus: which cases reproduced their recorded
+/// verdict and which drifted.
+#[derive(Debug, Clone, Default)]
+pub struct CorpusReport {
+    /// Number of cases replayed.
+    pub cases: usize,
+    /// Names of cases whose replay no longer matches the recorded verdict,
+    /// with a description of the mismatch.
+    pub mismatches: Vec<String>,
+}
+
+impl CorpusReport {
+    /// Panic with a readable listing if any case drifted.
+    pub fn assert_ok(&self) {
+        assert!(
+            self.mismatches.is_empty(),
+            "{} of {} corpus cases no longer reproduce:\n  {}",
+            self.mismatches.len(),
+            self.cases,
+            self.mismatches.join("\n  ")
+        );
+    }
+}
+
+/// Replay `cases` through `episode`, which maps a system registry key and a
+/// script to the verdict of one simulated run (`None` for unknown systems —
+/// reported as a mismatch so a renamed registry entry cannot silently skip
+/// its regression tests).
+pub fn replay_corpus<F>(cases: &[ScheduleCase], mut episode: F) -> CorpusReport
+where
+    F: FnMut(&str, &[usize]) -> Option<Result<(), String>>,
+{
+    let mut report = CorpusReport {
+        cases: cases.len(),
+        mismatches: Vec::new(),
+    };
+    for case in cases {
+        let Some(verdict) = episode(&case.system, &case.script) else {
+            report
+                .mismatches
+                .push(format!("{}: unknown system `{}`", case.name, case.system));
+            continue;
+        };
+        match (case.expect_failure, verdict) {
+            (true, Ok(())) => report.mismatches.push(format!(
+                "{}: expected failure `{}`, got success",
+                case.name, case.message
+            )),
+            (true, Err(msg)) if msg != case.message => report.mismatches.push(format!(
+                "{}: expected failure `{}`, got failure `{msg}`",
+                case.name, case.message
+            )),
+            (false, Err(msg)) => report.mismatches.push(format!(
+                "{}: expected success, got failure `{msg}`",
+                case.name
+            )),
+            _ => {}
+        }
+    }
+    report
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A minimal JSON reader — just enough for `.sbu-sched` files (no serde in
+/// the offline build). Numbers are unsigned integers; that is all the
+/// format uses.
+mod json {
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true`/`false`
+        Bool(bool),
+        /// Unsigned integer (the only number shape the format uses).
+        Num(u64),
+        /// String with escapes resolved.
+        Str(String),
+        /// Array.
+        Arr(Vec<Value>),
+        /// Object as an ordered key/value list.
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Obj(fields) => Some(fields),
+                _ => None,
+            }
+        }
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(items) => Some(items),
+                _ => None,
+            }
+        }
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+    }
+
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn skip_ws(&mut self) {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), String> {
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!("expected `{}` at byte {}", b as char, self.pos))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => Ok(Value::Str(self.string()?)),
+                Some(b't') => self.literal("true", Value::Bool(true)),
+                Some(b'f') => self.literal("false", Value::Bool(false)),
+                Some(b'n') => self.literal("null", Value::Null),
+                Some(c) if c.is_ascii_digit() => self.number(),
+                _ => Err(format!("unexpected input at byte {}", self.pos)),
+            }
+        }
+
+        fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
+            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+                self.pos += word.len();
+                Ok(v)
+            } else {
+                Err(format!("bad literal at byte {}", self.pos))
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            let start = self.pos;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            std::str::from_utf8(&self.bytes[start..self.pos])
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .map(Value::Num)
+                .ok_or_else(|| format!("bad number at byte {start}"))
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.peek() {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        let esc = self.peek().ok_or("unterminated escape")?;
+                        self.pos += 1;
+                        match esc {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'n' => out.push('\n'),
+                            b'r' => out.push('\r'),
+                            b't' => out.push('\t'),
+                            b'b' => out.push('\u{0008}'),
+                            b'f' => out.push('\u{000c}'),
+                            b'u' => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos..self.pos + 4)
+                                    .and_then(|h| std::str::from_utf8(h).ok())
+                                    .ok_or("truncated \\u escape")?;
+                                let code = u32::from_str_radix(hex, 16)
+                                    .map_err(|_| "bad \\u escape".to_string())?;
+                                self.pos += 4;
+                                out.push(
+                                    char::from_u32(code)
+                                        .ok_or("\\u escape is not a scalar value")?,
+                                );
+                            }
+                            _ => return Err(format!("bad escape at byte {}", self.pos - 1)),
+                        }
+                    }
+                    Some(_) => {
+                        // Consume one UTF-8 scalar (multi-byte sequences
+                        // pass through unchanged).
+                        let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                            .map_err(|_| "invalid UTF-8".to_string())?;
+                        let c = rest.chars().next().unwrap();
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+                }
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.expect(b'{')?;
+            let mut fields = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Obj(fields));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                let value = self.value()?;
+                fields.push((key, value));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Obj(fields));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ScheduleCase {
+        ScheduleCase {
+            version: CORPUS_VERSION,
+            name: "atomic-intermediate-read".into(),
+            system: "atomic_intermediate_read".into(),
+            description: "reader observes the intermediate value \"1\"\nminimized".into(),
+            script: vec![0, 2, 0, 1],
+            expect_failure: true,
+            message: "read the intermediate value".into(),
+        }
+    }
+
+    #[test]
+    fn json_round_trip_preserves_the_case() {
+        let case = sample();
+        let text = case.to_json();
+        let back = ScheduleCase::from_json(&text).unwrap();
+        assert_eq!(back, case);
+        // Canonical form: re-serializing reproduces the bytes.
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn parser_accepts_reordered_keys_and_odd_whitespace() {
+        let text = "\n{ \"script\":[1,2] ,\"expect_failure\" : false,\n\
+             \"message\":\"\",\"version\":1,\"name\":\"n\",\"system\":\"s\",\
+             \"description\":\"d\"}";
+        let case = ScheduleCase::from_json(text).unwrap();
+        assert_eq!(case.script, vec![1, 2]);
+        assert!(!case.expect_failure);
+    }
+
+    #[test]
+    fn parser_rejects_wrong_version_and_missing_fields() {
+        let mut wrong = sample();
+        wrong.version = 99;
+        assert!(ScheduleCase::from_json(&wrong.to_json())
+            .unwrap_err()
+            .contains("version"));
+        assert!(ScheduleCase::from_json("{\"version\":1}")
+            .unwrap_err()
+            .contains("missing field"));
+        assert!(ScheduleCase::from_json("[1,2,3]").is_err());
+        assert!(ScheduleCase::from_json("{\"version\":1} junk").is_err());
+    }
+
+    #[test]
+    fn save_load_and_replay() {
+        let dir = std::env::temp_dir().join(format!("sbu-corpus-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut a = sample();
+        a.name = "b-second".into();
+        let mut b = sample();
+        b.name = "a-first".into();
+        b.expect_failure = false;
+        b.message = String::new();
+        a.save(&dir).unwrap();
+        b.save(&dir).unwrap();
+        // Also drop in a non-corpus file that must be ignored.
+        fs::write(dir.join("README.txt"), "not a case").unwrap();
+
+        let cases = load_corpus(&dir).unwrap();
+        assert_eq!(cases.len(), 2);
+        assert_eq!(cases[0].name, "a-first"); // sorted by file name
+        assert_eq!(cases[1].name, "b-second");
+
+        let report = replay_corpus(&cases, |system, _script| {
+            assert_eq!(system, "atomic_intermediate_read");
+            Some(Err("read the intermediate value".into()))
+        });
+        // `a-first` expects success but the episode fails: one mismatch.
+        assert_eq!(report.cases, 2);
+        assert_eq!(report.mismatches.len(), 1);
+        assert!(report.mismatches[0].contains("a-first"));
+
+        let clean = replay_corpus(&cases, |_, _| Some(Ok(())));
+        // Now `b-second` (expecting failure) mismatches instead.
+        assert_eq!(clean.mismatches.len(), 1);
+        assert!(clean.mismatches[0].contains("b-second"));
+
+        let unknown = replay_corpus(&cases, |_, _| None);
+        assert_eq!(unknown.mismatches.len(), 2);
+
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -9,8 +9,30 @@
 //! With `Scripted::with_crashes(k)` the tree also branches on crashing any
 //! processor at any point (up to `k` crashes), covering the fail-stop
 //! adversary of the wait-freedom arguments.
+//!
+//! ## Partial-order reduction
+//!
+//! Naive DFS treats every interleaving as distinct, but steps by different
+//! processors on *disjoint* locations commute: swapping two adjacent
+//! independent steps yields a Mazurkiewicz-equivalent schedule with an
+//! identical outcome. [`Explorer::explore_dpor`] exploits this with dynamic
+//! partial-order reduction (Flanagan–Godefroid backtrack sets plus
+//! Godefroid sleep sets): it follows one representative per equivalence
+//! class and, after each episode, inspects the recorded
+//! [`StepAccess`] log for *races* — pairs of dependent steps by different
+//! processors not already ordered by happens-before — scheduling the racing
+//! processor first at the earlier choice point. Crash branches are explored
+//! exhaustively (a crash closes every window its victim held, so it
+//! conflicts with everything and cannot be reduced).
+//!
+//! The reduction is sound for verdicts that depend on process return
+//! values, final memory state, recorded violations, and the *relative
+//! order* of `op_invoke`/`op_return` timestamps (linearizability). Verdicts
+//! reading raw step counts or absolute clock values can differ between
+//! equivalent schedules and should use [`Explorer::explore`].
 
-use crate::state::ChoicePoint;
+use crate::runner::RunOutcome;
+use crate::state::{ChoicePoint, StepAccess};
 
 /// What one episode (a full run under one script) reports back.
 #[derive(Debug, Clone)]
@@ -18,9 +40,25 @@ pub struct EpisodeResult {
     /// The scripted adversary's recorded choice log
     /// ([`crate::runner::RunOutcome::choice_log`]).
     pub choice_log: Vec<ChoicePoint>,
+    /// The per-step access log ([`crate::runner::RunOutcome::access_log`]),
+    /// aligned 1:1 with `choice_log`. Required by
+    /// [`Explorer::explore_dpor`]; the naive explorer ignores it.
+    pub access_log: Vec<StepAccess>,
     /// The caller's verdict for this schedule (e.g. the linearizability
     /// check): `Err` descriptions are collected as counterexamples.
     pub verdict: Result<(), String>,
+}
+
+impl EpisodeResult {
+    /// Bundle a run's logs with the caller's verdict — the standard way to
+    /// finish an episode closure.
+    pub fn from_outcome<T>(out: &RunOutcome<T>, verdict: Result<(), String>) -> Self {
+        Self {
+            choice_log: out.choice_log.clone(),
+            access_log: out.access_log.clone(),
+            verdict,
+        }
+    }
 }
 
 /// Outcome of an exploration.
@@ -94,7 +132,7 @@ impl ExploreReport {
 ///         2,
 ///         |mem, pid| mem.atomic_write(pid, reg, pid.0 as u64),
 ///     );
-///     EpisodeResult { choice_log: out.choice_log, verdict: Ok(()) }
+///     EpisodeResult::from_outcome(&out, Ok(()))
 /// });
 /// report.assert_all_ok();
 /// assert_eq!(report.schedules, 2);
@@ -181,6 +219,332 @@ impl Explorer {
             failures,
         }
     }
+
+    /// Run `episode` on one representative of every Mazurkiewicz trace
+    /// (dynamic partial-order reduction with sleep sets).
+    ///
+    /// The contract is the same as [`Explorer::explore`] — the episode must
+    /// deterministically rebuild the system and replay
+    /// `Scripted::new(script.to_vec())` — with two additions:
+    ///
+    /// * the episode must return the run's access log
+    ///   (use [`EpisodeResult::from_outcome`]);
+    /// * the verdict must be *schedule-equivalence invariant*: a function
+    ///   of return values, final state, violations, and timestamp order —
+    ///   not of raw step counts or absolute clock values.
+    ///
+    /// Do **not** combine with `Scripted::with_preemption_bound`: sleep
+    /// sets assume every enabled transition stays explorable, and the
+    /// bound's pruning makes the combination unsound. Crash branches
+    /// (`Scripted::with_crashes`) are fully supported and explored
+    /// exhaustively.
+    pub fn explore_dpor<F>(&self, mut episode: F) -> ExploreReport
+    where
+        F: FnMut(&[usize]) -> EpisodeResult,
+    {
+        let mut stack: Vec<DporNode> = Vec::new();
+        let mut schedules = 0usize;
+        let mut failures = Vec::new();
+        let mut complete = true;
+        loop {
+            if schedules >= self.max_schedules {
+                complete = false;
+                break;
+            }
+            let script: Vec<usize> = stack.iter().map(|n| n.chosen).collect();
+            let result = episode(&script);
+            schedules += 1;
+            if let Err(msg) = result.verdict {
+                failures.push((script, msg));
+                if failures.len() >= self.max_failures {
+                    complete = false;
+                    break;
+                }
+            }
+            let cps = result.choice_log;
+            let accs = result.access_log;
+            assert_eq!(
+                cps.len(),
+                accs.len(),
+                "choice and access logs must align; episodes must return \
+                 both via EpisodeResult::from_outcome"
+            );
+            assert!(
+                cps.len() >= stack.len(),
+                "episode must replay at least the scripted prefix \
+                 (non-deterministic episode?)"
+            );
+            // Sync the search stack with this trace: refresh the replayed
+            // prefix's accesses and grow nodes for the new suffix.
+            for (d, (cp, acc)) in cps.iter().zip(accs.iter()).enumerate() {
+                if let Some(node) = stack.get_mut(d) {
+                    debug_assert_eq!(
+                        (node.point.options, node.chosen),
+                        (cp.options, cp.chosen),
+                        "non-deterministic episode at depth {d}"
+                    );
+                    node.access = *acc;
+                } else {
+                    // Child sleep set: every sleeping transition that
+                    // commutes with the parent's step stays asleep.
+                    let sleep = match stack.last() {
+                        None => Vec::new(),
+                        Some(p) => p
+                            .sleep
+                            .iter()
+                            .chain(p.done_sleep.iter())
+                            .filter(|s| !s.access.dependent(&p.access))
+                            .copied()
+                            .collect(),
+                    };
+                    stack.push(DporNode::new(*cp, *acc, sleep));
+                }
+            }
+            // Dynamic backtracking: for every race (i, j) in this trace,
+            // arrange for the racing processor to be scheduled first at
+            // the earlier choice point.
+            add_race_backtracks(&mut stack, &cps, &accs);
+            if !advance_dpor(&mut stack) {
+                break;
+            }
+        }
+        ExploreReport {
+            schedules,
+            complete,
+            failures,
+        }
+    }
+}
+
+/// One frame of the DPOR search stack: the choice point observed at this
+/// depth, plus Flanagan–Godefroid backtrack bookkeeping and the sleep set.
+/// Option sets are `u128` bitmasks (≤ 64 processors × {step, crash}).
+#[derive(Debug, Clone)]
+struct DporNode {
+    point: ChoicePoint,
+    /// The option currently being explored below this node.
+    chosen: usize,
+    /// Access performed by `chosen` in the most recent trace through here.
+    access: StepAccess,
+    /// Options that must (still) be explored from this node.
+    backtrack: u128,
+    /// Options whose subtrees are finished (or were sleep-skipped).
+    done: u128,
+    /// Sleep set inherited at node creation: transitions explored by an
+    /// earlier sibling subtree that commute with every step on the path
+    /// since — re-exploring them here would revisit a covered trace.
+    sleep: Vec<SleepEntry>,
+    /// Transitions explored from this node, with the access each performed
+    /// (they join the sleep set of later-sibling subtrees).
+    done_sleep: Vec<SleepEntry>,
+}
+
+/// A sleeping transition: the processor, whether it was a crash branch, and
+/// the access it performed when explored. The access stays valid while the
+/// entry sleeps: the owning processor takes no step in between (that would
+/// be a dependent step of the same pid and would evict the entry).
+#[derive(Debug, Clone, Copy)]
+struct SleepEntry {
+    pid: usize,
+    crash: bool,
+    access: StepAccess,
+}
+
+impl DporNode {
+    fn new(point: ChoicePoint, access: StepAccess, sleep: Vec<SleepEntry>) -> Self {
+        // Crash options conflict with everything, so DPOR cannot prune
+        // them: seed every crash branch into the backtrack set alongside
+        // the first-explored option.
+        let mut backtrack: u128 = 1 << point.chosen;
+        if point.crash_allowed {
+            for opt in point.num_enabled()..point.options {
+                backtrack |= 1 << opt;
+            }
+        }
+        Self {
+            point,
+            chosen: point.chosen,
+            access,
+            backtrack,
+            done: 0,
+            sleep,
+            done_sleep: Vec::new(),
+        }
+    }
+
+    /// Whether option `opt` is blocked by the inherited sleep set.
+    fn sleep_blocked(&self, opt: usize) -> bool {
+        let (pid, crash) = self.point.decode(opt);
+        self.sleep.iter().any(|s| s.pid == pid && s.crash == crash)
+    }
+}
+
+/// Detect races in the trace `(cps, accs)` and add backtrack options.
+///
+/// Two steps `i < j` race when they are dependent, belong to different
+/// processors, and `i` is not ordered before `j` through any intermediate
+/// step. For each race the processor of `j` must be tried at choice point
+/// `i`; if it was not schedulable there, every enabled option is tried
+/// (the Flanagan–Godefroid fallback).
+///
+/// Races where either endpoint is a *crash* decision are skipped: crash
+/// options are seeded into every node's backtrack set outright (see
+/// [`DporNode::new`]), so every (schedule-class, crash-position)
+/// combination is explored without race analysis — a crash's `Global`
+/// access would otherwise race with every step and force full DFS.
+fn add_race_backtracks(stack: &mut [DporNode], cps: &[ChoicePoint], accs: &[StepAccess]) {
+    let t = accs.len();
+    let words = t.div_ceil(64);
+    // hb[j] = bitset of steps i < j with i →hb j (happens-before is the
+    // transitive closure of program order ∪ dependence).
+    let mut hb: Vec<Vec<u64>> = Vec::with_capacity(t);
+    for j in 0..t {
+        let mut row = vec![0u64; words];
+        for i in 0..j {
+            if accs[i].dependent(&accs[j]) {
+                for (w, prev) in row.iter_mut().zip(&hb[i]) {
+                    *w |= prev;
+                }
+                row[i / 64] |= 1 << (i % 64);
+            }
+        }
+        hb.push(row);
+    }
+    let in_hb = |hb: &[Vec<u64>], i: usize, j: usize| hb[j][i / 64] >> (i % 64) & 1 == 1;
+    for j in 0..t {
+        if is_crash(&cps[j]) {
+            continue;
+        }
+        for i in 0..j {
+            if is_crash(&cps[i]) || accs[i].pid == accs[j].pid || !accs[i].dependent(&accs[j]) {
+                continue;
+            }
+            // Dependent, different pids: a race unless some intermediate
+            // step already orders i before j.
+            let transitively_ordered = (i + 1..j).any(|k| in_hb(&hb, k, j) && in_hb(&hb, i, k));
+            if transitively_ordered {
+                continue;
+            }
+            let node = &mut stack[i];
+            let (pid_j, crash_j) = (accs[j].pid.0, is_crash(&cps[j]));
+            match node.point.encode(pid_j, crash_j) {
+                Some(opt) => node.backtrack |= 1 << opt,
+                None => {
+                    // The racing transition is not schedulable here:
+                    // conservatively try every enabled step option.
+                    for opt in 0..node.point.num_enabled() {
+                        node.backtrack |= 1 << opt;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Whether a recorded choice was a crash decision.
+fn is_crash(cp: &ChoicePoint) -> bool {
+    cp.crash_allowed && cp.chosen >= cp.num_enabled()
+}
+
+/// Pick the next schedule: mark the current subtree done at the deepest
+/// node, then descend to the deepest node with an unexplored, non-sleeping
+/// backtrack option. Returns `false` when the search space is exhausted.
+fn advance_dpor(stack: &mut Vec<DporNode>) -> bool {
+    loop {
+        let Some(node) = stack.last_mut() else {
+            return false;
+        };
+        let chosen_bit = 1u128 << node.chosen;
+        if node.done & chosen_bit == 0 {
+            node.done |= chosen_bit;
+            let (pid, crash) = node.point.decode(node.chosen);
+            node.done_sleep.push(SleepEntry {
+                pid,
+                crash,
+                access: node.access,
+            });
+        }
+        loop {
+            let pending = node.backtrack & !node.done;
+            if pending == 0 {
+                break; // exhausted: go shallower
+            }
+            let opt = pending.trailing_zeros() as usize;
+            if node.sleep_blocked(opt) {
+                // Covered by an earlier sibling subtree: skip without
+                // exploring (the sleep-set reduction).
+                node.done |= 1 << opt;
+                continue;
+            }
+            node.chosen = opt;
+            return true;
+        }
+        stack.pop();
+    }
+}
+
+/// Delta-debug a failing script down to a locally minimal one.
+///
+/// `script` must make `episode` fail (panics otherwise). The minimizer
+/// repeatedly (1) truncates to the shortest failing prefix — decisions past
+/// the script default to option 0, so a shorter prefix is a simpler
+/// schedule, (2) deletes single decisions, and (3) lowers each decision to
+/// the smallest value that still fails (canonicalizing out-of-range values
+/// that `Scripted` wraps), re-running the episode after each candidate edit
+/// and keeping only edits that still fail, until a fixpoint. Trailing zeros
+/// are dropped (they are the default). Returns the minimized script and the
+/// failure message it reproduces.
+pub fn minimize_script<F>(script: &[usize], mut episode: F) -> (Vec<usize>, String)
+where
+    F: FnMut(&[usize]) -> EpisodeResult,
+{
+    let mut fails = |s: &[usize]| episode(s).verdict.err();
+    let mut message = fails(script).expect("minimize_script needs a failing script");
+    let mut cur = script.to_vec();
+    loop {
+        let before = cur.clone();
+        // 1. Shortest failing prefix. Failure is not monotone in prefix
+        // length (the suffix defaults to option 0), so scan upward.
+        for k in 0..cur.len() {
+            if let Some(msg) = fails(&cur[..k]) {
+                message = msg;
+                cur.truncate(k);
+                break;
+            }
+        }
+        // 2. Try deleting each decision (later decisions re-align, which
+        // often still reproduces the failure in fewer steps).
+        let mut i = 0;
+        while i < cur.len() {
+            let mut shorter = cur.clone();
+            shorter.remove(i);
+            if let Some(msg) = fails(&shorter) {
+                message = msg;
+                cur = shorter;
+            } else {
+                i += 1;
+            }
+        }
+        // 3. Lower each decision to the smallest value that still fails.
+        for i in 0..cur.len() {
+            let old = cur[i];
+            for v in 0..old {
+                cur[i] = v;
+                if let Some(msg) = fails(&cur) {
+                    message = msg;
+                    break;
+                }
+                cur[i] = old;
+            }
+        }
+        while cur.last() == Some(&0) {
+            cur.pop();
+        }
+        if cur == before {
+            break;
+        }
+    }
+    (cur, message)
 }
 
 #[cfg(test)]
@@ -208,10 +572,7 @@ mod tests {
                     mem.atomic_write(pid, a, pid.0 as u64 + 1);
                 },
             );
-            EpisodeResult {
-                choice_log: out.choice_log,
-                verdict: Ok(()),
-            }
+            EpisodeResult::from_outcome(&out, Ok(()))
         });
         report.assert_all_ok();
         assert_eq!(report.schedules, 2);
@@ -235,10 +596,7 @@ mod tests {
                     mem.atomic_write(pid, b, 1);
                 },
             );
-            EpisodeResult {
-                choice_log: out.choice_log,
-                verdict: Ok(()),
-            }
+            EpisodeResult::from_outcome(&out, Ok(()))
         });
         report.assert_all_ok();
         assert_eq!(report.schedules, 6);
@@ -268,14 +626,12 @@ mod tests {
                 },
             );
             let read = *observed.outcomes[1].completed().unwrap();
-            EpisodeResult {
-                choice_log: observed.choice_log,
-                verdict: if read == 1 {
-                    Err("read the intermediate value".into())
-                } else {
-                    Ok(())
-                },
-            }
+            let verdict = if read == 1 {
+                Err("read the intermediate value".into())
+            } else {
+                Ok(())
+            };
+            EpisodeResult::from_outcome(&observed, verdict)
         });
         report.assert_some_failure();
     }
@@ -303,10 +659,7 @@ mod tests {
                     saw_crash_of[i] = true;
                 }
             }
-            EpisodeResult {
-                choice_log: out.choice_log,
-                verdict: Ok(()),
-            }
+            EpisodeResult::from_outcome(&out, Ok(()))
         });
         report.assert_all_ok();
         assert!(saw_crash_of[0] && saw_crash_of[1]);
@@ -314,6 +667,202 @@ mod tests {
         // crash0/crash1 followed by the forced survivor step: 2×2 + 2 = 6,
         // versus 2 schedules without crash branching.
         assert_eq!(report.schedules, 6);
+    }
+
+    /// Two processors writing *disjoint* registers commute completely:
+    /// every interleaving is Mazurkiewicz-equivalent, so DPOR explores a
+    /// single representative where naive DFS walks all six.
+    #[test]
+    fn dpor_collapses_disjoint_writers_to_one_trace() {
+        let episode = |script: &[usize]| {
+            let mut mem: SimMem<()> = SimMem::new(2);
+            let regs = [mem.alloc_atomic(0), mem.alloc_atomic(0)];
+            let out = run_uniform(
+                &mem,
+                Box::new(Scripted::new(script.to_vec())),
+                RunOptions::default(),
+                2,
+                move |mem, pid| {
+                    mem.atomic_write(pid, regs[pid.0], 1);
+                    mem.atomic_write(pid, regs[pid.0], 2);
+                },
+            );
+            EpisodeResult::from_outcome(&out, Ok(()))
+        };
+        let naive = Explorer::new(1000).explore(episode);
+        let dpor = Explorer::new(1000).explore_dpor(episode);
+        naive.assert_all_ok();
+        dpor.assert_all_ok();
+        assert_eq!(naive.schedules, 6);
+        assert_eq!(dpor.schedules, 1);
+    }
+
+    /// Two processors writing the *same* register never commute: all six
+    /// interleavings are inequivalent and DPOR must visit every one.
+    #[test]
+    fn dpor_keeps_all_orders_of_conflicting_writers() {
+        let episode = |script: &[usize]| {
+            let mut mem: SimMem<()> = SimMem::new(2);
+            let a = mem.alloc_atomic(0);
+            let out = run_uniform(
+                &mem,
+                Box::new(Scripted::new(script.to_vec())),
+                RunOptions::default(),
+                2,
+                move |mem, pid| {
+                    mem.atomic_write(pid, a, pid.0 as u64);
+                    mem.atomic_write(pid, a, pid.0 as u64 + 10);
+                },
+            );
+            EpisodeResult::from_outcome(&out, Ok(()))
+        };
+        let dpor = Explorer::new(1000).explore_dpor(episode);
+        dpor.assert_all_ok();
+        assert_eq!(dpor.schedules, 6);
+    }
+
+    /// DPOR still finds the single racy schedule where a read slips between
+    /// two writes — reduction must never lose counterexamples.
+    #[test]
+    fn dpor_finds_the_intermediate_read() {
+        let episode = |script: &[usize]| {
+            let mut mem: SimMem<()> = SimMem::new(2);
+            let a = mem.alloc_atomic(0);
+            let out = run_uniform(
+                &mem,
+                Box::new(Scripted::new(script.to_vec())),
+                RunOptions::default(),
+                2,
+                |mem, pid| {
+                    if pid.0 == 0 {
+                        mem.atomic_write(pid, a, 1);
+                        mem.atomic_write(pid, a, 2);
+                        0
+                    } else {
+                        mem.atomic_read(pid, a)
+                    }
+                },
+            );
+            let read = *out.outcomes[1].completed().unwrap();
+            let verdict = if read == 1 {
+                Err("read the intermediate value".into())
+            } else {
+                Ok(())
+            };
+            EpisodeResult::from_outcome(&out, verdict)
+        };
+        let mut dpor = Explorer::new(1000);
+        dpor.max_failures = usize::MAX;
+        let mut naive = Explorer::new(1000);
+        naive.max_failures = usize::MAX;
+        let dpor_report = dpor.explore_dpor(episode);
+        let naive_report = naive.explore(episode);
+        dpor_report.assert_some_failure();
+        assert!(dpor_report.complete);
+        // All three steps hit the same register, so nothing commutes here:
+        // DPOR must not prune (and must not add) anything.
+        assert!(dpor_report.schedules <= naive_report.schedules);
+        // Both find the identical set of failure messages.
+        fn msgs(r: &ExploreReport) -> Vec<String> {
+            let mut m: Vec<String> = r.failures.iter().map(|(_, m)| m.clone()).collect();
+            m.sort_unstable();
+            m.dedup();
+            m
+        }
+        assert_eq!(msgs(&dpor_report), msgs(&naive_report));
+    }
+
+    /// Crash branches conflict with everything, so DPOR explores each crash
+    /// placement; it must still observe both processors dying.
+    #[test]
+    fn dpor_crash_exploration_reaches_crashed_outcomes() {
+        use std::cell::RefCell;
+        let saw_crash_of = RefCell::new([false, false]);
+        let report = Explorer::new(10_000).explore_dpor(|script| {
+            let mut mem: SimMem<()> = SimMem::new(2);
+            let a = mem.alloc_atomic(0);
+            let out = run_uniform(
+                &mem,
+                Box::new(Scripted::new(script.to_vec()).with_crashes(1)),
+                RunOptions::default(),
+                2,
+                |mem, pid| {
+                    mem.rmw(pid, a, &|x| x + 1);
+                },
+            );
+            for (i, o) in out.outcomes.iter().enumerate() {
+                if o.is_crashed() {
+                    saw_crash_of.borrow_mut()[i] = true;
+                }
+            }
+            EpisodeResult::from_outcome(&out, Ok(()))
+        });
+        report.assert_all_ok();
+        let saw = saw_crash_of.into_inner();
+        assert!(saw[0] && saw[1]);
+        // The rmw steps conflict, so no reduction is available here: DPOR
+        // must match the naive count exactly (6 — see the naive test).
+        assert_eq!(report.schedules, 6);
+    }
+
+    /// The minimizer strips a padded counterexample down to the exact two
+    /// decisions that matter: "writer steps, then reader steps".
+    #[test]
+    fn minimizer_reduces_to_the_essential_decisions() {
+        let episode = |script: &[usize]| {
+            let mut mem: SimMem<()> = SimMem::new(2);
+            let a = mem.alloc_atomic(0);
+            let out = run_uniform(
+                &mem,
+                Box::new(Scripted::new(script.to_vec())),
+                RunOptions::default(),
+                2,
+                |mem, pid| {
+                    if pid.0 == 0 {
+                        mem.atomic_write(pid, a, 1);
+                        mem.atomic_write(pid, a, 2);
+                        0
+                    } else {
+                        mem.atomic_read(pid, a)
+                    }
+                },
+            );
+            let read = *out.outcomes[1].completed().unwrap();
+            let verdict = if read == 1 {
+                Err("read the intermediate value".into())
+            } else {
+                Ok(())
+            };
+            EpisodeResult::from_outcome(&out, verdict)
+        };
+        // A deliberately padded failing script: extra trailing defaults and
+        // a redundant in-range decision the wrap-around makes moot.
+        let bloated = [0usize, 3, 0, 0, 0];
+        let (minimal, message) = minimize_script(&bloated, episode);
+        assert_eq!(message, "read the intermediate value");
+        assert_eq!(minimal, vec![0, 1]);
+        // The minimized script still reproduces the identical verdict.
+        assert_eq!(
+            episode(&minimal).verdict,
+            Err("read the intermediate value".to_string())
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a failing script")]
+    fn minimizer_rejects_passing_scripts() {
+        minimize_script(&[0, 0], |script| {
+            let mut mem: SimMem<()> = SimMem::new(1);
+            let a = mem.alloc_atomic(0);
+            let out = run_uniform(
+                &mem,
+                Box::new(Scripted::new(script.to_vec())),
+                RunOptions::default(),
+                1,
+                |mem, pid| mem.atomic_write(pid, a, 1),
+            );
+            EpisodeResult::from_outcome(&out, Ok(()))
+        });
     }
 
     #[test]
@@ -332,10 +881,7 @@ mod tests {
                     mem.atomic_write(pid, a, 2);
                 },
             );
-            EpisodeResult {
-                choice_log: out.choice_log,
-                verdict: Ok(()),
-            }
+            EpisodeResult::from_outcome(&out, Ok(()))
         });
         assert!(!report.complete);
         assert_eq!(report.schedules, 3);

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod adversary;
+pub mod corpus;
 pub mod explore;
 pub mod mem;
 pub mod recorder;
@@ -47,8 +48,9 @@ pub mod runner;
 mod state;
 
 pub use adversary::{Adversary, CrashPlan, Decision, RandomAdversary, RoundRobin, Scripted};
-pub use explore::{EpisodeResult, ExploreReport, Explorer};
+pub use corpus::{load_corpus, replay_corpus, CorpusReport, ScheduleCase};
+pub use explore::{minimize_script, EpisodeResult, ExploreReport, Explorer};
 pub use mem::SimMem;
 pub use recorder::HistoryRecorder;
 pub use runner::{run, run_uniform, ProcOutcome, RunOptions, RunOutcome};
-pub use state::{ChoicePoint, Violation};
+pub use state::{ChoicePoint, StepAccess, Violation};

@@ -1,10 +1,10 @@
 //! [`SimMem`]: the simulated backend implementing the `sbu-mem` traits.
 
 use crate::adversary::RoundRobin;
-use crate::state::{CrashSignal, SimCore, SimState, Status};
+use crate::state::{CrashSignal, SimCore, SimState, Status, StepAccess};
 use sbu_mem::{
-    AtomicId, DataId, DataMem, JamOutcome, Pid, SafeId, StickyBitId, StickyWordId, TasId, Tri,
-    Word, WordMem, STICKY_WORD_UNDEF,
+    AccessKind, AtomicId, DataId, DataMem, JamOutcome, LocId, Pid, SafeId, StickyBitId,
+    StickyWordId, TasId, Tri, Word, WordMem, STICKY_WORD_UNDEF,
 };
 use std::panic::panic_any;
 use std::sync::Arc;
@@ -77,7 +77,19 @@ impl<P: Clone + Send> SimMem<P> {
 
     /// Execute one scheduling point for `pid`, applying `effect` atomically
     /// when granted. Inline (no scheduling) outside of a run.
-    fn step<R>(&self, pid: Pid, effect: impl FnOnce(&mut SimState<P>) -> R) -> R {
+    ///
+    /// `loc`/`kind` describe the memory access the effect performs; during a
+    /// run they are appended to the access log in lockstep with the
+    /// adversary's choice log (a crash grant records a global write
+    /// instead, and an effect that consumed an adversary-fabricated word is
+    /// promoted to a global access).
+    fn step<R>(
+        &self,
+        pid: Pid,
+        loc: LocId,
+        kind: AccessKind,
+        effect: impl FnOnce(&mut SimState<P>) -> R,
+    ) -> R {
         let core = &*self.core;
         let mut st = core.state.lock();
         if !st.running {
@@ -107,6 +119,11 @@ impl<P: Clone + Send> SimMem<P> {
         if st.crash_granted {
             st.crash_granted = false;
             st.statuses[pid.0] = Status::Crashed;
+            st.access_log.push(StepAccess {
+                pid,
+                loc: LocId::Global,
+                kind: AccessKind::Write,
+            });
             st.close_windows(pid);
             core.sched_cv.notify_all();
             drop(st);
@@ -116,7 +133,14 @@ impl<P: Clone + Send> SimMem<P> {
         st.step += 1;
         st.clock += 1;
         st.steps_per_proc[pid.0] += 1;
+        let draws_before = st.corrupt_draws;
         let r = effect(&mut st);
+        let loc = if st.corrupt_draws != draws_before {
+            LocId::Global
+        } else {
+            loc
+        };
+        st.access_log.push(StepAccess { pid, loc, kind });
         core.sched_cv.notify_all();
         r
     }
@@ -162,38 +186,56 @@ impl<P: Clone + Send + Sync> WordMem for SimMem<P> {
     }
 
     fn safe_read(&self, pid: Pid, r: SafeId) -> Word {
-        self.step(pid, |st| st.safe_read_begin(pid, r.0));
-        self.step(pid, |st| st.safe_read_end(pid, r.0))
+        self.step(pid, r.into(), AccessKind::Read, |st| {
+            st.safe_read_begin(pid, r.0)
+        });
+        self.step(pid, r.into(), AccessKind::Read, |st| {
+            st.safe_read_end(pid, r.0)
+        })
     }
 
     fn safe_write(&self, pid: Pid, r: SafeId, v: Word) {
-        self.step(pid, |st| st.safe_write_begin(pid, r.0, v));
-        self.step(pid, |st| st.safe_write_end(pid, r.0));
+        self.step(pid, r.into(), AccessKind::Write, |st| {
+            st.safe_write_begin(pid, r.0, v)
+        });
+        self.step(pid, r.into(), AccessKind::Write, |st| {
+            st.safe_write_end(pid, r.0)
+        });
     }
 
     fn atomic_read(&self, pid: Pid, r: AtomicId) -> Word {
-        self.step(pid, |st| st.atomic_read(r.0))
+        self.step(pid, r.into(), AccessKind::Read, |st| st.atomic_read(r.0))
     }
 
     fn atomic_write(&self, pid: Pid, r: AtomicId, v: Word) {
-        self.step(pid, |st| st.atomic_write(r.0, v));
+        self.step(pid, r.into(), AccessKind::Write, |st| {
+            st.atomic_write(r.0, v)
+        });
     }
 
     fn rmw(&self, pid: Pid, r: AtomicId, f: &dyn Fn(Word) -> Word) -> Word {
-        self.step(pid, |st| st.atomic_rmw(r.0, f))
+        self.step(pid, r.into(), AccessKind::Write, |st| st.atomic_rmw(r.0, f))
     }
 
     fn sticky_jam(&self, pid: Pid, s: StickyBitId, v: bool) -> JamOutcome {
-        self.step(pid, |st| st.sticky_jam(pid, s.0, v))
+        self.step(pid, s.into(), AccessKind::Write, |st| {
+            st.sticky_jam(pid, s.0, v)
+        })
     }
 
     fn sticky_read(&self, pid: Pid, s: StickyBitId) -> Tri {
-        self.step(pid, |st| st.sticky_read(pid, s.0))
+        self.step(pid, s.into(), AccessKind::Read, |st| {
+            st.sticky_read(pid, s.0)
+        })
     }
 
     fn sticky_flush(&self, pid: Pid, s: StickyBitId) {
-        self.step(pid, |st| st.sticky_flush_begin(pid, s.0));
-        self.step(pid, |st| st.sticky_flush_end(pid, s.0));
+        self.step(pid, s.into(), AccessKind::Write, |st| {
+            st.sticky_flush_begin(pid, s.0)
+        });
+        self.step(pid, s.into(), AccessKind::Write, |st| {
+            st.sticky_flush_end(pid, s.0)
+        });
     }
 
     fn sticky_word_jam(&self, pid: Pid, s: StickyWordId, v: Word) -> JamOutcome {
@@ -201,37 +243,54 @@ impl<P: Clone + Send + Sync> WordMem for SimMem<P> {
             v != STICKY_WORD_UNDEF,
             "sticky word payloads must be < STICKY_WORD_UNDEF"
         );
-        self.step(pid, |st| st.sticky_word_jam(pid, s.0, v))
+        self.step(pid, s.into(), AccessKind::Write, |st| {
+            st.sticky_word_jam(pid, s.0, v)
+        })
     }
 
     fn sticky_word_read(&self, pid: Pid, s: StickyWordId) -> Option<Word> {
-        self.step(pid, |st| st.sticky_word_read(pid, s.0))
+        self.step(pid, s.into(), AccessKind::Read, |st| {
+            st.sticky_word_read(pid, s.0)
+        })
     }
 
     fn sticky_word_flush(&self, pid: Pid, s: StickyWordId) {
-        self.step(pid, |st| st.sticky_word_flush_begin(pid, s.0));
-        self.step(pid, |st| st.sticky_word_flush_end(pid, s.0));
+        self.step(pid, s.into(), AccessKind::Write, |st| {
+            st.sticky_word_flush_begin(pid, s.0)
+        });
+        self.step(pid, s.into(), AccessKind::Write, |st| {
+            st.sticky_word_flush_end(pid, s.0)
+        });
     }
 
     fn tas_test_and_set(&self, pid: Pid, t: TasId) -> bool {
-        self.step(pid, |st| st.tas_test_and_set(pid, t.0))
+        self.step(pid, t.into(), AccessKind::Write, |st| {
+            st.tas_test_and_set(pid, t.0)
+        })
     }
 
     fn tas_read(&self, pid: Pid, t: TasId) -> bool {
-        self.step(pid, |st| st.tas_read(pid, t.0))
+        self.step(pid, t.into(), AccessKind::Read, |st| st.tas_read(pid, t.0))
     }
 
     fn tas_reset(&self, pid: Pid, t: TasId) {
-        self.step(pid, |st| st.tas_reset_begin(pid, t.0));
-        self.step(pid, |st| st.tas_reset_end(pid, t.0));
+        self.step(pid, t.into(), AccessKind::Write, |st| {
+            st.tas_reset_begin(pid, t.0)
+        });
+        self.step(pid, t.into(), AccessKind::Write, |st| {
+            st.tas_reset_end(pid, t.0)
+        });
     }
 
+    // Timestamp steps: mutually ordered (the linearizability checker reads
+    // their relative order) but commuting with ordinary memory steps — see
+    // the soundness note on `LocId::Clock`.
     fn op_invoke(&self, pid: Pid) -> u64 {
-        self.step(pid, |st| st.clock)
+        self.step(pid, LocId::Clock, AccessKind::Write, |st| st.clock)
     }
 
     fn op_return(&self, pid: Pid) -> u64 {
-        self.step(pid, |st| st.clock)
+        self.step(pid, LocId::Clock, AccessKind::Write, |st| st.clock)
     }
 }
 
@@ -249,18 +308,30 @@ impl<P: Clone + Send + Sync> DataMem<P> for SimMem<P> {
     }
 
     fn data_read(&self, pid: Pid, d: DataId) -> Option<P> {
-        self.step(pid, |st| st.data_read_begin(pid, d.0));
-        self.step(pid, |st| st.data_read_end(pid, d.0))
+        self.step(pid, d.into(), AccessKind::Read, |st| {
+            st.data_read_begin(pid, d.0)
+        });
+        self.step(pid, d.into(), AccessKind::Read, |st| {
+            st.data_read_end(pid, d.0)
+        })
     }
 
     fn data_write(&self, pid: Pid, d: DataId, v: P) {
-        self.step(pid, |st| st.data_write_begin(pid, d.0, Some(v)));
-        self.step(pid, |st| st.data_write_end(pid, d.0));
+        self.step(pid, d.into(), AccessKind::Write, |st| {
+            st.data_write_begin(pid, d.0, Some(v))
+        });
+        self.step(pid, d.into(), AccessKind::Write, |st| {
+            st.data_write_end(pid, d.0)
+        });
     }
 
     fn data_clear(&self, pid: Pid, d: DataId) {
-        self.step(pid, |st| st.data_write_begin(pid, d.0, None));
-        self.step(pid, |st| st.data_write_end(pid, d.0));
+        self.step(pid, d.into(), AccessKind::Write, |st| {
+            st.data_write_begin(pid, d.0, None)
+        });
+        self.step(pid, d.into(), AccessKind::Write, |st| {
+            st.data_write_end(pid, d.0)
+        });
     }
 }
 

@@ -2,7 +2,7 @@
 
 use crate::adversary::{Adversary, Decision};
 use crate::mem::SimMem;
-use crate::state::{ChoicePoint, CrashSignal, Status, Violation};
+use crate::state::{ChoicePoint, CrashSignal, Status, StepAccess, Violation};
 use sbu_mem::Pid;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Once;
@@ -66,6 +66,11 @@ pub struct RunOutcome<T> {
     /// The adversary's recorded choice log (empty unless it keeps one, e.g.
     /// [`crate::adversary::Scripted`]).
     pub choice_log: Vec<ChoicePoint>,
+    /// Per-step memory accesses, aligned 1:1 with the scheduling decisions
+    /// (entry `i` is the access performed under grant `i`; crash grants
+    /// record a global write). Consumed by the DPOR explorer's independence
+    /// analysis.
+    pub access_log: Vec<StepAccess>,
 }
 
 impl<T> RunOutcome<T> {
@@ -174,6 +179,8 @@ where
         st.step = 0;
         st.steps_per_proc = vec![0; n];
         st.violations.clear();
+        st.access_log.clear();
+        st.corrupt_draws = 0;
         st.policy = adversary;
         st.running = true;
     }
@@ -229,6 +236,13 @@ where
         resume_unwind(payload);
     }
     let choice_log = st.policy.take_choice_log();
+    let access_log = std::mem::take(&mut st.access_log);
+    debug_assert!(
+        choice_log.is_empty() || choice_log.len() == access_log.len(),
+        "choice log ({}) and access log ({}) must stay aligned",
+        choice_log.len(),
+        access_log.len()
+    );
     RunOutcome {
         outcomes: results
             .into_iter()
@@ -242,6 +256,7 @@ where
         violations: st.violations.clone(),
         aborted: st.aborting,
         choice_log,
+        access_log,
     }
 }
 

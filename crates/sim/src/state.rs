@@ -3,17 +3,102 @@
 
 use crate::adversary::Adversary;
 use parking_lot::{Condvar, Mutex};
-use sbu_mem::{JamOutcome, Pid, Tri, Word};
+use sbu_mem::{AccessKind, JamOutcome, LocId, Pid, Tri, Word};
 use std::fmt;
 
-/// One scheduling decision: how many options the adversary had and which it
-/// chose. The schedule explorer enumerates scripts over these.
+/// One scheduling decision: how many options the adversary had, which it
+/// chose, and *what the options were* — the set of runnable processors and
+/// whether crash branches existed. The schedule explorer enumerates scripts
+/// over these; the DPOR explorer additionally maps option indices back to
+/// processors to schedule racing steps first.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChoicePoint {
     /// Number of available options at this point.
     pub options: usize,
     /// The option taken (`0..options`).
     pub chosen: usize,
+    /// Bitmask over pids of the schedulable processors: bit `p` set iff
+    /// `Pid(p)` was an option. Option index `i` (for `i` below the popcount
+    /// `k`) steps the `i`-th set pid in ascending order; index `k + i`
+    /// crashes it (only when [`ChoicePoint::crash_allowed`]).
+    pub enabled: u64,
+    /// Whether the upper half of the option space (crash decisions)
+    /// existed at this point.
+    pub crash_allowed: bool,
+}
+
+impl ChoicePoint {
+    /// Number of schedulable processors (`options` is this, doubled when
+    /// crashes were allowed).
+    pub fn num_enabled(&self) -> usize {
+        self.enabled.count_ones() as usize
+    }
+
+    /// Decode an option index into `(pid, is_crash)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `opt >= self.options`.
+    pub fn decode(&self, opt: usize) -> (usize, bool) {
+        let k = self.num_enabled();
+        assert!(opt < self.options, "option {opt} out of {}", self.options);
+        let (rank, crash) = if opt < k {
+            (opt, false)
+        } else {
+            (opt - k, true)
+        };
+        let mut mask = self.enabled;
+        for _ in 0..rank {
+            mask &= mask - 1; // clear lowest set bit
+        }
+        (mask.trailing_zeros() as usize, crash)
+    }
+
+    /// Encode `(pid, is_crash)` back into an option index, if that pid was
+    /// enabled here (and, for crashes, if crash branches existed).
+    pub fn encode(&self, pid: usize, crash: bool) -> Option<usize> {
+        if pid >= 64 || self.enabled & (1 << pid) == 0 || (crash && !self.crash_allowed) {
+            return None;
+        }
+        let rank = (self.enabled & ((1u64 << pid) - 1)).count_ones() as usize;
+        Some(if crash {
+            self.num_enabled() + rank
+        } else {
+            rank
+        })
+    }
+}
+
+/// The memory access performed by one scheduled step, recorded 1:1 with the
+/// adversary's [`ChoicePoint`] log. This is what the DPOR explorer's
+/// independence relation inspects: `access_log[i]` is the access of the
+/// step granted by decision `choice_log[i]` (a crash grant records a
+/// [`LocId::Global`] write, since fail-stop closes every window the victim
+/// held).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepAccess {
+    /// The processor that took the step (or was crashed).
+    pub pid: Pid,
+    /// The location the step touched.
+    pub loc: LocId,
+    /// Whether the step could mutate that location.
+    pub kind: AccessKind,
+}
+
+impl StepAccess {
+    /// Mazurkiewicz dependence: steps of the same processor never commute;
+    /// otherwise two steps conflict iff they touch the same location with
+    /// at least one write, and [`LocId::Global`] effects conflict with
+    /// everything.
+    pub fn dependent(&self, other: &StepAccess) -> bool {
+        if self.pid == other.pid {
+            return true;
+        }
+        if self.loc == LocId::Global || other.loc == LocId::Global {
+            return true;
+        }
+        self.loc == other.loc && self.kind.conflicts(other.kind)
+    }
 }
 
 /// A monitored non-atomicity violation: the protocol let two operations
@@ -140,6 +225,14 @@ pub(crate) struct SimState<P> {
     pub steps_per_proc: Vec<u64>,
     pub policy: Box<dyn Adversary>,
     pub violations: Vec<Violation>,
+    /// Per-step access records, aligned 1:1 with the adversary's choice log
+    /// (only filled while `running`).
+    pub access_log: Vec<StepAccess>,
+    /// Number of adversary-fabricated words drawn so far. The step wrapper
+    /// snapshots this around each effect: a step that consumed a corrupt
+    /// word advanced shared adversary state and is recorded as a
+    /// [`LocId::Global`] access.
+    pub corrupt_draws: u64,
 
     pub safes: Vec<SafeCell>,
     pub atomics: Vec<Word>,
@@ -163,6 +256,8 @@ impl<P: Clone> SimState<P> {
             steps_per_proc: vec![0; n_procs],
             policy,
             violations: Vec::new(),
+            access_log: Vec::new(),
+            corrupt_draws: 0,
             safes: Vec::new(),
             atomics: Vec::new(),
             stickies: Vec::new(),
@@ -170,6 +265,13 @@ impl<P: Clone> SimState<P> {
             tas_bits: Vec::new(),
             data: Vec::new(),
         }
+    }
+
+    /// Draw an adversary-fabricated word, counting the draw so the step
+    /// wrapper can mark the consuming step as a global access.
+    fn corrupt(&mut self) -> Word {
+        self.corrupt_draws += 1;
+        self.policy.corrupt_word(self.clock)
     }
 
     fn violation(&mut self, pid: Pid, object: &'static str, index: usize, what: &'static str) {
@@ -195,7 +297,7 @@ impl<P: Clone> SimState<P> {
                 // The interrupted write leaves the register arbitrary —
                 // old value, new value, or garbage. The adversary picks,
                 // once; the value is fixed thereafter.
-                let settled = self.policy.corrupt_word(self.clock);
+                let settled = self.corrupt();
                 let cell = &mut self.safes[ix];
                 cell.writers.retain(|&(p, _)| p != pid);
                 if cell.writers.is_empty() {
@@ -261,7 +363,7 @@ impl<P: Clone> SimState<P> {
             cell.write_race && cell.race_values.windows(2).any(|w| w[0] != w[1])
         };
         let corrupt = if race_disagrees {
-            Some(self.policy.corrupt_word(self.clock))
+            Some(self.corrupt())
         } else {
             None
         };
@@ -305,7 +407,7 @@ impl<P: Clone> SimState<P> {
             dirty
         };
         if dirty {
-            self.policy.corrupt_word(self.clock)
+            self.corrupt()
         } else {
             self.safes[ix].value
         }
@@ -532,20 +634,83 @@ mod violation_tests {
         let a = ChoicePoint {
             options: 3,
             chosen: 1,
+            enabled: 0b111,
+            crash_allowed: false,
         };
         assert_eq!(
             a,
             ChoicePoint {
                 options: 3,
-                chosen: 1
+                chosen: 1,
+                enabled: 0b111,
+                crash_allowed: false,
             }
         );
         assert_ne!(
             a,
             ChoicePoint {
                 options: 3,
-                chosen: 2
+                chosen: 2,
+                enabled: 0b111,
+                crash_allowed: false,
             }
         );
+    }
+
+    #[test]
+    fn choice_point_decodes_options_to_pids() {
+        // Enabled pids {0, 2, 5}, with crash branches: 6 options.
+        let cp = ChoicePoint {
+            options: 6,
+            chosen: 0,
+            enabled: 0b100101,
+            crash_allowed: true,
+        };
+        assert_eq!(cp.num_enabled(), 3);
+        assert_eq!(cp.decode(0), (0, false));
+        assert_eq!(cp.decode(1), (2, false));
+        assert_eq!(cp.decode(2), (5, false));
+        assert_eq!(cp.decode(3), (0, true));
+        assert_eq!(cp.decode(5), (5, true));
+        // encode is the inverse on valid inputs.
+        for opt in 0..6 {
+            let (pid, crash) = cp.decode(opt);
+            assert_eq!(cp.encode(pid, crash), Some(opt));
+        }
+        assert_eq!(cp.encode(1, false), None, "pid 1 is not enabled");
+    }
+
+    #[test]
+    fn choice_point_encode_rejects_crash_when_disallowed() {
+        let cp = ChoicePoint {
+            options: 2,
+            chosen: 0,
+            enabled: 0b11,
+            crash_allowed: false,
+        };
+        assert_eq!(cp.encode(1, false), Some(1));
+        assert_eq!(cp.encode(1, true), None);
+    }
+
+    #[test]
+    fn step_access_dependence_relation() {
+        use sbu_mem::AccessKind::{Read, Write};
+        let acc = |pid: usize, loc: LocId, kind| StepAccess {
+            pid: Pid(pid),
+            loc,
+            kind,
+        };
+        // Same pid: always dependent, even on disjoint locations.
+        assert!(acc(0, LocId::Atomic(0), Read).dependent(&acc(0, LocId::Atomic(1), Read)));
+        // Different pids, disjoint locations: independent.
+        assert!(!acc(0, LocId::Atomic(0), Write).dependent(&acc(1, LocId::Atomic(1), Write)));
+        // Same location: dependent iff a write is involved.
+        assert!(acc(0, LocId::StickyBit(3), Write).dependent(&acc(1, LocId::StickyBit(3), Read)));
+        assert!(!acc(0, LocId::Safe(2), Read).dependent(&acc(1, LocId::Safe(2), Read)));
+        // Clock steps conflict with each other but not with memory steps.
+        assert!(acc(0, LocId::Clock, Write).dependent(&acc(1, LocId::Clock, Write)));
+        assert!(!acc(0, LocId::Clock, Write).dependent(&acc(1, LocId::Atomic(0), Write)));
+        // Global effects conflict with everything.
+        assert!(acc(0, LocId::Global, Write).dependent(&acc(1, LocId::Safe(9), Read)));
     }
 }

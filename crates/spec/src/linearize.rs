@@ -422,7 +422,9 @@ mod guard_tests {
 
     #[test]
     fn check_result_accessors() {
-        let r = CheckResult::Linearizable { witness: vec![1, 0] };
+        let r = CheckResult::Linearizable {
+            witness: vec![1, 0],
+        };
         assert!(r.is_linearizable());
         assert_eq!(r.witness(), Some(&[1, 0][..]));
         let n = CheckResult::NotLinearizable;

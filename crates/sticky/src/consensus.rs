@@ -228,7 +228,6 @@ mod tests {
                 2,
                 move |mem, pid| cons2.propose(mem, pid, pid.0 as Word),
             );
-            let choice_log = out.choice_log.clone();
             let verdict = (|| {
                 if !out.violations.is_empty() {
                     return Err(format!("violations: {:?}", out.violations));
@@ -244,10 +243,7 @@ mod tests {
                 }
                 Ok(())
             })();
-            EpisodeResult {
-                choice_log,
-                verdict,
-            }
+            EpisodeResult::from_outcome(&out, verdict)
         });
         report.assert_all_ok();
     }

@@ -101,7 +101,6 @@ mod tests {
                 n,
                 move |mem, pid| le2.elect(mem, pid),
             );
-            let choice_log = out.choice_log.clone();
             let verdict = (|| {
                 out.assert_clean();
                 let leaders: Vec<Pid> = out.results().into_iter().copied().collect();
@@ -114,10 +113,7 @@ mod tests {
                 }
                 Ok(())
             })();
-            EpisodeResult {
-                choice_log,
-                verdict,
-            }
+            EpisodeResult::from_outcome(&out, verdict)
         })
     }
 

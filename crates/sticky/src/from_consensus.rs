@@ -174,7 +174,6 @@ mod tests {
                     }
                 },
             );
-            let choice_log = out.choice_log.clone();
             let verdict = (|| {
                 if !out.violations.is_empty() {
                     return Err(format!("violations: {:?}", out.violations));
@@ -185,10 +184,7 @@ mod tests {
                 }
                 Ok(())
             })();
-            EpisodeResult {
-                choice_log,
-                verdict,
-            }
+            EpisodeResult::from_outcome(&out, verdict)
         });
         report.assert_all_ok();
     }

@@ -311,7 +311,6 @@ mod tests {
                     jw2.jam(mem, pid, value)
                 },
             );
-            let choice_log = out.choice_log.clone();
             let verdict = (|| {
                 out.assert_clean();
                 let results: Vec<(JamOutcome, Word)> = out.results().into_iter().cloned().collect();
@@ -335,10 +334,7 @@ mod tests {
                 }
                 Ok(())
             })();
-            EpisodeResult {
-                choice_log,
-                verdict,
-            }
+            EpisodeResult::from_outcome(&out, verdict)
         });
         report.assert_all_ok();
         assert!(report.schedules > 10, "non-trivial schedule tree expected");
@@ -366,7 +362,6 @@ mod tests {
                     jw2.jam(mem, pid, value)
                 },
             );
-            let choice_log = out.choice_log.clone();
             let verdict = (|| {
                 if !out.violations.is_empty() {
                     return Err(format!("violations: {:?}", out.violations));
@@ -390,10 +385,7 @@ mod tests {
                 }
                 Ok(())
             })();
-            EpisodeResult {
-                choice_log,
-                verdict,
-            }
+            EpisodeResult::from_outcome(&out, verdict)
         });
         report.assert_all_ok();
     }
@@ -418,15 +410,11 @@ mod tests {
                     jw2.jam_oblivious(mem, pid, value)
                 },
             );
-            let choice_log = out.choice_log.clone();
             let verdict = match jw.read(&mem, Pid(0)) {
                 Some(v) if v != 0b01 && v != 0b10 => Err(format!("blended into {v:#b}")),
                 _ => Ok(()),
             };
-            EpisodeResult {
-                choice_log,
-                verdict,
-            }
+            EpisodeResult::from_outcome(&out, verdict)
         });
         report.assert_some_failure();
     }

@@ -364,7 +364,6 @@ mod tests {
                 2,
                 move |mem, pid| ac2.propose(mem, pid, pid.0 as Word),
             );
-            let choice_log = out.choice_log.clone();
             let verdict = (|| {
                 let rs: Vec<(AcStatus, Word)> = out.results().into_iter().copied().collect();
                 // Two commits must agree; a commit forces the other to the
@@ -381,10 +380,7 @@ mod tests {
                 }
                 Ok(())
             })();
-            EpisodeResult {
-                choice_log,
-                verdict,
-            }
+            EpisodeResult::from_outcome(&out, verdict)
         });
         report.assert_all_ok();
     }

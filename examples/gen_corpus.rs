@@ -1,0 +1,59 @@
+//! Regenerate the schedule-corpus regression files in `tests/corpus/`.
+//!
+//! For every system in the [`sticky_universality::corpus_systems`] registry
+//! this explores the schedule tree with partial-order reduction, takes the
+//! first counterexample, delta-debugs it to a minimal script, and writes a
+//! canonical `.sbu-sched` file. Output is fully deterministic, so running
+//! this twice produces byte-identical files — `tests/corpus_replay.rs`
+//! relies on that.
+//!
+//! ```text
+//! cargo run --example gen_corpus
+//! ```
+
+use std::path::Path;
+
+use sticky_universality::corpus_systems::{self, SYSTEMS};
+use sticky_universality::sim::corpus::CORPUS_VERSION;
+use sticky_universality::sim::{minimize_script, Explorer, ScheduleCase};
+
+fn describe(system: &str) -> &'static str {
+    match system {
+        corpus_systems::ATOMIC_INTERMEDIATE_READ => {
+            "Minimal schedule where a reader observes the intermediate of two atomic writes."
+        }
+        corpus_systems::JAM_OBLIVIOUS_BLEND => {
+            "Minimal schedule where oblivious (non-helping) jamming blends two sticky-word proposals (the Section 4 straw-man)."
+        }
+        corpus_systems::NAIVE_JAM_STRANDS_WINNER => {
+            "Minimal schedule where a crash mid-jam plus a non-helping loser leaves the sticky word undefined forever."
+        }
+        _ => "Minimized counterexample.",
+    }
+}
+
+fn main() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    for system in SYSTEMS {
+        let explorer = Explorer::new(500_000);
+        let episode = |script: &[usize]| corpus_systems::episode(system, script).unwrap();
+        let report = explorer.explore_dpor(episode);
+        let (script, _) = report
+            .failures
+            .first()
+            .unwrap_or_else(|| panic!("{system}: exploration found no counterexample"))
+            .clone();
+        let (minimal, message) = minimize_script(&script, episode);
+        let case = ScheduleCase {
+            version: CORPUS_VERSION,
+            name: system.replace('_', "-"),
+            system: (*system).to_owned(),
+            description: describe(system).to_owned(),
+            script: minimal,
+            expect_failure: true,
+            message,
+        };
+        let path = case.save(&dir).expect("write corpus file");
+        println!("{}: script {:?} -> {}", system, case.script, path.display());
+    }
+}

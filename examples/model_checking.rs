@@ -37,17 +37,13 @@ fn main() {
                 mem.sticky_word_read(pid, agreed).unwrap()
             },
         );
-        let choice_log = out.choice_log.clone();
         let vals: Vec<u64> = out.results().into_iter().copied().collect();
         let verdict = if vals.iter().all(|&v| v == 7) {
             Ok(())
         } else {
             Err(format!("non-max or disagreeing outputs: {vals:?}"))
         };
-        EpisodeResult {
-            choice_log,
-            verdict,
-        }
+        EpisodeResult::from_outcome(&out, verdict)
     });
     match report.failures.first() {
         None => println!(
@@ -79,17 +75,13 @@ fn main() {
                 mem.atomic_write(pid, total, cur + 1);
             },
         );
-        let choice_log = out.choice_log.clone();
         let final_total = mem.atomic_read(Pid(0), total);
         let verdict = if final_total == 2 {
             Ok(())
         } else {
             Err(format!("lost update: total = {final_total}"))
         };
-        EpisodeResult {
-            choice_log,
-            verdict,
-        }
+        EpisodeResult::from_outcome(&out, verdict)
     });
     match report.failures.first() {
         Some((script, msg)) => println!(
@@ -120,17 +112,13 @@ fn main() {
             2,
             move |mem, pid| obj2.apply(mem, pid, &CounterOp::Inc),
         );
-        let choice_log = out.choice_log.clone();
         let final_total = obj.apply(&mem, Pid(0), &CounterOp::Read);
         let verdict = if final_total == 2 {
             Ok(())
         } else {
             Err(format!("lost update: total = {final_total}"))
         };
-        EpisodeResult {
-            choice_log,
-            verdict,
-        }
+        EpisodeResult::from_outcome(&out, verdict)
     });
     // The universal construction's schedule tree is enormous; a bounded-
     // exhaustive prefix is what fits in an example.

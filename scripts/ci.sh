@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# The full local/CI gate, runnable fully offline (all dependencies are
+# vendored; `--offline` is passed to every cargo invocation).
+#
+#   scripts/ci.sh          # fmt, clippy -D warnings, build, tests, corpus replay
+#   scripts/ci.sh --full   # additionally runs the #[ignore]d deep-exploration tests
+#
+# Deterministic by default: the vendored proptest draws from a fixed seed.
+# Override with SBU_PROPTEST_SEED=<u64> to explore a different stream, and
+# SBU_PROPTEST_CASES=<n> to scale property-test case counts.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FULL=0
+if [[ "${1:-}" == "--full" ]]; then
+    FULL=1
+fi
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "rustfmt (check only)"
+cargo fmt --all --check
+
+step "clippy (warnings are errors)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+step "release build"
+cargo build --release --offline
+
+step "workspace tests"
+cargo test --quiet --workspace --offline
+
+step "schedule-corpus replay"
+cargo test --quiet --offline --test corpus_replay
+
+step "corpus regeneration is deterministic"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+cp tests/corpus/*.sbu-sched "$tmp/"
+cargo run --quiet --offline --example gen_corpus >/dev/null
+for f in tests/corpus/*.sbu-sched; do
+    cmp -s "$f" "$tmp/$(basename "$f")" || {
+        echo "corpus file $f changed after regeneration" >&2
+        exit 1
+    }
+done
+
+if [[ "$FULL" == 1 ]]; then
+    step "deep exploration sweeps (#[ignore]d tests, release)"
+    cargo test --quiet --release --workspace --offline -- --ignored
+fi
+
+step "CI green"

@@ -1,0 +1,167 @@
+//! The registry of *corpus systems*: named, deterministic model-checking
+//! episodes that `.sbu-sched` regression files replay against.
+//!
+//! A corpus file (see [`sbu_sim::corpus`]) stores only a registry key and a
+//! decision script — the code being checked lives here, so a corpus entry
+//! keeps meaning the same thing as the implementation evolves (and starts
+//! failing loudly if a fix regresses). Each system is a known bug or
+//! near-miss from the paper's design space, kept alive as a seeded-bug
+//! oracle:
+//!
+//! * [`ATOMIC_INTERMEDIATE_READ`] — the canonical two-writes-one-read race:
+//!   a reader can observe the intermediate value. The simplest possible
+//!   counterexample, used to smoke-test the explorer itself.
+//! * [`JAM_OBLIVIOUS_BLEND`] — the Section 4 straw-man that jams all bits
+//!   of a sticky word without the Figure 2 helping discipline; two
+//!   proposals can blend into a value nobody wrote.
+//! * [`NAIVE_JAM_STRANDS_WINNER`] — jamming without helping under a crash:
+//!   the loser gives up, the crashed winner's remaining bits stay `⊥`
+//!   forever, and readers lose wait-freedom.
+//!
+//! [`episode`] runs one script; [`replay_verdict`] adapts the registry to
+//! [`sbu_sim::replay_corpus`].
+
+use sbu_mem::{Pid, WordMem};
+use sbu_sim::{run_uniform, EpisodeResult, RunOptions, Scripted, SimMem};
+use sbu_sticky::JamWord;
+
+/// Registry key: reader may observe an intermediate atomic-register value.
+pub const ATOMIC_INTERMEDIATE_READ: &str = "atomic_intermediate_read";
+/// Registry key: oblivious sticky-word jamming can blend two proposals.
+pub const JAM_OBLIVIOUS_BLEND: &str = "jam_oblivious_blend";
+/// Registry key: naive (non-helping) jamming strands a crashed winner.
+pub const NAIVE_JAM_STRANDS_WINNER: &str = "naive_jam_strands_winner";
+
+/// Every registry key, in replay order.
+pub const SYSTEMS: &[&str] = &[
+    ATOMIC_INTERMEDIATE_READ,
+    JAM_OBLIVIOUS_BLEND,
+    NAIVE_JAM_STRANDS_WINNER,
+];
+
+/// Run `script` against the named system. Returns `None` for unknown keys.
+///
+/// Every system is deterministic (same script ⇒ same
+/// [`EpisodeResult`]) and its verdict is schedule-equivalence invariant, so
+/// all of them are valid under both [`sbu_sim::Explorer::explore`] and
+/// [`sbu_sim::Explorer::explore_dpor`].
+pub fn episode(system: &str, script: &[usize]) -> Option<EpisodeResult> {
+    match system {
+        ATOMIC_INTERMEDIATE_READ => Some(atomic_intermediate_read(script)),
+        JAM_OBLIVIOUS_BLEND => Some(jam_oblivious_blend(script)),
+        NAIVE_JAM_STRANDS_WINNER => Some(naive_jam_strands_winner(script)),
+        _ => None,
+    }
+}
+
+/// Adapter for [`sbu_sim::replay_corpus`]: just the verdict.
+pub fn replay_verdict(system: &str, script: &[usize]) -> Option<Result<(), String>> {
+    episode(system, script).map(|e| e.verdict)
+}
+
+fn atomic_intermediate_read(script: &[usize]) -> EpisodeResult {
+    let mut mem: SimMem<()> = SimMem::new(2);
+    let a = mem.alloc_atomic(0);
+    let out = run_uniform(
+        &mem,
+        Box::new(Scripted::new(script.to_vec())),
+        RunOptions::default(),
+        2,
+        move |mem, pid| {
+            if pid.0 == 0 {
+                mem.atomic_write(pid, a, 1);
+                mem.atomic_write(pid, a, 2);
+                0
+            } else {
+                mem.atomic_read(pid, a)
+            }
+        },
+    );
+    let read = *out.outcomes[1].completed().expect("no crashes scheduled");
+    let verdict = if read == 1 {
+        Err("read the intermediate value".into())
+    } else {
+        Ok(())
+    };
+    EpisodeResult::from_outcome(&out, verdict)
+}
+
+fn jam_oblivious_blend(script: &[usize]) -> EpisodeResult {
+    let mut mem: SimMem<()> = SimMem::new(2);
+    let jw = JamWord::new(&mut mem, 2, 2);
+    let jw2 = jw.clone();
+    let out = run_uniform(
+        &mem,
+        Box::new(Scripted::new(script.to_vec())),
+        RunOptions::default(),
+        2,
+        move |mem, pid| {
+            let value = if pid.0 == 0 { 0b01 } else { 0b10 };
+            jw2.jam_oblivious(mem, pid, value)
+        },
+    );
+    let verdict = match jw.read(&mem, Pid(0)) {
+        Some(v) if v != 0b01 && v != 0b10 => Err(format!("blended into {v:#b}")),
+        _ => Ok(()),
+    };
+    EpisodeResult::from_outcome(&out, verdict)
+}
+
+fn naive_jam_strands_winner(script: &[usize]) -> EpisodeResult {
+    let mut mem: SimMem<()> = SimMem::new(2);
+    let jw = JamWord::new(&mut mem, 2, 2);
+    let jw2 = jw.clone();
+    let out = run_uniform(
+        &mem,
+        Box::new(Scripted::new(script.to_vec()).with_crashes(1)),
+        RunOptions::default(),
+        2,
+        move |mem, pid| {
+            let value = if pid.0 == 0 { 0b11 } else { 0b00 };
+            jw2.jam_naive(mem, pid, value)
+        },
+    );
+    // Wait-freedom of readers: once every processor is done (crashed or
+    // returned), the word must be fully defined unless *everyone* crashed.
+    let any_completed = out.outcomes.iter().any(|o| o.completed().is_some());
+    let verdict = if any_completed && jw.read(&mem, Pid(0)).is_none() {
+        Err("word left undefined after a completer returned".into())
+    } else {
+        Ok(())
+    };
+    EpisodeResult::from_outcome(&out, verdict)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_system_is_none() {
+        assert!(episode("no_such_system", &[]).is_none());
+        assert!(replay_verdict("no_such_system", &[]).is_none());
+    }
+
+    #[test]
+    fn every_registered_system_runs_the_default_schedule() {
+        for system in SYSTEMS {
+            let result = episode(system, &[]).expect("registered");
+            assert!(
+                !result.choice_log.is_empty(),
+                "{system} recorded no choices"
+            );
+            assert_eq!(result.choice_log.len(), result.access_log.len());
+        }
+    }
+
+    #[test]
+    fn every_system_has_a_counterexample_and_a_passing_schedule() {
+        for system in SYSTEMS {
+            let explorer = sbu_sim::Explorer::new(200_000);
+            let report = explorer.explore_dpor(|script| episode(system, script).unwrap());
+            report.assert_some_failure();
+            // The default schedule itself is clean for all three systems.
+            assert_eq!(episode(system, &[]).unwrap().verdict, Ok(()));
+        }
+    }
+}

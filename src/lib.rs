@@ -40,6 +40,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod corpus_systems;
+
 pub use sbu_core as core;
 pub use sbu_mem as mem;
 pub use sbu_rmw as rmw;

@@ -1,0 +1,765 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored shim
+//! re-implements the slice of proptest's API that this workspace's property
+//! tests use: the [`proptest!`] macro (including `#![proptest_config(..)]`),
+//! `prop_assert*`/`prop_assume!`, [`strategy::Strategy`] with `prop_map` /
+//! `prop_flat_map`, range / tuple / [`strategy::Just`] / [`collection::vec`]
+//! / [`prop_oneof!`] / [`strategy::any`] strategies, and
+//! [`test_runner::ProptestConfig`].
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports the deterministic seed and
+//!   case number instead; re-running reproduces it exactly. The repo's
+//!   schedule-level counterexamples are minimized by the simulator's own
+//!   delta-debugging minimizer (`sbu_sim::explore::minimize_script`), which
+//!   understands schedule semantics far better than structural shrinking.
+//! * **Deterministic by default.** Every run uses the same fixed seed, so CI
+//!   is reproducible; set `SBU_PROPTEST_SEED` to explore a different stream,
+//!   and `SBU_PROPTEST_CASES` to scale case counts up or down globally.
+
+#![forbid(unsafe_code)]
+
+/// Configuration, RNG and error types for the runner.
+pub mod test_runner {
+    use std::fmt;
+
+    /// Default base seed (overridden by `SBU_PROPTEST_SEED`).
+    pub const DEFAULT_SEED: u64 = 0x005E_ED0F_571C_B175;
+
+    /// Deterministic generator handed to strategies (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator whose stream is a pure function of `seed`.
+        pub fn from_seed(seed: u64) -> Self {
+            Self { state: seed }
+        }
+
+        /// Next 64 uniformly distributed bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `0..bound` (`bound` > 0).
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            self.next_u64() % bound
+        }
+    }
+
+    /// Why a test case did not pass.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// The property was falsified.
+        Fail(String),
+        /// The generated inputs were rejected by `prop_assume!`.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A falsification with a message.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        /// An input rejection with a message.
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(r) => write!(f, "test case failed: {r}"),
+                TestCaseError::Reject(r) => write!(f, "test case rejected: {r}"),
+            }
+        }
+    }
+
+    /// Outcome of one property-test case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Runner configuration (the `cases` slice of proptest's struct).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of accepted (non-rejected) cases to run.
+        pub cases: u32,
+        /// Give up after this many consecutive rejections.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self {
+                cases: 256,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` accepted cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self {
+                cases,
+                ..Self::default()
+            }
+        }
+    }
+
+    fn env_u64(name: &str) -> Option<u64> {
+        std::env::var(name).ok()?.trim().parse().ok()
+    }
+
+    /// Base seed: `SBU_PROPTEST_SEED` if set, else [`DEFAULT_SEED`].
+    pub fn base_seed() -> u64 {
+        env_u64("SBU_PROPTEST_SEED").unwrap_or(DEFAULT_SEED)
+    }
+
+    /// Effective case count: `SBU_PROPTEST_CASES` if set, else the config's.
+    pub fn effective_cases(config: &ProptestConfig) -> u32 {
+        env_u64("SBU_PROPTEST_CASES")
+            .map(|c| c.min(u32::MAX as u64) as u32)
+            .unwrap_or(config.cases)
+    }
+
+    /// Drive `body` over `cases` generated inputs; panics (failing the
+    /// enclosing `#[test]`) on the first falsified case, reporting the seed
+    /// and case index needed to replay it.
+    pub fn run_proptest<F>(config: &ProptestConfig, name: &str, mut body: F)
+    where
+        F: FnMut(&mut TestRng) -> TestCaseResult,
+    {
+        let seed = base_seed();
+        let cases = effective_cases(config);
+        let mut accepted = 0u32;
+        let mut rejected = 0u32;
+        let mut case_index = 0u64;
+        while accepted < cases {
+            case_index += 1;
+            // Independent stream per case, reproducible from (seed, index).
+            let mut rng = TestRng::from_seed(seed ^ case_index.wrapping_mul(0xA076_1D64_78BD_642F));
+            match body(&mut rng) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected >= config.max_global_rejects {
+                        panic!(
+                            "proptest {name}: too many rejected cases \
+                             ({rejected}) — loosen prop_assume! conditions"
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest {name} falsified at case {case_index} \
+                         (SBU_PROPTEST_SEED={seed}): {msg}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Strategies: composable random-value generators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::Range;
+
+    /// A generator of values of type `Self::Value`.
+    ///
+    /// Unlike real proptest there is no value tree / shrinking: a strategy
+    /// simply draws a value from the RNG.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F, O>
+        where
+            Self: Sized,
+        {
+            Map {
+                source: self,
+                f,
+                _marker: PhantomData,
+            }
+        }
+
+        /// Build a dependent strategy from each generated value.
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F, S2>
+        where
+            Self: Sized,
+        {
+            FlatMap {
+                source: self,
+                f,
+                _marker: PhantomData,
+            }
+        }
+
+        /// Filter generated values (rejection sampling, bounded retries).
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            whence: &'static str,
+            f: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                source: self,
+                f,
+                whence,
+            }
+        }
+
+        /// Type-erase this strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: std::rc::Rc::new(self),
+            }
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F, O> {
+        source: S,
+        f: F,
+        _marker: PhantomData<fn() -> O>,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F, O> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F, S2> {
+        source: S,
+        f: F,
+        _marker: PhantomData<fn() -> S2>,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F, S2> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.source.generate(rng)).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        source: S,
+        f: F,
+        whence: &'static str,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.source.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter retry budget exhausted: {}", self.whence);
+        }
+    }
+
+    /// A type-erased, reference-counted strategy.
+    pub struct BoxedStrategy<T> {
+        inner: std::rc::Rc<dyn Strategy<Value = T>>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            Self {
+                inner: std::rc::Rc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.inner.generate(rng)
+        }
+    }
+
+    /// Uniform or weighted choice among strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<(u32, BoxedStrategy<T>)>,
+        total_weight: u64,
+    }
+
+    impl<T> Union<T> {
+        /// Uniform choice.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            Self::new_weighted(options.into_iter().map(|s| (1, s)).collect())
+        }
+
+        /// Weighted choice.
+        pub fn new_weighted(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs ≥ 1 option");
+            let total_weight = options.iter().map(|&(w, _)| w as u64).sum::<u64>();
+            assert!(total_weight > 0, "prop_oneof! weights sum to zero");
+            Self {
+                options,
+                total_weight,
+            }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(self.total_weight);
+            for (w, s) in &self.options {
+                if pick < *w as u64 {
+                    return s.generate(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weights cover the draw range")
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let width = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(width) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    /// Types with a canonical full-domain strategy (`any::<T>()`).
+    pub trait Arbitrary {
+        /// Draw an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<fn() -> T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Element-count specification for [`vec`]: an exact size or a range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from a [`SizeRange`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Vectors of `element` values with `size` elements.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Boolean strategies (`prop::bool`).
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The strategy type of [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Uniformly random booleans.
+    pub const ANY: BoolAny = BoolAny;
+}
+
+/// Assert a boolean property inside `proptest!` (early-returns a
+/// [`test_runner::TestCaseError::Fail`]).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = ($left, $right);
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` == `{:?}`", left, right),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = ($left, $right);
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{:?}` == `{:?}`: {}",
+                    left,
+                    right,
+                    format!($($fmt)+)
+                ),
+            ));
+        }
+    }};
+}
+
+/// Assert inequality inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = ($left, $right);
+        if left == right {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` != `{:?}`", left, right),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = ($left, $right);
+        if left == right {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{:?}` != `{:?}`: {}",
+                    left,
+                    right,
+                    format!($($fmt)+)
+                ),
+            ));
+        }
+    }};
+}
+
+/// Reject the current inputs (the case is re-drawn, not failed).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Choose among strategies, uniformly or `weight => strategy` weighted.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                $crate::test_runner::run_proptest(
+                    &config,
+                    stringify!($name),
+                    |__proptest_rng| {
+                        $(
+                            let $pat =
+                                $crate::strategy::Strategy::generate(&($strat), __proptest_rng);
+                        )+
+                        let __proptest_result: $crate::test_runner::TestCaseResult = (|| {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                        __proptest_result
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Everything a property-test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// The `prop` namespace (`prop::collection::vec`, `prop::bool::ANY`).
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_vecs_generate_in_domain() {
+        let mut rng = TestRng::from_seed(1);
+        let s = (0u64..10, 5usize..6, -3i64..3);
+        for _ in 0..200 {
+            let (a, b, c) = s.generate(&mut rng);
+            assert!(a < 10);
+            assert_eq!(b, 5);
+            assert!((-3..3).contains(&c));
+        }
+        let v = prop::collection::vec(0u32..4, 2..5);
+        for _ in 0..200 {
+            let xs = v.generate(&mut rng);
+            assert!((2..5).contains(&xs.len()));
+            assert!(xs.iter().all(|&x| x < 4));
+        }
+        let exact = prop::collection::vec(0u32..4, 3);
+        assert_eq!(exact.generate(&mut rng).len(), 3);
+    }
+
+    #[test]
+    fn oneof_map_and_just_compose() {
+        #[derive(Debug, PartialEq)]
+        enum Op {
+            Push(u64),
+            Pop,
+        }
+        let s = prop_oneof![(0u64..5).prop_map(Op::Push), Just(()).prop_map(|_| Op::Pop)];
+        let mut rng = TestRng::from_seed(2);
+        let mut seen_push = false;
+        let mut seen_pop = false;
+        for _ in 0..100 {
+            match s.generate(&mut rng) {
+                Op::Push(v) => {
+                    assert!(v < 5);
+                    seen_push = true;
+                }
+                Op::Pop => seen_pop = true,
+            }
+        }
+        assert!(seen_push && seen_pop);
+    }
+
+    #[test]
+    fn flat_map_feeds_dependent_strategy() {
+        let s = (1usize..4).prop_flat_map(|n| prop::collection::vec(0u64..2, n..n + 1));
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((1..4).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let s = prop::collection::vec(0u64..1000, 0..20);
+        let draw = |seed| {
+            let mut rng = TestRng::from_seed(seed);
+            (0..10).map(|_| s.generate(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The macro end-to-end: bindings, assertions, assume.
+        #[test]
+        fn macro_smoke(x in 0u64..50, ys in prop::collection::vec(0u64..10, 0..5)) {
+            prop_assume!(x != 13);
+            prop_assert!(x < 50);
+            prop_assert!(ys.iter().all(|&y| y < 10));
+            prop_assert_ne!(x, 13);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "falsified")]
+    fn failing_property_panics_with_seed_info() {
+        crate::test_runner::run_proptest(&ProptestConfig::with_cases(10), "always_fails", |_rng| {
+            Err(TestCaseError::fail("nope"))
+        });
+    }
+}
