@@ -1,0 +1,51 @@
+//! E10 — monitored torture throughput: native Figure 2 vs lock-based.
+//!
+//! Unlike E8's raw loops, both columns here run under the `sbu-stress`
+//! harness with the online linearizability monitor live — every quiescent
+//! window of the recorded history is checked while the workers run, so each
+//! number is a *verified* ops/sec figure. The native column drives the
+//! Figure 2 sticky byte (`JamWord`, helping protocol, wait-free); the
+//! baseline wraps the same sequential `JamWordSpec` in the spin-lock
+//! strawman (`SpinLockUniversal`, blocking). The paper's trade is progress
+//! guarantees, not raw speed; on a single core the lock often wins — the
+//! point is that the wait-free object stays correct and live under the same
+//! torture where a lock holder can stall everyone.
+
+use crate::render_table;
+use sbu_stress::{run_lock_based_jam, run_workload, Inject, StressConfig, Workload};
+
+/// Run the experiment and return the report.
+pub fn run() -> String {
+    let mut rows = Vec::new();
+    for &threads in &[1usize, 2, 4, 8] {
+        let ops_per_thread = 4_000 / threads;
+        let mut cfg = StressConfig::new(threads, ops_per_thread, 0xE10);
+        cfg.objects = 4;
+
+        let native = run_workload(Workload::Jam, &cfg, Inject::None);
+        native.assert_clean();
+        let lock = run_lock_based_jam(&cfg);
+        lock.assert_clean();
+
+        rows.push(vec![
+            threads.to_string(),
+            format!("{:.0}", native.ops_per_sec()),
+            format!("{:.0}", lock.ops_per_sec()),
+            format!("{:.2}x", native.ops_per_sec() / lock.ops_per_sec()),
+            native.windows_checked.to_string(),
+            lock.windows_checked.to_string(),
+        ]);
+    }
+    render_table(
+        "E10  monitored torture, ops/sec (Figure 2 JamWord; every window checked online)",
+        &[
+            "threads",
+            "native jam",
+            "spin-lock jam",
+            "native/lock",
+            "windows (native)",
+            "windows (lock)",
+        ],
+        &rows,
+    )
+}

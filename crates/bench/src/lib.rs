@@ -1,6 +1,6 @@
 //! # sbu-bench — the experiment harness
 //!
-//! One module per experiment of `EXPERIMENTS.md` (E1–E9), each regenerating
+//! One module per experiment of `EXPERIMENTS.md` (E1–E10), each regenerating
 //! the corresponding table from the paper's claims. Run them via the `exp`
 //! binary:
 //!
@@ -15,6 +15,7 @@
 //! reports the *shape* predicted by the paper (who wins, what grows how
 //! fast, where the separations fall).
 
+pub mod e10_stress;
 pub mod e1_sticky_byte;
 pub mod e2_election;
 pub mod e3_space;

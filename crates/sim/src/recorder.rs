@@ -5,10 +5,22 @@
 //! `op_invoke`/`op_return` logical-clock hooks. If the processor crashes
 //! inside the operation, the record stays *pending* — exactly the balanced-
 //! extension treatment of Definition 3.1 that the checker implements.
+//!
+//! Storage is sharded by processor id: each `begin` takes only the lock of
+//! shard `pid % SHARD_COUNT`, so native threads with distinct [`Pid`]s never
+//! contend on a single global mutex (the old design serialized every
+//! operation of a torture run through one `Mutex<Vec<…>>`). Tokens encode
+//! their shard (`token = index * SHARD_COUNT + shard`), keeping the public
+//! `begin`/`finish`/`record`/`history` API unchanged; [`HistoryRecorder::history`]
+//! merges the shards and sorts by invocation time.
 
 use parking_lot::Mutex;
 use sbu_mem::{Pid, WordMem};
 use sbu_spec::history::{History, OpRecord};
+
+/// Number of independently locked shards. A power of two comfortably above
+/// typical torture-thread counts; memory cost is one empty `Vec` per shard.
+const SHARD_COUNT: usize = 16;
 
 struct Slot<O, R> {
     pid: Pid,
@@ -18,7 +30,7 @@ struct Slot<O, R> {
     ret: Option<u64>,
 }
 
-/// A concurrent collector of operation records.
+/// A concurrent collector of operation records, sharded per processor.
 ///
 /// ```
 /// use sbu_sim::HistoryRecorder;
@@ -30,31 +42,43 @@ struct Slot<O, R> {
 /// let history = rec.history();
 /// assert_eq!(history.completed_count(), 1);
 /// ```
-#[derive(Default)]
 pub struct HistoryRecorder<O, R> {
-    slots: Mutex<Vec<Slot<O, R>>>,
+    shards: [Mutex<Vec<Slot<O, R>>>; SHARD_COUNT],
+}
+
+impl<O, R> Default for HistoryRecorder<O, R> {
+    fn default() -> Self {
+        Self {
+            shards: std::array::from_fn(|_| Mutex::new(Vec::new())),
+        }
+    }
 }
 
 impl<O, R> std::fmt::Debug for HistoryRecorder<O, R> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("HistoryRecorder")
-            .field("records", &self.slots.lock().len())
+            .field("records", &self.len_untyped())
             .finish()
+    }
+}
+
+impl<O, R> HistoryRecorder<O, R> {
+    fn len_untyped(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
     }
 }
 
 impl<O: Clone, R: Clone> HistoryRecorder<O, R> {
     /// An empty recorder.
     pub fn new() -> Self {
-        Self {
-            slots: Mutex::new(Vec::new()),
-        }
+        Self::default()
     }
 
     /// Open a record at logical time `invoke`; returns a token for
     /// [`HistoryRecorder::finish`].
     pub fn begin(&self, pid: Pid, op: O, invoke: u64) -> usize {
-        let mut slots = self.slots.lock();
+        let shard = pid.0 % SHARD_COUNT;
+        let mut slots = self.shards[shard].lock();
         slots.push(Slot {
             pid,
             op,
@@ -62,13 +86,15 @@ impl<O: Clone, R: Clone> HistoryRecorder<O, R> {
             resp: None,
             ret: None,
         });
-        slots.len() - 1
+        (slots.len() - 1) * SHARD_COUNT + shard
     }
 
     /// Close the record opened by `begin`.
     pub fn finish(&self, token: usize, resp: R, ret: u64) {
-        let mut slots = self.slots.lock();
-        let slot = &mut slots[token];
+        let shard = token % SHARD_COUNT;
+        let index = token / SHARD_COUNT;
+        let mut slots = self.shards[shard].lock();
+        let slot = &mut slots[index];
         debug_assert!(slot.resp.is_none(), "record finished twice");
         slot.resp = Some(resp);
         slot.ret = Some(ret);
@@ -94,27 +120,30 @@ impl<O: Clone, R: Clone> HistoryRecorder<O, R> {
 
     /// Number of records (completed + pending).
     pub fn len(&self) -> usize {
-        self.slots.lock().len()
+        self.len_untyped()
     }
 
     /// Whether nothing was recorded.
     pub fn is_empty(&self) -> bool {
-        self.slots.lock().is_empty()
+        self.shards.iter().all(|s| s.lock().is_empty())
     }
 
-    /// Snapshot the records into a [`History`].
+    /// Snapshot the records into a [`History`], merged across shards and
+    /// sorted by invocation time (completed before pending on ties).
     pub fn history(&self) -> History<O, R> {
-        self.slots
-            .lock()
-            .iter()
-            .map(|s| OpRecord {
+        let mut records: Vec<OpRecord<O, R>> = Vec::with_capacity(self.len_untyped());
+        for shard in &self.shards {
+            let slots = shard.lock();
+            records.extend(slots.iter().map(|s| OpRecord {
                 pid: s.pid,
                 op: s.op.clone(),
                 resp: s.resp.clone(),
                 invoke: s.invoke,
                 ret: s.ret,
-            })
-            .collect()
+            }));
+        }
+        records.sort_by_key(|r| (r.invoke, r.ret.unwrap_or(u64::MAX)));
+        records.into_iter().collect()
     }
 }
 
@@ -183,5 +212,63 @@ mod tests {
         rec.finish(t, 2, 1);
         assert_eq!(rec.len(), 1);
         assert!(!rec.is_empty());
+    }
+
+    #[test]
+    fn shards_merge_into_one_sorted_history() {
+        let rec: HistoryRecorder<&'static str, u32> = HistoryRecorder::new();
+        // Pids chosen to land in distinct shards and (17) to collide with 1.
+        let t3 = rec.begin(Pid(3), "c", 20);
+        let t17 = rec.begin(Pid(17), "b", 10);
+        let t1 = rec.begin(Pid(1), "a", 0);
+        rec.finish(t1, 1, 5);
+        rec.finish(t17, 2, 15);
+        rec.finish(t3, 3, 25);
+        assert_eq!(rec.len(), 3);
+        let h = rec.history();
+        h.validate().unwrap();
+        let ops: Vec<&str> = h.iter().map(|r| r.op).collect();
+        assert_eq!(ops, vec!["a", "b", "c"], "merged history sorted by invoke");
+    }
+
+    #[test]
+    fn abandoned_op_reaches_checker_as_pending() {
+        use sbu_spec::history::OpRecord;
+        use sbu_spec::linearize::check_windowed;
+        use sbu_spec::specs::{RegisterOp, RegisterResp, RegisterSpec};
+
+        // Drop mode: the abandoned Write(9) never executed; a later read
+        // sees the old value. Take-effect mode: the write's effect became
+        // visible before the thread died. Both must linearize, and the
+        // recorder must surface the un-finished op as pending either way.
+        for (seen, takes_effect) in [(0u64, false), (9u64, true)] {
+            let rec: HistoryRecorder<RegisterOp, RegisterResp> = HistoryRecorder::new();
+            let t = rec.begin(Pid(0), RegisterOp::Write(0), 0);
+            rec.finish(t, RegisterResp::Ack, 1);
+            // Never finished: thread abandoned mid-operation.
+            let _ = rec.begin(Pid(1), RegisterOp::Write(9), 2);
+            let t = rec.begin(Pid(2), RegisterOp::Read, 10);
+            rec.finish(t, RegisterResp::Value(seen), 11);
+
+            let h = rec.history();
+            assert_eq!(h.pending_count(), 1);
+            let pending: Vec<&OpRecord<_, _>> = h.iter().filter(|r| !r.is_completed()).collect();
+            assert_eq!(pending[0].op, RegisterOp::Write(9));
+
+            let res = check_windowed(&h, RegisterSpec::new()).unwrap();
+            assert!(res.is_linearizable(), "seen={seen}");
+            let wit = res.witness().unwrap();
+            let pend_idx = h.iter().position(|r| !r.is_completed()).unwrap();
+            let read_idx = h.iter().position(|r| r.op == RegisterOp::Read).unwrap();
+            let pend_pos = wit.iter().position(|&i| i == pend_idx);
+            let read_pos = wit.iter().position(|&i| i == read_idx).unwrap();
+            if takes_effect {
+                // Read saw 9: the pending write must linearize before it.
+                assert!(pend_pos.expect("must take effect") < read_pos);
+            } else if let Some(p) = pend_pos {
+                // Read saw 0: the write was dropped or ordered after.
+                assert!(p > read_pos);
+            }
+        }
     }
 }

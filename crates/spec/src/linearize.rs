@@ -10,15 +10,53 @@
 //! The main entry point [`check`] implements the Wing–Gong search with
 //! memoization on `(linearized-set, state)`; [`check_brute_force`] enumerates
 //! permutations directly and serves as the oracle in property tests.
+//!
+//! For histories longer than [`MAX_OPS`] use [`check_windowed`]: it splits
+//! the history at *quiescent cuts* — instants where every operation has
+//! either returned or not yet been invoked — and threads the set of feasible
+//! specification states across the windows, so arbitrarily long histories
+//! can be checked as long as no single contention burst exceeds [`MAX_OPS`]
+//! overlapping operations. The fallible entry points ([`try_check`],
+//! [`check_windowed`], [`linearization_states`]) report size and structure
+//! problems as a typed [`CheckError`] instead of panicking.
 
-use crate::history::History;
+use crate::history::{History, HistoryError};
 use crate::SequentialSpec;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::hash::Hash;
 
 /// Maximum number of operations [`check`] accepts (the linearized-set is a
-/// `u128` bitmask).
+/// `u128` bitmask). Longer histories must go through [`check_windowed`],
+/// which applies the same bound per quiescent window; [`try_check`] reports
+/// the overflow as [`CheckError::TooManyOps`] rather than panicking.
 pub const MAX_OPS: usize = 128;
+
+/// Error from the fallible checker entry points ([`try_check`],
+/// [`check_windowed`], [`linearization_states`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckError {
+    /// The history — or, for [`check_windowed`], a single quiescent window —
+    /// holds more operations than the `u128`-bitmask search can represent.
+    TooManyOps {
+        /// Number of operations in the offending history or window.
+        ops: usize,
+    },
+    /// The history fails [`History::validate`].
+    Invalid(HistoryError),
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckError::TooManyOps { ops } => {
+                write!(f, "history window of {ops} ops exceeds MAX_OPS = {MAX_OPS}")
+            }
+            CheckError::Invalid(e) => write!(f, "structurally invalid history: {e:?}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
 
 /// Result of a linearizability check.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,19 +94,33 @@ impl CheckResult {
 ///
 /// Panics if the history has more than [`MAX_OPS`] operations or fails
 /// [`History::validate`]. Call sites that record histories through the
-/// simulator always satisfy both.
+/// simulator always satisfy both; use [`try_check`] to get a typed
+/// [`CheckError`] instead.
 pub fn check<S>(history: &History<S::Op, S::Resp>, init: S) -> CheckResult
 where
     S: SequentialSpec + Hash + Eq,
 {
-    assert!(
-        history.len() <= MAX_OPS,
-        "history of {} ops exceeds MAX_OPS = {MAX_OPS}",
-        history.len()
-    );
-    history
-        .validate()
-        .expect("structurally invalid history passed to linearizability checker");
+    match try_check(history, init) {
+        Ok(r) => r,
+        Err(CheckError::TooManyOps { ops }) => {
+            panic!("history of {ops} ops exceeds MAX_OPS = {MAX_OPS}")
+        }
+        Err(CheckError::Invalid(_)) => {
+            panic!("structurally invalid history passed to linearizability checker")
+        }
+    }
+}
+
+/// Fallible variant of [`check`]: returns [`CheckError`] for oversized or
+/// structurally invalid histories instead of panicking.
+pub fn try_check<S>(history: &History<S::Op, S::Resp>, init: S) -> Result<CheckResult, CheckError>
+where
+    S: SequentialSpec + Hash + Eq,
+{
+    if history.len() > MAX_OPS {
+        return Err(CheckError::TooManyOps { ops: history.len() });
+    }
+    history.validate().map_err(CheckError::Invalid)?;
 
     let n = history.len();
     let completed_mask: u128 = history
@@ -148,10 +200,224 @@ where
         0,
         &init,
     ) {
-        CheckResult::Linearizable { witness }
+        Ok(CheckResult::Linearizable { witness })
     } else {
-        CheckResult::NotLinearizable
+        Ok(CheckResult::NotLinearizable)
     }
+}
+
+/// Bitmask of ops that must linearize before op `i` (real-time order).
+fn precede_masks<O, R>(history: &History<O, R>) -> Vec<u128> {
+    let n = history.len();
+    (0..n)
+        .map(|i| {
+            (0..n)
+                .filter(|&j| j != i && history.precedes(j, i))
+                .fold(0u128, |m, j| m | (1u128 << j))
+        })
+        .collect()
+}
+
+/// Enumerate **every** specification state reachable by a legal
+/// linearization of `history` starting from `init`, with one witness order
+/// per distinct final state.
+///
+/// This is the building block for [`check_windowed`] and for online
+/// monitors: after a quiescent cut, the set of feasible states — not a
+/// single greedy witness — must be threaded into the next window, because
+/// two witnesses of the same window can leave the object in different
+/// states (e.g. two concurrent writes ordered either way).
+///
+/// Pending operations contribute both ways: a state is recorded for every
+/// subset of pending ops that takes effect (including none), per the
+/// balanced extension of Definition 3.1. The returned list is empty iff the
+/// history is not linearizable from `init`.
+pub fn linearization_states<S>(
+    history: &History<S::Op, S::Resp>,
+    init: S,
+) -> Result<Vec<(S, Vec<usize>)>, CheckError>
+where
+    S: SequentialSpec + Hash + Eq,
+{
+    if history.len() > MAX_OPS {
+        return Err(CheckError::TooManyOps { ops: history.len() });
+    }
+    history.validate().map_err(CheckError::Invalid)?;
+    let precede = precede_masks(history);
+    Ok(enumerate_states(history, &precede, init))
+}
+
+/// Core all-states DFS; assumes the history is validated and ≤ [`MAX_OPS`].
+fn enumerate_states<S>(
+    history: &History<S::Op, S::Resp>,
+    precede: &[u128],
+    init: S,
+) -> Vec<(S, Vec<usize>)>
+where
+    S: SequentialSpec + Hash + Eq,
+{
+    let completed_mask: u128 = history
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.is_completed())
+        .fold(0u128, |m, (i, _)| m | (1u128 << i));
+
+    #[allow(clippy::too_many_arguments)]
+    fn dfs<S>(
+        history: &History<S::Op, S::Resp>,
+        completed_mask: u128,
+        precede: &[u128],
+        memo: &mut HashSet<(u128, S)>,
+        witness: &mut Vec<usize>,
+        mask: u128,
+        state: &S,
+        out: &mut HashMap<S, Vec<usize>>,
+    ) where
+        S: SequentialSpec + Hash + Eq,
+    {
+        if !memo.insert((mask, state.clone())) {
+            return;
+        }
+        if mask & completed_mask == completed_mask {
+            // Terminal: every completed op is in. Remaining pending ops may
+            // still take effect (explored below), or stay dropped (record
+            // the state as-is now).
+            out.entry(state.clone()).or_insert_with(|| witness.clone());
+        }
+        for i in 0..history.len() {
+            let bit = 1u128 << i;
+            if mask & bit != 0 || precede[i] & !mask != 0 {
+                continue;
+            }
+            let rec = &history.ops()[i];
+            let mut next = state.clone();
+            let resp = next.apply(&rec.op);
+            if let Some(expected) = &rec.resp {
+                if resp != *expected {
+                    continue;
+                }
+            }
+            witness.push(i);
+            dfs(
+                history,
+                completed_mask,
+                precede,
+                memo,
+                witness,
+                mask | bit,
+                &next,
+                out,
+            );
+            witness.pop();
+        }
+    }
+
+    let mut memo: HashSet<(u128, S)> = HashSet::new();
+    let mut witness = Vec::with_capacity(history.len());
+    let mut out: HashMap<S, Vec<usize>> = HashMap::new();
+    dfs(
+        history,
+        completed_mask,
+        precede,
+        &mut memo,
+        &mut witness,
+        0,
+        &init,
+        &mut out,
+    );
+    out.into_iter().collect()
+}
+
+/// Split a history into maximal *quiescent windows*.
+///
+/// Operations are ordered by invocation time; a cut is placed between two
+/// consecutive operations whenever every earlier operation returned strictly
+/// before the later one was invoked. At such an instant the object is
+/// quiescent, so every op of window *k* precedes (in `≺_H`) every op of
+/// window *k+1* and a linearization of the whole history is exactly a
+/// concatenation of per-window linearizations. Pending operations never
+/// return, so they suppress every later cut and always land in the final
+/// window.
+///
+/// Returns windows as lists of indices into `history.ops()`, each sorted by
+/// invocation time. The concatenation of all windows is a permutation of
+/// `0..history.len()`.
+pub fn quiescent_windows<O, R>(history: &History<O, R>) -> Vec<Vec<usize>> {
+    let mut idx: Vec<usize> = (0..history.len()).collect();
+    idx.sort_by_key(|&i| {
+        let r = &history.ops()[i];
+        (r.invoke, r.ret.unwrap_or(u64::MAX))
+    });
+    let mut windows: Vec<Vec<usize>> = Vec::new();
+    let mut cur: Vec<usize> = Vec::new();
+    // Latest return time seen so far; `None` = a pending op spans forever.
+    let mut horizon: Option<u64> = Some(0);
+    for &i in &idx {
+        let r = &history.ops()[i];
+        if !cur.is_empty() {
+            if let Some(h) = horizon {
+                if h < r.invoke {
+                    windows.push(std::mem::take(&mut cur));
+                    horizon = Some(0);
+                }
+            }
+        }
+        cur.push(i);
+        horizon = match (horizon, r.ret) {
+            (Some(h), Some(ret)) => Some(h.max(ret)),
+            _ => None,
+        };
+    }
+    if !cur.is_empty() {
+        windows.push(cur);
+    }
+    windows
+}
+
+/// Check linearizability of an arbitrarily long history by decomposing it at
+/// quiescent cuts ([`quiescent_windows`]) and threading the full set of
+/// feasible specification states ([`linearization_states`]) across windows.
+///
+/// Agrees with [`check`] on every history both can handle, and additionally
+/// scales to histories of millions of operations provided no single window
+/// exceeds [`MAX_OPS`] ops (i.e. contention bursts are bounded); otherwise
+/// returns [`CheckError::TooManyOps`] with the offending window's size.
+pub fn check_windowed<S>(
+    history: &History<S::Op, S::Resp>,
+    init: S,
+) -> Result<CheckResult, CheckError>
+where
+    S: SequentialSpec + Hash + Eq,
+{
+    history.validate().map_err(CheckError::Invalid)?;
+    let windows = quiescent_windows(history);
+    // Feasible (state, global-witness-so-far) pairs after the last cut.
+    let mut frontier: Vec<(S, Vec<usize>)> = vec![(init, Vec::new())];
+    for window in &windows {
+        if window.len() > MAX_OPS {
+            return Err(CheckError::TooManyOps { ops: window.len() });
+        }
+        let sub: History<S::Op, S::Resp> =
+            window.iter().map(|&i| history.ops()[i].clone()).collect();
+        let precede = precede_masks(&sub);
+        let mut next: Vec<(S, Vec<usize>)> = Vec::new();
+        let mut seen: HashSet<S> = HashSet::new();
+        for (state, prefix) in &frontier {
+            for (out_state, local) in enumerate_states(&sub, &precede, state.clone()) {
+                if seen.insert(out_state.clone()) {
+                    let mut w = prefix.clone();
+                    w.extend(local.iter().map(|&k| window[k]));
+                    next.push((out_state, w));
+                }
+            }
+        }
+        if next.is_empty() {
+            return Ok(CheckResult::NotLinearizable);
+        }
+        frontier = next;
+    }
+    let (_, witness) = frontier.swap_remove(0);
+    Ok(CheckResult::Linearizable { witness })
 }
 
 /// Brute-force reference checker: tries every permutation of every subset
@@ -421,6 +687,56 @@ mod guard_tests {
     }
 
     #[test]
+    fn try_check_reports_oversize_as_typed_error() {
+        let ok: History<RegisterOp, RegisterResp> = (0..MAX_OPS)
+            .map(|i| {
+                OpRecord::completed(
+                    Pid(i),
+                    RegisterOp::Write(0),
+                    RegisterResp::Ack,
+                    2 * i as u64,
+                    2 * i as u64 + 1,
+                )
+            })
+            .collect();
+        assert!(try_check(&ok, RegisterSpec::new())
+            .expect("exactly MAX_OPS ops must be accepted")
+            .is_linearizable());
+
+        let over: History<RegisterOp, RegisterResp> = (0..MAX_OPS + 1)
+            .map(|i| {
+                OpRecord::completed(
+                    Pid(i),
+                    RegisterOp::Write(0),
+                    RegisterResp::Ack,
+                    2 * i as u64,
+                    2 * i as u64 + 1,
+                )
+            })
+            .collect();
+        assert_eq!(
+            try_check(&over, RegisterSpec::new()),
+            Err(CheckError::TooManyOps { ops: MAX_OPS + 1 })
+        );
+    }
+
+    #[test]
+    fn try_check_reports_invalid_as_typed_error() {
+        let h: History<RegisterOp, RegisterResp> = [
+            OpRecord::completed(Pid(0), RegisterOp::Read, RegisterResp::Value(0), 0, 10),
+            OpRecord::completed(Pid(0), RegisterOp::Read, RegisterResp::Value(0), 5, 15),
+        ]
+        .into_iter()
+        .collect();
+        assert!(matches!(
+            try_check(&h, RegisterSpec::new()),
+            Err(CheckError::Invalid(_))
+        ));
+        let msg = CheckError::TooManyOps { ops: 200 }.to_string();
+        assert!(msg.contains("200") && msg.contains("MAX_OPS"));
+    }
+
+    #[test]
     fn check_result_accessors() {
         let r = CheckResult::Linearizable {
             witness: vec![1, 0],
@@ -430,5 +746,187 @@ mod guard_tests {
         let n = CheckResult::NotLinearizable;
         assert!(!n.is_linearizable());
         assert_eq!(n.witness(), None);
+    }
+}
+
+#[cfg(test)]
+mod windowed_tests {
+    use super::*;
+    use crate::history::OpRecord;
+    use crate::specs::{RegisterOp, RegisterResp, RegisterSpec};
+    use crate::Pid;
+
+    fn w(pid: usize, v: u64, invoke: u64, ret: u64) -> OpRecord<RegisterOp, RegisterResp> {
+        OpRecord::completed(
+            Pid(pid),
+            RegisterOp::Write(v),
+            RegisterResp::Ack,
+            invoke,
+            ret,
+        )
+    }
+
+    fn r(pid: usize, v: u64, invoke: u64, ret: u64) -> OpRecord<RegisterOp, RegisterResp> {
+        OpRecord::completed(
+            Pid(pid),
+            RegisterOp::Read,
+            RegisterResp::Value(v),
+            invoke,
+            ret,
+        )
+    }
+
+    #[test]
+    fn windows_cut_at_quiescence_only() {
+        // [0,1] and [2,9] overlap nothing; [4,9] overlaps [2,9] → one window.
+        let h: History<_, _> = [w(0, 1, 0, 1), w(0, 2, 2, 9), r(1, 2, 4, 9)]
+            .into_iter()
+            .collect();
+        assert_eq!(quiescent_windows(&h), vec![vec![0], vec![1, 2]]);
+    }
+
+    #[test]
+    fn pending_op_suppresses_all_later_cuts() {
+        let h: History<_, _> = [
+            w(0, 1, 0, 1),
+            OpRecord::pending(Pid(1), RegisterOp::Write(7), 2),
+            r(2, 7, 10, 11),
+            r(2, 7, 20, 21),
+        ]
+        .into_iter()
+        .collect();
+        // The pending write spans forever: everything after it is one window.
+        assert_eq!(quiescent_windows(&h), vec![vec![0], vec![1, 2, 3]]);
+        let res = check_windowed(&h, RegisterSpec::new()).unwrap();
+        assert!(res.is_linearizable());
+        // Take-effect: the pending op (index 1) must appear in the witness.
+        assert!(res.witness().unwrap().contains(&1));
+    }
+
+    #[test]
+    fn pending_op_may_be_dropped_across_windows() {
+        let h: History<_, _> = [
+            w(0, 1, 0, 1),
+            OpRecord::pending(Pid(1), RegisterOp::Write(7), 2),
+            r(2, 1, 10, 11),
+        ]
+        .into_iter()
+        .collect();
+        let res = check_windowed(&h, RegisterSpec::new()).unwrap();
+        assert!(res.is_linearizable());
+        // The read saw the old value, so the pending write either stays out
+        // (dropped) or takes effect only after the read.
+        let wit = res.witness().unwrap();
+        let pos_read = wit.iter().position(|&i| i == 2).unwrap();
+        if let Some(pos_pend) = wit.iter().position(|&i| i == 1) {
+            assert!(pos_pend > pos_read, "write(7) cannot precede read of 1");
+        }
+    }
+
+    #[test]
+    fn frontier_threads_all_states_not_a_greedy_witness() {
+        // Window 1: two concurrent writes (either order legal, two distinct
+        // final states). Window 2: a read pinning the *less greedy* one. A
+        // single-witness windowed checker gets this wrong.
+        for seen in [1u64, 2] {
+            let h: History<_, _> = [w(0, 1, 0, 10), w(1, 2, 0, 10), r(2, seen, 20, 21)]
+                .into_iter()
+                .collect();
+            let res = check_windowed(&h, RegisterSpec::new()).unwrap();
+            assert!(res.is_linearizable(), "read of {seen} must linearize");
+        }
+        // And a value written by neither must still be rejected.
+        let h: History<_, _> = [w(0, 1, 0, 10), w(1, 2, 0, 10), r(2, 3, 20, 21)]
+            .into_iter()
+            .collect();
+        assert_eq!(
+            check_windowed(&h, RegisterSpec::new()).unwrap(),
+            CheckResult::NotLinearizable
+        );
+    }
+
+    #[test]
+    fn windowed_catches_cross_window_stale_read() {
+        let h: History<_, _> = [w(0, 5, 0, 1), r(1, 0, 10, 11)].into_iter().collect();
+        assert_eq!(
+            check_windowed(&h, RegisterSpec::new()).unwrap(),
+            CheckResult::NotLinearizable
+        );
+    }
+
+    #[test]
+    fn windowed_witness_is_a_legal_global_order() {
+        let h: History<_, _> = [
+            w(0, 1, 0, 10),
+            w(1, 2, 0, 10),
+            r(2, 2, 20, 21),
+            w(0, 3, 30, 31),
+            r(1, 3, 40, 41),
+        ]
+        .into_iter()
+        .collect();
+        let res = check_windowed(&h, RegisterSpec::new()).unwrap();
+        let wit = res.witness().expect("linearizable").to_vec();
+        assert_eq!(wit.len(), 5);
+        // Replay the witness: responses must match and real-time order hold.
+        let mut st = RegisterSpec::new();
+        use crate::SequentialSpec;
+        for (k, &i) in wit.iter().enumerate() {
+            let rec = &h.ops()[i];
+            assert_eq!(st.apply(&rec.op), *rec.resp.as_ref().unwrap());
+            for &j in &wit[..k] {
+                assert!(!h.precedes(i, j), "witness violates real-time order");
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_single_window_is_a_typed_error() {
+        // MAX_OPS + 1 mutually overlapping ops: no quiescent cut exists.
+        let h: History<RegisterOp, RegisterResp> =
+            (0..MAX_OPS + 1).map(|i| w(i, 0, 0, 1000)).collect();
+        assert_eq!(
+            check_windowed(&h, RegisterSpec::new()),
+            Err(CheckError::TooManyOps { ops: MAX_OPS + 1 })
+        );
+    }
+
+    #[test]
+    fn linearization_states_enumerates_all_outcomes() {
+        let h: History<_, _> = [w(0, 1, 0, 10), w(1, 2, 0, 10)].into_iter().collect();
+        let mut states: Vec<u64> = linearization_states(&h, RegisterSpec::new())
+            .unwrap()
+            .into_iter()
+            .map(|(s, _)| {
+                use crate::SequentialSpec;
+                let mut s = s;
+                match s.apply(&RegisterOp::Read) {
+                    RegisterResp::Value(v) => v,
+                    other => panic!("unexpected {other:?}"),
+                }
+            })
+            .collect();
+        states.sort_unstable();
+        assert_eq!(states, vec![1, 2]);
+    }
+
+    #[test]
+    fn windowed_handles_hundred_thousand_ops() {
+        let mut ops: Vec<OpRecord<RegisterOp, RegisterResp>> = Vec::with_capacity(100_000);
+        let mut t = 0u64;
+        let mut last = 0u64;
+        for i in 0..100_000u64 {
+            if i % 3 == 0 {
+                last = i;
+                ops.push(w((i % 7) as usize, last, t, t + 1));
+            } else {
+                ops.push(r((i % 7) as usize, last, t, t + 1));
+            }
+            t += 2;
+        }
+        let h: History<_, _> = ops.into_iter().collect();
+        let res = check_windowed(&h, RegisterSpec::new()).unwrap();
+        assert!(res.is_linearizable());
+        assert_eq!(res.witness().unwrap().len(), 100_000);
     }
 }

@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use sbu_spec::history::{History, OpRecord};
-use sbu_spec::linearize::{check, check_brute_force, CheckResult};
+use sbu_spec::linearize::{check, check_brute_force, check_windowed, CheckResult};
 use sbu_spec::specs::{RegisterOp, RegisterResp, RegisterSpec};
 use sbu_spec::{Pid, SequentialSpec};
 
@@ -94,6 +94,46 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// Windowed checking agrees with the monolithic checker on every
+    /// history small enough for both (acceptance criterion for the stress
+    /// subsystem's online monitor).
+    #[test]
+    fn windowed_agrees_with_monolithic(h in arb_history()) {
+        let full = check(&h, RegisterSpec::new()).is_linearizable();
+        let windowed = check_windowed(&h, RegisterSpec::new())
+            .expect("sub-MAX_OPS history must not overflow a window")
+            .is_linearizable();
+        prop_assert_eq!(windowed, full, "history: {:?}", h);
+    }
+
+    /// Same agreement with pending (crashed) operations in the history:
+    /// balanced-extension handling must survive the windowed decomposition.
+    #[test]
+    fn windowed_agrees_with_monolithic_with_pending(
+        h in arb_history(),
+        pend_mask in 0usize..8,
+    ) {
+        // Abandon the last op of selected processors (keeps validate happy:
+        // a pending op must be its processor's final record).
+        let mut recs: Vec<OpRecord<RegisterOp, RegisterResp>> = h.iter().cloned().collect();
+        for pid in 0..3usize {
+            if pend_mask & (1 << pid) == 0 {
+                continue;
+            }
+            if let Some(last) = recs.iter().rposition(|r| r.pid == Pid(pid)) {
+                recs[last].resp = None;
+                recs[last].ret = None;
+            }
+        }
+        let h: History<RegisterOp, RegisterResp> = recs.into_iter().collect();
+        prop_assume!(h.validate().is_ok());
+        let full = check(&h, RegisterSpec::new()).is_linearizable();
+        let windowed = check_windowed(&h, RegisterSpec::new())
+            .expect("sub-MAX_OPS history must not overflow a window")
+            .is_linearizable();
+        prop_assert_eq!(windowed, full, "history: {:?}", h);
     }
 
     /// Legal sequential histories always linearize (soundness floor).

@@ -1,0 +1,243 @@
+//! Seeded mutation of a memory backend, to prove the monitor has teeth.
+//!
+//! [`TornMem`] wraps any [`WordMem`]/[`DataMem`] backend and delegates every
+//! operation — except that, on a deterministic schedule, it *lies* about
+//! sticky-bit operations:
+//!
+//! * [`Inject::TornJam`] — a `Jam(v)` that actually failed (the bit holds
+//!   `!v`) is reported as [`JamOutcome::Success`], as if the CAS had been
+//!   torn and both values won. Any subsequent completed `Read` pins the bit
+//!   to the real value, so the frontier-set monitor finds no state in which
+//!   both the lying jam and the reads are legal.
+//! * [`Inject::StaleRead`] — a defined `Read` is reported as `⊥`, the
+//!   initial-value analogue of a stale cache line. A read of `⊥` after any
+//!   completed successful jam cannot linearize.
+//!
+//! With [`Inject::None`] the wrapper is a transparent pass-through and must
+//! pass the full backend conformance suite (`sbu-mem::conformance`).
+
+use sbu_mem::{
+    AtomicId, DataId, DataMem, JamOutcome, Pid, SafeId, StickyBitId, StickyWordId, TasId, Tri,
+    Word, WordMem,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which lie to inject (and [`Inject::None`] for a transparent wrapper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Inject {
+    /// Delegate everything faithfully.
+    #[default]
+    None,
+    /// Report every `period`-th *failed* sticky-bit jam as a success.
+    TornJam,
+    /// Report every `period`-th *defined* sticky-bit read as `⊥`.
+    StaleRead,
+}
+
+impl std::str::FromStr for Inject {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "none" => Ok(Inject::None),
+            "torn-jam" => Ok(Inject::TornJam),
+            "stale-read" => Ok(Inject::StaleRead),
+            other => Err(format!(
+                "unknown injection {other:?} (none|torn-jam|stale-read)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Inject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Inject::None => write!(f, "none"),
+            Inject::TornJam => write!(f, "torn-jam"),
+            Inject::StaleRead => write!(f, "stale-read"),
+        }
+    }
+}
+
+/// A [`WordMem`]/[`DataMem`] wrapper that injects sticky-bit lies on a
+/// deterministic schedule (every `period`-th eligible operation).
+#[derive(Debug)]
+pub struct TornMem<M> {
+    inner: M,
+    mode: Inject,
+    period: u64,
+    eligible: AtomicU64,
+    lies: AtomicU64,
+}
+
+impl<M> TornMem<M> {
+    /// Wrap `inner`, lying on every 7th eligible operation.
+    pub fn new(inner: M, mode: Inject) -> Self {
+        Self::with_period(inner, mode, 7)
+    }
+
+    /// Wrap `inner`, lying on every `period`-th eligible operation.
+    pub fn with_period(inner: M, mode: Inject, period: u64) -> Self {
+        assert!(period >= 1, "period must be positive");
+        Self {
+            inner,
+            mode,
+            period,
+            eligible: AtomicU64::new(0),
+            lies: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of lies actually told so far.
+    pub fn lies_told(&self) -> u64 {
+        self.lies.load(Ordering::Relaxed)
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// Whether this eligible operation is scheduled to lie.
+    fn tick(&self) -> bool {
+        let n = self.eligible.fetch_add(1, Ordering::Relaxed);
+        let fire = (n + 1).is_multiple_of(self.period);
+        if fire {
+            self.lies.fetch_add(1, Ordering::Relaxed);
+        }
+        fire
+    }
+}
+
+impl<M: WordMem> WordMem for TornMem<M> {
+    fn alloc_safe(&mut self, init: Word) -> SafeId {
+        self.inner.alloc_safe(init)
+    }
+    fn alloc_atomic(&mut self, init: Word) -> AtomicId {
+        self.inner.alloc_atomic(init)
+    }
+    fn alloc_sticky_bit(&mut self) -> StickyBitId {
+        self.inner.alloc_sticky_bit()
+    }
+    fn alloc_sticky_word(&mut self) -> StickyWordId {
+        self.inner.alloc_sticky_word()
+    }
+    fn alloc_tas(&mut self) -> TasId {
+        self.inner.alloc_tas()
+    }
+
+    fn safe_read(&self, pid: Pid, r: SafeId) -> Word {
+        self.inner.safe_read(pid, r)
+    }
+    fn safe_write(&self, pid: Pid, r: SafeId, v: Word) {
+        self.inner.safe_write(pid, r, v)
+    }
+
+    fn atomic_read(&self, pid: Pid, r: AtomicId) -> Word {
+        self.inner.atomic_read(pid, r)
+    }
+    fn atomic_write(&self, pid: Pid, r: AtomicId, v: Word) {
+        self.inner.atomic_write(pid, r, v)
+    }
+    fn rmw(&self, pid: Pid, r: AtomicId, f: &dyn Fn(Word) -> Word) -> Word {
+        self.inner.rmw(pid, r, f)
+    }
+
+    fn sticky_jam(&self, pid: Pid, s: StickyBitId, v: bool) -> JamOutcome {
+        let real = self.inner.sticky_jam(pid, s, v);
+        if self.mode == Inject::TornJam && real == JamOutcome::Fail && self.tick() {
+            return JamOutcome::Success;
+        }
+        real
+    }
+    fn sticky_read(&self, pid: Pid, s: StickyBitId) -> Tri {
+        let real = self.inner.sticky_read(pid, s);
+        if self.mode == Inject::StaleRead && real != Tri::Undef && self.tick() {
+            return Tri::Undef;
+        }
+        real
+    }
+    fn sticky_flush(&self, pid: Pid, s: StickyBitId) {
+        self.inner.sticky_flush(pid, s)
+    }
+
+    fn sticky_word_jam(&self, pid: Pid, s: StickyWordId, v: Word) -> JamOutcome {
+        self.inner.sticky_word_jam(pid, s, v)
+    }
+    fn sticky_word_read(&self, pid: Pid, s: StickyWordId) -> Option<Word> {
+        self.inner.sticky_word_read(pid, s)
+    }
+    fn sticky_word_flush(&self, pid: Pid, s: StickyWordId) {
+        self.inner.sticky_word_flush(pid, s)
+    }
+
+    fn tas_test_and_set(&self, pid: Pid, t: TasId) -> bool {
+        self.inner.tas_test_and_set(pid, t)
+    }
+    fn tas_read(&self, pid: Pid, t: TasId) -> bool {
+        self.inner.tas_read(pid, t)
+    }
+    fn tas_reset(&self, pid: Pid, t: TasId) {
+        self.inner.tas_reset(pid, t)
+    }
+
+    fn op_invoke(&self, pid: Pid) -> u64 {
+        self.inner.op_invoke(pid)
+    }
+    fn op_return(&self, pid: Pid) -> u64 {
+        self.inner.op_return(pid)
+    }
+}
+
+impl<P: Clone, M: DataMem<P>> DataMem<P> for TornMem<M> {
+    fn alloc_data(&mut self, init: Option<P>) -> DataId {
+        self.inner.alloc_data(init)
+    }
+    fn data_read(&self, pid: Pid, d: DataId) -> Option<P> {
+        self.inner.data_read(pid, d)
+    }
+    fn data_write(&self, pid: Pid, d: DataId, v: P) {
+        self.inner.data_write(pid, d, v)
+    }
+    fn data_clear(&self, pid: Pid, d: DataId) {
+        self.inner.data_clear(pid, d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbu_mem::native::NativeMem;
+
+    #[test]
+    fn transparent_without_injection() {
+        let mut mem = TornMem::new(NativeMem::<()>::new(), Inject::None);
+        let s = mem.alloc_sticky_bit();
+        assert_eq!(mem.sticky_jam(Pid(0), s, true), JamOutcome::Success);
+        assert_eq!(mem.sticky_jam(Pid(1), s, false), JamOutcome::Fail);
+        assert_eq!(mem.sticky_read(Pid(0), s), Tri::One);
+        assert_eq!(mem.lies_told(), 0);
+    }
+
+    #[test]
+    fn torn_jam_lies_on_schedule() {
+        let mut mem = TornMem::with_period(NativeMem::<()>::new(), Inject::TornJam, 2);
+        let s = mem.alloc_sticky_bit();
+        assert_eq!(mem.sticky_jam(Pid(0), s, true), JamOutcome::Success);
+        // Failed jams: 1st eligible (honest), 2nd eligible (lie).
+        assert_eq!(mem.sticky_jam(Pid(1), s, false), JamOutcome::Fail);
+        assert_eq!(mem.sticky_jam(Pid(1), s, false), JamOutcome::Success);
+        assert_eq!(mem.lies_told(), 1);
+        // The bit itself is untouched by the lie.
+        assert_eq!(mem.sticky_read(Pid(0), s), Tri::One);
+    }
+
+    #[test]
+    fn stale_read_lies_on_schedule() {
+        let mut mem = TornMem::with_period(NativeMem::<()>::new(), Inject::StaleRead, 2);
+        let s = mem.alloc_sticky_bit();
+        assert_eq!(mem.sticky_jam(Pid(0), s, false), JamOutcome::Success);
+        assert_eq!(mem.sticky_read(Pid(0), s), Tri::Zero);
+        assert_eq!(mem.sticky_read(Pid(0), s), Tri::Undef); // the lie
+        assert_eq!(mem.lies_told(), 1);
+    }
+}

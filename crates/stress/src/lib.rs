@@ -1,0 +1,35 @@
+//! # sbu-stress — native multi-thread torture with online monitoring
+//!
+//! The simulator (`sbu-sim`) verifies the paper's constructions under a
+//! deterministic conductor; this crate closes the complementary gap: it runs
+//! the same objects on **real OS threads over the native atomics backend**
+//! ([`sbu_mem::native::NativeMem`]) and checks every recorded quiescent
+//! window for linearizability *while the run is still going* (Wing–Gong
+//! runtime monitoring, via [`sbu_spec::linearize::check_windowed`]'s
+//! building blocks).
+//!
+//! * [`harness`] — the torture driver: seeded per-thread op streams, an
+//!   epoch/barrier protocol that publishes a *finality frontier* of the
+//!   logical clock, a free-running monitor thread consuming closed windows,
+//!   plus fault injection (yield/spin perturbation and crash-by-abandonment,
+//!   which exercises Definition 3.1's balanced extension on real histories).
+//! * [`inject`] — seeded mutation of the native backend ([`inject::TornMem`])
+//!   that weakens the sticky-bit CAS on a schedule, to prove the monitor
+//!   has teeth.
+//! * [`workloads`] — ready-made workloads over the paper's objects: raw
+//!   sticky bits, the Figure 2 `Jam` byte, leader election, the sticky bit
+//!   from initializable consensus, and the bounded universal construction
+//!   wrapping a counter and a queue.
+//!
+//! Entry point for humans: `cargo run --release --example stress`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod inject;
+pub mod workloads;
+
+pub use harness::{torture, ContentionProfile, StressConfig, StressObject, TortureReport};
+pub use inject::{Inject, TornMem};
+pub use workloads::{run_lock_based_jam, run_workload, Workload};

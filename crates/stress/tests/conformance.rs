@@ -1,0 +1,37 @@
+//! Backend conformance, run where the stress harness consumes it: the
+//! native backend (single-thread mode) and the transparent `TornMem`
+//! wrapper must both satisfy the `sbu-mem` semantics contract, so backend
+//! drift is caught next to the code that depends on it.
+
+use sbu_mem::conformance::{exercise_data_mem, exercise_word_mem};
+use sbu_mem::native::NativeMem;
+use sbu_stress::{Inject, TornMem};
+
+#[test]
+fn native_backend_conforms_word_and_data() {
+    let mut mem: NativeMem<u32> = NativeMem::new();
+    exercise_word_mem(&mut mem);
+    exercise_data_mem(&mut mem, 17u32, 42u32);
+}
+
+#[test]
+fn transparent_torn_mem_conforms_word_and_data() {
+    let mut mem = TornMem::new(NativeMem::<u32>::new(), Inject::None);
+    exercise_word_mem(&mut mem);
+    exercise_data_mem(&mut mem, 17u32, 42u32);
+    assert_eq!(mem.lies_told(), 0, "Inject::None must never lie");
+}
+
+#[test]
+fn lying_torn_mem_deviates_from_the_spec() {
+    // Sanity check that the injection actually changes observable behavior
+    // (otherwise the "monitor has teeth" test below would be vacuous).
+    use sbu_mem::{JamOutcome, Pid, Tri, WordMem};
+    let mut mem = TornMem::with_period(NativeMem::<u32>::new(), Inject::TornJam, 1);
+    let s = mem.alloc_sticky_bit();
+    assert_eq!(mem.sticky_jam(Pid(0), s, true), JamOutcome::Success);
+    // Disagreeing jam reported successful: sequentially impossible.
+    assert_eq!(mem.sticky_jam(Pid(1), s, false), JamOutcome::Success);
+    assert_eq!(mem.sticky_read(Pid(0), s), Tri::One);
+    assert!(mem.lies_told() >= 1);
+}

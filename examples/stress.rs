@@ -1,0 +1,126 @@
+//! Native multi-thread torture with online linearizability monitoring.
+//!
+//! Spawns real OS threads over the native backend, drives the paper's
+//! objects under contention, and checks every quiescent window of the
+//! recorded history online (see `sbu-stress`). Deterministic in the seed
+//! up to OS scheduling — and every schedule must linearize.
+//!
+//! ```text
+//! cargo run --release --example stress -- --threads 8 --ops 100000 --seed 42
+//! cargo run --release --example stress -- --workload all --ops 20000
+//! cargo run --release --example stress -- --inject torn-jam     # exit 0 iff CAUGHT
+//! ```
+//!
+//! Exits 0 when every window linearized (or, with `--inject`, when the
+//! monitor caught the injected fault); 1 otherwise.
+
+use std::process::ExitCode;
+
+use sbu_stress::{run_workload, ContentionProfile, Inject, StressConfig, Workload};
+
+const USAGE: &str = "\
+usage: stress [options]
+  --threads N        worker threads (default 4)
+  --ops N            total operations, split across threads (default 40000)
+  --seed N           master seed (default 42)
+  --workload W       sticky|jam|election|consensus-sticky|universal-counter|
+                     universal-queue|all (default sticky)
+  --objects N        independent object instances (default 4)
+  --profile P        hot|spread contention profile (default hot)
+  --inject I         none|torn-jam|stale-read fault injection; sticky-only
+                     (default none); exit 0 iff the monitor CATCHES the fault
+  --crash N          threads that abandon one op in their final epoch
+  --epoch-ops N      ops per thread per epoch (default auto: 64/threads)";
+
+fn bail(msg: &str) -> ! {
+    eprintln!("stress: {msg}\n{USAGE}");
+    std::process::exit(2)
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, v: Option<String>) -> T
+where
+    T::Err: std::fmt::Display,
+{
+    let v = v.unwrap_or_else(|| bail(&format!("{flag} needs a value")));
+    v.parse()
+        .unwrap_or_else(|e| bail(&format!("bad value {v:?} for {flag}: {e}")))
+}
+
+fn main() -> ExitCode {
+    let mut threads = 4usize;
+    let mut total_ops = 40_000usize;
+    let mut seed = 42u64;
+    let mut workloads = vec![Workload::Sticky];
+    let mut objects = 4usize;
+    let mut profile = ContentionProfile::Hot;
+    let mut inject = Inject::None;
+    let mut crash = 0usize;
+    let mut epoch_ops = 0usize;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--threads" => threads = parse(&flag, args.next()),
+            "--ops" => total_ops = parse(&flag, args.next()),
+            "--seed" => seed = parse(&flag, args.next()),
+            "--workload" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| bail("--workload needs a value"));
+                workloads = if v == "all" {
+                    Workload::all().to_vec()
+                } else {
+                    vec![v.parse::<Workload>().unwrap_or_else(|e| bail(&e))]
+                };
+            }
+            "--objects" => objects = parse(&flag, args.next()),
+            "--profile" => profile = parse(&flag, args.next()),
+            "--inject" => inject = parse(&flag, args.next()),
+            "--crash" => crash = parse(&flag, args.next()),
+            "--epoch-ops" => epoch_ops = parse(&flag, args.next()),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => bail(&format!("unknown flag {other:?}")),
+        }
+    }
+    if threads == 0 {
+        bail("--threads must be at least 1");
+    }
+    if inject != Inject::None && workloads.iter().any(|w| *w != Workload::Sticky) {
+        bail("--inject only applies to the sticky workload");
+    }
+
+    let mut cfg = StressConfig::new(threads, total_ops.div_ceil(threads), seed);
+    cfg.objects = objects.max(1);
+    cfg.profile = profile;
+    cfg.crash_threads = crash.min(threads);
+    cfg.epoch_ops = epoch_ops;
+
+    let mut ok = true;
+    for w in &workloads {
+        println!(
+            "== workload {w} ({} threads × {} ops, seed {seed}, inject {inject}) ==",
+            cfg.threads, cfg.ops_per_thread
+        );
+        let report = run_workload(*w, &cfg, inject);
+        println!("{report}");
+        if inject == Inject::None {
+            if !report.all_linearizable() {
+                ok = false;
+            }
+        } else if report.all_linearizable() {
+            println!("INJECTED FAULT NOT CAUGHT");
+            ok = false;
+        } else {
+            println!("INJECTED FAULT CAUGHT");
+        }
+        println!();
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

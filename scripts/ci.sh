@@ -46,6 +46,12 @@ for f in tests/corpus/*.sbu-sched; do
     }
 done
 
+step "native stress smoke (deterministic seed, online monitor)"
+cargo run --release --quiet --offline --example stress -- \
+    --threads 4 --ops 20000 --seed 7
+cargo run --release --quiet --offline --example stress -- \
+    --threads 4 --ops 8000 --seed 7 --inject torn-jam
+
 if [[ "$FULL" == 1 ]]; then
     step "deep exploration sweeps (#[ignore]d tests, release)"
     cargo test --quiet --release --workspace --offline -- --ignored

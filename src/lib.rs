@@ -18,6 +18,7 @@
 //! | [`sticky`] | `sbu-sticky` | sticky bytes (Fig. 2), leader election, consensus objects, randomized consensus, ASB-from-consensus |
 //! | [`rmw`] | `sbu-rmw` | the RMW hierarchy, its empirical separations, and its collapse at 3 values |
 //! | [`core`] | `sbu-core` | **the universal constructions** (bounded Θ(n²), unbounded baseline, lock-based strawman) and ready-made wait-free objects |
+//! | [`stress`] | `sbu-stress` | native multi-thread torture harness with online windowed linearizability monitoring and fault injection |
 //!
 //! ## Quickstart
 //!
@@ -48,6 +49,7 @@ pub use sbu_rmw as rmw;
 pub use sbu_sim as sim;
 pub use sbu_spec as spec;
 pub use sbu_sticky as sticky;
+pub use sbu_stress as stress;
 
 /// The most commonly used items in one import.
 pub mod prelude {
