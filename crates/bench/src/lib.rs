@@ -1,6 +1,6 @@
 //! # sbu-bench — the experiment harness
 //!
-//! One module per experiment of `EXPERIMENTS.md` (E1–E10), each regenerating
+//! One module per experiment of `EXPERIMENTS.md` (E1–E11), each regenerating
 //! the corresponding table from the paper's claims. Run them via the `exp`
 //! binary:
 //!
@@ -16,6 +16,7 @@
 //! fast, where the separations fall).
 
 pub mod e10_stress;
+pub mod e11_recovery;
 pub mod e1_sticky_byte;
 pub mod e2_election;
 pub mod e3_space;

@@ -10,7 +10,9 @@ use std::time::Instant;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let selected: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
-        vec!["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"]
+        vec![
+            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+        ]
     } else {
         args.iter().map(String::as_str).collect()
     };
@@ -27,8 +29,9 @@ fn main() {
             "e8" => sbu_bench::e8_throughput::run(),
             "e9" => sbu_bench::e9_explore::run(),
             "e10" => sbu_bench::e10_stress::run(),
+            "e11" => sbu_bench::e11_recovery::run(),
             other => {
-                eprintln!("unknown experiment {other:?}; use e1..e10 or all");
+                eprintln!("unknown experiment {other:?}; use e1..e11 or all");
                 std::process::exit(2);
             }
         };

@@ -119,7 +119,18 @@ impl<S> Inner<S> {
         );
         mem.safe_write(pid, self.announce_append[pid.0], 0);
 
-        // Help everyone whose append is announced.
+        self.help_appends(mem, pid, local);
+    }
+
+    /// The helping pass of Figure 8, also re-run by crash recovery before a
+    /// restarted processor accepts new operations: finish the append of
+    /// every cell whose owner has announced one.
+    pub(crate) fn help_appends<M: WordMem + ?Sized>(
+        &self,
+        mem: &M,
+        pid: Pid,
+        local: &mut ProcLocal,
+    ) {
         for j in 0..self.n {
             if j == pid.0 || mem.safe_read(pid, self.announce_append[j]) == 0 {
                 continue;

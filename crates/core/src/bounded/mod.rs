@@ -234,15 +234,110 @@ where
         mem.data_write(pid, inner.cells[cell].cmd, CellPayload::Cmd(op.clone()));
         mem.safe_write(pid, inner.cells[cell].has_cmd, 1);
 
+        // Steps 3–6 (shared with crash recovery, which re-executes them for
+        // an operation interrupted after its command was published).
+        let resp = inner.finish_apply(mem, pid, &mut local, cell, op);
+
+        // Fence before acknowledging: every persistent write backing this
+        // response (the jams of the append and the state/command data) must
+        // survive a crash that arrives after the caller has seen the
+        // result — the durable-linearizability contract for completed ops.
+        mem.persist(pid);
+        resp
+    }
+
+    /// Crash–restart recovery for `pid` (run once after
+    /// [`sbu_mem::DurableMem::restart`], before any new [`Universal::apply`]
+    /// call by this processor).
+    ///
+    /// A crash wipes the processor's volatile footprint: its private memory
+    /// (grab counts, hints, the owned list) and the liveness of its shared
+    /// volatile registers (announce flags, `r` grab bits) — left raised,
+    /// those would make helpers prepare cells for a dead search forever and
+    /// block the reclamation handshake. Recovery:
+    ///
+    /// 1. retracts both announcements and clears `r[pid]` on every cell;
+    /// 2. rebuilds the owned list from the *persistent* `ProcID`/`Claimed`
+    ///    fields, so cells claimed before the crash are reclaimed through
+    ///    the unchanged distance-bit protocol once fully marked;
+    /// 3. re-executes the interrupted operation, if one is found: a cell
+    ///    owned by `pid` with a published command but no state snapshot was
+    ///    crashed between publishing (step 2) and completing (step 5).
+    ///    Re-running append + scan + snapshot is idempotent — jams agree,
+    ///    the snapshot slot is write-once per incarnation — and makes the
+    ///    in-flight operation *take effect* (its response is discarded; the
+    ///    history records it as pending, which durable linearizability
+    ///    allows to commit). Otherwise the helping pass of Figure 8 is
+    ///    re-run, so announced appends by others never wait on the crash.
+    ///
+    /// A cell claimed without a published command (the crash landed inside
+    /// step 2) is left on the owned list but can never be appended or
+    /// marked; it leaks, absorbed by the padded Θ(n²) pool — the same
+    /// budget that covers cells stranded by processors that never restart.
+    pub fn recover<M: DataMem<CellPayload<S>>>(&self, mem: &M, pid: Pid) {
+        assert!(pid.0 < self.inner.n, "pid out of range");
+        let inner = &*self.inner;
+        let mut local = inner.locals[pid.0].lock();
+        *local = ProcLocal::default();
+
+        mem.safe_write(pid, inner.announce_gfc[pid.0], 0);
+        mem.safe_write(pid, inner.announce_append[pid.0], 0);
+        for c in &inner.cells {
+            mem.safe_write(pid, c.r[pid.0], 0);
+        }
+
+        let mut in_flight = None;
+        for (i, c) in inner.cells.iter().enumerate() {
+            if i != ANCHOR
+                && mem.sticky_word_read(pid, c.proc_id) == Some(pid.0 as u64)
+                && mem.sticky_read(pid, c.claimed) == sbu_mem::Tri::One
+            {
+                local.owned.push(i);
+                if mem.safe_read(pid, c.has_cmd) != 0 && mem.safe_read(pid, c.has_state) == 0 {
+                    debug_assert!(in_flight.is_none(), "two incomplete cells for one pid");
+                    in_flight = Some(i);
+                }
+            }
+        }
+
+        if let Some(cell) = in_flight {
+            let op = match mem.data_read(pid, inner.cells[cell].cmd) {
+                Some(CellPayload::Cmd(o)) => o,
+                _ => panic!("cell {cell}: published command missing"),
+            };
+            inner.finish_apply(mem, pid, &mut local, cell, &op);
+        } else {
+            inner.help_appends(mem, pid, &mut local);
+        }
+        mem.persist(pid);
+    }
+}
+
+impl<S> Inner<S>
+where
+    S: SequentialSpec + Send + Sync,
+    S::Op: Send + Sync,
+{
+    /// Steps 3–6 of the `apply` loop, from a claimed cell whose command is
+    /// published: append, scan back, recompute, publish the snapshot, mark
+    /// distance bits. Idempotent, so crash recovery re-runs it verbatim.
+    fn finish_apply<M: DataMem<CellPayload<S>>>(
+        &self,
+        mem: &M,
+        pid: Pid,
+        local: &mut ProcLocal,
+        cell: usize,
+        op: &S::Op,
+    ) -> S::Resp {
         // Step 3: append — the linearization point.
-        inner.append(mem, pid, &mut local, cell);
+        self.append(mem, pid, local, cell);
 
         // Step 4: scan back to the nearest state snapshot, collecting the
         // commands in between (at most ~n of them).
         let mut chain: Vec<S::Op> = Vec::new();
-        let mut cur = inner.next_of(mem, pid, cell);
+        let mut cur = self.next_of(mem, pid, cell);
         let base: S = loop {
-            let ch = &inner.cells[cur];
+            let ch = &self.cells[cur];
             if mem.safe_read(pid, ch.has_state) != 0 {
                 match mem.data_read(pid, ch.state) {
                     Some(CellPayload::State(s)) => break s,
@@ -253,7 +348,7 @@ where
                 Some(CellPayload::Cmd(o)) => chain.push(o),
                 _ => panic!("cell {cur}: command slot missing or holding a state"),
             }
-            cur = inner.next_of(mem, pid, cur);
+            cur = self.next_of(mem, pid, cur);
         };
 
         // Step 5: recompute the state (oldest command first), apply my own
@@ -263,18 +358,18 @@ where
             state.apply(o);
         }
         let resp = state.apply(op);
-        mem.data_write(pid, inner.cells[cell].state, CellPayload::State(state));
-        mem.safe_write(pid, inner.cells[cell].has_state, 1);
+        mem.data_write(pid, self.cells[cell].state, CellPayload::State(state));
+        mem.safe_write(pid, self.cells[cell].has_state, 1);
 
         // Step 6: mark distance bits on the n cells behind me so their
         // owners can eventually reclaim them (Section 5).
-        let mut cur = inner.next_of(mem, pid, cell);
-        for d in 0..inner.n {
+        let mut cur = self.next_of(mem, pid, cell);
+        for d in 0..self.n {
             if cur == ANCHOR {
                 break;
             }
-            mem.safe_write(pid, inner.cells[cur].b[d], 1);
-            cur = inner.next_of(mem, pid, cur);
+            mem.safe_write(pid, self.cells[cur].b[d], 1);
+            cur = self.next_of(mem, pid, cur);
         }
         resp
     }

@@ -51,6 +51,11 @@ pub fn exercise_word_mem<M: WordMem>(mem: &mut M) {
         "sticky: disagreeing jam fails"
     );
     assert_eq!(mem.sticky_read(p1, b), Tri::One, "sticky: value stuck");
+    // Fence before reinitializing: a flush over another processor's
+    // unfenced write is a protocol violation under the persistency model
+    // (`DurableMem`); immediate-durability backends treat this as a no-op.
+    mem.persist(p0);
+    mem.persist(p1);
     mem.sticky_flush(p0, b);
     assert_eq!(mem.sticky_read(p0, b), Tri::Undef, "sticky: flush resets");
     assert_eq!(
@@ -78,6 +83,7 @@ pub fn exercise_word_mem<M: WordMem>(mem: &mut M) {
         "sticky word: disagreeing jam"
     );
     assert_eq!(mem.sticky_word_read(p1, w), Some(42), "sticky word: stuck");
+    mem.persist(p0);
     mem.sticky_word_flush(p1, w);
     assert_eq!(mem.sticky_word_read(p0, w), None, "sticky word: flush");
 
@@ -87,6 +93,7 @@ pub fn exercise_word_mem<M: WordMem>(mem: &mut M) {
     assert!(!mem.tas_test_and_set(p0, t), "tas: first caller sees false");
     assert!(mem.tas_test_and_set(p1, t), "tas: later callers see true");
     assert!(mem.tas_read(p1, t), "tas: set after t&s");
+    mem.persist(p1);
     mem.tas_reset(p0, t);
     assert!(!mem.tas_read(p0, t), "tas: reset clears");
 

@@ -1,0 +1,723 @@
+//! Crash–restart persistency: the [`DurableMem`] backend wrapper.
+//!
+//! # The fault model
+//!
+//! A processor can *crash* (lose its private state and stop) and later
+//! *restart*. Shared memory splits into two halves:
+//!
+//! * **persistent**: sticky bits, sticky words, test-and-set bits, and data
+//!   cells. These model non-volatile memory — a write that has been
+//!   *fenced* ([`WordMem::persist`]) survives every crash. Writes that are
+//!   still in flight (issued but not fenced) are *torn* at a crash of their
+//!   writers: depending on the [`TornPersist`] policy they survive, vanish,
+//!   or are decided by a seeded coin — both outcomes are legal NVM
+//!   behaviour, and recovery protocols must tolerate either.
+//! * **volatile**: safe and atomic registers (DRAM). They survive the crash
+//!   of individual processors (the memory itself did not lose power) but are
+//!   wiped back to their initial values by a *full-system* crash
+//!   ([`DurableMem::crash_all`]).
+//!
+//! The wrapper is pure bookkeeping around any inner [`WordMem`] backend: it
+//! adds **no** backend operations on the hot path, so wrapping the simulator
+//! preserves step counts, schedules, and the DPOR access log exactly.
+//!
+//! # Def 4.1 under persistency
+//!
+//! `Flush`/`Reset`/`Clear` are non-atomic and require quiescence
+//! (Definition 4.1). Under the persistency model there is a second, equally
+//! deterministic hazard: reinitializing a location that still carries an
+//! *unfenced* write by another processor — either that processor's operation
+//! is still in flight (a genuine Def 4.1 overlap) or its completed
+//! operation's effect is not yet durable, so the flush races the fence.
+//! [`DurableMem`] records such flushes as protocol violations
+//! ([`DurableMem::violations`]) instead of silently succeeding, mirroring
+//! the simulator's online flush-overlap monitor on the native backend.
+
+use crate::{
+    AtomicId, DataId, DataMem, JamOutcome, Pid, SafeId, StickyBitId, StickyWordId, TasId, Tri,
+    Word, WordMem,
+};
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+
+/// What happens to unfenced (in-flight) persistent writes when all of their
+/// writers crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TornPersist {
+    /// Every in-flight write survives (conservative hardware). The honest
+    /// default.
+    Persist,
+    /// Every in-flight write of the crashed processors is lost (adversarial
+    /// but *legal* NVM: an unfenced store may never leave the write buffer).
+    Lose,
+    /// A seeded coin decides each in-flight write independently — the
+    /// native analogue of the simulator enumerating both outcomes.
+    Seeded(u64),
+    /// **Illegal** hardware for monitor-validation runs: a crash rolls every
+    /// sticky *bit* written since the previous crash back to `⊥`, fences
+    /// notwithstanding. Acknowledged effects are lost, which durable
+    /// linearizability forbids — a correct checker must catch it.
+    Lying,
+}
+
+impl std::str::FromStr for TornPersist {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "persist" => Ok(TornPersist::Persist),
+            "lose" => Ok(TornPersist::Lose),
+            "lying" => Ok(TornPersist::Lying),
+            other => match other.strip_prefix("seeded:") {
+                Some(seed) => seed
+                    .parse::<u64>()
+                    .map(TornPersist::Seeded)
+                    .map_err(|e| format!("bad seed in {other:?}: {e}")),
+                None => Err(format!(
+                    "unknown torn-persist policy {other:?} (persist|lose|seeded:N|lying)"
+                )),
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for TornPersist {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TornPersist::Persist => write!(f, "persist"),
+            TornPersist::Lose => write!(f, "lose"),
+            TornPersist::Seeded(s) => write!(f, "seeded:{s}"),
+            TornPersist::Lying => write!(f, "lying"),
+        }
+    }
+}
+
+/// SplitMix64 step, for the [`TornPersist::Seeded`] coin stream.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// One persistent location's unfenced state: which processors have issued a
+/// write to it since the last fence that covered it.
+#[derive(Debug, Default, Clone)]
+struct PendingWrite {
+    writers: Vec<Pid>,
+}
+
+impl PendingWrite {
+    fn add(&mut self, pid: Pid) {
+        if !self.writers.contains(&pid) {
+            self.writers.push(pid);
+        }
+    }
+}
+
+/// Location-kind index for bookkeeping maps and violation messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+enum Kind {
+    Bit,
+    Word,
+    Tas,
+    Data,
+}
+
+impl Kind {
+    fn name(self) -> &'static str {
+        match self {
+            Kind::Bit => "sticky bit",
+            Kind::Word => "sticky word",
+            Kind::Tas => "tas bit",
+            Kind::Data => "data cell",
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Book {
+    /// Unfenced writes per (kind, slot).
+    pending: HashMap<(Kind, usize), PendingWrite>,
+    /// Shadow "is defined" state per (kind, slot) — distinguishes a first
+    /// (mutating) jam from an agreeing re-jam without issuing extra reads.
+    defined: HashSet<(Kind, usize)>,
+    /// Sticky bits successfully jammed since the last crash (the
+    /// [`TornPersist::Lying`] rollback set).
+    era_bits: HashSet<usize>,
+    /// Initial values of volatile registers, restored by a full-system
+    /// crash.
+    safe_init: Vec<Word>,
+    atomic_init: Vec<Word>,
+    /// Processors currently down (crashed, not yet restarted).
+    down: HashSet<Pid>,
+    /// Recorded protocol violations (flush/reset over unfenced foreign
+    /// writes).
+    violations: Vec<String>,
+    /// Crash events so far.
+    crashes: u64,
+    /// Restart events so far.
+    restarts: u64,
+    /// SplitMix64 counter state for [`TornPersist::Seeded`].
+    rng: u64,
+}
+
+impl Book {
+    /// Record a write: create or extend the pending entry and mark the
+    /// shadow state.
+    fn write(&mut self, kind: Kind, slot: usize, pid: Pid, now_defined: bool) {
+        if now_defined {
+            self.defined.insert((kind, slot));
+        }
+        self.pending.entry((kind, slot)).or_default().add(pid);
+        if kind == Kind::Bit {
+            self.era_bits.insert(slot);
+        }
+    }
+
+    /// An agreeing re-jam: a physical no-op unless the location is still
+    /// unfenced, in which case the re-jammer becomes a writer too (its
+    /// fence will then cover the value — the idempotence recovery protocols
+    /// rely on).
+    fn rejam(&mut self, kind: Kind, slot: usize, pid: Pid) {
+        if let Some(p) = self.pending.get_mut(&(kind, slot)) {
+            p.add(pid);
+        }
+        if kind == Kind::Bit {
+            self.era_bits.insert(slot);
+        }
+    }
+
+    /// Record (and allow) a flush/reset: drop all bookkeeping for the slot,
+    /// flagging unfenced foreign writes first.
+    fn flush(&mut self, kind: Kind, slot: usize, pid: Pid) {
+        if let Some(p) = self.pending.remove(&(kind, slot)) {
+            let foreign: Vec<usize> = p
+                .writers
+                .iter()
+                .filter(|w| **w != pid)
+                .map(|w| w.0)
+                .collect();
+            if !foreign.is_empty() {
+                self.violations.push(format!(
+                    "flush of {} #{} by pid {} overlaps unfenced write(s) by pid(s) {:?} \
+                     (Def 4.1 / persistency)",
+                    kind.name(),
+                    slot,
+                    pid.0,
+                    foreign
+                ));
+            }
+        }
+        self.defined.remove(&(kind, slot));
+        if kind == Kind::Bit {
+            self.era_bits.remove(&slot);
+        }
+    }
+
+    fn coin(&mut self) -> bool {
+        self.rng = self.rng.wrapping_add(1);
+        mix(self.rng) & 1 == 1
+    }
+}
+
+/// A [`WordMem`]/[`DataMem`] wrapper adding the crash–restart persistency
+/// model described in the module docs. Wrap a freshly allocated backend
+/// (state written before wrapping is treated as durable).
+#[derive(Debug)]
+pub struct DurableMem<M> {
+    inner: M,
+    policy: TornPersist,
+    book: Mutex<Book>,
+}
+
+impl<M: WordMem> DurableMem<M> {
+    /// Wrap `inner` with the honest [`TornPersist::Persist`] policy.
+    pub fn new(inner: M) -> Self {
+        Self::with_policy(inner, TornPersist::Persist)
+    }
+
+    /// Wrap `inner` with an explicit torn-persist policy.
+    pub fn with_policy(inner: M, policy: TornPersist) -> Self {
+        let mut book = Book::default();
+        if let TornPersist::Seeded(seed) = policy {
+            book.rng = seed;
+        }
+        Self {
+            inner,
+            policy,
+            book: Mutex::new(book),
+        }
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// Recorded protocol violations (flush/reset overlapping unfenced
+    /// foreign writes).
+    pub fn violations(&self) -> Vec<String> {
+        self.book.lock().violations.clone()
+    }
+
+    /// Number of crash events so far.
+    pub fn crashes(&self) -> u64 {
+        self.book.lock().crashes
+    }
+
+    /// Number of restart events so far.
+    pub fn restarts(&self) -> u64 {
+        self.book.lock().restarts
+    }
+
+    /// Whether `pid` is currently crashed (not yet restarted).
+    pub fn is_down(&self, pid: Pid) -> bool {
+        self.book.lock().down.contains(&pid)
+    }
+
+    /// Restart `pid` (bookkeeping only: the processor's recovery protocol —
+    /// re-jam, re-scan — is the caller's job).
+    pub fn restart(&self, pid: Pid) {
+        let mut book = self.book.lock();
+        book.restarts += 1;
+        book.down.remove(&pid);
+    }
+
+    fn book(&self) -> parking_lot::MutexGuard<'_, Book> {
+        self.book.lock()
+    }
+}
+
+impl<M: WordMem> DurableMem<M> {
+    /// Crash `pids`: their private state is gone; every unfenced persistent
+    /// write whose writers *all* crashed is resolved by the torn-persist
+    /// policy (survive, vanish, or coin). Volatile registers survive — only
+    /// [`DurableMem::crash_all`] wipes them.
+    ///
+    /// Generic over the data payload `P` so torn data-cell writes can be
+    /// reverted (`data_clear` is the only generic pre-state restorable).
+    ///
+    /// Must be called at a point where no *surviving* processor has an
+    /// operation in flight on the affected objects (reverting a location
+    /// under a concurrent lock-free operation is meaningless); the stress
+    /// harness crashes at epoch barriers, the simulator between runs.
+    pub fn crash<P: Clone>(&self, pids: &[Pid])
+    where
+        M: DataMem<P>,
+    {
+        let mut book = self.book.lock();
+        book.crashes += 1;
+        for &p in pids {
+            book.down.insert(p);
+        }
+        let reverter = pids.first().copied().unwrap_or(Pid(0));
+
+        if self.policy == TornPersist::Lying {
+            // Roll every sticky bit of the era back to ⊥, fenced or not.
+            let era: Vec<usize> = book.era_bits.drain().collect();
+            for slot in era {
+                self.inner.sticky_flush(reverter, StickyBitId(slot));
+                book.defined.remove(&(Kind::Bit, slot));
+                book.pending.remove(&(Kind::Bit, slot));
+            }
+        }
+
+        // Resolve unfenced writes whose writers are all down (this crash
+        // included): nobody left to fence them.
+        let mut doomed: Vec<(Kind, usize)> = book
+            .pending
+            .iter()
+            .filter(|(_, p)| p.writers.iter().all(|w| book.down.contains(w)))
+            .map(|(k, _)| *k)
+            .collect();
+        // Deterministic order: the seeded coin stream must not depend on
+        // hash-map iteration.
+        doomed.sort();
+        for key in doomed {
+            let lose = match self.policy {
+                TornPersist::Persist | TornPersist::Lying => false,
+                TornPersist::Lose => true,
+                TornPersist::Seeded(_) => book.coin(),
+            };
+            book.pending.remove(&key);
+            if !lose {
+                continue; // reached NVM: durable from now on
+            }
+            let (kind, slot) = key;
+            match kind {
+                Kind::Bit => {
+                    self.inner.sticky_flush(reverter, StickyBitId(slot));
+                    book.era_bits.remove(&slot);
+                }
+                Kind::Word => self.inner.sticky_word_flush(reverter, StickyWordId(slot)),
+                Kind::Tas => self.inner.tas_reset(reverter, TasId(slot)),
+                Kind::Data => self.inner.data_clear(reverter, DataId(slot)),
+            }
+            book.defined.remove(&key);
+        }
+    }
+
+    /// Full-system crash: every processor goes down at once. On top of
+    /// [`DurableMem::crash`]'s torn-persist resolution, all volatile (safe
+    /// and atomic) registers are wiped back to their initial values.
+    pub fn crash_all<P: Clone>(&self, n_procs: usize)
+    where
+        M: DataMem<P>,
+    {
+        let pids: Vec<Pid> = (0..n_procs).map(Pid).collect();
+        self.crash(&pids);
+        let book = self.book.lock();
+        let reverter = Pid(0);
+        for (slot, &init) in book.safe_init.iter().enumerate() {
+            self.inner.safe_write(reverter, SafeId(slot), init);
+        }
+        for (slot, &init) in book.atomic_init.iter().enumerate() {
+            self.inner.atomic_write(reverter, AtomicId(slot), init);
+        }
+    }
+}
+
+impl<M: WordMem> WordMem for DurableMem<M> {
+    fn alloc_safe(&mut self, init: Word) -> SafeId {
+        let id = self.inner.alloc_safe(init);
+        let book = self.book.get_mut();
+        if book.safe_init.len() <= id.index() {
+            book.safe_init.resize(id.index() + 1, 0);
+        }
+        book.safe_init[id.index()] = init;
+        id
+    }
+    fn alloc_atomic(&mut self, init: Word) -> AtomicId {
+        let id = self.inner.alloc_atomic(init);
+        let book = self.book.get_mut();
+        if book.atomic_init.len() <= id.index() {
+            book.atomic_init.resize(id.index() + 1, 0);
+        }
+        book.atomic_init[id.index()] = init;
+        id
+    }
+    fn alloc_sticky_bit(&mut self) -> StickyBitId {
+        self.inner.alloc_sticky_bit()
+    }
+    fn alloc_sticky_word(&mut self) -> StickyWordId {
+        self.inner.alloc_sticky_word()
+    }
+    fn alloc_tas(&mut self) -> TasId {
+        self.inner.alloc_tas()
+    }
+
+    fn safe_read(&self, pid: Pid, r: SafeId) -> Word {
+        self.inner.safe_read(pid, r)
+    }
+    fn safe_write(&self, pid: Pid, r: SafeId, v: Word) {
+        self.inner.safe_write(pid, r, v)
+    }
+
+    fn atomic_read(&self, pid: Pid, r: AtomicId) -> Word {
+        self.inner.atomic_read(pid, r)
+    }
+    fn atomic_write(&self, pid: Pid, r: AtomicId, v: Word) {
+        self.inner.atomic_write(pid, r, v)
+    }
+    fn rmw(&self, pid: Pid, r: AtomicId, f: &dyn Fn(Word) -> Word) -> Word {
+        self.inner.rmw(pid, r, f)
+    }
+
+    fn sticky_jam(&self, pid: Pid, s: StickyBitId, v: bool) -> JamOutcome {
+        let out = self.inner.sticky_jam(pid, s, v);
+        if out.is_success() {
+            let mut book = self.book();
+            if book.defined.contains(&(Kind::Bit, s.index())) {
+                book.rejam(Kind::Bit, s.index(), pid);
+            } else {
+                book.write(Kind::Bit, s.index(), pid, true);
+            }
+        }
+        out
+    }
+    fn sticky_read(&self, pid: Pid, s: StickyBitId) -> Tri {
+        self.inner.sticky_read(pid, s)
+    }
+    fn sticky_flush(&self, pid: Pid, s: StickyBitId) {
+        self.book().flush(Kind::Bit, s.index(), pid);
+        self.inner.sticky_flush(pid, s)
+    }
+
+    fn sticky_word_jam(&self, pid: Pid, s: StickyWordId, v: Word) -> JamOutcome {
+        let out = self.inner.sticky_word_jam(pid, s, v);
+        if out.is_success() {
+            let mut book = self.book();
+            if book.defined.contains(&(Kind::Word, s.index())) {
+                book.rejam(Kind::Word, s.index(), pid);
+            } else {
+                book.write(Kind::Word, s.index(), pid, true);
+            }
+        }
+        out
+    }
+    fn sticky_word_read(&self, pid: Pid, s: StickyWordId) -> Option<Word> {
+        self.inner.sticky_word_read(pid, s)
+    }
+    fn sticky_word_flush(&self, pid: Pid, s: StickyWordId) {
+        self.book().flush(Kind::Word, s.index(), pid);
+        self.inner.sticky_word_flush(pid, s)
+    }
+
+    fn tas_test_and_set(&self, pid: Pid, t: TasId) -> bool {
+        let was_set = self.inner.tas_test_and_set(pid, t);
+        let mut book = self.book();
+        if was_set {
+            book.rejam(Kind::Tas, t.index(), pid);
+        } else {
+            book.write(Kind::Tas, t.index(), pid, true);
+        }
+        was_set
+    }
+    fn tas_read(&self, pid: Pid, t: TasId) -> bool {
+        self.inner.tas_read(pid, t)
+    }
+    fn tas_reset(&self, pid: Pid, t: TasId) {
+        self.book().flush(Kind::Tas, t.index(), pid);
+        self.inner.tas_reset(pid, t)
+    }
+
+    fn op_invoke(&self, pid: Pid) -> u64 {
+        self.inner.op_invoke(pid)
+    }
+    fn op_return(&self, pid: Pid) -> u64 {
+        self.inner.op_return(pid)
+    }
+
+    fn persist(&self, pid: Pid) {
+        // Inner call first: under a simulated backend the fence is a
+        // (blocking) scheduling point, and holding the book lock across it
+        // would wedge every other processor's bookkeeping. The retain runs
+        // after the step is granted, i.e. at the fence's place in the
+        // schedule.
+        self.inner.persist(pid);
+        let mut book = self.book();
+        book.pending.retain(|_, p| !p.writers.contains(&pid));
+    }
+}
+
+impl<P: Clone, M: DataMem<P>> DataMem<P> for DurableMem<M> {
+    fn alloc_data(&mut self, init: Option<P>) -> DataId {
+        let had_init = init.is_some();
+        let id = self.inner.alloc_data(init);
+        if had_init {
+            self.book.get_mut().defined.insert((Kind::Data, id.index()));
+        }
+        id
+    }
+    fn data_read(&self, pid: Pid, d: DataId) -> Option<P> {
+        self.inner.data_read(pid, d)
+    }
+    fn data_write(&self, pid: Pid, d: DataId, v: P) {
+        self.inner.data_write(pid, d, v);
+        let mut book = self.book();
+        if book.defined.contains(&(Kind::Data, d.index())) {
+            // Overwrite: no generic pre-state to restore, so it is treated
+            // as immediately durable (the protocols in this workspace write
+            // data cells once per incarnation).
+            book.pending.remove(&(Kind::Data, d.index()));
+        } else {
+            book.write(Kind::Data, d.index(), pid, true);
+        }
+    }
+    fn data_clear(&self, pid: Pid, d: DataId) {
+        self.book().flush(Kind::Data, d.index(), pid);
+        self.inner.data_clear(pid, d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conformance::{exercise_data_mem, exercise_word_mem};
+    use crate::native::NativeMem;
+
+    fn honest() -> DurableMem<NativeMem<String>> {
+        DurableMem::new(NativeMem::new())
+    }
+
+    #[test]
+    fn durable_backend_conforms() {
+        let mut mem = honest();
+        exercise_word_mem(&mut mem);
+        exercise_data_mem(&mut mem, "a".to_string(), "b".to_string());
+        assert!(
+            mem.violations().is_empty(),
+            "sequential conformance must be violation-free: {:?}",
+            mem.violations()
+        );
+    }
+
+    #[test]
+    fn fenced_jam_survives_lose_crash() {
+        let mut mem = DurableMem::with_policy(NativeMem::<()>::new(), TornPersist::Lose);
+        let s = mem.alloc_sticky_bit();
+        assert!(mem.sticky_jam(Pid(0), s, true).is_success());
+        mem.persist(Pid(0));
+        mem.crash(&[Pid(0)]);
+        assert_eq!(
+            mem.sticky_read(Pid(1), s),
+            Tri::One,
+            "fenced write survives"
+        );
+    }
+
+    #[test]
+    fn unfenced_jam_lost_at_crash_under_lose() {
+        let mut mem = DurableMem::with_policy(NativeMem::<()>::new(), TornPersist::Lose);
+        let s = mem.alloc_sticky_bit();
+        let w = mem.alloc_sticky_word();
+        let t = mem.alloc_tas();
+        assert!(mem.sticky_jam(Pid(0), s, true).is_success());
+        assert!(mem.sticky_word_jam(Pid(0), w, 9).is_success());
+        assert!(!mem.tas_test_and_set(Pid(0), t));
+        mem.crash(&[Pid(0)]);
+        assert_eq!(mem.sticky_read(Pid(1), s), Tri::Undef, "torn jam vanished");
+        assert_eq!(mem.sticky_word_read(Pid(1), w), None, "torn word vanished");
+        assert!(!mem.tas_read(Pid(1), t), "torn tas vanished");
+    }
+
+    #[test]
+    fn unfenced_jam_survives_under_persist() {
+        let mut mem = DurableMem::with_policy(NativeMem::<()>::new(), TornPersist::Persist);
+        let s = mem.alloc_sticky_bit();
+        assert!(mem.sticky_jam(Pid(0), s, true).is_success());
+        mem.crash(&[Pid(0)]);
+        assert_eq!(mem.sticky_read(Pid(1), s), Tri::One);
+    }
+
+    #[test]
+    fn surviving_writer_keeps_the_value_alive() {
+        // pid 1's agreeing re-jam makes it a writer; pid 0 crashing alone
+        // cannot tear the value any more.
+        let mut mem = DurableMem::with_policy(NativeMem::<()>::new(), TornPersist::Lose);
+        let s = mem.alloc_sticky_bit();
+        assert!(mem.sticky_jam(Pid(0), s, true).is_success());
+        assert!(mem.sticky_jam(Pid(1), s, true).is_success());
+        mem.crash(&[Pid(0)]);
+        assert_eq!(mem.sticky_read(Pid(1), s), Tri::One);
+        // Once pid 1 also crashes unfenced, the value is torn.
+        mem.crash(&[Pid(1)]);
+        assert_eq!(mem.sticky_read(Pid(2), s), Tri::Undef);
+    }
+
+    #[test]
+    fn seeded_policy_is_deterministic() {
+        let run = |seed: u64| -> Vec<Tri> {
+            let mut mem =
+                DurableMem::with_policy(NativeMem::<()>::new(), TornPersist::Seeded(seed));
+            let bits: Vec<_> = (0..8).map(|_| mem.alloc_sticky_bit()).collect();
+            for &b in &bits {
+                assert!(mem.sticky_jam(Pid(0), b, true).is_success());
+            }
+            mem.crash(&[Pid(0)]);
+            bits.iter().map(|&b| mem.sticky_read(Pid(1), b)).collect()
+        };
+        assert_eq!(run(7), run(7), "same seed, same outcome");
+        let outcome = run(7);
+        assert!(outcome.contains(&Tri::One), "coin keeps some");
+        assert!(outcome.contains(&Tri::Undef), "coin drops some");
+    }
+
+    #[test]
+    fn lying_policy_rolls_back_fenced_bits() {
+        let mut mem = DurableMem::with_policy(NativeMem::<()>::new(), TornPersist::Lying);
+        let s = mem.alloc_sticky_bit();
+        assert!(mem.sticky_jam(Pid(0), s, true).is_success());
+        mem.persist(Pid(0)); // fenced — an honest policy must keep it
+        mem.crash(&[Pid(0)]);
+        assert_eq!(mem.sticky_read(Pid(1), s), Tri::Undef, "the lie");
+    }
+
+    #[test]
+    fn full_crash_wipes_volatile_keeps_fenced_persistent() {
+        let mut mem: DurableMem<NativeMem<String>> =
+            DurableMem::with_policy(NativeMem::new(), TornPersist::Lose);
+        let r = mem.alloc_safe(17);
+        let a = mem.alloc_atomic(4);
+        let s = mem.alloc_sticky_bit();
+        let d = mem.alloc_data(None);
+        mem.safe_write(Pid(0), r, 99);
+        mem.atomic_write(Pid(0), a, 100);
+        assert!(mem.sticky_jam(Pid(0), s, false).is_success());
+        mem.data_write(Pid(0), d, "x".to_string());
+        mem.persist(Pid(0));
+        mem.crash_all(2);
+        assert_eq!(mem.safe_read(Pid(0), r), 17, "volatile safe wiped to init");
+        assert_eq!(mem.atomic_read(Pid(0), a), 4, "volatile atomic wiped");
+        assert_eq!(mem.sticky_read(Pid(0), s), Tri::Zero, "fenced sticky kept");
+        assert_eq!(
+            mem.data_read(Pid(0), d),
+            Some("x".to_string()),
+            "fenced data kept"
+        );
+    }
+
+    #[test]
+    fn full_crash_drops_unfenced_data() {
+        let mut mem: DurableMem<NativeMem<String>> =
+            DurableMem::with_policy(NativeMem::new(), TornPersist::Lose);
+        let d = mem.alloc_data(None);
+        mem.data_write(Pid(0), d, "torn".to_string());
+        mem.crash_all(1);
+        assert_eq!(mem.data_read(Pid(0), d), None, "unfenced data cleared");
+    }
+
+    #[test]
+    fn flush_over_foreign_unfenced_write_is_flagged() {
+        let mut mem = honest();
+        let s = mem.alloc_sticky_bit();
+        assert!(mem.sticky_jam(Pid(0), s, true).is_success());
+        mem.sticky_flush(Pid(1), s); // pid 0's write is still unfenced
+        let v = mem.violations();
+        assert_eq!(v.len(), 1, "exactly one violation: {v:?}");
+        assert!(v[0].contains("sticky bit #0"), "{}", v[0]);
+        assert!(v[0].contains("pid 1"), "{}", v[0]);
+    }
+
+    #[test]
+    fn flush_after_fence_is_clean() {
+        let mut mem = honest();
+        let s = mem.alloc_sticky_bit();
+        let w = mem.alloc_sticky_word();
+        let t = mem.alloc_tas();
+        assert!(mem.sticky_jam(Pid(0), s, true).is_success());
+        assert!(mem.sticky_word_jam(Pid(0), w, 3).is_success());
+        assert!(!mem.tas_test_and_set(Pid(0), t));
+        mem.persist(Pid(0));
+        mem.sticky_flush(Pid(1), s);
+        mem.sticky_word_flush(Pid(1), w);
+        mem.tas_reset(Pid(1), t);
+        assert!(mem.violations().is_empty(), "{:?}", mem.violations());
+    }
+
+    #[test]
+    fn restart_bookkeeping() {
+        let mut mem = honest();
+        let _ = mem.alloc_sticky_bit();
+        assert!(!mem.is_down(Pid(0)));
+        mem.crash(&[Pid(0)]);
+        assert!(mem.is_down(Pid(0)));
+        assert_eq!(mem.crashes(), 1);
+        mem.restart(Pid(0));
+        assert!(!mem.is_down(Pid(0)));
+        assert_eq!(mem.restarts(), 1);
+    }
+
+    #[test]
+    fn torn_policy_parses() {
+        assert_eq!("persist".parse::<TornPersist>(), Ok(TornPersist::Persist));
+        assert_eq!("lose".parse::<TornPersist>(), Ok(TornPersist::Lose));
+        assert_eq!(
+            "seeded:9".parse::<TornPersist>(),
+            Ok(TornPersist::Seeded(9))
+        );
+        assert_eq!("lying".parse::<TornPersist>(), Ok(TornPersist::Lying));
+        assert!("tear".parse::<TornPersist>().is_err());
+        assert_eq!(TornPersist::Seeded(9).to_string(), "seeded:9");
+    }
+}

@@ -39,9 +39,11 @@
 #![warn(missing_docs)]
 
 pub mod conformance;
+pub mod durable;
 pub mod native;
 mod traits;
 
+pub use durable::{DurableMem, TornPersist};
 pub use sbu_spec::specs::Tri;
 pub use sbu_spec::Pid;
 pub use traits::{DataMem, JamOutcome, WordMem};
@@ -115,6 +117,15 @@ pub enum LocId {
     Tas(usize),
     /// A data cell.
     Data(usize),
+    /// A persistency fence by the given processor (`WordMem::persist`).
+    /// A fence makes every unfenced write the processor participated in
+    /// durable, so it conflicts with *writes to any persistent location*
+    /// (sticky bits/words, test-and-set bits, data cells): re-ordering a
+    /// fence past such a write changes which writes a later crash can tear.
+    /// Fences of different processors commute with each other (entry
+    /// removal is order-insensitive) and with volatile accesses, reads,
+    /// and clock steps.
+    Fence(usize),
     /// The global operation clock sampled by `op_invoke`/`op_return`.
     /// Timestamp steps conflict with each other (their relative order is
     /// what a linearizability verdict observes) but commute with ordinary
@@ -197,6 +208,7 @@ mod tests {
         assert_eq!(LocId::from(SafeId(2)), LocId::Safe(2));
         assert_ne!(LocId::Safe(0), LocId::Atomic(0));
         assert_ne!(LocId::StickyBit(1), LocId::StickyBit(2));
+        assert_ne!(LocId::Fence(0), LocId::Fence(1));
         assert_ne!(LocId::Clock, LocId::Global);
     }
 

@@ -98,6 +98,13 @@ pub trait WordMem: Send + Sync {
     /// Mark the response of an object-level operation; returns the logical
     /// timestamp of the event.
     fn op_return(&self, pid: Pid) -> u64;
+
+    /// Persistence fence: every write `pid` issued so far is durable once
+    /// this returns. A no-op for backends whose writes are immediately
+    /// durable (native, simulator); [`crate::DurableMem`] overrides it.
+    /// Recovery protocols call it before acknowledging an operation so the
+    /// acknowledged effect survives a crash (`sbu-sticky::recoverable`).
+    fn persist(&self, _pid: Pid) {}
 }
 
 /// Word memory extended with payload-carrying *data cells* — the safe

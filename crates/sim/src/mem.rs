@@ -292,6 +292,17 @@ impl<P: Clone + Send + Sync> WordMem for SimMem<P> {
     fn op_return(&self, pid: Pid) -> u64 {
         self.step(pid, LocId::Clock, AccessKind::Write, |st| st.clock)
     }
+
+    /// A persistency fence is one scheduling point with no effect on the
+    /// simulated (volatile-visible) state: its entire purpose is to give
+    /// crash decisions a place to land *between* a write and its fence, so
+    /// `DurableMem`'s torn-persist bookkeeping — which runs in the caller
+    /// right after this step is granted, before any other processor can be
+    /// granted (the conductor is lockstep) — sits at a definite point in
+    /// the schedule.
+    fn persist(&self, pid: Pid) {
+        self.step(pid, LocId::Fence(pid.0), AccessKind::Write, |_| ());
+    }
 }
 
 impl<P: Clone + Send + Sync> DataMem<P> for SimMem<P> {

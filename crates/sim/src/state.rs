@@ -88,8 +88,12 @@ pub struct StepAccess {
 impl StepAccess {
     /// Mazurkiewicz dependence: steps of the same processor never commute;
     /// otherwise two steps conflict iff they touch the same location with
-    /// at least one write, and [`LocId::Global`] effects conflict with
-    /// everything.
+    /// at least one write, [`LocId::Global`] effects conflict with
+    /// everything, and a persistency fence ([`LocId::Fence`]) conflicts
+    /// with every write to a persistent location — re-ordering a fence
+    /// past such a write changes which unfenced writes a crash can tear
+    /// (fences of *different* processors commute with each other, and with
+    /// reads, volatile accesses, and clock steps).
     pub fn dependent(&self, other: &StepAccess) -> bool {
         if self.pid == other.pid {
             return true;
@@ -97,7 +101,23 @@ impl StepAccess {
         if self.loc == LocId::Global || other.loc == LocId::Global {
             return true;
         }
+        if Self::fence_vs_persistent_write(self, other)
+            || Self::fence_vs_persistent_write(other, self)
+        {
+            return true;
+        }
         self.loc == other.loc && self.kind.conflicts(other.kind)
+    }
+
+    /// Whether `a` is a fence and `b` mutates a persistent location (the
+    /// kinds `DurableMem` tracks unfenced writes for).
+    fn fence_vs_persistent_write(a: &StepAccess, b: &StepAccess) -> bool {
+        matches!(a.loc, LocId::Fence(_))
+            && b.kind == AccessKind::Write
+            && matches!(
+                b.loc,
+                LocId::StickyBit(_) | LocId::StickyWord(_) | LocId::Tas(_) | LocId::Data(_)
+            )
     }
 }
 
@@ -712,5 +732,17 @@ mod violation_tests {
         assert!(!acc(0, LocId::Clock, Write).dependent(&acc(1, LocId::Atomic(0), Write)));
         // Global effects conflict with everything.
         assert!(acc(0, LocId::Global, Write).dependent(&acc(1, LocId::Safe(9), Read)));
+        // Fences conflict with persistent-location writes (either order)…
+        assert!(acc(0, LocId::Fence(0), Write).dependent(&acc(1, LocId::StickyBit(4), Write)));
+        assert!(acc(1, LocId::Tas(0), Write).dependent(&acc(0, LocId::Fence(0), Write)));
+        assert!(acc(0, LocId::Fence(0), Write).dependent(&acc(1, LocId::Data(1), Write)));
+        // …but commute with reads, volatile accesses, clocks, and each other.
+        assert!(!acc(0, LocId::Fence(0), Write).dependent(&acc(1, LocId::StickyBit(4), Read)));
+        assert!(!acc(0, LocId::Fence(0), Write).dependent(&acc(1, LocId::Safe(0), Write)));
+        assert!(!acc(0, LocId::Fence(0), Write).dependent(&acc(1, LocId::Atomic(0), Write)));
+        assert!(!acc(0, LocId::Fence(0), Write).dependent(&acc(1, LocId::Clock, Write)));
+        assert!(!acc(0, LocId::Fence(0), Write).dependent(&acc(1, LocId::Fence(1), Write)));
+        // Crashes are Global, so a fence never commutes past one.
+        assert!(acc(0, LocId::Fence(0), Write).dependent(&acc(1, LocId::Global, Write)));
     }
 }

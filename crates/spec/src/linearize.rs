@@ -19,9 +19,14 @@
 //! overlapping operations. The fallible entry points ([`try_check`],
 //! [`check_windowed`], [`linearization_states`]) report size and structure
 //! problems as a typed [`CheckError`] instead of panicking.
+//!
+//! [`check_durable`] layers the crash–restart model on top: crash
+//! timestamps split the history into eras, operations completed before a
+//! crash must linearize before it, and in-flight operations may take effect
+//! within their era or vanish — never resurrect later.
 
 use crate::history::{History, HistoryError};
-use crate::SequentialSpec;
+use crate::{Pid, SequentialSpec};
 use std::collections::{HashMap, HashSet};
 use std::hash::Hash;
 
@@ -43,6 +48,18 @@ pub enum CheckError {
     },
     /// The history fails [`History::validate`].
     Invalid(HistoryError),
+    /// A completed operation spans a crash timestamp ([`check_durable`]).
+    /// Impossible under the crash–restart model: a crash kills every
+    /// in-flight operation, so nothing invoked before a crash can return
+    /// after it. Almost always a sign the caller passed wrong crash times.
+    SpansCrash {
+        /// The processor whose operation straddles the crash.
+        pid: Pid,
+        /// Invocation timestamp (before the crash).
+        invoke: u64,
+        /// Response timestamp (after the crash).
+        ret: u64,
+    },
 }
 
 impl std::fmt::Display for CheckError {
@@ -52,6 +69,11 @@ impl std::fmt::Display for CheckError {
                 write!(f, "history window of {ops} ops exceeds MAX_OPS = {MAX_OPS}")
             }
             CheckError::Invalid(e) => write!(f, "structurally invalid history: {e:?}"),
+            CheckError::SpansCrash { pid, invoke, ret } => write!(
+                f,
+                "operation by {pid} invoked at {invoke} returned at {ret}, \
+                 across a crash — completed ops cannot straddle a crash"
+            ),
         }
     }
 }
@@ -105,8 +127,8 @@ where
         Err(CheckError::TooManyOps { ops }) => {
             panic!("history of {ops} ops exceeds MAX_OPS = {MAX_OPS}")
         }
-        Err(CheckError::Invalid(_)) => {
-            panic!("structurally invalid history passed to linearizability checker")
+        Err(e) => {
+            panic!("structurally invalid history passed to linearizability checker: {e}")
         }
     }
 }
@@ -389,32 +411,120 @@ pub fn check_windowed<S>(
 where
     S: SequentialSpec + Hash + Eq,
 {
-    history.validate().map_err(CheckError::Invalid)?;
-    let windows = quiescent_windows(history);
-    // Feasible (state, global-witness-so-far) pairs after the last cut.
-    let mut frontier: Vec<(S, Vec<usize>)> = vec![(init, Vec::new())];
+    let idx: Vec<usize> = (0..history.len()).collect();
+    match thread_windows(history, &idx, vec![(init, Vec::new())])? {
+        Some(mut frontier) => {
+            let (_, witness) = frontier.swap_remove(0);
+            Ok(CheckResult::Linearizable { witness })
+        }
+        None => Ok(CheckResult::NotLinearizable),
+    }
+}
+
+/// The set of feasible `(state, witness-prefix)` pairs threaded across
+/// windows by [`thread_windows`].
+type Frontier<S> = Vec<(S, Vec<usize>)>;
+
+/// Thread a frontier of feasible `(state, witness-prefix)` pairs through the
+/// sub-history formed by `idx` (indices into `history`), cutting it at its
+/// quiescent windows. Returns the surviving frontier, or `None` if some
+/// window admits no linearization from any frontier state. Witness entries
+/// are indices into the *full* history. Shared by [`check_windowed`] (one
+/// span covering everything) and [`check_durable`] (one span per crash era).
+fn thread_windows<S>(
+    history: &History<S::Op, S::Resp>,
+    idx: &[usize],
+    mut frontier: Frontier<S>,
+) -> Result<Option<Frontier<S>>, CheckError>
+where
+    S: SequentialSpec + Hash + Eq,
+{
+    let span: History<S::Op, S::Resp> = idx.iter().map(|&i| history.ops()[i].clone()).collect();
+    span.validate().map_err(CheckError::Invalid)?;
+    let windows = quiescent_windows(&span);
     for window in &windows {
         if window.len() > MAX_OPS {
             return Err(CheckError::TooManyOps { ops: window.len() });
         }
-        let sub: History<S::Op, S::Resp> =
-            window.iter().map(|&i| history.ops()[i].clone()).collect();
+        let sub: History<S::Op, S::Resp> = window.iter().map(|&k| span.ops()[k].clone()).collect();
         let precede = precede_masks(&sub);
-        let mut next: Vec<(S, Vec<usize>)> = Vec::new();
+        let mut next: Frontier<S> = Vec::new();
         let mut seen: HashSet<S> = HashSet::new();
         for (state, prefix) in &frontier {
             for (out_state, local) in enumerate_states(&sub, &precede, state.clone()) {
                 if seen.insert(out_state.clone()) {
                     let mut w = prefix.clone();
-                    w.extend(local.iter().map(|&k| window[k]));
+                    w.extend(local.iter().map(|&k| idx[window[k]]));
                     next.push((out_state, w));
                 }
             }
         }
         if next.is_empty() {
-            return Ok(CheckResult::NotLinearizable);
+            return Ok(None);
         }
         frontier = next;
+    }
+    Ok(Some(frontier))
+}
+
+/// Check **durable linearizability** of a history interleaved with
+/// full-system crashes at the given timestamps.
+///
+/// The crash–restart model (DESIGN.md §9) strengthens Definition 3.1's
+/// balanced extension: a crash at time `c` splits the history into *eras*,
+/// and
+///
+/// * every operation completed before `c` must linearize before `c`,
+/// * an operation in flight at `c` may take effect — but only before `c` —
+///   or vanish entirely; it can never linearize into a later era, and
+/// * recovery re-execution after restart is a *new* operation, recorded in
+///   the next era with its own invocation.
+///
+/// Implemented by partitioning operations into eras by invocation time
+/// (sorted `crashes` as cut points) and threading the feasible-state
+/// frontier of [`check_windowed`] across era boundaries: pending operations
+/// are confined to their own era's sub-history, so the frontier carries only
+/// "took effect by the crash" or "vanished" into the next era.
+///
+/// Each era is validated separately — the full history may legally contain
+/// a pending operation followed by later operations of the same processor
+/// (the processor crashed and came back), which [`History::validate`] would
+/// reject as an intra-processor overlap.
+///
+/// An operation invoked exactly at a crash timestamp counts as in flight at
+/// that crash; recorded clocks are strictly monotonic so ties never arise in
+/// practice. With `crashes` empty this is exactly [`check_windowed`].
+pub fn check_durable<S>(
+    history: &History<S::Op, S::Resp>,
+    init: S,
+    crashes: &[u64],
+) -> Result<CheckResult, CheckError>
+where
+    S: SequentialSpec + Hash + Eq,
+{
+    let mut cuts = crashes.to_vec();
+    cuts.sort_unstable();
+    cuts.dedup();
+    let mut eras: Vec<Vec<usize>> = vec![Vec::new(); cuts.len() + 1];
+    for (i, r) in history.iter().enumerate() {
+        let era = cuts.partition_point(|&c| c < r.invoke);
+        if let Some(ret) = r.ret {
+            if cuts.partition_point(|&c| c < ret) != era {
+                return Err(CheckError::SpansCrash {
+                    pid: r.pid,
+                    invoke: r.invoke,
+                    ret,
+                });
+            }
+        }
+        eras[era].push(i);
+    }
+    let mut frontier: Vec<(S, Vec<usize>)> = vec![(init, Vec::new())];
+    for idx in &eras {
+        match thread_windows(history, idx, frontier)? {
+            Some(next) => frontier = next,
+            None => return Ok(CheckResult::NotLinearizable),
+        }
     }
     let (_, witness) = frontier.swap_remove(0);
     Ok(CheckResult::Linearizable { witness })
@@ -908,6 +1018,148 @@ mod windowed_tests {
             .collect();
         states.sort_unstable();
         assert_eq!(states, vec![1, 2]);
+    }
+
+    #[test]
+    fn durable_is_stricter_than_plain_linearizability() {
+        use crate::specs::{CounterOp, CounterSpec};
+        // A pending Inc in flight at the crash, then Read→0 followed by
+        // Read→1 after restart. Plain linearizability lets the pending Inc
+        // linearize *between* the reads (it overlaps everything after its
+        // invocation); durably it must take effect before the crash or
+        // vanish, and either way the two reads contradict each other.
+        let h: History<CounterOp, u64> = [
+            OpRecord::pending(Pid(0), CounterOp::Inc, 3),
+            OpRecord::completed(Pid(1), CounterOp::Read, 0u64, 6, 7),
+            OpRecord::completed(Pid(2), CounterOp::Read, 1u64, 8, 9),
+        ]
+        .into_iter()
+        .collect();
+        assert!(check(&h, CounterSpec::new()).is_linearizable());
+        assert_eq!(
+            check_durable(&h, CounterSpec::new(), &[5]).unwrap(),
+            CheckResult::NotLinearizable
+        );
+    }
+
+    #[test]
+    fn in_flight_op_may_commit_or_vanish_at_the_crash() {
+        use crate::specs::{CounterOp, CounterSpec};
+        for seen in [0u64, 1] {
+            let h: History<CounterOp, u64> = [
+                OpRecord::pending(Pid(0), CounterOp::Inc, 3),
+                OpRecord::completed(Pid(1), CounterOp::Read, seen, 6, 7),
+            ]
+            .into_iter()
+            .collect();
+            let res = check_durable(&h, CounterSpec::new(), &[5]).unwrap();
+            assert!(res.is_linearizable(), "read of {seen} after crash");
+            // The pending Inc is in the witness iff it took effect.
+            assert_eq!(res.witness().unwrap().contains(&0), seen == 1);
+        }
+    }
+
+    #[test]
+    fn completed_op_spanning_a_crash_is_a_typed_error() {
+        let h: History<_, _> = [r(0, 0, 3, 7)].into_iter().collect();
+        assert_eq!(
+            check_durable(&h, RegisterSpec::new(), &[5]),
+            Err(CheckError::SpansCrash {
+                pid: Pid(0),
+                invoke: 3,
+                ret: 7
+            })
+        );
+    }
+
+    #[test]
+    fn durable_with_no_crashes_agrees_with_windowed() {
+        let histories: Vec<History<RegisterOp, RegisterResp>> = vec![
+            [w(0, 1, 0, 10), w(1, 2, 0, 10), r(2, 2, 20, 21)]
+                .into_iter()
+                .collect(),
+            [w(0, 5, 0, 1), r(1, 0, 10, 11)].into_iter().collect(),
+            [
+                w(0, 1, 0, 1),
+                OpRecord::pending(Pid(1), RegisterOp::Write(7), 2),
+                r(2, 7, 10, 11),
+            ]
+            .into_iter()
+            .collect(),
+        ];
+        for h in &histories {
+            assert_eq!(
+                check_durable(h, RegisterSpec::new(), &[])
+                    .unwrap()
+                    .is_linearizable(),
+                check_windowed(h, RegisterSpec::new())
+                    .unwrap()
+                    .is_linearizable()
+            );
+        }
+    }
+
+    #[test]
+    fn frontier_threads_across_eras() {
+        // Two concurrent writes in era 0: both orders feasible at the crash.
+        // A post-restart read may pin either, but not a value never written.
+        for (seen, want) in [(1u64, true), (2, true), (3, false)] {
+            let h: History<_, _> = [w(0, 1, 0, 10), w(1, 2, 0, 10), r(2, seen, 20, 21)]
+                .into_iter()
+                .collect();
+            let res = check_durable(&h, RegisterSpec::new(), &[15]).unwrap();
+            assert_eq!(res.is_linearizable(), want, "read of {seen} across crash");
+        }
+    }
+
+    #[test]
+    fn recovery_by_the_crashed_processor_is_accepted() {
+        // pid 0 crashes with a Write(7) in flight and, after restart, reads.
+        // The whole history fails History::validate (pending op followed by
+        // more ops of the same pid) — per-era validation must accept it.
+        for (seen, committed) in [(7u64, true), (0, false)] {
+            let h: History<_, _> = [
+                OpRecord::pending(Pid(0), RegisterOp::Write(7), 2),
+                r(0, seen, 6, 7),
+            ]
+            .into_iter()
+            .collect();
+            assert!(matches!(
+                try_check(&h, RegisterSpec::new()),
+                Err(CheckError::Invalid(_))
+            ));
+            let res = check_durable(&h, RegisterSpec::new(), &[5]).unwrap();
+            assert!(res.is_linearizable(), "post-restart read of {seen}");
+            assert_eq!(res.witness().unwrap().contains(&0), committed);
+        }
+    }
+
+    #[test]
+    fn durable_witness_is_a_legal_per_era_order() {
+        let h: History<_, _> = [
+            w(0, 1, 0, 10),
+            w(1, 2, 0, 10),
+            r(2, 2, 20, 21),
+            w(0, 3, 30, 31),
+            r(1, 3, 40, 41),
+        ]
+        .into_iter()
+        .collect();
+        let res = check_durable(&h, RegisterSpec::new(), &[25]).unwrap();
+        let wit = res.witness().expect("linearizable").to_vec();
+        assert_eq!(wit.len(), 5);
+        let mut st = RegisterSpec::new();
+        use crate::SequentialSpec;
+        for (k, &i) in wit.iter().enumerate() {
+            let rec = &h.ops()[i];
+            assert_eq!(st.apply(&rec.op), *rec.resp.as_ref().unwrap());
+            for &j in &wit[..k] {
+                assert!(!h.precedes(i, j), "witness violates real-time order");
+            }
+        }
+        // Era-0 ops (invoked before the crash at 25) all precede era-1 ops.
+        let era1_start = wit.iter().position(|&i| h.ops()[i].invoke > 25).unwrap();
+        assert!(wit[..era1_start].iter().all(|&i| h.ops()[i].invoke < 25));
     }
 
     #[test]

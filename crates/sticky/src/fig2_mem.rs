@@ -173,6 +173,10 @@ impl<M: WordMem> WordMem for Fig2Mem<M> {
     fn op_return(&self, pid: Pid) -> u64 {
         self.inner.op_return(pid)
     }
+
+    fn persist(&self, pid: Pid) {
+        self.inner.persist(pid)
+    }
 }
 
 impl<P: Clone, M: DataMem<P>> DataMem<P> for Fig2Mem<M> {

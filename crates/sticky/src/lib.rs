@@ -22,6 +22,11 @@
 //! * [`from_consensus::ConsensusStickyBit`] — an atomic sticky bit from one
 //!   *initializable* single-bit consensus object and two safe bits
 //!   (Section 4's observation), closing the loop: sticky bit ≡ consensus.
+//! * [`recoverable`] — crash–restart recoverable variants of the sticky
+//!   byte and leader election for `sbu_mem::DurableMem`'s persistency
+//!   model: persistent (sticky-word) announcements plus flush-on-dependence
+//!   fencing, exploiting jam idempotence so restart recovery is just
+//!   re-jamming.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,6 +37,7 @@ pub mod fig2_mem;
 pub mod from_consensus;
 pub mod jam_word;
 pub mod randomized;
+pub mod recoverable;
 
 pub use consensus::{BitwiseConsensus, Consensus, InitializableConsensus};
 pub use election::LeaderElection;
@@ -39,6 +45,7 @@ pub use fig2_mem::Fig2Mem;
 pub use from_consensus::ConsensusStickyBit;
 pub use jam_word::JamWord;
 pub use randomized::RandomizedConsensus;
+pub use recoverable::{RecoverableElection, RecoverableJamWord};
 
 /// Number of bits needed to represent values `0..n` (at least 1).
 pub fn bits_for(n: usize) -> u32 {

@@ -1,0 +1,500 @@
+//! Crash–restart recoverable sticky objects (DESIGN.md §9).
+//!
+//! The sticky bit is write-once, which makes it the natural *durable*
+//! primitive: a jam that reached persistent memory can never be un-agreed,
+//! so recovery after a crash reduces to *re-jamming* — exactly the
+//! idempotence the agreeing-jam clause of Definition 4.1 provides. This
+//! module adapts Figure 2's helping algorithm to the crash–restart model of
+//! `sbu_mem::DurableMem`, where sticky bits/words live in persistent memory
+//! but an unfenced write in flight at a crash may or may not have persisted
+//! (torn persist), and volatile safe registers do not survive at all.
+//!
+//! Two changes relative to [`crate::JamWord`]:
+//!
+//! 1. **Persistent announcements.** Figure 2 announces `v_i` in a volatile
+//!    safe register; after a crash the announcements are gone while the
+//!    jammed bits survive, stranding the helping invariant ("every stuck
+//!    prefix extends to an announced value"). Here each processor announces
+//!    by jamming a *sticky word* — write-once, persistent — and fences it
+//!    with [`sbu_mem::WordMem::persist`] before touching any bit.
+//! 2. **Flush-on-dependence.** Before the algorithm *acts on* an observed
+//!    bit — adopting a candidate after a failed jam, or reporting a value to
+//!    the caller — it co-jams the observed value (the agreeing jam makes it
+//!    a co-writer of the location) and issues a persist fence. A fence also
+//!    follows every bit the processor passes, so the defined bits always
+//!    form a durable prefix: a crash can tear off at most the last unfenced
+//!    bit, never punch a hole that would blend two proposals.
+//!
+//! The result is durably linearizable (checked by
+//! `sbu_spec::linearize::check_durable` in `sbu-stress`): an acknowledged
+//! jam survives any crash, an in-flight jam either takes effect entirely —
+//! completed by helpers or by its own [`RecoverableJamWord::recover`] — or
+//! vanishes without trace.
+
+use crate::bits_for;
+use sbu_mem::{JamOutcome, Pid, StickyBitId, StickyWordId, Tri, Word, WordMem};
+
+/// A crash-recoverable ℓ-bit sticky byte for `n` processors.
+///
+/// One-shot: each processor's *first* jam fixes its announcement forever
+/// (announcements are write-once sticky words); later jams by the same
+/// processor drive the original announcement and report the object's true
+/// value, which keeps repeated jams linearizable.
+///
+/// ```
+/// use sbu_mem::{native::NativeMem, DurableMem, TornPersist, Pid, JamOutcome};
+/// use sbu_sticky::recoverable::RecoverableJamWord;
+///
+/// let mut mem: DurableMem<NativeMem<()>> =
+///     DurableMem::with_policy(NativeMem::new(), TornPersist::Lose);
+/// let jw = RecoverableJamWord::new(&mut mem, 2, 8);
+/// let (out, v) = jw.jam(&mem, Pid(0), 0xA5);
+/// assert_eq!((out, v), (JamOutcome::Success, 0xA5));
+/// // Full-system crash: the acknowledged jam survives even under `Lose`.
+/// mem.crash_all::<()>(2);
+/// mem.restart(Pid(0));
+/// mem.restart(Pid(1));
+/// assert_eq!(jw.recover(&mem, Pid(0)), Some((JamOutcome::Success, 0xA5)));
+/// assert_eq!(jw.read(&mem, Pid(1)), Some(0xA5));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RecoverableJamWord {
+    n: usize,
+    width: u32,
+    bits: Vec<StickyBitId>,
+    /// Persistent announcements: `ann[i]` is processor `i`'s proposed value,
+    /// write-once, fenced before any bit is jammed on its behalf.
+    ann: Vec<StickyWordId>,
+}
+
+impl RecoverableJamWord {
+    /// Allocate a recoverable sticky byte of `width` bits for `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds 63, or if `n` is 0.
+    pub fn new<M: WordMem + ?Sized>(mem: &mut M, n: usize, width: u32) -> Self {
+        assert!(n > 0, "at least one processor");
+        assert!((1..=63).contains(&width), "width must be in 1..=63");
+        Self {
+            n,
+            width,
+            bits: (0..width).map(|_| mem.alloc_sticky_bit()).collect(),
+            ann: (0..n).map(|_| mem.alloc_sticky_word()).collect(),
+        }
+    }
+
+    /// Width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Number of participating processors.
+    pub fn n_procs(&self) -> usize {
+        self.n
+    }
+
+    /// Largest representable value.
+    pub fn max_value(&self) -> Word {
+        (1u64 << self.width) - 1
+    }
+
+    fn bit_of(value: Word, j: u32) -> bool {
+        value >> j & 1 == 1
+    }
+
+    /// `Jam(value)`: returns the outcome and the object's (now fully
+    /// defined, fully durable) value. `Success` iff the final value equals
+    /// `value`. On return the value is persisted: it survives any
+    /// subsequent crash.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` exceeds [`RecoverableJamWord::max_value`] or `pid`
+    /// is out of range.
+    pub fn jam<M: WordMem + ?Sized>(&self, mem: &M, pid: Pid, value: Word) -> (JamOutcome, Word) {
+        assert!(
+            value <= self.max_value(),
+            "value wider than the sticky byte"
+        );
+        assert!(pid.0 < self.n, "pid out of range");
+        // Announce durably. A failed jam means this processor already
+        // announced a different value (an earlier op, possibly cut short by
+        // a crash): drive that one — announcements are write-once.
+        let announced = match mem.sticky_word_jam(pid, self.ann[pid.0], value) {
+            JamOutcome::Success => value,
+            JamOutcome::Fail => mem
+                .sticky_word_read(pid, self.ann[pid.0])
+                .expect("failed announcement jam implies a defined announcement"),
+        };
+        mem.persist(pid);
+
+        let mut candidate = announced;
+        for j in 0..self.width {
+            let b = Self::bit_of(candidate, j);
+            if !mem.sticky_jam(pid, self.bits[j as usize], b).is_success() {
+                // Bit j holds !b. Co-jam the observed value so it cannot be
+                // torn away after we act on it, then adopt an announced
+                // value agreeing with the stuck prefix.
+                mem.sticky_jam(pid, self.bits[j as usize], !b);
+                let prefix_mask: Word = (1u64 << (j + 1)) - 1;
+                let target = (candidate & !(1u64 << j) | ((!b as u64) << j)) & prefix_mask;
+                candidate = self.find_candidate(mem, pid, j, target).unwrap_or_else(|| {
+                    panic!(
+                        "recovery invariant broken: bit {j} stuck at {} but no \
+                             durable announcement matches prefix {target:#b}",
+                        !b
+                    )
+                });
+                debug_assert_eq!(candidate & prefix_mask, target);
+            }
+            // Fence the bit (jammed or co-jammed) before depending on it:
+            // the durable part of the object always grows as a prefix, so a
+            // crash can never leave a hole that blends two proposals.
+            mem.persist(pid);
+        }
+        let outcome = if candidate == value {
+            JamOutcome::Success
+        } else {
+            JamOutcome::Fail
+        };
+        (outcome, candidate)
+    }
+
+    /// Scan announcements for a value whose low `j+1` bits equal `target`,
+    /// and *pin* it: the agreeing re-jam makes this processor a co-writer of
+    /// the announcement, so the follow-up fence keeps it durable even if the
+    /// announcer is torn away.
+    fn find_candidate<M: WordMem + ?Sized>(
+        &self,
+        mem: &M,
+        pid: Pid,
+        j: u32,
+        target: Word,
+    ) -> Option<Word> {
+        let prefix_mask: Word = (1u64 << (j + 1)) - 1;
+        for k in 0..self.n {
+            if let Some(vk) = mem.sticky_word_read(pid, self.ann[k]) {
+                if vk & prefix_mask == target && vk <= self.max_value() {
+                    mem.sticky_word_jam(pid, self.ann[k], vk);
+                    return Some(vk);
+                }
+            }
+        }
+        None
+    }
+
+    /// READ: the value if all bits are defined, `None` (`⊥`) otherwise.
+    ///
+    /// Durable: before reporting `Some(value)` the reader co-jams every bit
+    /// and fences, so the reported value survives any later crash (a read
+    /// that merely observed unfenced bits could otherwise leak a value that
+    /// then vanishes).
+    pub fn read<M: WordMem + ?Sized>(&self, mem: &M, pid: Pid) -> Option<Word> {
+        let value = self.peek(mem, pid)?;
+        for j in 0..self.width {
+            mem.sticky_jam(pid, self.bits[j as usize], Self::bit_of(value, j));
+        }
+        mem.persist(pid);
+        Some(value)
+    }
+
+    /// Non-durable read: reports the bits as they are, without pinning them.
+    /// For diagnostics and tests only — the returned value may be torn away
+    /// by a crash; object-level protocols must use [`RecoverableJamWord::read`].
+    pub fn peek<M: WordMem + ?Sized>(&self, mem: &M, pid: Pid) -> Option<Word> {
+        let mut value: Word = 0;
+        for j in 0..self.width {
+            match mem.sticky_read(pid, self.bits[j as usize]) {
+                Tri::Undef => return None,
+                Tri::One => value |= 1u64 << j,
+                Tri::Zero => {}
+            }
+        }
+        Some(value)
+    }
+
+    /// Number of currently defined (non-`⊥`) bits. Diagnostic for tests and
+    /// experiments — like [`RecoverableJamWord::peek`], it pins nothing.
+    pub fn defined_bits<M: WordMem + ?Sized>(&self, mem: &M, pid: Pid) -> u32 {
+        (0..self.width)
+            .filter(|&j| mem.sticky_read(pid, self.bits[j as usize]) != Tri::Undef)
+            .count() as u32
+    }
+
+    /// Recovery: called after restart, before the processor issues new
+    /// operations. If this processor has a durable announcement — i.e. an
+    /// operation that may have taken partial effect — re-runs the jam for
+    /// it (agreeing jams are idempotent) and returns its result; returns
+    /// `None` if there is nothing to recover (the in-flight operation
+    /// vanished before its announcement was fenced, or none existed).
+    pub fn recover<M: WordMem + ?Sized>(&self, mem: &M, pid: Pid) -> Option<(JamOutcome, Word)> {
+        let announced = mem.sticky_word_read(pid, self.ann[pid.0])?;
+        Some(self.jam(mem, pid, announced))
+    }
+
+    /// Torture hook: execute a *prefix* of `jam(value)` and stop, leaving
+    /// exactly the memory footprint a crash at that point would leave. The
+    /// abandoned operation is then torn (or not) by the [`sbu_mem::DurableMem`]
+    /// policy at the actual crash, and [`RecoverableJamWord::recover`] must
+    /// cope with whatever survived. Crash `point`s:
+    ///
+    /// * `0` — announced, unfenced: the whole op may vanish;
+    /// * `1` — announced and fenced: recovery re-drives the op;
+    /// * anything else — announced and fenced, first bit jammed (or, on a
+    ///   conflict, co-jammed as the real algorithm would) but unfenced.
+    pub fn abandon_jam<M: WordMem + ?Sized>(&self, mem: &M, pid: Pid, value: Word, point: u8) {
+        assert!(
+            value <= self.max_value(),
+            "value wider than the sticky byte"
+        );
+        assert!(pid.0 < self.n, "pid out of range");
+        let announced = match mem.sticky_word_jam(pid, self.ann[pid.0], value) {
+            JamOutcome::Success => value,
+            JamOutcome::Fail => mem
+                .sticky_word_read(pid, self.ann[pid.0])
+                .expect("failed announcement jam implies a defined announcement"),
+        };
+        if point == 0 {
+            return;
+        }
+        mem.persist(pid);
+        if point >= 2 {
+            let b = Self::bit_of(announced, 0);
+            if !mem.sticky_jam(pid, self.bits[0], b).is_success() {
+                mem.sticky_jam(pid, self.bits[0], !b);
+            }
+        }
+    }
+}
+
+/// Crash-recoverable wait-free leader election: every candidate jams its own
+/// id into a [`RecoverableJamWord`] of ⌈log₂ n⌉ bits.
+///
+/// An elected leader stays elected across crashes: the winning id is durable
+/// before any `elect` returns it.
+#[derive(Debug, Clone)]
+pub struct RecoverableElection {
+    word: RecoverableJamWord,
+}
+
+impl RecoverableElection {
+    /// Allocate an election object for processors `0..n`.
+    pub fn new<M: WordMem + ?Sized>(mem: &mut M, n: usize) -> Self {
+        Self {
+            word: RecoverableJamWord::new(mem, n, bits_for(n)),
+        }
+    }
+
+    /// Participate: jam my own id; returns the elected leader (possibly me).
+    pub fn elect<M: WordMem + ?Sized>(&self, mem: &M, pid: Pid) -> Pid {
+        let (_, winner) = self.word.jam(mem, pid, pid.0 as Word);
+        Pid(winner as usize)
+    }
+
+    /// Observe the leader without electing; `None` if undecided. Durable:
+    /// a reported leader survives crashes.
+    pub fn leader<M: WordMem + ?Sized>(&self, mem: &M, pid: Pid) -> Option<Pid> {
+        self.word.read(mem, pid).map(|w| Pid(w as usize))
+    }
+
+    /// Recovery after restart: re-drives this processor's candidacy if it
+    /// was in flight; returns the leader if the election is (now) decided.
+    pub fn recover<M: WordMem + ?Sized>(&self, mem: &M, pid: Pid) -> Option<Pid> {
+        self.word
+            .recover(mem, pid)
+            .map(|(_, winner)| Pid(winner as usize))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbu_mem::native::NativeMem;
+    use sbu_mem::{DurableMem, TornPersist};
+    use std::sync::Arc;
+
+    fn durable(policy: TornPersist) -> DurableMem<NativeMem<()>> {
+        DurableMem::with_policy(NativeMem::new(), policy)
+    }
+
+    #[test]
+    fn solo_jam_survives_full_crash_under_lose() {
+        let mut mem = durable(TornPersist::Lose);
+        let jw = RecoverableJamWord::new(&mut mem, 2, 8);
+        assert_eq!(jw.jam(&mem, Pid(0), 0x5A), (JamOutcome::Success, 0x5A));
+        mem.crash_all::<()>(2);
+        mem.restart(Pid(0));
+        mem.restart(Pid(1));
+        assert_eq!(jw.recover(&mem, Pid(0)), Some((JamOutcome::Success, 0x5A)));
+        assert_eq!(jw.recover(&mem, Pid(1)), None, "p1 never announced");
+        assert_eq!(jw.read(&mem, Pid(1)), Some(0x5A));
+    }
+
+    #[test]
+    fn second_jam_by_same_pid_drives_first_announcement() {
+        let mut mem = durable(TornPersist::Lose);
+        let jw = RecoverableJamWord::new(&mut mem, 1, 4);
+        assert_eq!(jw.jam(&mem, Pid(0), 3), (JamOutcome::Success, 3));
+        // One-shot announcements: a later jam with a different value loses
+        // to the object's (already durable) value.
+        assert_eq!(jw.jam(&mem, Pid(0), 5), (JamOutcome::Fail, 3));
+    }
+
+    #[test]
+    fn loser_reports_winner_and_both_are_durable() {
+        let mut mem = durable(TornPersist::Lose);
+        let jw = RecoverableJamWord::new(&mut mem, 2, 4);
+        assert_eq!(jw.jam(&mem, Pid(0), 9), (JamOutcome::Success, 9));
+        assert_eq!(jw.jam(&mem, Pid(1), 6), (JamOutcome::Fail, 9));
+        mem.crash_all::<()>(2);
+        mem.restart(Pid(0));
+        mem.restart(Pid(1));
+        assert_eq!(jw.recover(&mem, Pid(0)), Some((JamOutcome::Success, 9)));
+        assert_eq!(jw.recover(&mem, Pid(1)), Some((JamOutcome::Fail, 9)));
+    }
+
+    #[test]
+    fn unfenced_partial_jam_vanishes_cleanly() {
+        // Simulate a torn in-flight jam: announce durably, jam one bit, but
+        // crash before the per-bit fence. Under `Lose` the bit vanishes; the
+        // announcement survives, so recovery re-drives the op to completion.
+        let mut mem = durable(TornPersist::Lose);
+        let jw = RecoverableJamWord::new(&mut mem, 2, 4);
+        let p0 = Pid(0);
+        assert!(mem.sticky_word_jam(p0, jw.ann[0], 0b1010).is_success());
+        mem.persist(p0);
+        mem.sticky_jam(p0, jw.bits[1], true); // unfenced
+        mem.crash_all::<()>(2);
+        mem.restart(Pid(0));
+        mem.restart(Pid(1));
+        assert_eq!(jw.peek(&mem, Pid(1)), None, "torn bit reverted to ⊥");
+        assert_eq!(
+            jw.recover(&mem, Pid(0)),
+            Some((JamOutcome::Success, 0b1010)),
+            "announcement survived: recovery completes the op"
+        );
+        assert_eq!(jw.read(&mem, Pid(1)), Some(0b1010));
+    }
+
+    #[test]
+    fn vanished_announcement_means_nothing_to_recover() {
+        let mut mem = durable(TornPersist::Lose);
+        let jw = RecoverableJamWord::new(&mut mem, 1, 4);
+        // Announce but crash before the fence: the op vanishes wholesale.
+        assert!(mem.sticky_word_jam(Pid(0), jw.ann[0], 7).is_success());
+        mem.crash_all::<()>(1);
+        mem.restart(Pid(0));
+        assert_eq!(jw.recover(&mem, Pid(0)), None);
+        assert_eq!(jw.read(&mem, Pid(0)), None);
+        // The object is still usable.
+        assert_eq!(jw.jam(&mem, Pid(0), 2), (JamOutcome::Success, 2));
+    }
+
+    #[test]
+    fn read_pins_the_value_it_reports() {
+        let mut mem = durable(TornPersist::Lose);
+        let jw = RecoverableJamWord::new(&mut mem, 2, 4);
+        let p0 = Pid(0);
+        // p0 defines the value but crashes before fencing it...
+        assert!(mem.sticky_word_jam(p0, jw.ann[0], 5).is_success());
+        mem.persist(p0);
+        for j in 0..4 {
+            mem.sticky_jam(p0, jw.bits[j], 5 >> j & 1 == 1);
+        }
+        // ...but p1 READs it first: the read co-jams + fences, so the
+        // reported value must survive p0's crash.
+        assert_eq!(jw.read(&mem, Pid(1)), Some(5));
+        mem.crash::<()>(&[p0]);
+        mem.restart(p0);
+        assert_eq!(jw.peek(&mem, Pid(1)), Some(5), "read pinned the value");
+    }
+
+    #[test]
+    fn native_threads_with_full_crash_and_recovery_agree() {
+        for round in 0..8u64 {
+            let n = 4;
+            let mut mem = durable(TornPersist::Seeded(round));
+            let jw = RecoverableJamWord::new(&mut mem, n, 8);
+            let mem = Arc::new(mem);
+            let results: Vec<(JamOutcome, Word)> = std::thread::scope(|s| {
+                (0..n)
+                    .map(|i| {
+                        let mem = Arc::clone(&mem);
+                        let jw = jw.clone();
+                        s.spawn(move || jw.jam(&*mem, Pid(i), round * 10 + i as u64))
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .collect()
+            });
+            let final_value = jw.read(&*mem, Pid(0)).expect("defined");
+            for (i, (outcome, seen)) in results.iter().enumerate() {
+                assert_eq!(*seen, final_value, "round {round} p{i}");
+                assert_eq!(outcome.is_success(), round * 10 + i as u64 == final_value);
+            }
+            // Everything was acknowledged, so the crash must change nothing.
+            mem.crash_all::<()>(n);
+            for i in 0..n {
+                mem.restart(Pid(i));
+            }
+            for (i, r) in results.iter().enumerate() {
+                assert_eq!(
+                    jw.recover(&*mem, Pid(i)),
+                    Some((r.0, final_value)),
+                    "round {round}: recovery must reproduce the acked result"
+                );
+            }
+            assert_eq!(jw.read(&*mem, Pid(0)), Some(final_value));
+            assert!(mem.violations().is_empty(), "{:?}", mem.violations());
+        }
+    }
+
+    #[test]
+    fn abandon_jam_footprints_match_the_crash_points() {
+        // Point 0: unfenced announcement — under Lose the op vanishes.
+        let mut mem = durable(TornPersist::Lose);
+        let jw = RecoverableJamWord::new(&mut mem, 2, 4);
+        jw.abandon_jam(&mem, Pid(0), 0b101, 0);
+        mem.crash::<()>(&[Pid(0)]);
+        mem.restart(Pid(0));
+        assert_eq!(jw.recover(&mem, Pid(0)), None, "announcement torn away");
+
+        // Point 1: fenced announcement — recovery re-drives the op even
+        // though no bit was touched.
+        let mut mem = durable(TornPersist::Lose);
+        let jw = RecoverableJamWord::new(&mut mem, 2, 4);
+        jw.abandon_jam(&mem, Pid(0), 0b101, 1);
+        mem.crash::<()>(&[Pid(0)]);
+        mem.restart(Pid(0));
+        assert_eq!(jw.recover(&mem, Pid(0)), Some((JamOutcome::Success, 0b101)));
+
+        // Point 2: one unfenced bit — torn back to ⊥, but the durable
+        // announcement still completes the op on recovery.
+        let mut mem = durable(TornPersist::Lose);
+        let jw = RecoverableJamWord::new(&mut mem, 2, 4);
+        jw.abandon_jam(&mem, Pid(0), 0b101, 2);
+        assert_eq!(jw.defined_bits(&mem, Pid(1)), 1);
+        mem.crash::<()>(&[Pid(0)]);
+        mem.restart(Pid(0));
+        assert_eq!(jw.defined_bits(&mem, Pid(1)), 0, "unfenced bit torn");
+        assert_eq!(jw.recover(&mem, Pid(0)), Some((JamOutcome::Success, 0b101)));
+    }
+
+    #[test]
+    fn election_survives_crashes() {
+        let mut mem = durable(TornPersist::Lose);
+        let le = RecoverableElection::new(&mut mem, 4);
+        let leader = le.elect(&mem, Pid(2));
+        assert_eq!(leader, Pid(2));
+        mem.crash_all::<()>(4);
+        for i in 0..4 {
+            mem.restart(Pid(i));
+        }
+        assert_eq!(le.recover(&mem, Pid(2)), Some(Pid(2)));
+        assert_eq!(le.recover(&mem, Pid(0)), None, "p0 never ran");
+        assert_eq!(le.elect(&mem, Pid(0)), Pid(2), "leadership is durable");
+        assert_eq!(le.leader(&mem, Pid(3)), Some(Pid(2)));
+    }
+}

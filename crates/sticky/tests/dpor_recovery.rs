@@ -1,0 +1,179 @@
+//! Model-checking the recoverable sticky byte under crash–restart
+//! (acceptance for the crash–restart PR):
+//!
+//! 1. For an in-flight jam at a crash point, the explorer reaches **both**
+//!    persistence outcomes — the torn write persisted (`TornPersist::Persist`
+//!    keeps unfenced writes) and the torn write lost (`TornPersist::Lose`
+//!    reverts them) — each exercised as a separate exploration so torn
+//!    decisions never contaminate the schedule logs DPOR replays.
+//! 2. Under either policy, the recoverable JamWord admits **no violation**
+//!    on 2 processors (exhaustive, DPOR-reduced) and on a bounded-exhaustive
+//!    3-processor prefix: survivors and recovered processors agree, values
+//!    are never blended, acknowledged results survive the crash.
+//!
+//! Crash bookkeeping (`DurableMem::crash`) and recovery run after the
+//! simulated schedule, which is faithful here: the flush-on-dependence
+//! discipline makes every bit a survivor has acted on fenced and co-written,
+//! so deferring the torn-persist decision to the quiescent point cannot
+//! change what any survivor observed.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use sbu_mem::{DurableMem, JamOutcome, Pid, TornPersist, Word};
+use sbu_sim::{run_uniform, EpisodeResult, Explorer, RunOptions, Scripted, SimMem};
+use sbu_sticky::RecoverableJamWord;
+
+/// One episode: `n` processors jam distinct values with ≤1 crash; after the
+/// schedule, crashed processors take the torn-persist hit, restart, and run
+/// recovery. The verdict checks agreement, validity, outcome consistency,
+/// durability of acknowledged results, and absence of monitor violations.
+fn recovery_episode(
+    script: &[usize],
+    n: usize,
+    policy: TornPersist,
+    kept: &AtomicBool,
+    torn: &AtomicBool,
+) -> EpisodeResult {
+    let proposals: [Word; 3] = [0b01, 0b10, 0b11];
+    let mem: SimMem<()> = SimMem::new(n);
+    let mut dmem = DurableMem::with_policy(mem.clone(), policy);
+    let jw = RecoverableJamWord::new(&mut dmem, n, 2);
+    let dmem = Arc::new(dmem);
+    let jw2 = jw.clone();
+    let d2 = Arc::clone(&dmem);
+    let out = run_uniform(
+        &mem,
+        Box::new(Scripted::new(script.to_vec()).with_crashes(1)),
+        RunOptions::default(),
+        n,
+        move |_, pid| jw2.jam(&*d2, pid, proposals[pid.0]),
+    );
+    let verdict = (|| {
+        if !out.violations.is_empty() {
+            return Err(format!("sim violations: {:?}", out.violations));
+        }
+        let crashed: Vec<Pid> = out
+            .outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.is_crashed())
+            .map(|(i, _)| Pid(i))
+            .collect();
+        let mut recovered: Vec<(Pid, (JamOutcome, Word))> = Vec::new();
+        if !crashed.is_empty() {
+            let before = jw.defined_bits(&*dmem, Pid(0));
+            dmem.crash::<()>(&crashed);
+            let after = jw.defined_bits(&*dmem, Pid(0));
+            if before > 0 && after == before {
+                kept.store(true, Ordering::Relaxed);
+            }
+            if after < before {
+                torn.store(true, Ordering::Relaxed);
+            }
+            for &p in &crashed {
+                dmem.restart(p);
+                if let Some(r) = jw.recover(&*dmem, p) {
+                    recovered.push((p, r));
+                }
+            }
+        }
+        if !dmem.violations().is_empty() {
+            return Err(format!("durable violations: {:?}", dmem.violations()));
+        }
+        let final_value = jw.read(&*dmem, Pid(0));
+        let check =
+            |who: String, outcome: JamOutcome, seen: Word, mine: Word| -> Result<(), String> {
+                let fv = final_value.ok_or(format!("{who}: object left undefined"))?;
+                if seen != fv {
+                    return Err(format!("{who} saw {seen:#b}, object {fv:#b}"));
+                }
+                if !proposals[..n].contains(&fv) {
+                    return Err(format!("blended value {fv:#b}"));
+                }
+                if outcome.is_success() != (mine == fv) {
+                    return Err(format!("{who} wrong outcome {outcome:?} for final {fv:#b}"));
+                }
+                Ok(())
+            };
+        for (i, o) in out.outcomes.iter().enumerate() {
+            if let Some(&(outcome, seen)) = o.completed() {
+                check(format!("p{i}"), outcome, seen, proposals[i])?;
+            }
+        }
+        for &(p, (outcome, seen)) in &recovered {
+            check(format!("recovered {p}"), outcome, seen, proposals[p.0])?;
+        }
+        Ok(())
+    })();
+    EpisodeResult::from_outcome(&out, verdict)
+}
+
+/// A solo processor crashing mid-jam: post-schedule state *is* crash-time
+/// state, so the kept/torn classification is exact. Under `Persist` the
+/// in-flight bits survive; under `Lose` the unfenced tail is reverted. Both
+/// outcomes must actually be reached, and recovery must close over either.
+#[test]
+fn solo_inflight_jam_reaches_both_persistence_outcomes() {
+    let kept_p = AtomicBool::new(false);
+    let torn_p = AtomicBool::new(false);
+    let explorer = Explorer {
+        max_schedules: 100_000,
+        max_failures: 1,
+    };
+    let report =
+        explorer.explore_dpor(|s| recovery_episode(s, 1, TornPersist::Persist, &kept_p, &torn_p));
+    report.assert_all_ok();
+    assert!(
+        kept_p.load(Ordering::Relaxed),
+        "Persist: some schedule must crash with jammed bits that survive"
+    );
+    assert!(
+        !torn_p.load(Ordering::Relaxed),
+        "Persist never loses writes"
+    );
+
+    let kept_l = AtomicBool::new(false);
+    let torn_l = AtomicBool::new(false);
+    let report =
+        explorer.explore_dpor(|s| recovery_episode(s, 1, TornPersist::Lose, &kept_l, &torn_l));
+    report.assert_all_ok();
+    assert!(
+        torn_l.load(Ordering::Relaxed),
+        "Lose: some schedule must crash with an unfenced jam that is torn away"
+    );
+    assert!(
+        kept_l.load(Ordering::Relaxed),
+        "Lose: some schedule must crash right after a fence, keeping the bits"
+    );
+}
+
+/// Exhaustive 2-processor check under both honest policies: no schedule and
+/// no torn-persist outcome produces a violation.
+#[test]
+fn dpor_two_procs_crash_restart_no_violation() {
+    let ignore = AtomicBool::new(false);
+    for policy in [TornPersist::Persist, TornPersist::Lose] {
+        let explorer = Explorer {
+            max_schedules: 4_000_000,
+            max_failures: 1,
+        };
+        let report = explorer.explore_dpor(|s| recovery_episode(s, 2, policy, &ignore, &ignore));
+        report.assert_all_ok();
+        assert!(
+            report.schedules > 100,
+            "{policy}: non-trivial schedule tree expected"
+        );
+    }
+}
+
+/// Bounded-exhaustive 3-processor prefix (the full tree is astronomical).
+#[test]
+fn dpor_three_procs_crash_restart_no_violation_prefix() {
+    let ignore = AtomicBool::new(false);
+    for policy in [TornPersist::Persist, TornPersist::Lose] {
+        let explorer = Explorer::new(25_000);
+        let report = explorer.explore_dpor(|s| recovery_episode(s, 3, policy, &ignore, &ignore));
+        report.assert_no_failures();
+    }
+}

@@ -1,0 +1,65 @@
+//! Property test: jam idempotence under recovery.
+//!
+//! For any prefix of jams followed by crash / restart / recover / re-jam,
+//! the final sticky value equals the value of the **first successful jam**
+//! (here: the first jam executed — on a fresh object it always succeeds),
+//! every jam and every recovery reports that same value, and the persistence
+//! bookkeeping records no protocol violation — under every honest
+//! torn-persist policy.
+
+use proptest::prelude::*;
+use sbu_mem::{native::NativeMem, DurableMem, Pid, TornPersist};
+use sbu_sticky::RecoverableJamWord;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn recovery_preserves_the_first_successful_jam(
+        jams in prop::collection::vec((0usize..3, 0u64..8), 1..12),
+        cut in 0usize..12,
+        policy in 0usize..3,
+        seed in 0u64..1024,
+    ) {
+        let policy = [
+            TornPersist::Persist,
+            TornPersist::Lose,
+            TornPersist::Seeded(seed),
+        ][policy];
+        let mut mem: DurableMem<NativeMem<()>> =
+            DurableMem::with_policy(NativeMem::new(), policy);
+        let jw = RecoverableJamWord::new(&mut mem, 3, 3);
+        let first = jams[0].1;
+        let cut = cut.min(jams.len());
+
+        for &(pid, v) in &jams[..cut] {
+            let (outcome, seen) = jw.jam(&mem, Pid(pid), v);
+            prop_assert_eq!(seen, first, "pre-crash jam must report the stuck value");
+            prop_assert_eq!(outcome.is_success(), jw.peek(&mem, Pid(pid)) == Some(v));
+        }
+
+        // Full-system crash: completed jams were fenced, so they survive
+        // regardless of policy; then everyone restarts and recovers.
+        mem.crash_all::<()>(3);
+        for p in 0..3 {
+            mem.restart(Pid(p));
+        }
+        for p in 0..3 {
+            if let Some((_, seen)) = jw.recover(&mem, Pid(p)) {
+                prop_assert_eq!(seen, first, "recovery must converge on the first value");
+            } else {
+                // Nothing to recover: this pid never durably announced,
+                // which sequentially means it never jammed before the cut.
+                prop_assert!(jams[..cut].iter().all(|&(pid, _)| pid != p));
+            }
+        }
+
+        for &(pid, v) in &jams[cut..] {
+            let (_, seen) = jw.jam(&mem, Pid(pid), v);
+            prop_assert_eq!(seen, first, "post-restart jam must report the stuck value");
+        }
+
+        prop_assert_eq!(jw.read(&mem, Pid(0)), Some(first));
+        prop_assert!(mem.violations().is_empty(), "{:?}", mem.violations());
+    }
+}

@@ -186,6 +186,14 @@ impl<M: WordMem> WordMem for TornMem<M> {
     fn op_return(&self, pid: Pid) -> u64 {
         self.inner.op_return(pid)
     }
+
+    fn persist(&self, pid: Pid) {
+        // Fences are never lied about (the injected lies model a weak CAS,
+        // not weak persistency) and must reach the backend: stacking this
+        // wrapper over a `DurableMem` would otherwise swallow every fence
+        // through the trait's default no-op.
+        self.inner.persist(pid)
+    }
 }
 
 impl<P: Clone, M: DataMem<P>> DataMem<P> for TornMem<M> {

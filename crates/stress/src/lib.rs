@@ -20,16 +20,25 @@
 //!   sticky bits, the Figure 2 `Jam` byte, leader election, the sticky bit
 //!   from initializable consensus, and the bounded universal construction
 //!   wrapping a counter and a queue.
+//! * [`crash`] — crash–restart torture over [`sbu_mem::DurableMem`]: eras
+//!   separated by seeded crashes of victim threads (including mid-operation
+//!   abandonment with torn-persist footprints), object recovery at
+//!   restarts, and an offline **durable linearizability** verdict from
+//!   [`sbu_spec::linearize::check_durable`].
 //!
 //! Entry point for humans: `cargo run --release --example stress`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod crash;
 pub mod harness;
 pub mod inject;
 pub mod workloads;
 
+pub use crash::{
+    crash_restart_torture, run_crash_restart, CrashRestartReport, CrashWorkload, DurableObject,
+};
 pub use harness::{torture, ContentionProfile, StressConfig, StressObject, TortureReport};
 pub use inject::{Inject, TornMem};
 pub use workloads::{run_lock_based_jam, run_workload, Workload};

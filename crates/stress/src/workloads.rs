@@ -210,7 +210,7 @@ fn sticky_exec<M: WordMem>(
 
 /// The fixed value thread `pid` jams into word `obj` (see the Jam workload:
 /// one value per (thread, object), but neighbours disagree).
-fn jam_value_for(pid: Pid, obj: usize) -> Word {
+pub(crate) fn jam_value_for(pid: Pid, obj: usize) -> Word {
     (pid.0 as u64).wrapping_mul(7).wrapping_add(obj as u64 * 3) % 8
 }
 

@@ -23,6 +23,49 @@ fn transparent_torn_mem_conforms_word_and_data() {
 }
 
 #[test]
+fn durable_wrapper_flags_flush_overlapping_a_concurrent_op() {
+    // Definition 4.1 under persistency, on the native backend: a flush (or
+    // tas reset) racing another processor's operation whose writes are not
+    // yet fenced must be *reported* as a protocol violation, not silently
+    // succeed. The flusher is a real concurrent thread, ordered only by the
+    // channel handshake — the overlap window is genuine.
+    use sbu_mem::{DurableMem, Pid, WordMem};
+    use std::sync::mpsc;
+
+    let mut mem: DurableMem<NativeMem<u32>> = DurableMem::new(NativeMem::new());
+    let s = mem.alloc_sticky_bit();
+    let t = mem.alloc_tas();
+    let mem = &mem;
+    let (jammed_tx, jammed_rx) = mpsc::channel();
+    let (flushed_tx, flushed_rx) = mpsc::channel();
+    std::thread::scope(|scope| {
+        scope.spawn(move || {
+            // Pid 0's operation: jam + tas, fence deferred — still in
+            // flight while pid 1 reinitializes both locations.
+            assert!(mem.sticky_jam(Pid(0), s, true).is_success());
+            assert!(!mem.tas_test_and_set(Pid(0), t));
+            jammed_tx.send(()).unwrap();
+            flushed_rx.recv().unwrap();
+            mem.persist(Pid(0)); // the fence arrives too late
+        });
+        scope.spawn(move || {
+            jammed_rx.recv().unwrap();
+            mem.sticky_flush(Pid(1), s);
+            mem.tas_reset(Pid(1), t);
+            flushed_tx.send(()).unwrap();
+        });
+    });
+    let v = mem.violations();
+    assert_eq!(v.len(), 2, "both reinitializations flagged: {v:?}");
+    assert!(
+        v[0].contains("sticky bit") && v[0].contains("pid 1"),
+        "{}",
+        v[0]
+    );
+    assert!(v[1].contains("tas bit"), "{}", v[1]);
+}
+
+#[test]
 fn lying_torn_mem_deviates_from_the_spec() {
     // Sanity check that the injection actually changes observable behavior
     // (otherwise the "monitor has teeth" test below would be vacuous).

@@ -28,6 +28,9 @@ fn describe(system: &str) -> &'static str {
         corpus_systems::NAIVE_JAM_STRANDS_WINNER => {
             "Minimal schedule where a crash mid-jam plus a non-helping loser leaves the sticky word undefined forever."
         }
+        corpus_systems::TORN_PERSIST_DROPS_ACKED_JAM => {
+            "Minimal schedule where a crash before the jammer's fence tears away a sticky bit another processor already acknowledged reading."
+        }
         _ => "Minimized counterexample.",
     }
 }

@@ -9,14 +9,20 @@
 //! cargo run --release --example stress -- --threads 8 --ops 100000 --seed 42
 //! cargo run --release --example stress -- --workload all --ops 20000
 //! cargo run --release --example stress -- --inject torn-jam     # exit 0 iff CAUGHT
+//! cargo run --release --example stress -- --crash-restart --torn seeded:7 --iters 100
+//! cargo run --release --example stress -- --crash-restart --torn lying   # exit 0 iff CAUGHT
 //! ```
 //!
-//! Exits 0 when every window linearized (or, with `--inject`, when the
-//! monitor caught the injected fault); 1 otherwise.
+//! Exits 0 when every window linearized (or, with `--inject`/`--torn
+//! lying`, when the monitor caught the injected fault); 1 otherwise.
 
 use std::process::ExitCode;
 
-use sbu_stress::{run_workload, ContentionProfile, Inject, StressConfig, Workload};
+use sbu_mem::TornPersist;
+use sbu_stress::{
+    run_crash_restart, run_workload, ContentionProfile, CrashWorkload, Inject, StressConfig,
+    Workload,
+};
 
 const USAGE: &str = "\
 usage: stress [options]
@@ -24,13 +30,22 @@ usage: stress [options]
   --ops N            total operations, split across threads (default 40000)
   --seed N           master seed (default 42)
   --workload W       sticky|jam|election|consensus-sticky|universal-counter|
-                     universal-queue|all (default sticky)
+                     universal-queue|all (default sticky); with
+                     --crash-restart: recoverable-jam|recoverable-counter|all
   --objects N        independent object instances (default 4)
   --profile P        hot|spread contention profile (default hot)
   --inject I         none|torn-jam|stale-read fault injection; sticky-only
                      (default none); exit 0 iff the monitor CATCHES the fault
-  --crash N          threads that abandon one op in their final epoch
-  --epoch-ops N      ops per thread per epoch (default auto: 64/threads)";
+  --crash N          threads that abandon one op (normal mode: in their final
+                     epoch; crash-restart mode: per era, default 1)
+  --epoch-ops N      ops per thread per epoch (default auto: 64/threads)
+  --crash-restart    durable torture: eras split by real crash+restart+recovery
+                     over DurableMem, verdict from check_durable
+  --torn P           crash-restart torn-persist policy:
+                     persist|lose|seeded:N|lying (default persist); with
+                     lying, exit 0 iff the durable checker CATCHES the lie
+  --eras N           crash-restart eras per run (default 4)
+  --iters N          repeat the run with seeds seed..seed+N (default 1)";
 
 fn bail(msg: &str) -> ! {
     eprintln!("stress: {msg}\n{USAGE}");
@@ -46,16 +61,30 @@ where
         .unwrap_or_else(|e| bail(&format!("bad value {v:?} for {flag}: {e}")))
 }
 
+/// Friendly capacity diagnostic (not a linearizability verdict): printed
+/// when quiescent windows outgrew the checker's `MAX_OPS` bound.
+fn overflow_note(count: usize, what: &str, remedy: &str) {
+    println!(
+        "note: {count} {what} exceeded the checker's capacity (MAX_OPS per \
+         window) and went UNVERIFIED.\n      This is a configuration limit, \
+         not a linearizability violation: {remedy}."
+    );
+}
+
 fn main() -> ExitCode {
     let mut threads = 4usize;
     let mut total_ops = 40_000usize;
     let mut seed = 42u64;
-    let mut workloads = vec![Workload::Sticky];
+    let mut workload_arg: Option<String> = None;
     let mut objects = 4usize;
     let mut profile = ContentionProfile::Hot;
     let mut inject = Inject::None;
-    let mut crash = 0usize;
+    let mut crash: Option<usize> = None;
     let mut epoch_ops = 0usize;
+    let mut crash_restart = false;
+    let mut torn = TornPersist::Persist;
+    let mut eras = 4usize;
+    let mut iters = 1u64;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -64,20 +93,20 @@ fn main() -> ExitCode {
             "--ops" => total_ops = parse(&flag, args.next()),
             "--seed" => seed = parse(&flag, args.next()),
             "--workload" => {
-                let v = args
-                    .next()
-                    .unwrap_or_else(|| bail("--workload needs a value"));
-                workloads = if v == "all" {
-                    Workload::all().to_vec()
-                } else {
-                    vec![v.parse::<Workload>().unwrap_or_else(|e| bail(&e))]
-                };
+                workload_arg = Some(
+                    args.next()
+                        .unwrap_or_else(|| bail("--workload needs a value")),
+                )
             }
             "--objects" => objects = parse(&flag, args.next()),
             "--profile" => profile = parse(&flag, args.next()),
             "--inject" => inject = parse(&flag, args.next()),
-            "--crash" => crash = parse(&flag, args.next()),
+            "--crash" => crash = Some(parse(&flag, args.next())),
             "--epoch-ops" => epoch_ops = parse(&flag, args.next()),
+            "--crash-restart" => crash_restart = true,
+            "--torn" => torn = parse(&flag, args.next()),
+            "--eras" => eras = parse(&flag, args.next()),
+            "--iters" => iters = parse(&flag, args.next()),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -88,6 +117,57 @@ fn main() -> ExitCode {
     if threads == 0 {
         bail("--threads must be at least 1");
     }
+    if iters == 0 {
+        bail("--iters must be at least 1");
+    }
+
+    if crash_restart {
+        run_crash_mode(
+            threads,
+            total_ops,
+            seed,
+            workload_arg,
+            objects,
+            profile,
+            crash,
+            torn,
+            eras,
+            iters,
+        )
+    } else {
+        run_normal_mode(
+            threads,
+            total_ops,
+            seed,
+            workload_arg,
+            objects,
+            profile,
+            inject,
+            crash.unwrap_or(0),
+            epoch_ops,
+            iters,
+        )
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_normal_mode(
+    threads: usize,
+    total_ops: usize,
+    seed: u64,
+    workload_arg: Option<String>,
+    objects: usize,
+    profile: ContentionProfile,
+    inject: Inject,
+    crash: usize,
+    epoch_ops: usize,
+    iters: u64,
+) -> ExitCode {
+    let workloads: Vec<Workload> = match workload_arg.as_deref() {
+        None => vec![Workload::Sticky],
+        Some("all") => Workload::all().to_vec(),
+        Some(v) => vec![v.parse::<Workload>().unwrap_or_else(|e| bail(&e))],
+    };
     if inject != Inject::None && workloads.iter().any(|w| *w != Workload::Sticky) {
         bail("--inject only applies to the sticky workload");
     }
@@ -99,24 +179,105 @@ fn main() -> ExitCode {
     cfg.epoch_ops = epoch_ops;
 
     let mut ok = true;
-    for w in &workloads {
-        println!(
-            "== workload {w} ({} threads × {} ops, seed {seed}, inject {inject}) ==",
-            cfg.threads, cfg.ops_per_thread
-        );
-        let report = run_workload(*w, &cfg, inject);
-        println!("{report}");
-        if inject == Inject::None {
-            if !report.all_linearizable() {
+    for iter in 0..iters {
+        cfg.seed = seed + iter;
+        for w in &workloads {
+            println!(
+                "== workload {w} ({} threads × {} ops, seed {}, inject {inject}) ==",
+                cfg.threads, cfg.ops_per_thread, cfg.seed
+            );
+            let report = run_workload(*w, &cfg, inject);
+            println!("{report}");
+            if report.overflow_windows > 0 {
+                overflow_note(
+                    report.overflow_windows,
+                    "quiescent window(s)",
+                    "rerun with a smaller --epoch-ops (or fewer --crash \
+                     threads, whose pending ops grow windows)",
+                );
                 ok = false;
             }
-        } else if report.all_linearizable() {
-            println!("INJECTED FAULT NOT CAUGHT");
-            ok = false;
-        } else {
-            println!("INJECTED FAULT CAUGHT");
+            if inject == Inject::None {
+                if !report.violations.is_empty() {
+                    ok = false;
+                }
+            } else if report.all_linearizable() {
+                println!("INJECTED FAULT NOT CAUGHT");
+                ok = false;
+            } else {
+                println!("INJECTED FAULT CAUGHT");
+            }
+            println!();
         }
-        println!();
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_crash_mode(
+    threads: usize,
+    total_ops: usize,
+    seed: u64,
+    workload_arg: Option<String>,
+    objects: usize,
+    profile: ContentionProfile,
+    crash: Option<usize>,
+    torn: TornPersist,
+    eras: usize,
+    iters: u64,
+) -> ExitCode {
+    let workloads: Vec<CrashWorkload> = match workload_arg.as_deref() {
+        None => vec![CrashWorkload::RecoverableJam],
+        Some("all") => CrashWorkload::all().to_vec(),
+        Some(v) => vec![v.parse::<CrashWorkload>().unwrap_or_else(|e| bail(&e))],
+    };
+    if torn == TornPersist::Lying && workloads.contains(&CrashWorkload::RecoverableCounter) {
+        bail("--torn lying only applies to the recoverable-jam workload");
+    }
+
+    // Crash-restart sizing: `--ops` is the total across threads and eras;
+    // keep per-era bursts small enough for check_durable's windows.
+    let mut cfg = StressConfig::new(threads, (total_ops.div_ceil(threads)).min(96), seed);
+    cfg.objects = objects.max(1);
+    cfg.profile = profile;
+    cfg.crash_threads = crash.unwrap_or(1).clamp(1, threads);
+
+    let mut ok = true;
+    for iter in 0..iters {
+        cfg.seed = seed + iter;
+        for w in &workloads {
+            println!(
+                "== crash-restart {w} ({} threads × {} ops, {eras} eras, \
+                 seed {}, torn {torn}) ==",
+                cfg.threads, cfg.ops_per_thread, cfg.seed
+            );
+            let report = run_crash_restart(*w, &cfg, eras, torn);
+            println!("{report}");
+            if report.unverified_objects > 0 {
+                overflow_note(
+                    report.unverified_objects,
+                    "object histor(y/ies)",
+                    "rerun with fewer --ops or more --eras so each era's \
+                     contention burst stays checkable",
+                );
+                ok = false;
+            }
+            if torn == TornPersist::Lying {
+                if report.violations.is_empty() {
+                    println!("LYING TORN-PERSIST NOT CAUGHT");
+                    ok = false;
+                } else {
+                    println!("LYING TORN-PERSIST CAUGHT");
+                }
+            } else if !report.violations.is_empty() {
+                ok = false;
+            }
+            println!();
+        }
     }
     if ok {
         ExitCode::SUCCESS

@@ -52,6 +52,16 @@ cargo run --release --quiet --offline --example stress -- \
 cargo run --release --quiet --offline --example stress -- \
     --threads 4 --ops 8000 --seed 7 --inject torn-jam
 
+step "crash-restart smoke (durable torture, offline check_durable verdict)"
+cargo run --release --quiet --offline --example stress -- \
+    --crash-restart --workload recoverable-counter --threads 3 --ops 288 --seed 11
+cargo run --release --quiet --offline --example stress -- \
+    --crash-restart --workload recoverable-jam --threads 3 --ops 288 --seed 11 \
+    --torn seeded:11 --iters 5
+cargo run --release --quiet --offline --example stress -- \
+    --crash-restart --workload recoverable-jam --threads 3 --ops 288 --seed 7 \
+    --eras 6 --torn lying
+
 if [[ "$FULL" == 1 ]]; then
     step "deep exploration sweeps (#[ignore]d tests, release)"
     cargo test --quiet --release --workspace --offline -- --ignored

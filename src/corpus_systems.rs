@@ -17,11 +17,19 @@
 //! * [`NAIVE_JAM_STRANDS_WINNER`] — jamming without helping under a crash:
 //!   the loser gives up, the crashed winner's remaining bits stay `⊥`
 //!   forever, and readers lose wait-freedom.
+//! * [`TORN_PERSIST_DROPS_ACKED_JAM`] — the durability straw-man: a reader
+//!   acknowledges an observation of a plain (non-recoverable) jam that is
+//!   still unfenced when the jammer crashes; `TornPersist::Lose` tears the
+//!   bit back to `⊥`, orphaning the acknowledged observation. This is the
+//!   bug the `sbu-sticky::recoverable` flush-on-dependence discipline
+//!   exists to prevent.
 //!
 //! [`episode`] runs one script; [`replay_verdict`] adapts the registry to
 //! [`sbu_sim::replay_corpus`].
 
-use sbu_mem::{Pid, WordMem};
+use std::sync::Arc;
+
+use sbu_mem::{DurableMem, Pid, TornPersist, Tri, WordMem};
 use sbu_sim::{run_uniform, EpisodeResult, RunOptions, Scripted, SimMem};
 use sbu_sticky::JamWord;
 
@@ -31,12 +39,15 @@ pub const ATOMIC_INTERMEDIATE_READ: &str = "atomic_intermediate_read";
 pub const JAM_OBLIVIOUS_BLEND: &str = "jam_oblivious_blend";
 /// Registry key: naive (non-helping) jamming strands a crashed winner.
 pub const NAIVE_JAM_STRANDS_WINNER: &str = "naive_jam_strands_winner";
+/// Registry key: a crash tears away a jam another processor already acked.
+pub const TORN_PERSIST_DROPS_ACKED_JAM: &str = "torn_persist_drops_acked_jam";
 
 /// Every registry key, in replay order.
 pub const SYSTEMS: &[&str] = &[
     ATOMIC_INTERMEDIATE_READ,
     JAM_OBLIVIOUS_BLEND,
     NAIVE_JAM_STRANDS_WINNER,
+    TORN_PERSIST_DROPS_ACKED_JAM,
 ];
 
 /// Run `script` against the named system. Returns `None` for unknown keys.
@@ -50,6 +61,7 @@ pub fn episode(system: &str, script: &[usize]) -> Option<EpisodeResult> {
         ATOMIC_INTERMEDIATE_READ => Some(atomic_intermediate_read(script)),
         JAM_OBLIVIOUS_BLEND => Some(jam_oblivious_blend(script)),
         NAIVE_JAM_STRANDS_WINNER => Some(naive_jam_strands_winner(script)),
+        TORN_PERSIST_DROPS_ACKED_JAM => Some(torn_persist_drops_acked_jam(script)),
         _ => None,
     }
 }
@@ -126,6 +138,47 @@ fn naive_jam_strands_winner(script: &[usize]) -> EpisodeResult {
     let any_completed = out.outcomes.iter().any(|o| o.completed().is_some());
     let verdict = if any_completed && jw.read(&mem, Pid(0)).is_none() {
         Err("word left undefined after a completer returned".into())
+    } else {
+        Ok(())
+    };
+    EpisodeResult::from_outcome(&out, verdict)
+}
+
+fn torn_persist_drops_acked_jam(script: &[usize]) -> EpisodeResult {
+    // Plain sticky jam over a durable backend that *loses* unfenced writes
+    // at a crash. Pid 0 jams and then fences; pid 1 reads the bit and acks
+    // what it saw. If the schedule crashes pid 0 in the jam→fence window
+    // after pid 1 already acked a defined observation, the post-run crash
+    // bookkeeping tears the bit back to `⊥` — durable linearizability lost.
+    let mem: SimMem<()> = SimMem::new(2);
+    let mut dmem = DurableMem::with_policy(mem.clone(), TornPersist::Lose);
+    let s = dmem.alloc_sticky_bit();
+    let dmem = Arc::new(dmem);
+    let d2 = Arc::clone(&dmem);
+    let out = run_uniform(
+        &mem,
+        Box::new(Scripted::new(script.to_vec()).with_crashes(1)),
+        RunOptions::default(),
+        2,
+        move |_, pid| {
+            if pid.0 == 0 {
+                d2.sticky_jam(pid, s, true);
+                d2.persist(pid);
+                2
+            } else {
+                match d2.sticky_read(pid, s) {
+                    Tri::One => 1,
+                    _ => 0,
+                }
+            }
+        },
+    );
+    let acked_defined = out.outcomes[1].completed() == Some(&1);
+    if out.outcomes[0].is_crashed() {
+        dmem.crash::<()>(&[Pid(0)]);
+    }
+    let verdict = if acked_defined && dmem.sticky_read(Pid(1), s) == Tri::Undef {
+        Err("acked observation of a jammed bit was torn away at the crash".into())
     } else {
         Ok(())
     };
