@@ -11,12 +11,14 @@
 //! point is that the wait-free object stays correct and live under the same
 //! torture where a lock holder can stall everyone.
 
+use crate::json::Json;
 use crate::render_table;
 use sbu_stress::{run_lock_based_jam, run_workload, Inject, StressConfig, Workload};
 
-/// Run the experiment and return the report.
+/// Run the experiment, write `BENCH_e10.json`, and return the report.
 pub fn run() -> String {
     let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
     for &threads in &[1usize, 2, 4, 8] {
         let ops_per_thread = 4_000 / threads;
         let mut cfg = StressConfig::new(threads, ops_per_thread, 0xE10);
@@ -35,8 +37,21 @@ pub fn run() -> String {
             native.windows_checked.to_string(),
             lock.windows_checked.to_string(),
         ]);
+        json_rows.push(Json::obj(vec![
+            ("threads", Json::Num(threads as f64)),
+            ("native_jam", Json::Num(native.ops_per_sec())),
+            ("spin_lock_jam", Json::Num(lock.ops_per_sec())),
+            ("windows_native", Json::Num(native.windows_checked as f64)),
+            ("windows_lock", Json::Num(lock.windows_checked as f64)),
+        ]));
     }
-    render_table(
+    let doc = Json::obj(vec![
+        ("experiment", Json::Str("e10".into())),
+        ("object", Json::Str("jam_word".into())),
+        ("unit", Json::Str("ops_per_sec".into())),
+        ("rows", Json::Arr(json_rows)),
+    ]);
+    let mut report = render_table(
         "E10  monitored torture, ops/sec (Figure 2 JamWord; every window checked online)",
         &[
             "threads",
@@ -47,5 +62,10 @@ pub fn run() -> String {
             "windows (lock)",
         ],
         &rows,
-    )
+    );
+    match std::fs::write("BENCH_e10.json", doc.render()) {
+        Ok(()) => report.push_str("wrote BENCH_e10.json\n"),
+        Err(e) => report.push_str(&format!("could not write BENCH_e10.json: {e}\n")),
+    }
+    report
 }

@@ -10,6 +10,7 @@
 //! Numbers vary by machine; the *shape* (modest constant-factor overhead,
 //! microsecond-scale recovery) is the reproducible claim.
 
+use crate::json::Json;
 use crate::render_table;
 use sbu_core::{bounded::UniversalConfig, CellPayload, Universal};
 use sbu_mem::native::NativeMem;
@@ -148,10 +149,11 @@ fn recoverable_counter_throughput(threads: usize) -> (f64, f64) {
     (tp, recover_us)
 }
 
-/// Run the experiment and return the report.
+/// Run the experiment, write `BENCH_e11.json`, and return the report.
 pub fn run() -> String {
     let mut jam_rows = Vec::new();
     let mut ctr_rows = Vec::new();
+    let mut json_rows = Vec::new();
     for &threads in &[1usize, 2, 4, 8] {
         let plain_jam = plain_jam_throughput(threads);
         let (rec_jam, sweep_us) = recoverable_jam_throughput(threads);
@@ -172,7 +174,22 @@ pub fn run() -> String {
             format!("{:.1}x", plain_ctr / rec_ctr),
             format!("{recover_us:.1}"),
         ]);
+
+        json_rows.push(Json::obj(vec![
+            ("threads", Json::Num(threads as f64)),
+            ("jam_plain", Json::Num(plain_jam)),
+            ("jam_recoverable", Json::Num(rec_jam)),
+            ("jam_recover_us_per_obj", Json::Num(sweep_us)),
+            ("counter_plain", Json::Num(plain_ctr)),
+            ("counter_recoverable", Json::Num(rec_ctr)),
+            ("counter_recover_us", Json::Num(recover_us)),
+        ]));
     }
+    let doc = Json::obj(vec![
+        ("experiment", Json::Str("e11".into())),
+        ("unit", Json::Str("ops_per_sec".into())),
+        ("rows", Json::Arr(json_rows)),
+    ]);
     let mut out = render_table(
         "E11a  durability tax, jam word: ops/sec (jam+read over fresh objects)",
         &[
@@ -196,5 +213,9 @@ pub fn run() -> String {
         ],
         &ctr_rows,
     ));
+    match std::fs::write("BENCH_e11.json", doc.render()) {
+        Ok(()) => out.push_str("wrote BENCH_e11.json\n"),
+        Err(e) => out.push_str(&format!("could not write BENCH_e11.json: {e}\n")),
+    }
     out
 }

@@ -20,10 +20,12 @@ pub fn run() -> String {
     for &n in &[1usize, 2, 3, 4, 6, 8] {
         let ops = 5;
         let mut mem: SimMem<CellPayload<CounterSpec>> = SimMem::new(1);
+        // E4a/E4b measure the *paper's* scans — the fast paths are the
+        // ablation arm of E4c below.
         let obj = Universal::new(
             &mut mem,
             n,
-            UniversalConfig::for_procs(n),
+            UniversalConfig::for_procs(n).paper_scans(),
             CounterSpec::new(),
         );
         let obj2 = obj.clone();
@@ -67,7 +69,7 @@ pub fn run() -> String {
             let obj = Universal::new(
                 &mut mem,
                 n,
-                UniversalConfig::for_procs(n),
+                UniversalConfig::for_procs(n).paper_scans(),
                 CounterSpec::new(),
             );
             let obj2 = obj.clone();
@@ -124,9 +126,9 @@ pub fn run() -> String {
         let cost = |hints: bool| -> f64 {
             let mut mem: SimMem<CellPayload<CounterSpec>> = SimMem::new(1);
             let config = if hints {
-                UniversalConfig::for_procs(n).with_fast_paths()
-            } else {
                 UniversalConfig::for_procs(n)
+            } else {
+                UniversalConfig::for_procs(n).paper_scans()
             };
             let obj = Universal::new(&mut mem, n, config, CounterSpec::new());
             let obj2 = obj.clone();

@@ -26,6 +26,7 @@ pub mod e6_hierarchy;
 pub mod e7_randomized;
 pub mod e8_throughput;
 pub mod e9_explore;
+pub mod json;
 
 /// Render a table: header row plus data rows, columns padded.
 pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {

@@ -3,18 +3,40 @@
 //! ```sh
 //! cargo run --release -p sbu-bench --bin exp -- all
 //! cargo run --release -p sbu-bench --bin exp -- e1 e5
+//! cargo run --release -p sbu-bench --bin exp -- e8 --baseline benchmarks/BENCH_e8_baseline.json
 //! ```
+//!
+//! E8/E10/E11 also write `BENCH_<exp>.json` next to the working directory
+//! (schema in EXPERIMENTS.md). With `--baseline <path>`, E8 additionally
+//! compares its fresh numbers against the recorded baseline and exits
+//! non-zero on a >30% `bounded_fast` regression — the CI perf smoke.
 
 use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let selected: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+    let mut baseline: Option<String> = None;
+    let mut names: Vec<&str> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--baseline" {
+            match iter.next() {
+                Some(path) => baseline = Some(path.clone()),
+                None => {
+                    eprintln!("--baseline requires a path");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            names.push(arg.as_str());
+        }
+    }
+    let selected: Vec<&str> = if names.is_empty() || names.contains(&"all") {
         vec![
             "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
         ]
     } else {
-        args.iter().map(String::as_str).collect()
+        names
     };
     for exp in selected {
         let t0 = Instant::now();
@@ -26,7 +48,13 @@ fn main() {
             "e5" => sbu_bench::e5_crash::run(),
             "e6" => sbu_bench::e6_hierarchy::run(),
             "e7" => sbu_bench::e7_randomized::run(),
-            "e8" => sbu_bench::e8_throughput::run(),
+            "e8" => match sbu_bench::e8_throughput::run_checked(baseline.as_deref()) {
+                Ok(report) => report,
+                Err(report) => {
+                    println!("{report}");
+                    std::process::exit(1);
+                }
+            },
             "e9" => sbu_bench::e9_explore::run(),
             "e10" => sbu_bench::e10_stress::run(),
             "e11" => sbu_bench::e11_recovery::run(),

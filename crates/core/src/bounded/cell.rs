@@ -15,36 +15,51 @@ pub struct UniversalConfig {
     pub cells: usize,
     /// Enable the locality fast paths (an answer to the paper's §7 open
     /// problem on time complexity):
-    /// * FIND-HEAD first walks forward from the last head this processor
-    ///   saw (along `Prev` links) instead of scanning the whole pool;
+    /// * FIND-HEAD first walks from the shared **frontier cursor** (the
+    ///   most recently appended cell any processor published) and then
+    ///   from this processor's last-seen head, instead of scanning the
+    ///   whole pool;
+    /// * the helping pass **combines**: it snapshots all announced pending
+    ///   appends first and folds them into one warm-cursor pass;
     /// * GFC first retries cells this processor itself reclaimed.
     ///
-    /// Both fall back to the paper's full scans whenever a hint is stale,
-    /// so correctness is identical (experiment E4c measures the gain).
+    /// All of them fall back to the paper's full scans whenever a hint is
+    /// stale, so correctness is identical (experiments E4c/E8 measure the
+    /// gain; `crates/core/tests/fastpath_equivalence.rs` checks the
+    /// outcome sets match exhaustively).
     pub fast_paths: bool,
 }
 
 impl UniversalConfig {
-    /// The default Θ(n²) pool for `n` processors.
+    /// The default Θ(n²) pool for `n` processors, fast paths enabled.
     pub fn for_procs(n: usize) -> Self {
         Self {
             cells: 4 * n * n + 8 * n + 4,
-            fast_paths: false,
+            fast_paths: true,
         }
     }
 
     /// Override the pool size (experiment E3 sweeps this to find the real
-    /// high-water mark).
+    /// high-water mark). Fast paths stay enabled; chain
+    /// [`UniversalConfig::paper_scans`] to disable them.
     pub fn with_cells(cells: usize) -> Self {
         Self {
             cells,
-            fast_paths: false,
+            fast_paths: true,
         }
     }
 
     /// Enable the locality fast paths.
     pub fn with_fast_paths(mut self) -> Self {
         self.fast_paths = true;
+        self
+    }
+
+    /// Disable every fast path: run the paper's full scans verbatim (the
+    /// baseline arm of E4c/E8, and the reference side of the equivalence
+    /// tests).
+    pub fn paper_scans(mut self) -> Self {
+        self.fast_paths = false;
         self
     }
 }

@@ -2,7 +2,7 @@
 //! rule).
 
 use super::{Inner, ProcLocal, ANCHOR};
-use sbu_mem::{DataMem, Pid, Tri};
+use sbu_mem::{Backoff, DataMem, Pid, Tri};
 
 impl<S> Inner<S> {
     /// Get a free cell for `pid`: reclaim eligible owned cells, announce,
@@ -18,6 +18,7 @@ impl<S> Inner<S> {
         mem.safe_write(pid, self.announce_gfc[pid.0], 1);
         let cell = self.gfc_inner(mem, pid, local, pid.0);
         mem.sticky_jam(pid, self.cells[cell].claimed, true);
+        self.mark_dirty(local, cell);
         self.release(mem, pid, local, cell);
         mem.safe_write(pid, self.announce_gfc[pid.0], 0);
 
@@ -81,9 +82,13 @@ impl<S> Inner<S> {
                 }
                 let cell = &self.cells[c];
                 let won = match mem.sticky_word_read(pid, cell.proc_id) {
-                    None => mem
-                        .sticky_word_jam(pid, cell.proc_id, target as u64)
-                        .is_success(),
+                    None => {
+                        let stuck = mem
+                            .sticky_word_jam(pid, cell.proc_id, target as u64)
+                            .is_success();
+                        self.mark_dirty(local, c);
+                        stuck
+                    }
                     Some(t) => t == target as u64,
                 };
                 if won && mem.sticky_read(pid, cell.claimed) == Tri::Undef {
@@ -108,6 +113,7 @@ impl<S> Inner<S> {
         // expectation by Lemma 6.4 given the Θ(n²) pool; if the pool is
         // exhausted by leaks this spins, which the simulator's step limit
         // turns into a loud failure.
+        let mut backoff = Backoff::new();
         loop {
             for c in 0..self.cells.len() {
                 if !self.grab(mem, pid, local, c) {
@@ -116,9 +122,13 @@ impl<S> Inner<S> {
                 let cell = &self.cells[c];
                 let owner = mem.sticky_word_read(pid, cell.proc_id);
                 let won = match owner {
-                    None => mem
-                        .sticky_word_jam(pid, cell.proc_id, target as u64)
-                        .is_success(),
+                    None => {
+                        let stuck = mem
+                            .sticky_word_jam(pid, cell.proc_id, target as u64)
+                            .is_success();
+                        self.mark_dirty(local, c);
+                        stuck
+                    }
                     Some(t) => t == target as u64,
                 };
                 if won && mem.sticky_read(pid, cell.claimed) == Tri::Undef {
@@ -126,6 +136,9 @@ impl<S> Inner<S> {
                 }
                 self.release(mem, pid, local, c);
             }
+            // Every cell was contended this sweep: back off locally before
+            // re-racing the jam loop.
+            backoff.spin();
         }
     }
 }

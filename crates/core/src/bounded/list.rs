@@ -1,7 +1,7 @@
 //! FIND-HEAD and APPEND, with helping (Figures 7–8).
 
 use super::{Inner, ProcLocal};
-use sbu_mem::{Pid, Tri, WordMem};
+use sbu_mem::{Backoff, Pid, Tri, WordMem};
 
 impl<S> Inner<S> {
     /// FIND-HEAD (Figure 7): scan the pool for the cell that is fully
@@ -9,6 +9,13 @@ impl<S> Inner<S> {
     /// the head **grabbed**, or `None` if `my_cell` got appended meanwhile
     /// (a helper finished our job). Bounded by Lemma 6.5: at most n cells
     /// are appended after we announce, so some scan sees a quiescent list.
+    ///
+    /// Under fast paths, two cursors are tried before the paper's full
+    /// scan: the shared frontier (the most recently appended cell *any*
+    /// processor published) and this processor's private last-seen head.
+    /// Both walks validate their result under a grab exactly like a scan
+    /// hit, so a stale cursor degrades to the slow path, never to a wrong
+    /// head — the helping invariant is untouched.
     pub(crate) fn find_head<M: WordMem + ?Sized>(
         &self,
         mem: &M,
@@ -17,7 +24,23 @@ impl<S> Inner<S> {
         my_cell: usize,
     ) -> Option<usize> {
         if self.use_fast_paths {
-            if let Some(hint) = local.head_hint {
+            if mem
+                .sticky_word_read(pid, self.cells[my_cell].next)
+                .is_some()
+            {
+                return None;
+            }
+            let cursor = mem.atomic_read(pid, self.frontier) as usize;
+            let hints = [
+                Some(cursor).filter(|c| *c < self.cells.len()),
+                local.head_hint,
+            ];
+            let mut tried = None;
+            for hint in hints.into_iter().flatten() {
+                if tried == Some(hint) {
+                    continue;
+                }
+                tried = Some(hint);
                 if let Some(found) = self.walk_from_hint(mem, pid, local, my_cell, hint) {
                     local.head_hint = Some(found);
                     return Some(found);
@@ -30,6 +53,7 @@ impl<S> Inner<S> {
                 }
             }
         }
+        let mut backoff = Backoff::new();
         loop {
             if mem
                 .sticky_word_read(pid, self.cells[my_cell].next)
@@ -49,6 +73,9 @@ impl<S> Inner<S> {
                 }
                 self.release(mem, pid, local, c);
             }
+            // A whole sweep raced past us: let the appenders drain before
+            // rescanning (local spinning only — no shared step is skipped).
+            backoff.spin();
         }
     }
 
@@ -125,12 +152,41 @@ impl<S> Inner<S> {
     /// The helping pass of Figure 8, also re-run by crash recovery before a
     /// restarted processor accepts new operations: finish the append of
     /// every cell whose owner has announced one.
+    ///
+    /// Under fast paths this is a *combining* scan: all currently announced
+    /// pending cells are collected first (advisory reads, no grabs held),
+    /// then appended back-to-back. Each append still runs the full grab +
+    /// validate + FIND-HEAD protocol, but after the first one the head
+    /// cursors point at the cell just linked, so the batch folds into one
+    /// warm walk per command instead of one cold pool scan per command.
+    /// Exactly the announced set is helped either way — collection reads
+    /// the same announce registers the paper's loop reads, and a cell that
+    /// gets appended between collection and its turn is filtered by the
+    /// same `Next = ⊥` validation, so no command is dropped or duplicated.
     pub(crate) fn help_appends<M: WordMem + ?Sized>(
         &self,
         mem: &M,
         pid: Pid,
         local: &mut ProcLocal,
     ) {
+        if self.use_fast_paths {
+            // Combining: snapshot every announced (processor, cell) pair
+            // before touching any of them, then append back-to-back.
+            let mut pending: Vec<(usize, usize)> = Vec::new();
+            for j in 0..self.n {
+                if j == pid.0 || mem.safe_read(pid, self.announce_append[j]) == 0 {
+                    continue;
+                }
+                let idx = mem.safe_read(pid, self.announce_append_cell[j]) as usize;
+                if idx < self.cells.len() {
+                    pending.push((j, idx));
+                }
+            }
+            for (j, idx) in pending {
+                self.help_one(mem, pid, local, j, idx);
+            }
+            return;
+        }
         for j in 0..self.n {
             if j == pid.0 || mem.safe_read(pid, self.announce_append[j]) == 0 {
                 continue;
@@ -139,23 +195,36 @@ impl<S> Inner<S> {
             if idx >= self.cells.len() {
                 continue; // torn announce read; nothing valid to help with
             }
-            if !self.grab(mem, pid, local, idx) {
-                continue;
-            }
-            // Validate under the grab: appending any *valid pending* cell
-            // of processor j is linearizable (its operation is invoked),
-            // even if the announce read was torn.
-            let valid = mem.sticky_word_read(pid, self.cells[idx].proc_id) == Some(j as u64)
-                && mem.sticky_read(pid, self.cells[idx].claimed) == Tri::One
-                && mem.safe_read(pid, self.cells[idx].has_cmd) != 0
-                && mem.sticky_word_read(pid, self.cells[idx].next).is_none();
-            if valid {
-                if let Some(head) = self.find_head(mem, pid, local, idx) {
-                    self.append_inner(mem, pid, local, idx, head);
-                }
-            }
-            self.release(mem, pid, local, idx);
+            self.help_one(mem, pid, local, j, idx);
         }
+    }
+
+    /// Append one announced cell on behalf of processor `j`, if it is still
+    /// a valid pending command.
+    fn help_one<M: WordMem + ?Sized>(
+        &self,
+        mem: &M,
+        pid: Pid,
+        local: &mut ProcLocal,
+        j: usize,
+        idx: usize,
+    ) {
+        if !self.grab(mem, pid, local, idx) {
+            return;
+        }
+        // Validate under the grab: appending any *valid pending* cell
+        // of processor j is linearizable (its operation is invoked),
+        // even if the announce read was torn.
+        let valid = mem.sticky_word_read(pid, self.cells[idx].proc_id) == Some(j as u64)
+            && mem.sticky_read(pid, self.cells[idx].claimed) == Tri::One
+            && mem.safe_read(pid, self.cells[idx].has_cmd) != 0
+            && mem.sticky_word_read(pid, self.cells[idx].next).is_none();
+        if valid {
+            if let Some(head) = self.find_head(mem, pid, local, idx) {
+                self.append_inner(mem, pid, local, idx, head);
+            }
+        }
+        self.release(mem, pid, local, idx);
     }
 
     /// APPEND-INNER (Figure 8): starting from a (grabbed) candidate head,
@@ -179,6 +248,7 @@ impl<S> Inner<S> {
                 return;
             }
             mem.sticky_word_jam(pid, self.cells[head].prev, cell as u64);
+            self.mark_dirty(local, head);
             let winner = mem
                 .sticky_word_read(pid, self.cells[head].prev)
                 .expect("just jammed") as usize;
@@ -186,6 +256,14 @@ impl<S> Inner<S> {
             if winner == cell {
                 mem.sticky_word_jam(pid, self.cells[cell].next, head as u64);
                 mem.sticky_jam(pid, self.cells[head].not_head, true);
+                self.mark_dirty(local, cell);
+                self.mark_dirty(local, head);
+                if self.use_fast_paths {
+                    // Publish the new head so everyone's next FIND-HEAD
+                    // starts one step away from it (advisory only).
+                    mem.atomic_write(pid, self.frontier, cell as u64);
+                    local.head_hint = Some(cell);
+                }
                 self.release(mem, pid, local, head);
                 return;
             }
@@ -194,6 +272,8 @@ impl<S> Inner<S> {
             if self.grab(mem, pid, local, winner) {
                 mem.sticky_word_jam(pid, self.cells[winner].next, head as u64);
                 mem.sticky_jam(pid, self.cells[head].not_head, true);
+                self.mark_dirty(local, winner);
+                self.mark_dirty(local, head);
                 self.release(mem, pid, local, head);
                 head = winner;
                 continue;

@@ -36,9 +36,9 @@ pub use cell::UniversalConfig;
 use crate::{CellPayload, UniversalObject};
 use cell::CellHandles;
 use parking_lot::Mutex;
-use sbu_mem::{DataMem, Pid, SafeId, WordMem};
+use sbu_mem::{AtomicId, DataMem, Pid, SafeId, WordMem};
 use sbu_spec::SequentialSpec;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// Index of the anchor cell, which holds the initial state and is never
@@ -78,6 +78,11 @@ pub(crate) struct ProcLocal {
     head_hint: Option<usize>,
     /// Cells this processor reclaimed, retried first by GFC (fast path).
     free_hints: Vec<usize>,
+    /// Grabbed cells this processor jammed a sticky field of. RELEASE
+    /// fences such writes (flush-on-dependence) before clearing `r`, so
+    /// the owner's INIT quiescence observation implies every foreign jam
+    /// into the cell is already durable — see DESIGN.md §9.4.
+    dirty: HashSet<usize>,
 }
 
 pub(crate) struct Inner<S> {
@@ -87,6 +92,12 @@ pub(crate) struct Inner<S> {
     pub(crate) announce_gfc: Vec<SafeId>,
     pub(crate) announce_append: Vec<SafeId>,
     pub(crate) announce_append_cell: Vec<SafeId>,
+    /// The frontier cursor: an advisory atomic register holding the most
+    /// recently appended cell any processor knows of. FIND-HEAD starts its
+    /// walk here instead of scanning the pool from cell 0; every hit is
+    /// still validated (`Next ≠ ⊥ ∧ ¬NotHead`) under a grab, so a stale
+    /// cursor only costs time, never correctness.
+    pub(crate) frontier: AtomicId,
     pub(crate) locals: Vec<Mutex<ProcLocal>>,
     pub(crate) _spec: std::marker::PhantomData<fn() -> S>,
 }
@@ -159,6 +170,7 @@ where
             announce_gfc: (0..n).map(|_| mem.alloc_safe(0)).collect(),
             announce_append: (0..n).map(|_| mem.alloc_safe(0)).collect(),
             announce_append_cell: (0..n).map(|_| mem.alloc_safe(0)).collect(),
+            frontier: mem.alloc_atomic(ANCHOR as u64),
             locals: (0..n).map(|_| Mutex::new(ProcLocal::default())).collect(),
             _spec: std::marker::PhantomData,
         };

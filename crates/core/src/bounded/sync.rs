@@ -51,8 +51,25 @@ impl<S> Inner<S> {
         true
     }
 
+    /// Record that this processor jammed a sticky field of cell `c` while
+    /// holding a grab on it. No-op when `c` is not currently grabbed (the
+    /// owner's jams into its own un-grabbed cell are fenced by the persist
+    /// at the end of `apply` instead).
+    pub(crate) fn mark_dirty(&self, local: &mut ProcLocal, c: usize) {
+        if local.grabs.contains_key(&c) {
+            local.dirty.insert(c);
+        }
+    }
+
     /// RELEASE (Figure 4): drop one level of grab; clears `r_i` when the
     /// last level is released.
+    ///
+    /// Flush-on-dependence: if this processor jammed any sticky field of
+    /// the cell under the grab, those writes are fenced *before* `r_i` is
+    /// cleared. The owner's INIT flushes only after observing every `r_j`
+    /// at 0, so by then every foreign jam into the cell is durable and the
+    /// non-atomic flush can never race an unfenced dependent write
+    /// (DESIGN.md §9.4).
     pub(crate) fn release<M: WordMem + ?Sized>(
         &self,
         mem: &M,
@@ -67,6 +84,9 @@ impl<S> Inner<S> {
         *count -= 1;
         if *count == 0 {
             local.grabs.remove(&c);
+            if local.dirty.remove(&c) {
+                mem.persist(pid);
+            }
             mem.safe_write(pid, self.cells[c].r[pid.0], 0);
         }
     }
@@ -84,8 +104,10 @@ impl<S> Inner<S> {
         if mem.safe_read(pid, cell.init_flag) == 0 {
             mem.safe_write(pid, cell.init_flag, 1);
         }
-        // Figure 5 releases the caller's own grab first.
+        // Figure 5 releases the caller's own grab first. No fence needed:
+        // the caller is the owner, about to flush this very cell.
         if local.grabs.remove(&c).is_some() {
+            local.dirty.remove(&c);
             mem.safe_write(pid, cell.r[pid.0], 0);
         }
         let mut j = mem.safe_read(pid, cell.count_init) as usize;

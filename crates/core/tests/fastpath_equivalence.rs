@@ -1,0 +1,216 @@
+//! The locality fast paths (frontier cursor, helping-scan combining, GFC
+//! free-list hints — `UniversalConfig::fast_paths`) are pure optimizations:
+//! every hint is validated under the same grab/jam protocol as a full scan,
+//! so the set of reachable outcomes must be *identical* to the paper's
+//! full-scan construction. This file checks that mechanically:
+//!
+//! * DPOR exploration of both configurations on the same workload reports
+//!   zero violations, and the outcome sets reached within the same
+//!   schedule budget are identical, on 2 and 3 processors;
+//! * a random-schedule sweep (cheap enough for hundreds of runs) shows the
+//!   two configurations reach the identical and *complete* outcome set —
+//!   every linearization order of the increments;
+//! * a property test drives the combining helper with random schedules and
+//!   checks no announced command is ever dropped or applied twice.
+
+use proptest::prelude::*;
+use sbu_core::{bounded::UniversalConfig, CellPayload, Universal};
+use sbu_sim::{
+    run_uniform, Adversary, EpisodeResult, Explorer, RandomAdversary, RunOptions, Scripted, SimMem,
+};
+use sbu_spec::specs::{CounterOp, CounterSpec};
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+
+type Mem = SimMem<CellPayload<CounterSpec>>;
+
+/// One episode: `n` processors, one `Inc` each, under the given adversary.
+/// The verdict (a schedule-equivalence invariant: responses and final
+/// state only) checks the responses form a permutation of `1..=n`; the
+/// reached response vector is added to `outcomes`.
+fn episode(
+    n: usize,
+    config: UniversalConfig,
+    adversary: Box<dyn Adversary>,
+    outcomes: &RefCell<BTreeSet<Vec<u64>>>,
+) -> EpisodeResult {
+    let mut mem: Mem = SimMem::new(n);
+    let obj = Universal::new(&mut mem, n, config, CounterSpec::new());
+    let obj2 = obj.clone();
+    let out = run_uniform(
+        &mem,
+        adversary,
+        RunOptions {
+            max_steps: 10_000_000,
+        },
+        n,
+        move |mem, pid| obj2.apply(mem, pid, &CounterOp::Inc),
+    );
+    let verdict = (|| {
+        if !out.violations.is_empty() {
+            return Err(format!("violations: {:?}", out.violations));
+        }
+        if out.aborted {
+            return Err("aborted (wait-freedom?)".into());
+        }
+        let responses: Vec<u64> = out.results().into_iter().copied().collect();
+        let mut sorted = responses.clone();
+        sorted.sort_unstable();
+        if sorted != (1..=n as u64).collect::<Vec<_>>() {
+            return Err(format!("responses {responses:?} not a permutation"));
+        }
+        outcomes.borrow_mut().insert(responses);
+        Ok(())
+    })();
+    EpisodeResult::from_outcome(&out, verdict)
+}
+
+/// DPOR-explore a bounded prefix; panic on any violating schedule, return
+/// the outcome set reached.
+fn dpor_outcome_set(n: usize, config: UniversalConfig, budget: usize) -> BTreeSet<Vec<u64>> {
+    let outcomes: RefCell<BTreeSet<Vec<u64>>> = RefCell::new(BTreeSet::new());
+    let report = Explorer::new(budget).explore_dpor(|script| {
+        episode(
+            n,
+            config,
+            Box::new(Scripted::new(script.to_vec())),
+            &outcomes,
+        )
+    });
+    report.assert_no_failures();
+    assert!(report.schedules >= budget.min(2), "exploration barely ran");
+    outcomes.into_inner()
+}
+
+/// Run `seeds` random schedules; panic on any violating run, return the
+/// outcome set reached.
+fn random_outcome_set(n: usize, config: UniversalConfig, seeds: u64) -> BTreeSet<Vec<u64>> {
+    let outcomes: RefCell<BTreeSet<Vec<u64>>> = RefCell::new(BTreeSet::new());
+    for seed in 0..seeds {
+        let result = episode(n, config, Box::new(RandomAdversary::new(seed)), &outcomes);
+        if let Err(msg) = result.verdict {
+            panic!("seed {seed}: {msg}");
+        }
+    }
+    outcomes.into_inner()
+}
+
+/// Every permutation of `1..=n` as a response vector — the full outcome
+/// set of `n` concurrent increments.
+fn all_permutations(n: usize) -> BTreeSet<Vec<u64>> {
+    fn go(rest: &mut Vec<u64>, acc: &mut Vec<u64>, out: &mut BTreeSet<Vec<u64>>) {
+        if rest.is_empty() {
+            out.insert(acc.clone());
+            return;
+        }
+        for i in 0..rest.len() {
+            let v = rest.remove(i);
+            acc.push(v);
+            go(rest, acc, out);
+            acc.pop();
+            rest.insert(i, v);
+        }
+    }
+    let mut out = BTreeSet::new();
+    go(&mut (1..=n as u64).collect(), &mut Vec::new(), &mut out);
+    out
+}
+
+/// Two processors: DPOR (one representative per Mazurkiewicz trace) over
+/// the same bounded prefix finds zero violations in either configuration
+/// and reaches the identical outcome set. The full trees are far too large
+/// to exhaust, so completeness of the outcome set is the random sweep's
+/// job below; here the claim is systematic exploration agrees.
+#[test]
+fn dpor_outcome_sets_match_on_two_procs() {
+    let budget = 150;
+    let fast = dpor_outcome_set(2, UniversalConfig::for_procs(2), budget);
+    let paper = dpor_outcome_set(2, UniversalConfig::for_procs(2).paper_scans(), budget);
+    assert_eq!(fast, paper, "fast paths changed the reachable outcomes");
+}
+
+/// Three processors: same property, smaller budget (episodes are longer
+/// and DPOR's race analysis is quadratic in trace length).
+#[test]
+fn dpor_outcome_sets_match_on_three_procs() {
+    let budget = 40;
+    let fast = dpor_outcome_set(3, UniversalConfig::for_procs(3), budget);
+    let paper = dpor_outcome_set(3, UniversalConfig::for_procs(3).paper_scans(), budget);
+    assert_eq!(fast, paper, "fast paths changed the reachable outcomes");
+}
+
+/// Random schedules reach every linearization order cheaply; across
+/// hundreds of them the fast-path and paper-scan outcome sets must both be
+/// the complete permutation set — the fast paths neither add outcomes nor
+/// lose reachable ones.
+#[test]
+fn random_schedules_reach_identical_complete_outcome_sets() {
+    for n in [2usize, 3] {
+        let seeds = 120;
+        let fast = random_outcome_set(n, UniversalConfig::for_procs(n), seeds);
+        let paper = random_outcome_set(n, UniversalConfig::for_procs(n).paper_scans(), seeds);
+        assert_eq!(fast, paper, "n={n}: outcome sets diverge");
+        assert_eq!(
+            fast,
+            all_permutations(n),
+            "n={n}: some linearization order was never reached"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Combining soundness: under random schedules, every announced
+    /// increment is applied exactly once — the counter's responses are
+    /// exactly the multiset {1, …, total}, each processor's own responses
+    /// strictly increase (its commands are not reordered), and the final
+    /// total equals the number of operations issued. A dropped command
+    /// would shrink the multiset; a duplicated one would repeat a value.
+    #[test]
+    fn combining_never_drops_or_duplicates_commands(
+        n in 2usize..4,
+        ops_per_proc in 1usize..4,
+        script in prop::collection::vec(0usize..3, 0..160),
+    ) {
+        let mut mem: Mem = SimMem::new(n);
+        let obj = Universal::new(&mut mem, n, UniversalConfig::for_procs(n), CounterSpec::new());
+        let obj2 = obj.clone();
+        let responses: std::sync::Arc<parking_lot::Mutex<Vec<Vec<u64>>>> =
+            std::sync::Arc::new(parking_lot::Mutex::new(vec![Vec::new(); n]));
+        let responses2 = std::sync::Arc::clone(&responses);
+        let out = run_uniform(
+            &mem,
+            Box::new(Scripted::new(script)),
+            RunOptions { max_steps: 20_000_000 },
+            n,
+            move |mem, pid| {
+                for _ in 0..ops_per_proc {
+                    let r = obj2.apply(mem, pid, &CounterOp::Inc);
+                    responses2.lock()[pid.0].push(r);
+                }
+            },
+        );
+        prop_assert!(out.violations.is_empty(), "{:?}", out.violations);
+        prop_assert!(!out.aborted, "aborted (wait-freedom?)");
+
+        let total = n * ops_per_proc;
+        let per_proc = responses.lock().clone();
+        for (i, rs) in per_proc.iter().enumerate() {
+            prop_assert_eq!(rs.len(), ops_per_proc, "p{} lost a response", i);
+            prop_assert!(
+                rs.windows(2).all(|w| w[0] < w[1]),
+                "p{}'s responses {:?} not strictly increasing", i, rs
+            );
+        }
+        let mut all: Vec<u64> = per_proc.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(
+            all,
+            (1..=total as u64).collect::<Vec<_>>(),
+            "a command was dropped or duplicated"
+        );
+        let read = obj.apply(&mem, sbu_mem::Pid(0), &CounterOp::Read);
+        prop_assert_eq!(read, total as u64);
+    }
+}

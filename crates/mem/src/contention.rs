@@ -1,0 +1,155 @@
+//! Contention-control utilities shared by the native hot paths: cache-line
+//! padding to kill false sharing, and bounded exponential backoff for
+//! consensus retry loops.
+//!
+//! Neither utility touches shared memory through the [`crate::WordMem`]
+//! traits, so using them never changes the step structure the simulator
+//! schedules — the model-checked and native executions stay in lockstep.
+
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns `T` to 128 bytes so that two neighbouring values never
+/// share a cache line (128 rather than 64 covers the adjacent-line
+/// prefetcher on modern x86 and the 128-byte lines of some AArch64 parts).
+///
+/// The workspace forbids `unsafe`, so this is the plain-Rust version of the
+/// classic `crossbeam` utility: alignment alone provides the padding, since
+/// an over-aligned type's size is rounded up to its alignment.
+///
+/// ```
+/// use sbu_mem::CachePadded;
+/// use std::sync::atomic::AtomicU64;
+///
+/// let slot = CachePadded::new(AtomicU64::new(0));
+/// assert_eq!(std::mem::align_of_val(&slot), 128);
+/// assert!(std::mem::size_of_val(&slot) >= 128);
+/// ```
+#[derive(Debug, Default)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Pad `value` out to its own cache line.
+    pub const fn new(value: T) -> Self {
+        Self { value }
+    }
+
+    /// Unwrap the padded value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        Self::new(value)
+    }
+}
+
+/// Bounded exponential backoff for retry loops that race on consensus
+/// primitives (jam races, head searches, free-cell scans).
+///
+/// Each [`Backoff::spin`] busy-waits for `2^k` [`std::hint::spin_loop`]
+/// rounds, doubling `k` up to a fixed cap — long enough to drain a burst of
+/// contention, short enough never to threaten a wait-freedom bound (the cap
+/// is a constant number of *local* steps; no shared-memory operation is
+/// ever skipped or delayed unboundedly).
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    step: u32,
+}
+
+/// `2^LIMIT` spins is the ceiling for one [`Backoff::spin`] call.
+const BACKOFF_LIMIT: u32 = 8;
+
+impl Backoff {
+    /// A fresh backoff at the shortest delay.
+    pub const fn new() -> Self {
+        Self { step: 0 }
+    }
+
+    /// Busy-wait for the current delay, then double it (up to the cap).
+    #[inline]
+    pub fn spin(&mut self) {
+        for _ in 0..1u32 << self.step {
+            std::hint::spin_loop();
+        }
+        if self.step < BACKOFF_LIMIT {
+            self.step += 1;
+        }
+    }
+
+    /// Whether the delay has reached its cap (callers that want to fall
+    /// back to a different strategy once contention persists can test this).
+    pub fn is_saturated(&self) -> bool {
+        self.step >= BACKOFF_LIMIT
+    }
+
+    /// Restart from the shortest delay (after a success).
+    #[inline]
+    pub fn reset(&mut self) {
+        self.step = 0;
+    }
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn cache_padded_is_transparent_and_aligned() {
+        let mut x = CachePadded::new(41u64);
+        *x += 1;
+        assert_eq!(*x, 42);
+        assert_eq!(x.into_inner(), 42);
+        assert_eq!(std::mem::align_of::<CachePadded<u8>>(), 128);
+        assert!(std::mem::size_of::<CachePadded<AtomicU64>>() >= 128);
+        let from: CachePadded<u64> = 7u64.into();
+        assert_eq!(*from, 7);
+    }
+
+    #[test]
+    fn padded_vec_never_shares_lines() {
+        let v: Vec<CachePadded<AtomicU64>> = (0..4).map(|_| CachePadded::default()).collect();
+        let a = &*v[0] as *const AtomicU64 as usize;
+        let b = &*v[1] as *const AtomicU64 as usize;
+        assert!(b.abs_diff(a) >= 128);
+    }
+
+    #[test]
+    fn backoff_saturates_and_resets() {
+        let mut b = Backoff::new();
+        assert!(!b.is_saturated());
+        for _ in 0..BACKOFF_LIMIT + 2 {
+            b.spin();
+        }
+        assert!(b.is_saturated());
+        b.reset();
+        assert!(!b.is_saturated());
+    }
+}

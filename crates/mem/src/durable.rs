@@ -399,6 +399,11 @@ impl<M: WordMem> WordMem for DurableMem<M> {
     fn alloc_sticky_bit(&mut self) -> StickyBitId {
         self.inner.alloc_sticky_bit()
     }
+    fn alloc_sticky_bits(&mut self, count: usize) -> Vec<StickyBitId> {
+        // Delegate so the inner backend can co-locate the group; the book
+        // tracks bits individually either way.
+        self.inner.alloc_sticky_bits(count)
+    }
     fn alloc_sticky_word(&mut self) -> StickyWordId {
         self.inner.alloc_sticky_word()
     }
@@ -437,6 +442,11 @@ impl<M: WordMem> WordMem for DurableMem<M> {
     }
     fn sticky_read(&self, pid: Pid, s: StickyBitId) -> Tri {
         self.inner.sticky_read(pid, s)
+    }
+    fn sticky_read_word(&self, pid: Pid, bits: &[StickyBitId]) -> Option<Word> {
+        // Reads never touch the book; let the inner backend use its
+        // single-load snapshot if it has one.
+        self.inner.sticky_read_word(pid, bits)
     }
     fn sticky_flush(&self, pid: Pid, s: StickyBitId) {
         self.book().flush(Kind::Bit, s.index(), pid);

@@ -39,10 +39,12 @@
 #![warn(missing_docs)]
 
 pub mod conformance;
+pub mod contention;
 pub mod durable;
 pub mod native;
 mod traits;
 
+pub use contention::{Backoff, CachePadded};
 pub use durable::{DurableMem, TornPersist};
 pub use sbu_spec::specs::Tri;
 pub use sbu_spec::Pid;

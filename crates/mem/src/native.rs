@@ -3,34 +3,64 @@
 //! Every register kind is implemented with sequentially consistent atomics,
 //! which is *stronger* than its contract requires (safe ⊆ atomic), so every
 //! algorithm validated under the simulator runs unchanged — and fast — on
-//! real threads. A sticky bit is a single `AtomicU8` compare-exchange: the
-//! paper's observation that the primitive "can be easily implemented in
-//! hardware" (Section 4) is literally one CAS on every modern ISA.
+//! real threads. A sticky bit is a 2-bit *lane* of an `AtomicU64`: `Jam` is
+//! one compare-exchange on the lane's word, confirming the paper's
+//! observation that the primitive "can be easily implemented in hardware"
+//! (Section 4). Bits allocated together through
+//! [`WordMem::alloc_sticky_bits`] share a word, so a Figure 2 sticky byte
+//! snapshots *all* of its bits with a single load
+//! ([`WordMem::sticky_read_word`]); bits allocated individually get a word
+//! (and a cache line) of their own, so unrelated objects never contend.
+//!
+//! Every register is [`CachePadded`]: the cell pool of the bounded
+//! universal construction is written by many processors at once, and false
+//! sharing between neighbouring registers was the dominant cost at 4+
+//! threads before padding.
 
 use crate::{
-    AtomicId, DataId, DataMem, JamOutcome, Pid, SafeId, StickyBitId, StickyWordId, TasId, Tri,
-    Word, WordMem, STICKY_WORD_UNDEF,
+    AtomicId, CachePadded, DataId, DataMem, JamOutcome, Pid, SafeId, StickyBitId, StickyWordId,
+    TasId, Tri, Word, WordMem, STICKY_WORD_UNDEF,
 };
 use parking_lot::RwLock;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
-const TRI_UNDEF: u8 = 0;
-const TRI_ZERO: u8 = 1;
-const TRI_ONE: u8 = 2;
+/// 2-bit lane encodings of `{⊥, 0, 1}`.
+const LANE_UNDEF: u64 = 0;
+const LANE_ZERO: u64 = 1;
+const LANE_ONE: u64 = 2;
+const LANE_MASK: u64 = 0b11;
+/// Lanes per `AtomicU64` word.
+const LANES_PER_WORD: usize = 32;
 
-fn tri_encode(bit: bool) -> u8 {
+#[inline]
+fn lane_encode(bit: bool) -> u64 {
     if bit {
-        TRI_ONE
+        LANE_ONE
     } else {
-        TRI_ZERO
+        LANE_ZERO
     }
 }
 
-fn tri_decode(raw: u8) -> Tri {
+#[inline]
+fn lane_decode(raw: u64) -> Tri {
     match raw {
-        TRI_UNDEF => Tri::Undef,
-        TRI_ZERO => Tri::Zero,
+        LANE_UNDEF => Tri::Undef,
+        LANE_ZERO => Tri::Zero,
         _ => Tri::One,
+    }
+}
+
+/// Where a sticky bit lives: which packed word, and which 2-bit lane of it.
+#[derive(Debug, Clone, Copy)]
+struct LaneRef {
+    word: u32,
+    lane: u8,
+}
+
+impl LaneRef {
+    #[inline]
+    fn shift(self) -> u32 {
+        u32::from(self.lane) * 2
     }
 }
 
@@ -50,13 +80,16 @@ fn tri_decode(raw: u8) -> Tri {
 /// ```
 #[derive(Debug, Default)]
 pub struct NativeMem<P> {
-    safes: Vec<AtomicU64>,
-    atomics: Vec<AtomicU64>,
-    stickies: Vec<AtomicU8>,
-    sticky_words: Vec<AtomicU64>,
-    tas_bits: Vec<AtomicBool>,
-    data: Vec<RwLock<Option<P>>>,
-    clock: AtomicU64,
+    safes: Vec<CachePadded<AtomicU64>>,
+    atomics: Vec<CachePadded<AtomicU64>>,
+    /// Packed 2-bit sticky lanes; see [`LaneRef`].
+    sticky_lanes: Vec<CachePadded<AtomicU64>>,
+    /// `StickyBitId` → lane location.
+    sticky_map: Vec<LaneRef>,
+    sticky_words: Vec<CachePadded<AtomicU64>>,
+    tas_bits: Vec<CachePadded<AtomicBool>>,
+    data: Vec<CachePadded<RwLock<Option<P>>>>,
+    clock: CachePadded<AtomicU64>,
 }
 
 impl<P> NativeMem<P> {
@@ -65,11 +98,12 @@ impl<P> NativeMem<P> {
         Self {
             safes: Vec::new(),
             atomics: Vec::new(),
-            stickies: Vec::new(),
+            sticky_lanes: Vec::new(),
+            sticky_map: Vec::new(),
             sticky_words: Vec::new(),
             tas_bits: Vec::new(),
             data: Vec::new(),
-            clock: AtomicU64::new(0),
+            clock: CachePadded::new(AtomicU64::new(0)),
         }
     }
 
@@ -79,11 +113,26 @@ impl<P> NativeMem<P> {
         AllocationCensus {
             safe_words: self.safes.len(),
             atomic_words: self.atomics.len(),
-            sticky_bits: self.stickies.len(),
+            sticky_bits: self.sticky_map.len(),
             sticky_words: self.sticky_words.len(),
             tas_bits: self.tas_bits.len(),
             data_cells: self.data.len(),
         }
+    }
+
+    /// Register a sticky bit on a fresh lane of `word`.
+    fn push_lane(&mut self, word: usize, lane: usize) -> StickyBitId {
+        self.sticky_map.push(LaneRef {
+            word: word as u32,
+            lane: lane as u8,
+        });
+        StickyBitId(self.sticky_map.len() - 1)
+    }
+
+    #[inline]
+    fn lane_of(&self, s: StickyBitId) -> (LaneRef, &AtomicU64) {
+        let r = self.sticky_map[s.0];
+        (r, &self.sticky_lanes[r.word as usize])
     }
 }
 
@@ -115,42 +164,64 @@ impl AllocationCensus {
 
 impl<P: Send + Sync> WordMem for NativeMem<P> {
     fn alloc_safe(&mut self, init: Word) -> SafeId {
-        self.safes.push(AtomicU64::new(init));
+        self.safes.push(CachePadded::new(AtomicU64::new(init)));
         SafeId(self.safes.len() - 1)
     }
 
     fn alloc_atomic(&mut self, init: Word) -> AtomicId {
-        self.atomics.push(AtomicU64::new(init));
+        self.atomics.push(CachePadded::new(AtomicU64::new(init)));
         AtomicId(self.atomics.len() - 1)
     }
 
     fn alloc_sticky_bit(&mut self) -> StickyBitId {
-        self.stickies.push(AtomicU8::new(TRI_UNDEF));
-        StickyBitId(self.stickies.len() - 1)
+        // A solo bit gets a word (= cache line) of its own: unrelated
+        // sticky bits must never contend on one CAS word.
+        self.sticky_lanes.push(CachePadded::default());
+        self.push_lane(self.sticky_lanes.len() - 1, 0)
+    }
+
+    fn alloc_sticky_bits(&mut self, count: usize) -> Vec<StickyBitId> {
+        // One logical object: pack up to 32 lanes per word so the whole
+        // group snapshots with a single load (`sticky_read_word`).
+        let mut ids = Vec::with_capacity(count);
+        for chunk in 0..count.div_ceil(LANES_PER_WORD) {
+            self.sticky_lanes.push(CachePadded::default());
+            let word = self.sticky_lanes.len() - 1;
+            let lanes = (count - chunk * LANES_PER_WORD).min(LANES_PER_WORD);
+            for lane in 0..lanes {
+                ids.push(self.push_lane(word, lane));
+            }
+        }
+        ids
     }
 
     fn alloc_sticky_word(&mut self) -> StickyWordId {
-        self.sticky_words.push(AtomicU64::new(STICKY_WORD_UNDEF));
+        self.sticky_words
+            .push(CachePadded::new(AtomicU64::new(STICKY_WORD_UNDEF)));
         StickyWordId(self.sticky_words.len() - 1)
     }
 
     fn alloc_tas(&mut self) -> TasId {
-        self.tas_bits.push(AtomicBool::new(false));
+        self.tas_bits.push(CachePadded::default());
         TasId(self.tas_bits.len() - 1)
     }
 
+    #[inline]
     fn safe_read(&self, _pid: Pid, r: SafeId) -> Word {
         self.safes[r.0].load(Ordering::SeqCst)
     }
 
+    #[inline]
     fn safe_write(&self, _pid: Pid, r: SafeId, v: Word) {
         self.safes[r.0].store(v, Ordering::SeqCst);
     }
 
+    #[inline]
     fn atomic_read(&self, _pid: Pid, r: AtomicId) -> Word {
         self.atomics[r.0].load(Ordering::SeqCst)
     }
 
+    #[inline]
     fn atomic_write(&self, _pid: Pid, r: AtomicId, v: Word) {
         self.atomics[r.0].store(v, Ordering::SeqCst);
     }
@@ -161,28 +232,72 @@ impl<P: Send + Sync> WordMem for NativeMem<P> {
             .expect("fetch_update closure never returns None")
     }
 
+    #[inline]
     fn sticky_jam(&self, _pid: Pid, s: StickyBitId, v: bool) -> JamOutcome {
-        let enc = tri_encode(v);
-        match self.stickies[s.0].compare_exchange(
-            TRI_UNDEF,
-            enc,
-            Ordering::SeqCst,
-            Ordering::SeqCst,
-        ) {
-            Ok(_) => JamOutcome::Success,
-            Err(current) if current == enc => JamOutcome::Success,
-            Err(_) => JamOutcome::Fail,
+        let (lane, word) = self.lane_of(s);
+        let enc = lane_encode(v);
+        let shift = lane.shift();
+        let mut cur = word.load(Ordering::SeqCst);
+        loop {
+            match (cur >> shift) & LANE_MASK {
+                LANE_UNDEF => {
+                    match word.compare_exchange(
+                        cur,
+                        cur | enc << shift,
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    ) {
+                        Ok(_) => return JamOutcome::Success,
+                        // The word moved — maybe our lane, maybe a sibling
+                        // lane of the same packed group; re-inspect.
+                        Err(now) => cur = now,
+                    }
+                }
+                decided if decided == enc => return JamOutcome::Success,
+                _ => return JamOutcome::Fail,
+            }
         }
     }
 
+    #[inline]
     fn sticky_read(&self, _pid: Pid, s: StickyBitId) -> Tri {
-        tri_decode(self.stickies[s.0].load(Ordering::SeqCst))
+        let (lane, word) = self.lane_of(s);
+        lane_decode(word.load(Ordering::SeqCst) >> lane.shift() & LANE_MASK)
     }
 
     fn sticky_flush(&self, _pid: Pid, s: StickyBitId) {
-        self.stickies[s.0].store(TRI_UNDEF, Ordering::SeqCst);
+        // Atomic lane-clear: Definition 4.1 only requires quiescence on
+        // *this* bit, and sibling lanes of a packed group may be live.
+        let (lane, word) = self.lane_of(s);
+        word.fetch_and(!(LANE_MASK << lane.shift()), Ordering::SeqCst);
     }
 
+    #[inline]
+    fn sticky_read_word(&self, _pid: Pid, bits: &[StickyBitId]) -> Option<Word> {
+        // One load per distinct packed word — a whole Figure 2 sticky byte
+        // (≤ 32 bits) in a single atomic snapshot.
+        let mut value: Word = 0;
+        let mut cached: Option<(u32, u64)> = None;
+        for (j, &s) in bits.iter().enumerate() {
+            let lane = self.sticky_map[s.0];
+            let snapshot = match cached {
+                Some((w, v)) if w == lane.word => v,
+                _ => {
+                    let v = self.sticky_lanes[lane.word as usize].load(Ordering::SeqCst);
+                    cached = Some((lane.word, v));
+                    v
+                }
+            };
+            match snapshot >> lane.shift() & LANE_MASK {
+                LANE_UNDEF => return None,
+                LANE_ONE => value |= 1u64 << j,
+                _ => {}
+            }
+        }
+        Some(value)
+    }
+
+    #[inline]
     fn sticky_word_jam(&self, _pid: Pid, s: StickyWordId, v: Word) -> JamOutcome {
         assert!(
             v != STICKY_WORD_UNDEF,
@@ -200,6 +315,7 @@ impl<P: Send + Sync> WordMem for NativeMem<P> {
         }
     }
 
+    #[inline]
     fn sticky_word_read(&self, _pid: Pid, s: StickyWordId) -> Option<Word> {
         match self.sticky_words[s.0].load(Ordering::SeqCst) {
             STICKY_WORD_UNDEF => None,
@@ -211,10 +327,12 @@ impl<P: Send + Sync> WordMem for NativeMem<P> {
         self.sticky_words[s.0].store(STICKY_WORD_UNDEF, Ordering::SeqCst);
     }
 
+    #[inline]
     fn tas_test_and_set(&self, _pid: Pid, t: TasId) -> bool {
         self.tas_bits[t.0].swap(true, Ordering::SeqCst)
     }
 
+    #[inline]
     fn tas_read(&self, _pid: Pid, t: TasId) -> bool {
         self.tas_bits[t.0].load(Ordering::SeqCst)
     }
@@ -223,10 +341,12 @@ impl<P: Send + Sync> WordMem for NativeMem<P> {
         self.tas_bits[t.0].store(false, Ordering::SeqCst);
     }
 
+    #[inline]
     fn op_invoke(&self, _pid: Pid) -> u64 {
         self.clock.fetch_add(1, Ordering::SeqCst)
     }
 
+    #[inline]
     fn op_return(&self, _pid: Pid) -> u64 {
         self.clock.fetch_add(1, Ordering::SeqCst)
     }
@@ -234,14 +354,16 @@ impl<P: Send + Sync> WordMem for NativeMem<P> {
 
 impl<P: Clone + Send + Sync> DataMem<P> for NativeMem<P> {
     fn alloc_data(&mut self, init: Option<P>) -> DataId {
-        self.data.push(RwLock::new(init));
+        self.data.push(CachePadded::new(RwLock::new(init)));
         DataId(self.data.len() - 1)
     }
 
+    #[inline]
     fn data_read(&self, _pid: Pid, d: DataId) -> Option<P> {
         self.data[d.0].read().clone()
     }
 
+    #[inline]
     fn data_write(&self, _pid: Pid, d: DataId, v: P) {
         *self.data[d.0].write() = Some(v);
     }
@@ -282,6 +404,58 @@ mod tests {
         mem.sticky_flush(Pid(0), s);
         assert_eq!(mem.sticky_read(Pid(0), s), Tri::Undef);
         assert_eq!(mem.sticky_jam(Pid(2), s, true), JamOutcome::Success);
+    }
+
+    #[test]
+    fn grouped_bits_share_a_word_but_keep_bit_semantics() {
+        let mut mem: NativeMem<()> = NativeMem::new();
+        let words_before = mem.sticky_lanes.len();
+        let group = mem.alloc_sticky_bits(16);
+        assert_eq!(group.len(), 16);
+        assert_eq!(mem.sticky_lanes.len(), words_before + 1, "one packed word");
+        // Independent per-lane semantics inside the shared word.
+        assert!(mem.sticky_jam(Pid(0), group[3], true).is_success());
+        assert!(mem.sticky_jam(Pid(1), group[7], false).is_success());
+        assert!(!mem.sticky_jam(Pid(2), group[3], false).is_success());
+        assert_eq!(mem.sticky_read(Pid(0), group[3]), Tri::One);
+        assert_eq!(mem.sticky_read(Pid(0), group[7]), Tri::Zero);
+        assert_eq!(mem.sticky_read(Pid(0), group[0]), Tri::Undef);
+        // Flushing one lane leaves its siblings alone.
+        mem.sticky_flush(Pid(0), group[3]);
+        assert_eq!(mem.sticky_read(Pid(0), group[3]), Tri::Undef);
+        assert_eq!(mem.sticky_read(Pid(0), group[7]), Tri::Zero);
+    }
+
+    #[test]
+    fn grouped_alloc_spills_into_multiple_words_past_32() {
+        let mut mem: NativeMem<()> = NativeMem::new();
+        let words_before = mem.sticky_lanes.len();
+        let group = mem.alloc_sticky_bits(40);
+        assert_eq!(group.len(), 40);
+        assert_eq!(mem.sticky_lanes.len(), words_before + 2);
+        for (j, &s) in group.iter().enumerate() {
+            assert!(mem.sticky_jam(Pid(0), s, j % 2 == 0).is_success());
+        }
+        let v = mem.sticky_read_word(Pid(0), &group).unwrap();
+        // Even positions 1, odd positions 0: 0b...0101.
+        assert_eq!(v & 0b1111, 0b0101);
+    }
+
+    #[test]
+    fn sticky_read_word_snapshots_a_group_and_sees_undef() {
+        let mut mem: NativeMem<()> = NativeMem::new();
+        let group = mem.alloc_sticky_bits(8);
+        assert_eq!(mem.sticky_read_word(Pid(0), &group), None);
+        for (j, &s) in group.iter().enumerate() {
+            assert!(mem.sticky_jam(Pid(0), s, 0xA5 >> j & 1 == 1).is_success());
+        }
+        assert_eq!(mem.sticky_read_word(Pid(1), &group), Some(0xA5));
+        // Also works across independently allocated bits.
+        let solo = vec![mem.alloc_sticky_bit(), mem.alloc_sticky_bit()];
+        mem.sticky_jam(Pid(0), solo[0], true);
+        assert_eq!(mem.sticky_read_word(Pid(0), &solo), None);
+        mem.sticky_jam(Pid(0), solo[1], true);
+        assert_eq!(mem.sticky_read_word(Pid(0), &solo), Some(0b11));
     }
 
     #[test]
@@ -366,6 +540,10 @@ mod tests {
         assert_eq!(census.tas_bits, 1);
         assert_eq!(census.data_cells, 1);
         assert_eq!(census.sticky_bit_equivalent(16), 17);
+        // Grouped allocation counts every bit.
+        let mut mem: NativeMem<u32> = NativeMem::new();
+        mem.alloc_sticky_bits(20);
+        assert_eq!(mem.allocation_census().sticky_bits, 20);
     }
 
     #[test]
@@ -391,6 +569,28 @@ mod tests {
                 assert_eq!(bit, winner_bit, "successful jam must match final value");
             } else {
                 assert_ne!(bit, winner_bit, "failed jam must disagree with final value");
+            }
+        }
+    }
+
+    /// Concurrent jams to *different* lanes of one packed word must all
+    /// stick: the CAS loop retries on sibling-lane interference.
+    #[test]
+    fn concurrent_jams_to_sibling_lanes_all_stick() {
+        for _ in 0..20 {
+            let mut mem: NativeMem<()> = NativeMem::new();
+            let group = mem.alloc_sticky_bits(8);
+            let mem = Arc::new(mem);
+            std::thread::scope(|s| {
+                for (j, &bit) in group.iter().enumerate() {
+                    let mem = Arc::clone(&mem);
+                    s.spawn(move || {
+                        assert!(mem.sticky_jam(Pid(j), bit, j % 3 == 0).is_success());
+                    });
+                }
+            });
+            for (j, &bit) in group.iter().enumerate() {
+                assert_eq!(mem.sticky_read(Pid(0), bit), Tri::from_bit(j % 3 == 0));
             }
         }
     }

@@ -68,6 +68,15 @@ pub trait WordMem: Send + Sync {
     /// `sbu-rmw`.
     fn rmw(&self, pid: Pid, r: AtomicId, f: &dyn Fn(Word) -> Word) -> Word;
 
+    /// Allocate `count` sticky bits that form one logical multi-bit object
+    /// (a Figure 2 sticky byte). Backends may co-locate such a group so
+    /// that [`WordMem::sticky_read_word`] over it is a single physical
+    /// load; the default simply allocates `count` independent bits, which
+    /// keeps one scheduling point per bit on the simulator.
+    fn alloc_sticky_bits(&mut self, count: usize) -> Vec<StickyBitId> {
+        (0..count).map(|_| self.alloc_sticky_bit()).collect()
+    }
+
     /// `Jam(v)` on a sticky bit: atomically, if the value is `⊥` or
     /// `Tri::from_bit(v)`, set it and succeed; otherwise fail.
     fn sticky_jam(&self, pid: Pid, s: StickyBitId, v: bool) -> JamOutcome;
@@ -76,6 +85,30 @@ pub trait WordMem: Send + Sync {
     /// Non-atomic reset of a sticky bit to `⊥`. Overlap with any other
     /// operation on `s` is a protocol violation.
     fn sticky_flush(&self, pid: Pid, s: StickyBitId);
+
+    /// Snapshot `bits` as the little-endian value they spell, or `None` if
+    /// any bit is still `⊥`.
+    ///
+    /// Each bit's value is taken at its own linearizable read, scanning
+    /// from bit 0 and stopping at the first `⊥` — exactly the loop a caller
+    /// would write by hand, so the default changes nothing on the
+    /// simulator (per-bit scheduling points, DPOR coverage intact). The
+    /// native backend overrides it to read a whole
+    /// [`WordMem::alloc_sticky_bits`] group with one atomic load, which
+    /// additionally makes the snapshot *atomic* — strictly stronger, hence
+    /// still correct (sticky bits only ever go `⊥ → v`, so any per-bit
+    /// scan result is also reachable by some single-point snapshot).
+    fn sticky_read_word(&self, pid: Pid, bits: &[StickyBitId]) -> Option<Word> {
+        let mut value: Word = 0;
+        for (j, &s) in bits.iter().enumerate() {
+            match self.sticky_read(pid, s) {
+                Tri::Undef => return None,
+                Tri::One => value |= 1u64 << j,
+                Tri::Zero => {}
+            }
+        }
+        Some(value)
+    }
 
     /// `Jam(v)` on a sticky word; `v` must be `< STICKY_WORD_UNDEF`.
     fn sticky_word_jam(&self, pid: Pid, s: StickyWordId, v: Word) -> JamOutcome;

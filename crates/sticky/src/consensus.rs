@@ -20,7 +20,7 @@
 use crate::JamWord;
 #[allow(unused_imports)]
 use sbu_mem::SafeId;
-use sbu_mem::{AtomicId, Pid, StickyBitId, StickyWordId, Tri, Word, WordMem};
+use sbu_mem::{AtomicId, Pid, StickyBitId, StickyWordId, Word, WordMem};
 
 /// Wait-free `n`-processor consensus.
 ///
@@ -64,11 +64,12 @@ impl StickyBinaryConsensus {
 impl<M: WordMem + ?Sized> Consensus<M> for StickyBinaryConsensus {
     fn propose(&self, mem: &M, pid: Pid, value: Word) -> Word {
         assert!(value <= 1, "binary consensus takes 0 or 1");
-        mem.sticky_jam(pid, self.bit, value == 1);
-        match mem.sticky_read(pid, self.bit) {
-            Tri::One => 1,
-            Tri::Zero => 0,
-            Tri::Undef => unreachable!("read after jam cannot be undefined"),
+        // The jam outcome already determines the decision (Definition 4.1:
+        // Success iff the bit now holds our value), so no re-read is needed.
+        if mem.sticky_jam(pid, self.bit, value == 1).is_success() {
+            value
+        } else {
+            1 - value
         }
     }
 
@@ -100,9 +101,14 @@ impl StickyWordConsensus {
 
 impl<M: WordMem + ?Sized> Consensus<M> for StickyWordConsensus {
     fn propose(&self, mem: &M, pid: Pid, value: Word) -> Word {
-        mem.sticky_word_jam(pid, self.word, value);
-        mem.sticky_word_read(pid, self.word)
-            .expect("read after jam cannot be undefined")
+        // On Success our own value is the decision; only a failed jam needs
+        // the read to learn the earlier winner.
+        if mem.sticky_word_jam(pid, self.word, value).is_success() {
+            value
+        } else {
+            mem.sticky_word_read(pid, self.word)
+                .expect("read after failed jam cannot be undefined")
+        }
     }
 
     fn decision(&self, mem: &M, pid: Pid) -> Option<Word> {

@@ -190,9 +190,10 @@ mod complexity_tests {
 
     /// Lock in the measured O(log n) shape (experiment E2a) as a unit
     /// test: a solo election costs exactly ⌈log₂ n⌉ bit-jams plus the
-    /// two announce writes (2 safe writes × 2 steps each).
+    /// two announce writes (2 safe writes × 2 steps each) plus one read of
+    /// bit 0 (the decided-byte fast path probing an undefined word).
     #[test]
-    fn solo_election_costs_exactly_log2_n_plus_4_steps() {
+    fn solo_election_costs_exactly_log2_n_plus_5_steps() {
         for n in [2usize, 4, 8, 16, 32, 64, 128, 256] {
             let mut mem: SimMem<()> = SimMem::new(1);
             let le = LeaderElection::new(&mut mem, n);
@@ -205,10 +206,10 @@ mod complexity_tests {
                 move |mem, _| le2.elect(mem, Pid(0)),
             );
             out.assert_clean();
-            let expected = crate::bits_for(n) as u64 + 4;
+            let expected = crate::bits_for(n) as u64 + 5;
             assert_eq!(
                 out.steps, expected,
-                "n = {n}: expected ⌈log₂ n⌉ + 4 = {expected} steps"
+                "n = {n}: expected ⌈log₂ n⌉ + 5 = {expected} steps"
             );
         }
     }

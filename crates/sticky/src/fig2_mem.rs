@@ -93,6 +93,10 @@ impl<M: WordMem> WordMem for Fig2Mem<M> {
         self.inner.alloc_sticky_bit()
     }
 
+    fn alloc_sticky_bits(&mut self, count: usize) -> Vec<StickyBitId> {
+        self.inner.alloc_sticky_bits(count)
+    }
+
     fn alloc_sticky_word(&mut self) -> StickyWordId {
         let jw = JamWord::new(&mut self.inner, self.n, self.width);
         self.words.push(jw);
@@ -129,6 +133,10 @@ impl<M: WordMem> WordMem for Fig2Mem<M> {
 
     fn sticky_read(&self, pid: Pid, s: StickyBitId) -> Tri {
         self.inner.sticky_read(pid, s)
+    }
+
+    fn sticky_read_word(&self, pid: Pid, bits: &[StickyBitId]) -> Option<Word> {
+        self.inner.sticky_read_word(pid, bits)
     }
 
     fn sticky_flush(&self, pid: Pid, s: StickyBitId) {

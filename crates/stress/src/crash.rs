@@ -533,15 +533,7 @@ pub fn run_crash_restart(
                     }),
                 })
                 .collect();
-            // Backend Def 4.1 flags are NOT folded into this report: cell
-            // reclamation (`init`) legitimately flushes sticky fields whose
-            // last agreeing re-jam by a helper may still be unfenced (the
-            // helper fences at the end of its `apply`). That overlap is
-            // harmless under the fence-honoring policies this workload is
-            // restricted to; closing it for torn hardware would need
-            // flush-on-dependence inside the construction (future work,
-            // DESIGN.md §9).
-            crash_restart_torture(
+            let mut report = crash_restart_torture(
                 cfg,
                 eras,
                 |pid| mem.op_invoke(pid),
@@ -557,7 +549,20 @@ pub fn run_crash_restart(
                     3 => CounterOp::Add(rng.gen_range(1u64..5)),
                     _ => CounterOp::Read,
                 },
-            )
+            );
+            // Backend Def 4.1 / persistency flags ARE part of the verdict:
+            // the construction fences every sticky jam performed under a
+            // grab before the grab's `r` bit is cleared (flush-on-dependence
+            // in RELEASE), and fences an owner's own-cell jams before the
+            // apply acknowledges, so by the time INIT observes quiescence
+            // and flushes, no dependent write can still be unfenced. Any
+            // flag here is a genuine protocol failure.
+            report.violations.extend(
+                mem.violations()
+                    .into_iter()
+                    .map(|v| format!("backend: {v}")),
+            );
+            report
         }
     }
 }

@@ -62,6 +62,14 @@ cargo run --release --quiet --offline --example stress -- \
     --crash-restart --workload recoverable-jam --threads 3 --ops 288 --seed 7 \
     --eras 6 --torn lying
 
+step "perf smoke (E8 vs checked-in baseline; >30% regression fails)"
+if [[ -f benchmarks/BENCH_e8_baseline.json ]]; then
+    cargo run --release --quiet --offline -p sbu-bench --bin exp -- \
+        e8 --baseline benchmarks/BENCH_e8_baseline.json
+else
+    echo "benchmarks/BENCH_e8_baseline.json absent; perf smoke skipped"
+fi
+
 if [[ "$FULL" == 1 ]]; then
     step "deep exploration sweeps (#[ignore]d tests, release)"
     cargo test --quiet --release --workspace --offline -- --ignored
