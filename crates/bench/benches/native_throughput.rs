@@ -2,10 +2,7 @@
 //! per-operation latency solo and under contention, per construction.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sbu_core::{
-    bounded::UniversalConfig, CellPayload, SpinLockUniversal, UnboundedUniversal, Universal,
-    UniversalObject,
-};
+use sbu_core::{CellPayload, SpinLockUniversal, UnboundedUniversal, Universal, UniversalObject};
 use sbu_mem::native::NativeMem;
 use sbu_mem::Pid;
 use sbu_spec::specs::{CounterOp, CounterSpec, QueueOp, QueueSpec};
@@ -16,12 +13,7 @@ fn bench_solo_latency(c: &mut Criterion) {
     for n in [1usize, 4, 8] {
         group.bench_with_input(BenchmarkId::new("bounded", n), &n, |b, &n| {
             let mut mem: NativeMem<CellPayload<CounterSpec>> = NativeMem::new();
-            let obj = Universal::new(
-                &mut mem,
-                n,
-                UniversalConfig::for_procs(n),
-                CounterSpec::new(),
-            );
+            let obj = Universal::builder(n).build(&mut mem, CounterSpec::new());
             b.iter(|| obj.apply(&mem, Pid(0), &CounterOp::Inc));
         });
     }
@@ -89,12 +81,7 @@ fn bench_contended_batch(c: &mut Criterion) {
         b.iter_with_setup(
             || {
                 let mut mem: NativeMem<CellPayload<QueueSpec>> = NativeMem::new();
-                let obj = Universal::new(
-                    &mut mem,
-                    threads,
-                    UniversalConfig::for_procs(threads),
-                    QueueSpec::new(),
-                );
+                let obj = Universal::builder(threads).build(&mut mem, QueueSpec::new());
                 (obj, Arc::new(mem))
             },
             |(obj, mem)| run_batch(threads, per, &obj, &mem),

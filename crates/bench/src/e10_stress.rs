@@ -11,23 +11,39 @@
 //! point is that the wait-free object stays correct and live under the same
 //! torture where a lock holder can stall everyone.
 
-use crate::json::Json;
-use crate::render_table;
-use sbu_stress::{run_lock_based_jam, run_workload, Inject, StressConfig, Workload};
+use crate::{json::Json, render_table, write_obs_artifact};
+use sbu_stress::{run_lock_based_jam, run_workload, Inject, Options, StressConfig, Workload};
 
 /// Run the experiment, write `BENCH_e10.json`, and return the report.
 pub fn run() -> String {
     let mut rows = Vec::new();
     let mut json_rows = Vec::new();
+    let mut last_native_metrics = sbu_obs::Snapshot::default();
     for &threads in &[1usize, 2, 4, 8] {
-        let ops_per_thread = 4_000 / threads;
-        let mut cfg = StressConfig::new(threads, ops_per_thread, 0xE10);
-        cfg.objects = 4;
+        // Each sweep point is expressed as stress-CLI flags and parsed by
+        // the same `Options::parse` the stress example uses, so E10 can
+        // never drift from the driver's flag semantics or defaults.
+        let opts = Options::parse([
+            "--threads".to_string(),
+            threads.to_string(),
+            "--ops".to_string(),
+            "4000".to_string(),
+            "--seed".to_string(),
+            0xE10u64.to_string(),
+        ])
+        .expect("E10's own flag list parses");
+        let mut cfg = StressConfig::new(
+            opts.threads,
+            opts.total_ops.div_ceil(opts.threads),
+            opts.seed,
+        );
+        cfg.objects = opts.objects;
 
         let native = run_workload(Workload::Jam, &cfg, Inject::None);
         native.assert_clean();
         let lock = run_lock_based_jam(&cfg);
         lock.assert_clean();
+        last_native_metrics = native.metrics.clone();
 
         rows.push(vec![
             threads.to_string(),
@@ -63,9 +79,16 @@ pub fn run() -> String {
         ],
         &rows,
     );
+    if !last_native_metrics.is_empty() {
+        report.push('\n');
+        report.push_str(
+            &last_native_metrics.render_table("E10  native-arm instruments (8-thread sweep)"),
+        );
+    }
     match std::fs::write("BENCH_e10.json", doc.render()) {
         Ok(()) => report.push_str("wrote BENCH_e10.json\n"),
         Err(e) => report.push_str(&format!("could not write BENCH_e10.json: {e}\n")),
     }
+    report.push_str(&write_obs_artifact("e10", &last_native_metrics));
     report
 }

@@ -10,9 +10,8 @@
 //! Numbers vary by machine; the *shape* (modest constant-factor overhead,
 //! microsecond-scale recovery) is the reproducible claim.
 
-use crate::json::Json;
-use crate::render_table;
-use sbu_core::{bounded::UniversalConfig, CellPayload, Universal};
+use crate::{json::Json, render_table, write_obs_artifact};
+use sbu_core::{CellPayload, Universal};
 use sbu_mem::native::NativeMem;
 use sbu_mem::{DurableMem, Pid, TornPersist, Word};
 use sbu_spec::specs::{CounterOp, CounterSpec};
@@ -91,14 +90,12 @@ fn recoverable_jam_throughput(threads: usize) -> (f64, f64) {
 }
 
 /// Bounded universal counter over the native backend (non-durable baseline).
-fn plain_counter_throughput(threads: usize) -> f64 {
+fn plain_counter_throughput(threads: usize, registry: &sbu_obs::Registry) -> f64 {
     let mut mem: NativeMem<CellPayload<CounterSpec>> = NativeMem::new();
-    let counter = Universal::new(
-        &mut mem,
-        threads,
-        UniversalConfig::for_procs(threads),
-        CounterSpec::new(),
-    );
+    mem.attach_obs(registry);
+    let counter = Universal::builder(threads)
+        .obs(registry)
+        .build(&mut mem, CounterSpec::new());
     let mem = Arc::new(mem);
     let t0 = Instant::now();
     std::thread::scope(|s| {
@@ -117,15 +114,14 @@ fn plain_counter_throughput(threads: usize) -> f64 {
 
 /// The same counter over `DurableMem` (recoverable via `Universal::recover`);
 /// also returns the post-crash recovery cost in µs.
-fn recoverable_counter_throughput(threads: usize) -> (f64, f64) {
+fn recoverable_counter_throughput(threads: usize, registry: &sbu_obs::Registry) -> (f64, f64) {
     let mut mem: DurableMem<NativeMem<CellPayload<CounterSpec>>> =
         DurableMem::with_policy(NativeMem::new(), TornPersist::Persist);
-    let counter = Universal::new(
-        &mut mem,
-        threads,
-        UniversalConfig::for_procs(threads),
-        CounterSpec::new(),
-    );
+    mem.attach_obs(registry);
+    mem.inner_mut().attach_obs(registry);
+    let counter = Universal::builder(threads)
+        .obs(registry)
+        .build(&mut mem, CounterSpec::new());
     let mem = Arc::new(mem);
     let t0 = Instant::now();
     std::thread::scope(|s| {
@@ -154,6 +150,7 @@ pub fn run() -> String {
     let mut jam_rows = Vec::new();
     let mut ctr_rows = Vec::new();
     let mut json_rows = Vec::new();
+    let registry = sbu_obs::Registry::new(8);
     for &threads in &[1usize, 2, 4, 8] {
         let plain_jam = plain_jam_throughput(threads);
         let (rec_jam, sweep_us) = recoverable_jam_throughput(threads);
@@ -165,8 +162,8 @@ pub fn run() -> String {
             format!("{sweep_us:.1}"),
         ]);
 
-        let plain_ctr = plain_counter_throughput(threads);
-        let (rec_ctr, recover_us) = recoverable_counter_throughput(threads);
+        let plain_ctr = plain_counter_throughput(threads, &registry);
+        let (rec_ctr, recover_us) = recoverable_counter_throughput(threads, &registry);
         ctr_rows.push(vec![
             threads.to_string(),
             format!("{plain_ctr:.0}"),
@@ -213,9 +210,15 @@ pub fn run() -> String {
         ],
         &ctr_rows,
     ));
+    let metrics = registry.snapshot();
+    if !metrics.is_empty() {
+        out.push('\n');
+        out.push_str(&metrics.render_table("E11  counter-arm instruments (all sweeps)"));
+    }
     match std::fs::write("BENCH_e11.json", doc.render()) {
         Ok(()) => out.push_str("wrote BENCH_e11.json\n"),
         Err(e) => out.push_str(&format!("could not write BENCH_e11.json: {e}\n")),
     }
+    out.push_str(&write_obs_artifact("e11", &metrics));
     out
 }

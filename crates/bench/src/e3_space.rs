@@ -8,7 +8,7 @@
 //! set. The unbounded baseline's linear growth is shown for contrast.
 
 use crate::render_table;
-use sbu_core::{bounded::UniversalConfig, CellPayload, UnboundedUniversal, Universal};
+use sbu_core::{CellPayload, UnboundedUniversal, Universal};
 use sbu_mem::Pid;
 use sbu_sim::{run_uniform, RoundRobin, RunOptions, SimMem};
 use sbu_spec::specs::{CounterOp, CounterSpec};
@@ -19,12 +19,7 @@ pub fn run() -> String {
     let mut rows = Vec::new();
     for &n in &[1usize, 2, 3, 4, 6, 8] {
         let mut mem: SimMem<CellPayload<CounterSpec>> = SimMem::new(n);
-        let obj = Universal::new(
-            &mut mem,
-            n,
-            UniversalConfig::for_procs(n),
-            CounterSpec::new(),
-        );
+        let obj = Universal::builder(n).build(&mut mem, CounterSpec::new());
         let obj2 = obj.clone();
         let out = run_uniform(
             &mem,

@@ -22,12 +22,9 @@ pub fn run() -> String {
         let mut mem: SimMem<CellPayload<CounterSpec>> = SimMem::new(1);
         // E4a/E4b measure the *paper's* scans — the fast paths are the
         // ablation arm of E4c below.
-        let obj = Universal::new(
-            &mut mem,
-            n,
-            UniversalConfig::for_procs(n).paper_scans(),
-            CounterSpec::new(),
-        );
+        let obj = Universal::builder(n)
+            .config(UniversalConfig::for_procs(n).paper_scans())
+            .build(&mut mem, CounterSpec::new());
         let obj2 = obj.clone();
         let out = run_uniform(
             &mem,
@@ -66,12 +63,9 @@ pub fn run() -> String {
         let mut count = 0usize;
         for seed in 0..8 {
             let mut mem: SimMem<CellPayload<CounterSpec>> = SimMem::new(n);
-            let obj = Universal::new(
-                &mut mem,
-                n,
-                UniversalConfig::for_procs(n).paper_scans(),
-                CounterSpec::new(),
-            );
+            let obj = Universal::builder(n)
+                .config(UniversalConfig::for_procs(n).paper_scans())
+                .build(&mut mem, CounterSpec::new());
             let obj2 = obj.clone();
             let spans: Arc<parking_lot::Mutex<Vec<u64>>> =
                 Arc::new(parking_lot::Mutex::new(Vec::new()));
@@ -130,7 +124,9 @@ pub fn run() -> String {
             } else {
                 UniversalConfig::for_procs(n).paper_scans()
             };
-            let obj = Universal::new(&mut mem, n, config, CounterSpec::new());
+            let obj = Universal::builder(n)
+                .config(config)
+                .build(&mut mem, CounterSpec::new());
             let obj2 = obj.clone();
             let out = run_uniform(
                 &mem,

@@ -9,8 +9,8 @@
 
 use crate::render_table;
 use sbu_core::{
-    bounded::UniversalConfig, CellPayload, ConsensusUniversal, SpinLockUniversal,
-    UnboundedUniversal, Universal, UniversalObject,
+    CellPayload, ConsensusUniversal, SpinLockUniversal, UnboundedUniversal, Universal,
+    UniversalObject,
 };
 use sbu_mem::Pid;
 use sbu_sim::{run_uniform, CrashPlan, RoundRobin, RunOptions, SimMem};
@@ -96,7 +96,7 @@ pub fn run() -> String {
             "bounded universal (paper)",
             Box::new(|crash| {
                 run_scenario(
-                    |mem| Universal::new(mem, 3, UniversalConfig::for_procs(3), QueueSpec::new()),
+                    |mem| Universal::builder(3).build(mem, QueueSpec::new()),
                     crash,
                 )
             }),

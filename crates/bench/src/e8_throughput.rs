@@ -13,7 +13,7 @@
 //! that's the CI perf smoke.
 
 use crate::json::Json;
-use crate::render_table;
+use crate::{render_table, write_obs_artifact};
 use sbu_core::{
     bounded::UniversalConfig, CellPayload, SpinLockUniversal, UnboundedUniversal, Universal,
     UniversalObject,
@@ -87,23 +87,42 @@ where
     (threads * ops_per_thread) as f64 / t0.elapsed().as_secs_f64()
 }
 
-fn bounded_throughput(threads: usize, ops: usize, config: UniversalConfig) -> f64 {
+fn bounded_throughput(
+    threads: usize,
+    ops: usize,
+    config: UniversalConfig,
+    registry: &sbu_obs::Registry,
+) -> f64 {
     let mut mem: NativeMem<CellPayload<CounterSpec>> = NativeMem::new();
-    let bounded = Universal::new(&mut mem, threads, config, CounterSpec::new());
+    mem.attach_obs(registry);
+    let bounded = Universal::builder(threads)
+        .config(config)
+        .obs(registry)
+        .build(&mut mem, CounterSpec::new());
     throughput(threads, ops, bounded, mem)
 }
 
 /// Measure every arm at every thread count.
 pub fn measure() -> Vec<E8Row> {
+    measure_with(&sbu_obs::Registry::new(0))
+}
+
+/// Like [`measure`], but the bounded arms attach their instruments to
+/// `registry` (frontier hit/miss/fallback, combining batch sizes, CAS
+/// retries) — the source of the `OBS_e8.json` artifact. Size the registry
+/// for the largest entry of [`THREADS`].
+pub fn measure_with(registry: &sbu_obs::Registry) -> Vec<E8Row> {
     let mut rows = Vec::new();
     for &threads in &THREADS {
         let ops = OPS_PER_THREAD;
 
-        let bounded_fast = bounded_throughput(threads, ops, UniversalConfig::for_procs(threads));
+        let bounded_fast =
+            bounded_throughput(threads, ops, UniversalConfig::for_procs(threads), registry);
         let bounded_paper = bounded_throughput(
             threads,
             ops,
             UniversalConfig::for_procs(threads).paper_scans(),
+            registry,
         );
 
         let mut mem: NativeMem<CellPayload<CounterSpec>> = NativeMem::new();
@@ -229,13 +248,14 @@ pub fn run_checked(baseline: Option<&str>) -> Result<String, String> {
         },
     };
 
-    let mut rows = measure();
+    let registry = sbu_obs::Registry::new(*THREADS.iter().max().expect("non-empty sweep"));
+    let mut rows = measure_with(&registry);
     if let Some(base) = &base {
         for _ in 0..2 {
             if !compare_to_baseline(base, &rows).1 {
                 break;
             }
-            for (best, fresh) in rows.iter_mut().zip(measure()) {
+            for (best, fresh) in rows.iter_mut().zip(measure_with(&registry)) {
                 best.merge_best(&fresh);
             }
         }
@@ -243,10 +263,13 @@ pub fn run_checked(baseline: Option<&str>) -> Result<String, String> {
 
     let json = to_json(&rows).render();
     let mut report = render(&rows);
+    let metrics = registry.snapshot();
+    report.push_str(&metrics.render_table("E8  bounded-arm instruments (all sweeps)"));
     match std::fs::write("BENCH_e8.json", &json) {
         Ok(()) => report.push_str("wrote BENCH_e8.json\n"),
         Err(e) => report.push_str(&format!("could not write BENCH_e8.json: {e}\n")),
     }
+    report.push_str(&write_obs_artifact("e8", &metrics));
 
     let Some(path) = baseline else {
         return Ok(report);

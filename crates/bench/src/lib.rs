@@ -26,7 +26,31 @@ pub mod e6_hierarchy;
 pub mod e7_randomized;
 pub mod e8_throughput;
 pub mod e9_explore;
-pub mod json;
+
+// The JSON reader/writer moved to `sbu-obs` (it now also serves the
+// `OBS_*.json` artifacts); re-exported here so `sbu_bench::json::Json`
+// keeps working.
+pub use sbu_obs::json;
+
+/// Write the `OBS_<exp>.json` observability artifact (schema in
+/// EXPERIMENTS.md) next to the experiment's `BENCH_*.json`, returning a
+/// report line. An empty snapshot (the `obs` feature is off, or nothing
+/// registered) writes nothing and returns the empty string, so callers can
+/// append unconditionally.
+pub fn write_obs_artifact(exp: &str, snapshot: &sbu_obs::Snapshot) -> String {
+    if snapshot.is_empty() {
+        return String::new();
+    }
+    let doc = sbu_obs::Json::obj(vec![
+        ("experiment", sbu_obs::Json::Str(exp.into())),
+        ("metrics", snapshot.to_json()),
+    ]);
+    let path = format!("OBS_{exp}.json");
+    match std::fs::write(&path, doc.render()) {
+        Ok(()) => format!("wrote {path}\n"),
+        Err(e) => format!("could not write {path}: {e}\n"),
+    }
+}
 
 /// Render a table: header row plus data rows, columns padded.
 pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {

@@ -98,7 +98,10 @@ pub(crate) struct CellHandles {
 }
 
 impl CellHandles {
-    pub fn alloc<S: SequentialSpec, M: DataMem<CellPayload<S>>>(mem: &mut M, n: usize) -> Self {
+    /// Allocate one cell's registers out of `mem` (named `new` per the
+    /// crate-wide convention documented in `sbu_mem::prelude`: constructors
+    /// are `new`, even when they allocate out of a backend).
+    pub fn new<S: SequentialSpec, M: DataMem<CellPayload<S>>>(mem: &mut M, n: usize) -> Self {
         Self {
             claimed: mem.alloc_sticky_bit(),
             proc_id: mem.alloc_sticky_word(),

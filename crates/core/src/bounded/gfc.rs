@@ -92,6 +92,7 @@ impl<S> Inner<S> {
                     Some(t) => t == target as u64,
                 };
                 if won && mem.sticky_read(pid, cell.claimed) == Tri::Undef {
+                    self.obs.gfc_hint_hit.incr(pid.0);
                     return c;
                 }
                 self.release(mem, pid, local, c);
@@ -138,7 +139,8 @@ impl<S> Inner<S> {
             }
             // Every cell was contended this sweep: back off locally before
             // re-racing the jam loop.
-            backoff.spin();
+            let rounds = backoff.spin();
+            self.obs.backoff_spins.add(pid.0, u64::from(rounds));
         }
     }
 }

@@ -42,9 +42,11 @@ impl<S> Inner<S> {
                 }
                 tried = Some(hint);
                 if let Some(found) = self.walk_from_hint(mem, pid, local, my_cell, hint) {
+                    self.obs.frontier_hit.incr(pid.0);
                     local.head_hint = Some(found);
                     return Some(found);
                 }
+                self.obs.frontier_miss.incr(pid.0);
                 if mem
                     .sticky_word_read(pid, self.cells[my_cell].next)
                     .is_some()
@@ -52,6 +54,7 @@ impl<S> Inner<S> {
                     return None;
                 }
             }
+            self.obs.frontier_fallback.incr(pid.0);
         }
         let mut backoff = Backoff::new();
         loop {
@@ -75,7 +78,8 @@ impl<S> Inner<S> {
             }
             // A whole sweep raced past us: let the appenders drain before
             // rescanning (local spinning only — no shared step is skipped).
-            backoff.spin();
+            let rounds = backoff.spin();
+            self.obs.backoff_spins.add(pid.0, u64::from(rounds));
         }
     }
 
@@ -182,6 +186,7 @@ impl<S> Inner<S> {
                     pending.push((j, idx));
                 }
             }
+            self.obs.combine_batch.record(pid.0, pending.len() as u64);
             for (j, idx) in pending {
                 self.help_one(mem, pid, local, j, idx);
             }

@@ -29,9 +29,11 @@
 mod cell;
 mod gfc;
 mod list;
+mod obs;
 mod sync;
 
 pub use cell::UniversalConfig;
+pub use obs::CoreObs;
 
 use crate::{CellPayload, UniversalObject};
 use cell::CellHandles;
@@ -99,6 +101,9 @@ pub(crate) struct Inner<S> {
     /// cursor only costs time, never correctness.
     pub(crate) frontier: AtomicId,
     pub(crate) locals: Vec<Mutex<ProcLocal>>,
+    /// Hot-path instruments (inert unless attached via the builder; never
+    /// a shared-memory step either way).
+    pub(crate) obs: CoreObs,
     pub(crate) _spec: std::marker::PhantomData<fn() -> S>,
 }
 
@@ -109,15 +114,30 @@ pub(crate) struct Inner<S> {
 /// processors, using only sticky primitives and safe registers.
 ///
 /// ```
-/// use sbu_core::{Universal, bounded::UniversalConfig};
+/// use sbu_core::Universal;
 /// use sbu_mem::{native::NativeMem, Pid};
 /// use sbu_spec::specs::{CounterSpec, CounterOp};
 ///
 /// let mut mem = NativeMem::new();
-/// let counter = Universal::new(&mut mem, 2, UniversalConfig::for_procs(2),
-///                              CounterSpec::new());
+/// let counter = Universal::builder(2).build(&mut mem, CounterSpec::new());
 /// assert_eq!(counter.apply(&mem, Pid(0), &CounterOp::Inc), 1);
 /// assert_eq!(counter.apply(&mem, Pid(1), &CounterOp::Inc), 2);
+/// ```
+///
+/// Non-default pool sizing and observability attach through the builder:
+///
+/// ```
+/// use sbu_core::{Universal, bounded::UniversalConfig};
+/// use sbu_mem::native::NativeMem;
+/// use sbu_spec::specs::CounterSpec;
+///
+/// let registry = sbu_obs::Registry::new(2);
+/// let mut mem = NativeMem::new();
+/// let counter = Universal::builder(2)
+///     .config(UniversalConfig::with_cells(40).paper_scans())
+///     .obs(&registry)
+///     .build(&mut mem, CounterSpec::new());
+/// assert_eq!(counter.pool_size(), 40);
 /// ```
 pub struct Universal<S: SequentialSpec> {
     pub(crate) inner: Arc<Inner<S>>,
@@ -146,47 +166,33 @@ where
     S: SequentialSpec + Send + Sync,
     S::Op: Send + Sync,
 {
-    /// Build the object: allocates the cell pool, the announce arrays, and
-    /// the anchor cell holding `initial` (setup phase, single-threaded).
+    /// Start building the object for `n` processors: the default Θ(n²)
+    /// pool, fast paths on, no observability. Chain
+    /// [`UniversalBuilder::config`] and [`UniversalBuilder::obs`], then
+    /// call [`UniversalBuilder::build`].
+    pub fn builder(n: usize) -> UniversalBuilder<S> {
+        UniversalBuilder {
+            n,
+            config: UniversalConfig::for_procs(n),
+            obs: CoreObs::default(),
+            _spec: std::marker::PhantomData,
+        }
+    }
+
+    /// Build the object with an explicit config (setup phase,
+    /// single-threaded).
+    ///
+    /// **Superseded** by the builder — prefer
+    /// `Universal::builder(n).config(config).build(mem, initial)`, which
+    /// also exposes observability. Kept as a thin shim for older call
+    /// sites.
     pub fn new<M: DataMem<CellPayload<S>>>(
         mem: &mut M,
         n: usize,
         config: UniversalConfig,
         initial: S,
     ) -> Self {
-        assert!(n >= 1, "at least one processor");
-        assert!(
-            config.cells >= 2 * n + 2,
-            "pool of {} cells is too small for {n} processors",
-            config.cells
-        );
-        let cells: Vec<CellHandles> = (0..config.cells)
-            .map(|_| CellHandles::alloc(mem, n))
-            .collect();
-        let inner = Inner {
-            n,
-            use_fast_paths: config.fast_paths,
-            cells,
-            announce_gfc: (0..n).map(|_| mem.alloc_safe(0)).collect(),
-            announce_append: (0..n).map(|_| mem.alloc_safe(0)).collect(),
-            announce_append_cell: (0..n).map(|_| mem.alloc_safe(0)).collect(),
-            frontier: mem.alloc_atomic(ANCHOR as u64),
-            locals: (0..n).map(|_| Mutex::new(ProcLocal::default())).collect(),
-            _spec: std::marker::PhantomData,
-        };
-        // The anchor: permanently claimed by the non-existent processor
-        // `n`, holding the initial state, linked to itself so FIND-HEAD's
-        // `Next ≠ ⊥` criterion matches it from the start.
-        let anchor = &inner.cells[ANCHOR];
-        let pid0 = Pid(0);
-        mem.sticky_jam(pid0, anchor.claimed, true);
-        mem.sticky_word_jam(pid0, anchor.proc_id, n as u64);
-        mem.data_write(pid0, anchor.state, CellPayload::State(initial));
-        mem.safe_write(pid0, anchor.has_state, 1);
-        mem.sticky_word_jam(pid0, anchor.next, ANCHOR as u64);
-        Self {
-            inner: Arc::new(inner),
-        }
+        Self::builder(n).config(config).build(mem, initial)
     }
 
     /// Number of processors.
@@ -322,6 +328,81 @@ where
             inner.help_appends(mem, pid, &mut local);
         }
         mem.persist(pid);
+    }
+}
+
+/// Builder for [`Universal`] (start with [`Universal::builder`]).
+///
+/// Collects the construction-time choices — pool sizing / fast paths via
+/// [`UniversalBuilder::config`], observability via
+/// [`UniversalBuilder::obs`] — then allocates everything in
+/// [`UniversalBuilder::build`].
+#[derive(Debug)]
+pub struct UniversalBuilder<S> {
+    n: usize,
+    config: UniversalConfig,
+    obs: CoreObs,
+    _spec: std::marker::PhantomData<fn() -> S>,
+}
+
+impl<S> UniversalBuilder<S>
+where
+    S: SequentialSpec + Send + Sync,
+    S::Op: Send + Sync,
+{
+    /// Override the pool sizing / fast-path config (default:
+    /// [`UniversalConfig::for_procs`]).
+    pub fn config(mut self, config: UniversalConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Attach hot-path instruments registered against `registry`
+    /// (frontier hits/misses, combining batch sizes, grab retries, …; see
+    /// [`CoreObs`]). Without this call the object records nothing.
+    pub fn obs(mut self, registry: &sbu_obs::Registry) -> Self {
+        self.obs = CoreObs::register(registry);
+        self
+    }
+
+    /// Build the object: allocates the cell pool, the announce arrays, and
+    /// the anchor cell holding `initial` (setup phase, single-threaded).
+    pub fn build<M: DataMem<CellPayload<S>>>(self, mem: &mut M, initial: S) -> Universal<S> {
+        let (n, config) = (self.n, self.config);
+        assert!(n >= 1, "at least one processor");
+        assert!(
+            config.cells >= 2 * n + 2,
+            "pool of {} cells is too small for {n} processors",
+            config.cells
+        );
+        let cells: Vec<CellHandles> = (0..config.cells)
+            .map(|_| CellHandles::new(mem, n))
+            .collect();
+        let inner = Inner {
+            n,
+            use_fast_paths: config.fast_paths,
+            cells,
+            announce_gfc: (0..n).map(|_| mem.alloc_safe(0)).collect(),
+            announce_append: (0..n).map(|_| mem.alloc_safe(0)).collect(),
+            announce_append_cell: (0..n).map(|_| mem.alloc_safe(0)).collect(),
+            frontier: mem.alloc_atomic(ANCHOR as u64),
+            locals: (0..n).map(|_| Mutex::new(ProcLocal::default())).collect(),
+            obs: self.obs,
+            _spec: std::marker::PhantomData,
+        };
+        // The anchor: permanently claimed by the non-existent processor
+        // `n`, holding the initial state, linked to itself so FIND-HEAD's
+        // `Next ≠ ⊥` criterion matches it from the start.
+        let anchor = &inner.cells[ANCHOR];
+        let pid0 = Pid(0);
+        mem.sticky_jam(pid0, anchor.claimed, true);
+        mem.sticky_word_jam(pid0, anchor.proc_id, n as u64);
+        mem.data_write(pid0, anchor.state, CellPayload::State(initial));
+        mem.safe_write(pid0, anchor.has_state, 1);
+        mem.sticky_word_jam(pid0, anchor.next, ANCHOR as u64);
+        Universal {
+            inner: Arc::new(inner),
+        }
     }
 }
 

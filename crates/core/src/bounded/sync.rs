@@ -33,11 +33,13 @@ impl<S> Inner<S> {
         }
         let cell = &self.cells[c];
         if mem.safe_read(pid, cell.init_flag) != 0 {
+            self.obs.grab_retry.incr(pid.0);
             return false;
         }
         mem.safe_write(pid, cell.r[pid.0], 1);
         if mem.safe_read(pid, cell.init_flag) != 0 {
             mem.safe_write(pid, cell.r[pid.0], 0);
+            self.obs.grab_retry.incr(pid.0);
             return false;
         }
         local.grabs.insert(c, 1);

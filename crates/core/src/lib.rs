@@ -41,7 +41,7 @@ pub mod unbounded;
 use sbu_mem::{DataMem, Pid};
 use sbu_spec::SequentialSpec;
 
-pub use bounded::Universal;
+pub use bounded::{Universal, UniversalBuilder};
 pub use consensus_universal::ConsensusUniversal;
 pub use lock_based::SpinLockUniversal;
 pub use unbounded::UnboundedUniversal;

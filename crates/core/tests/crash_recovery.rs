@@ -11,7 +11,7 @@
 //! effect (recovery re-executes an interrupted append) or vanish, and the
 //! pool never wedges on the dead incarnation's announcements or grab bits.
 
-use sbu_core::{bounded::UniversalConfig, CellPayload, Universal};
+use sbu_core::{CellPayload, Universal};
 use sbu_mem::{DurableMem, Pid, TornPersist, WordMem};
 use sbu_sim::{
     run_uniform, CrashPlan, HistoryRecorder, RandomAdversary, RoundRobin, RunOptions, SimMem,
@@ -32,12 +32,7 @@ struct Fixture {
 fn fixture(n: usize) -> Fixture {
     let sim: Mem = SimMem::new(n);
     let mut dmem = DurableMem::with_policy(sim.clone(), TornPersist::Persist);
-    let obj = Universal::new(
-        &mut dmem,
-        n,
-        UniversalConfig::for_procs(n),
-        CounterSpec::new(),
-    );
+    let obj = Universal::builder(n).build(&mut dmem, CounterSpec::new());
     Fixture {
         sim,
         dmem: Arc::new(dmem),

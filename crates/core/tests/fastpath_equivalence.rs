@@ -35,7 +35,9 @@ fn episode(
     outcomes: &RefCell<BTreeSet<Vec<u64>>>,
 ) -> EpisodeResult {
     let mut mem: Mem = SimMem::new(n);
-    let obj = Universal::new(&mut mem, n, config, CounterSpec::new());
+    let obj = Universal::builder(n)
+        .config(config)
+        .build(&mut mem, CounterSpec::new());
     let obj2 = obj.clone();
     let out = run_uniform(
         &mem,
@@ -174,7 +176,7 @@ proptest! {
         script in prop::collection::vec(0usize..3, 0..160),
     ) {
         let mut mem: Mem = SimMem::new(n);
-        let obj = Universal::new(&mut mem, n, UniversalConfig::for_procs(n), CounterSpec::new());
+        let obj = Universal::builder(n).build(&mut mem, CounterSpec::new());
         let obj2 = obj.clone();
         let responses: std::sync::Arc<parking_lot::Mutex<Vec<Vec<u64>>>> =
             std::sync::Arc::new(parking_lot::Mutex::new(vec![Vec::new(); n]));

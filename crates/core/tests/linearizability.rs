@@ -29,12 +29,7 @@ fn bounded_counter_linearizable_under_fuzz() {
     for seed in 0..25 {
         let n = 3;
         let mut mem: SimMem<CellPayload<CounterSpec>> = SimMem::new(n);
-        let obj = Universal::new(
-            &mut mem,
-            n,
-            UniversalConfig::for_procs(n),
-            CounterSpec::new(),
-        );
+        let obj = Universal::builder(n).build(&mut mem, CounterSpec::new());
         let rec: Arc<HistoryRecorder<CounterOp, u64>> = Arc::new(HistoryRecorder::new());
         let rec2 = Arc::clone(&rec);
         let obj2 = obj.clone();
@@ -68,12 +63,7 @@ fn bounded_counter_linearizable_with_crashes_and_hostile_reads() {
     for seed in 0..25 {
         let n = 3;
         let mut mem: SimMem<CellPayload<CounterSpec>> = SimMem::new(n);
-        let obj = Universal::new(
-            &mut mem,
-            n,
-            UniversalConfig::for_procs(n),
-            CounterSpec::new(),
-        );
+        let obj = Universal::builder(n).build(&mut mem, CounterSpec::new());
         let pool = obj.pool_size() as u64;
         let rec: Arc<HistoryRecorder<CounterOp, u64>> = Arc::new(HistoryRecorder::new());
         let rec2 = Arc::clone(&rec);
@@ -115,7 +105,7 @@ fn bounded_queue_linearizable_under_fuzz() {
     for seed in 0..15 {
         let n = 3;
         let mut mem: SimMem<CellPayload<QueueSpec>> = SimMem::new(n);
-        let obj = Universal::new(&mut mem, n, UniversalConfig::for_procs(n), QueueSpec::new());
+        let obj = Universal::builder(n).build(&mut mem, QueueSpec::new());
         let rec: Arc<HistoryRecorder<QueueOp, QueueResp>> = Arc::new(HistoryRecorder::new());
         let rec2 = Arc::clone(&rec);
         let obj2 = obj.clone();
@@ -213,12 +203,7 @@ fn bounded_two_procs_long_run_linearizable() {
     for seed in 0..10 {
         let n = 2;
         let mut mem: SimMem<CellPayload<CounterSpec>> = SimMem::new(n);
-        let obj = Universal::new(
-            &mut mem,
-            n,
-            UniversalConfig::for_procs(n),
-            CounterSpec::new(),
-        );
+        let obj = Universal::builder(n).build(&mut mem, CounterSpec::new());
         let rec: Arc<HistoryRecorder<CounterOp, u64>> = Arc::new(HistoryRecorder::new());
         let rec2 = Arc::clone(&rec);
         let obj2 = obj.clone();
@@ -259,12 +244,9 @@ fn bounded_with_head_hints_linearizable() {
     for seed in 0..20 {
         let n = 3;
         let mut mem: SimMem<CellPayload<CounterSpec>> = SimMem::new(n);
-        let obj = Universal::new(
-            &mut mem,
-            n,
-            UniversalConfig::for_procs(n).with_fast_paths(),
-            CounterSpec::new(),
-        );
+        let obj = Universal::builder(n)
+            .config(UniversalConfig::for_procs(n).with_fast_paths())
+            .build(&mut mem, CounterSpec::new());
         let pool = obj.pool_size() as u64;
         let rec: Arc<HistoryRecorder<CounterOp, u64>> = Arc::new(HistoryRecorder::new());
         let rec2 = Arc::clone(&rec);

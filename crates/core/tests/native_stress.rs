@@ -3,7 +3,7 @@
 //! CAS winner uniqueness, conservation of money).
 
 use sbu_core::objects::{WaitFreeBank, WaitFreeCas, WaitFreeCounter, WaitFreeQueue};
-use sbu_core::{bounded::UniversalConfig, CellPayload, Universal};
+use sbu_core::{CellPayload, Universal};
 use sbu_mem::native::NativeMem;
 use sbu_mem::Pid;
 use sbu_spec::specs::{BankResp, BankSpec, CasSpec, CounterSpec, QueueSpec};
@@ -15,12 +15,7 @@ const THREADS: usize = 4;
 fn counter_total_is_exact() {
     let per = 50;
     let mut mem: NativeMem<CellPayload<CounterSpec>> = NativeMem::new();
-    let obj = Universal::new(
-        &mut mem,
-        THREADS,
-        UniversalConfig::for_procs(THREADS),
-        CounterSpec::new(),
-    );
+    let obj = Universal::builder(THREADS).build(&mut mem, CounterSpec::new());
     let counter = WaitFreeCounter::new(obj);
     let mem = Arc::new(mem);
     let mut seen: Vec<u64> = std::thread::scope(|s| {
@@ -51,12 +46,7 @@ fn counter_total_is_exact() {
 fn queue_preserves_per_producer_fifo_and_loses_nothing() {
     let per = 30;
     let mut mem: NativeMem<CellPayload<QueueSpec>> = NativeMem::new();
-    let obj = Universal::new(
-        &mut mem,
-        THREADS,
-        UniversalConfig::for_procs(THREADS),
-        QueueSpec::new(),
-    );
+    let obj = Universal::builder(THREADS).build(&mut mem, QueueSpec::new());
     let queue = WaitFreeQueue::new(obj);
     let mem = Arc::new(mem);
     // Producers enqueue tagged values; consumers dequeue everything.
@@ -135,12 +125,7 @@ fn queue_preserves_per_producer_fifo_and_loses_nothing() {
 #[test]
 fn cas_register_elects_exactly_one_winner_per_generation() {
     let mut mem: NativeMem<CellPayload<CasSpec>> = NativeMem::new();
-    let obj = Universal::new(
-        &mut mem,
-        THREADS,
-        UniversalConfig::for_procs(THREADS),
-        CasSpec::new(),
-    );
+    let obj = Universal::builder(THREADS).build(&mut mem, CasSpec::new());
     let cas = WaitFreeCas::new(obj);
     let mem = Arc::new(mem);
     for generation in 0..10u64 {
@@ -166,12 +151,7 @@ fn bank_conserves_money_under_concurrent_transfers() {
     let accounts = 4;
     let initial = 1000;
     let mut mem: NativeMem<CellPayload<BankSpec>> = NativeMem::new();
-    let obj = Universal::new(
-        &mut mem,
-        THREADS,
-        UniversalConfig::for_procs(THREADS),
-        BankSpec::new(accounts, initial),
-    );
+    let obj = Universal::builder(THREADS).build(&mut mem, BankSpec::new(accounts, initial));
     let bank = WaitFreeBank::new(obj);
     let mem = Arc::new(mem);
     std::thread::scope(|s| {
@@ -210,12 +190,7 @@ fn mixed_backends_same_results_sequentially() {
         .collect();
 
     let mut mem: NativeMem<CellPayload<CounterSpec>> = NativeMem::new();
-    let a = Universal::new(
-        &mut mem,
-        1,
-        UniversalConfig::for_procs(1),
-        CounterSpec::new(),
-    );
+    let a = Universal::builder(1).build(&mut mem, CounterSpec::new());
     let b = UnboundedUniversal::new(&mut mem, 1, 64, CounterSpec::new());
     let c = SpinLockUniversal::new(&mut mem, CounterSpec::new());
     for op in &script {

@@ -32,7 +32,7 @@ proptest! {
     ) {
         let n = 2;
         let mut mem: SimMem<CellPayload<QueueSpec>> = SimMem::new(n);
-        let obj = Universal::new(&mut mem, n, UniversalConfig::for_procs(n), QueueSpec::new());
+        let obj = Universal::builder(n).build(&mut mem, QueueSpec::new());
         let rec: Arc<HistoryRecorder<QueueOp, QueueResp>> = Arc::new(HistoryRecorder::new());
         let rec2 = Arc::clone(&rec);
         let obj2 = obj.clone();
@@ -65,12 +65,7 @@ proptest! {
     ) {
         let n = 2;
         let mut mem: SimMem<CellPayload<StackSpec>> = SimMem::new(n);
-        let obj = Universal::new(
-            &mut mem,
-            n,
-            UniversalConfig::for_procs(n).with_fast_paths(),
-            StackSpec::new(),
-        );
+        let obj = Universal::builder(n).config(UniversalConfig::for_procs(n).with_fast_paths()).build(&mut mem, StackSpec::new());
         let rec: Arc<HistoryRecorder<StackOp, StackResp>> = Arc::new(HistoryRecorder::new());
         let rec2 = Arc::clone(&rec);
         let obj2 = obj.clone();

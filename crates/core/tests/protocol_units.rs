@@ -11,12 +11,7 @@ type Mem = SimMem<CellPayload<CounterSpec>>;
 
 fn build(n: usize) -> (Mem, Universal<CounterSpec>) {
     let mut mem: Mem = SimMem::new(n);
-    let obj = Universal::new(
-        &mut mem,
-        n,
-        UniversalConfig::for_procs(n),
-        CounterSpec::new(),
-    );
+    let obj = Universal::builder(n).build(&mut mem, CounterSpec::new());
     (mem, obj)
 }
 
@@ -138,12 +133,9 @@ fn undersized_pool_aborts_cleanly() {
     let mut mem: Mem = SimMem::new(n);
     // Minimum the constructor accepts: 2n+2 = 6 cells. Two processors
     // churning ops need more once marks lag.
-    let obj = Universal::new(
-        &mut mem,
-        n,
-        UniversalConfig::with_cells(2 * n + 2),
-        CounterSpec::new(),
-    );
+    let obj = Universal::builder(n)
+        .config(UniversalConfig::with_cells(2 * n + 2))
+        .build(&mut mem, CounterSpec::new());
     let obj2 = obj.clone();
     let out = run_uniform(
         &mem,
@@ -223,12 +215,7 @@ fn bounded_exhaustive_prefix_of_universal_counter() {
     let explorer = Explorer::new(2_500);
     let report = explorer.explore(|script| {
         let mut mem: Mem = SimMem::new(2);
-        let obj = Universal::new(
-            &mut mem,
-            2,
-            UniversalConfig::for_procs(2),
-            CounterSpec::new(),
-        );
+        let obj = Universal::builder(2).build(&mut mem, CounterSpec::new());
         let obj2 = obj.clone();
         let out = run_uniform(
             &mem,
@@ -270,12 +257,7 @@ fn bounded_exhaustive_prefix_with_crashes() {
     let explorer = Explorer::new(1_500);
     let report = explorer.explore(|script| {
         let mut mem: Mem = SimMem::new(2);
-        let obj = Universal::new(
-            &mut mem,
-            2,
-            UniversalConfig::for_procs(2),
-            CounterSpec::new(),
-        );
+        let obj = Universal::builder(2).build(&mut mem, CounterSpec::new());
         let obj2 = obj.clone();
         let out = run_uniform(
             &mem,
@@ -327,12 +309,7 @@ fn exhaustive_all_one_preemption_schedules() {
     };
     let report = explorer.explore(|script| {
         let mut mem: Mem = SimMem::new(2);
-        let obj = Universal::new(
-            &mut mem,
-            2,
-            UniversalConfig::for_procs(2),
-            CounterSpec::new(),
-        );
+        let obj = Universal::builder(2).build(&mut mem, CounterSpec::new());
         let obj2 = obj.clone();
         let out = run_uniform(
             &mem,
@@ -375,12 +352,7 @@ fn bounded_exhaustive_two_preemption_prefix() {
     };
     let report = explorer.explore(|script| {
         let mut mem: Mem = SimMem::new(2);
-        let obj = Universal::new(
-            &mut mem,
-            2,
-            UniversalConfig::for_procs(2),
-            CounterSpec::new(),
-        );
+        let obj = Universal::builder(2).build(&mut mem, CounterSpec::new());
         let obj2 = obj.clone();
         let out = run_uniform(
             &mem,

@@ -2,7 +2,7 @@
 //! its Θ(n²) pool indefinitely, while the unbounded baseline consumes one
 //! cell per operation forever.
 
-use sbu_core::{bounded::UniversalConfig, CellPayload, UnboundedUniversal, Universal};
+use sbu_core::{CellPayload, UnboundedUniversal, Universal};
 use sbu_mem::Pid;
 use sbu_sim::{run_uniform, RandomAdversary, RoundRobin, RunOptions, SimMem};
 use sbu_spec::specs::{CounterOp, CounterSpec};
@@ -14,12 +14,7 @@ fn bounded_pool_is_reused_forever() {
     let n = 2;
     let ops_each = 60; // 120 ops through a 36-cell pool
     let mut mem: SimMem<CellPayload<CounterSpec>> = SimMem::new(n);
-    let obj = Universal::new(
-        &mut mem,
-        n,
-        UniversalConfig::for_procs(n),
-        CounterSpec::new(),
-    );
+    let obj = Universal::builder(n).build(&mut mem, CounterSpec::new());
     let obj2 = obj.clone();
     let out = run_uniform(
         &mem,
@@ -59,12 +54,7 @@ fn bounded_pool_reuse_under_adversary() {
         let n = 3;
         let ops_each = 25;
         let mut mem: SimMem<CellPayload<CounterSpec>> = SimMem::new(n);
-        let obj = Universal::new(
-            &mut mem,
-            n,
-            UniversalConfig::for_procs(n),
-            CounterSpec::new(),
-        );
+        let obj = Universal::builder(n).build(&mut mem, CounterSpec::new());
         let obj2 = obj.clone();
         let out = run_uniform(
             &mem,
@@ -136,12 +126,7 @@ fn crash_leaks_are_bounded() {
     for seed in 0..5 {
         let n = 3;
         let mut mem: SimMem<CellPayload<CounterSpec>> = SimMem::new(n);
-        let obj = Universal::new(
-            &mut mem,
-            n,
-            UniversalConfig::for_procs(n),
-            CounterSpec::new(),
-        );
+        let obj = Universal::builder(n).build(&mut mem, CounterSpec::new());
         let obj2 = obj.clone();
         let out = run_uniform(
             &mem,

@@ -3,7 +3,7 @@
 //! doing nothing at all (solo termination) or dying mid-operation.
 //! Contrast with the lock-based construction, which wedges.
 
-use sbu_core::{bounded::UniversalConfig, CellPayload, SpinLockUniversal, Universal};
+use sbu_core::{CellPayload, SpinLockUniversal, Universal};
 use sbu_mem::Pid;
 use sbu_sim::{run, run_uniform, CrashPlan, RoundRobin, RunOptions, Scripted, SimMem};
 use sbu_spec::specs::{CounterOp, CounterSpec};
@@ -15,12 +15,7 @@ use sbu_spec::specs::{CounterOp, CounterSpec};
 fn solo_termination_under_total_starvation_of_others() {
     let n = 3;
     let mut mem: SimMem<CellPayload<CounterSpec>> = SimMem::new(n);
-    let obj = Universal::new(
-        &mut mem,
-        n,
-        UniversalConfig::for_procs(n),
-        CounterSpec::new(),
-    );
+    let obj = Universal::builder(n).build(&mut mem, CounterSpec::new());
     let obj2 = obj.clone();
     let out = run(
         &mem,
@@ -52,12 +47,7 @@ fn solo_termination_under_total_starvation_of_others() {
 fn survivor_completes_after_everyone_else_dies_mid_op() {
     let n = 3;
     let mut mem: SimMem<CellPayload<CounterSpec>> = SimMem::new(n);
-    let obj = Universal::new(
-        &mut mem,
-        n,
-        UniversalConfig::for_procs(n),
-        CounterSpec::new(),
-    );
+    let obj = Universal::builder(n).build(&mut mem, CounterSpec::new());
     let obj2 = obj.clone();
     let out = run_uniform(
         &mem,
@@ -93,12 +83,7 @@ fn per_op_steps_are_bounded() {
     let mut worst = 0u64;
     for seed in 0..10 {
         let mut mem: SimMem<CellPayload<CounterSpec>> = SimMem::new(n);
-        let obj = Universal::new(
-            &mut mem,
-            n,
-            UniversalConfig::for_procs(n),
-            CounterSpec::new(),
-        );
+        let obj = Universal::builder(n).build(&mut mem, CounterSpec::new());
         let obj2 = obj.clone();
         let steps = std::sync::Arc::new(parking_lot::Mutex::new(Vec::<u64>::new()));
         let steps2 = std::sync::Arc::clone(&steps);
@@ -155,12 +140,7 @@ fn lock_based_object_is_not_wait_free() {
 fn universal_object_survives_the_lock_killer_scenario() {
     let n = 2;
     let mut mem: SimMem<CellPayload<CounterSpec>> = SimMem::new(n);
-    let obj = Universal::new(
-        &mut mem,
-        n,
-        UniversalConfig::for_procs(n),
-        CounterSpec::new(),
-    );
+    let obj = Universal::builder(n).build(&mut mem, CounterSpec::new());
     let obj2 = obj.clone();
     let out = run_uniform(
         &mem,

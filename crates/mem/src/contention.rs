@@ -87,14 +87,19 @@ impl Backoff {
     }
 
     /// Busy-wait for the current delay, then double it (up to the cap).
+    /// Returns the number of spin rounds waited, so callers can attribute
+    /// backoff cost to an observability counter without this type knowing
+    /// anything about registries.
     #[inline]
-    pub fn spin(&mut self) {
-        for _ in 0..1u32 << self.step {
+    pub fn spin(&mut self) -> u32 {
+        let rounds = 1u32 << self.step;
+        for _ in 0..rounds {
             std::hint::spin_loop();
         }
         if self.step < BACKOFF_LIMIT {
             self.step += 1;
         }
+        rounds
     }
 
     /// Whether the delay has reached its cap (callers that want to fall
@@ -145,11 +150,15 @@ mod tests {
     fn backoff_saturates_and_resets() {
         let mut b = Backoff::new();
         assert!(!b.is_saturated());
-        for _ in 0..BACKOFF_LIMIT + 2 {
+        assert_eq!(b.spin(), 1);
+        assert_eq!(b.spin(), 2);
+        for _ in 0..BACKOFF_LIMIT {
             b.spin();
         }
         assert!(b.is_saturated());
+        assert_eq!(b.spin(), 1 << BACKOFF_LIMIT);
         b.reset();
         assert!(!b.is_saturated());
+        assert_eq!(b.spin(), 1);
     }
 }

@@ -228,6 +228,32 @@ pub struct DurableMem<M> {
     inner: M,
     policy: TornPersist,
     book: Mutex<Book>,
+    obs: DurableObs,
+}
+
+/// The durable wrapper's instruments (DESIGN.md §11). Detached — and
+/// therefore free — until [`DurableMem::attach_obs`] registers them.
+/// Crashes are driver-serialized (the harness crashes at barriers), so
+/// these record on lane 0.
+#[derive(Debug, Clone, Default)]
+pub struct DurableObs {
+    /// `mem.torn_drops` — unfenced persistent writes resolved to *lost* at
+    /// a crash (`lose`/`seeded` policies).
+    pub torn_drops: sbu_obs::Counter,
+    /// `mem.lying_rollbacks` — fenced sticky bits illegally rolled back to
+    /// `⊥` by the [`TornPersist::Lying`] policy: the injected lies a
+    /// durable-linearizability checker must catch.
+    pub lying_rollbacks: sbu_obs::Counter,
+}
+
+impl DurableObs {
+    /// Register the wrapper's instruments in `registry`.
+    pub fn register(registry: &sbu_obs::Registry) -> Self {
+        DurableObs {
+            torn_drops: registry.counter("mem.torn_drops"),
+            lying_rollbacks: registry.counter("mem.lying_rollbacks"),
+        }
+    }
 }
 
 impl<M: WordMem> DurableMem<M> {
@@ -246,12 +272,25 @@ impl<M: WordMem> DurableMem<M> {
             inner,
             policy,
             book: Mutex::new(book),
+            obs: DurableObs::default(),
         }
     }
 
     /// The wrapped backend.
     pub fn inner(&self) -> &M {
         &self.inner
+    }
+
+    /// Mutable access to the wrapped backend (setup-time only — e.g. to
+    /// call the inner backend's own `attach_obs`).
+    pub fn inner_mut(&mut self) -> &mut M {
+        &mut self.inner
+    }
+
+    /// Attach this wrapper's instruments to `registry` (see [`DurableObs`]).
+    /// With the `obs` cargo feature off this is a no-op.
+    pub fn attach_obs(&mut self, registry: &sbu_obs::Registry) {
+        self.obs = DurableObs::register(registry);
     }
 
     /// Recorded protocol violations (flush/reset overlapping unfenced
@@ -319,6 +358,7 @@ impl<M: WordMem> DurableMem<M> {
                 self.inner.sticky_flush(reverter, StickyBitId(slot));
                 book.defined.remove(&(Kind::Bit, slot));
                 book.pending.remove(&(Kind::Bit, slot));
+                self.obs.lying_rollbacks.incr(0);
             }
         }
 
@@ -343,6 +383,7 @@ impl<M: WordMem> DurableMem<M> {
             if !lose {
                 continue; // reached NVM: durable from now on
             }
+            self.obs.torn_drops.incr(0);
             let (kind, slot) = key;
             match kind {
                 Kind::Bit => {
@@ -716,6 +757,30 @@ mod tests {
         mem.restart(Pid(0));
         assert!(!mem.is_down(Pid(0)));
         assert_eq!(mem.restarts(), 1);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn attached_registry_counts_lies_and_drops() {
+        let registry = sbu_obs::Registry::new(2);
+        let mut mem = DurableMem::with_policy(NativeMem::<()>::new(), TornPersist::Lying);
+        mem.attach_obs(&registry);
+        let bits: Vec<_> = (0..3).map(|_| mem.alloc_sticky_bit()).collect();
+        for &b in &bits {
+            assert!(mem.sticky_jam(Pid(0), b, true).is_success());
+        }
+        mem.persist(Pid(0));
+        mem.crash(&[Pid(0)]);
+        assert_eq!(registry.snapshot().counter("mem.lying_rollbacks"), 3);
+
+        let registry = sbu_obs::Registry::new(2);
+        let mut mem = DurableMem::with_policy(NativeMem::<()>::new(), TornPersist::Lose);
+        mem.attach_obs(&registry);
+        let s = mem.alloc_sticky_bit();
+        assert!(mem.sticky_jam(Pid(0), s, true).is_success());
+        mem.crash(&[Pid(0)]);
+        assert_eq!(registry.snapshot().counter("mem.torn_drops"), 1);
+        assert_eq!(registry.snapshot().counter("mem.lying_rollbacks"), 0);
     }
 
     #[test]

@@ -42,10 +42,12 @@ pub mod conformance;
 pub mod contention;
 pub mod durable;
 pub mod native;
+pub mod prelude;
 mod traits;
 
 pub use contention::{Backoff, CachePadded};
-pub use durable::{DurableMem, TornPersist};
+pub use durable::{DurableMem, DurableObs, TornPersist};
+pub use native::{MemObs, NativeMem};
 pub use sbu_spec::specs::Tri;
 pub use sbu_spec::Pid;
 pub use traits::{DataMem, JamOutcome, WordMem};

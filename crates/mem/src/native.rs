@@ -90,6 +90,26 @@ pub struct NativeMem<P> {
     tas_bits: Vec<CachePadded<AtomicBool>>,
     data: Vec<CachePadded<RwLock<Option<P>>>>,
     clock: CachePadded<AtomicU64>,
+    obs: MemObs,
+}
+
+/// The native backend's instruments (DESIGN.md §11). Detached — and
+/// therefore free — until [`NativeMem::attach_obs`] registers them.
+#[derive(Debug, Clone, Default)]
+pub struct MemObs {
+    /// `mem.cas_retry` — failed lane compare-exchanges inside
+    /// [`WordMem::sticky_jam`]: a sibling lane of the same packed word (or
+    /// a racing jam on this lane) moved the word under us.
+    pub cas_retry: sbu_obs::Counter,
+}
+
+impl MemObs {
+    /// Register the backend's instruments in `registry`.
+    pub fn register(registry: &sbu_obs::Registry) -> Self {
+        MemObs {
+            cas_retry: registry.counter("mem.cas_retry"),
+        }
+    }
 }
 
 impl<P> NativeMem<P> {
@@ -104,7 +124,15 @@ impl<P> NativeMem<P> {
             tas_bits: Vec::new(),
             data: Vec::new(),
             clock: CachePadded::new(AtomicU64::new(0)),
+            obs: MemObs::default(),
         }
+    }
+
+    /// Attach this backend's instruments to `registry` (setup-time only;
+    /// see [`MemObs`] for what is recorded). With the `obs` cargo feature
+    /// off this is a no-op.
+    pub fn attach_obs(&mut self, registry: &sbu_obs::Registry) {
+        self.obs = MemObs::register(registry);
     }
 
     /// Total number of allocated registers of all kinds (for footprint
@@ -233,7 +261,7 @@ impl<P: Send + Sync> WordMem for NativeMem<P> {
     }
 
     #[inline]
-    fn sticky_jam(&self, _pid: Pid, s: StickyBitId, v: bool) -> JamOutcome {
+    fn sticky_jam(&self, pid: Pid, s: StickyBitId, v: bool) -> JamOutcome {
         let (lane, word) = self.lane_of(s);
         let enc = lane_encode(v);
         let shift = lane.shift();
@@ -250,7 +278,10 @@ impl<P: Send + Sync> WordMem for NativeMem<P> {
                         Ok(_) => return JamOutcome::Success,
                         // The word moved — maybe our lane, maybe a sibling
                         // lane of the same packed group; re-inspect.
-                        Err(now) => cur = now,
+                        Err(now) => {
+                            self.obs.cas_retry.incr(pid.0);
+                            cur = now;
+                        }
                     }
                 }
                 decided if decided == enc => return JamOutcome::Success,
@@ -571,6 +602,35 @@ mod tests {
                 assert_ne!(bit, winner_bit, "failed jam must disagree with final value");
             }
         }
+    }
+
+    /// A jam that loses its CAS to a sibling lane retries — and, with a
+    /// live registry attached, the retry is counted on the jammer's lane.
+    #[cfg(feature = "obs")]
+    #[test]
+    fn attached_registry_counts_cas_retries() {
+        let registry = sbu_obs::Registry::new(4);
+        let mut mem: NativeMem<()> = NativeMem::new();
+        mem.attach_obs(&registry);
+        let group = mem.alloc_sticky_bits(8);
+        let mem = Arc::new(mem);
+        for round in 0..50 {
+            std::thread::scope(|s| {
+                for (j, &bit) in group.iter().enumerate().take(4) {
+                    let mem = Arc::clone(&mem);
+                    s.spawn(move || {
+                        mem.sticky_jam(Pid(j), bit, round % 2 == 0);
+                    });
+                }
+            });
+            for &bit in group.iter().take(4) {
+                mem.sticky_flush(Pid(0), bit);
+            }
+        }
+        // Retries are contention-dependent, so only sanity-check the
+        // aggregation: whatever was counted shows up in the snapshot.
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("mem.cas_retry"), mem.obs.cas_retry.total());
     }
 
     /// Concurrent jams to *different* lanes of one packed word must all

@@ -1,10 +1,11 @@
-//! Minimal JSON support for machine-readable bench results.
+//! Minimal JSON support for machine-readable artifacts.
 //!
 //! The workspace deliberately carries no serialization dependency, and the
-//! bench files (`BENCH_e8.json` etc., see EXPERIMENTS.md) are flat — a few
-//! scalars plus an array of row objects — so a small writer and a
-//! recursive-descent reader cover everything the perf-tracking tooling
-//! needs without pulling in serde.
+//! artifact files (`BENCH_e8.json`, `OBS_e8.json` etc., see EXPERIMENTS.md)
+//! are flat — a few scalars plus an array or object of rows — so a small
+//! writer and a recursive-descent reader cover everything the perf-tracking
+//! tooling needs without pulling in serde. This module started life in
+//! `sbu-bench`, which still re-exports it under its old path.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;

@@ -1,0 +1,45 @@
+//! # sbu-obs — observability for the sticky-bit universal construction
+//!
+//! The fast paths added to the construction (frontier cursors, helping-scan
+//! combining, single-load word jams) are decision points a sampling profiler
+//! cannot attribute: the interesting time is spent *inside* CAS retry loops
+//! and helping scans. This crate makes those decisions measurable without
+//! perturbing them:
+//!
+//! * [`metrics`] — named counters and log₂ histograms, one cache-padded
+//!   lane per thread. The hot path does a single-writer relaxed load+store
+//!   on its own lane (no read-modify-write, no shared cache line);
+//!   aggregation happens only at [`metrics::Registry::snapshot`] time. With
+//!   the `obs` cargo feature off, every instrument is a zero-sized no-op
+//!   and the instrumented crates compile to the same code as before.
+//! * [`trace`] — a bounded lock-free per-thread event ring (operation
+//!   invoke/response, cell grab/append/release, crash/restart eras) with a
+//!   drain-to-[`sbu_spec::history::History`] adapter, so a recorded native
+//!   run can
+//!   be fed straight into `sbu_spec::linearize::check_windowed`.
+//! * [`json`] — the hand-rolled JSON reader/writer used for `BENCH_*.json`
+//!   and `OBS_*.json` artifacts (moved here from `sbu-bench`, which
+//!   re-exports it for back-compat).
+//!
+//! The API is identical in both feature configurations; only the behaviour
+//! of the recording calls changes. Code that *consumes* observations
+//! (tables, artifacts) can branch on [`enabled`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use json::Json;
+pub use metrics::{Counter, Histogram, HistogramSummary, Registry, Snapshot};
+pub use trace::{history_from_trace, Event, EventKind, TraceRing};
+
+/// Whether this build of `sbu-obs` records anything: `true` iff the crate
+/// was compiled with the `obs` cargo feature. When `false`, every
+/// [`metrics::Registry`] and [`trace::TraceRing`] is a no-op and snapshots
+/// are empty.
+pub const fn enabled() -> bool {
+    cfg!(feature = "obs")
+}

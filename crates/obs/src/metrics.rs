@@ -1,0 +1,573 @@
+//! Named counters and histograms with one cache-padded lane per thread.
+//!
+//! The recording discipline is single-writer: lane `i` is written only by
+//! the thread driving processor `i`, with a relaxed load + relaxed store
+//! (never a read-modify-write), so a hot instrument costs one uncontended
+//! cache line and no bus locking — the safe-Rust equivalent of the "plain
+//! `u64` cell per thread" design. Any thread may *read* any lane at any
+//! time (that is what [`Registry::snapshot`] does); a torn moment can at
+//! worst miss the most recent few increments, which is fine for telemetry.
+//!
+//! With the `obs` cargo feature off, [`Registry`], [`Counter`] and
+//! [`Histogram`] are zero-sized types whose methods are inlined no-ops;
+//! [`Snapshot`] and [`HistogramSummary`] exist in both configurations so
+//! reporting code compiles unchanged.
+
+use crate::json::Json;
+
+/// Number of log₂ buckets a [`Histogram`] keeps: values `2^15` and above
+/// share the last bucket.
+pub const BUCKETS: usize = 16;
+
+/// The log₂ bucket a value falls into (`0 → 0`, `1 → 0`, `2..3 → 1`, …).
+#[cfg_attr(not(feature = "obs"), allow(dead_code))]
+fn bucket_of(value: u64) -> usize {
+    ((u64::BITS - 1 - value.max(1).leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// Aggregated state of one histogram at snapshot time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Per-log₂-bucket counts (`buckets[i]` holds values in `[2^i, 2^{i+1})`,
+    /// except `buckets[0]` also holds `0` and the last bucket is unbounded).
+    pub buckets: [u64; BUCKETS],
+}
+
+impl HistogramSummary {
+    /// Mean recorded value (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A point-in-time aggregation of every instrument in a [`Registry`],
+/// in registration order. Exists (and is simply empty) when the `obs`
+/// feature is off, so consumers need no conditional compilation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// `(name, summed-over-lanes total)` per counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, summary)` per histogram.
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+impl Snapshot {
+    /// The total of the named counter (`0` if absent — absent and
+    /// never-incremented are indistinguishable on purpose).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// The summary of the named histogram, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Whether nothing was registered (always true with `obs` off).
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Render a two-section fixed-width table of every instrument, sorted
+    /// by name. Returns the empty string when nothing was registered, so
+    /// callers can print unconditionally.
+    pub fn render_table(&self, title: &str) -> String {
+        if self.is_empty() {
+            return String::new();
+        }
+        let mut out = String::new();
+        out.push_str(title);
+        out.push('\n');
+        let mut counters = self.counters.clone();
+        counters.sort();
+        let name_w = counters
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain(self.histograms.iter().map(|(n, _)| n.len()))
+            .max()
+            .unwrap_or(0)
+            .max("histogram".len());
+        for (name, total) in &counters {
+            out.push_str(&format!("  {name:<name_w$}  {total:>12}\n"));
+        }
+        let mut histograms: Vec<&(String, HistogramSummary)> = self.histograms.iter().collect();
+        histograms.sort_by_key(|(n, _)| n.clone());
+        if !histograms.is_empty() {
+            out.push_str(&format!(
+                "  {:<name_w$}  {:>12}  {:>10}  {:>8}\n",
+                "histogram", "count", "mean", "max"
+            ));
+            for (name, h) in histograms {
+                out.push_str(&format!(
+                    "  {name:<name_w$}  {:>12}  {:>10.2}  {:>8}\n",
+                    h.count,
+                    h.mean(),
+                    h.max
+                ));
+            }
+        }
+        out
+    }
+
+    /// The `OBS_*.json` artifact body (schema in EXPERIMENTS.md): counters
+    /// as an object of totals, histograms as objects with `count`, `sum`,
+    /// `max`, `mean` and the raw `buckets` array.
+    pub fn to_json(&self) -> Json {
+        let counters = Json::Obj(
+            self.counters
+                .iter()
+                .map(|(n, v)| (n.clone(), Json::Num(*v as f64)))
+                .collect(),
+        );
+        let histograms = Json::Obj(
+            self.histograms
+                .iter()
+                .map(|(n, h)| {
+                    (
+                        n.clone(),
+                        Json::obj(vec![
+                            ("count", Json::Num(h.count as f64)),
+                            ("sum", Json::Num(h.sum as f64)),
+                            ("max", Json::Num(h.max as f64)),
+                            ("mean", Json::Num(h.mean())),
+                            (
+                                "buckets",
+                                Json::Arr(h.buckets.iter().map(|b| Json::Num(*b as f64)).collect()),
+                            ),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        Json::obj(vec![("counters", counters), ("histograms", histograms)])
+    }
+}
+
+#[cfg(feature = "obs")]
+mod live {
+    use super::{bucket_of, HistogramSummary, Snapshot, BUCKETS};
+    use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+    use std::sync::{Arc, Mutex};
+
+    /// One per-thread cell, padded to its own cache line (128 bytes covers
+    /// the spatial prefetcher pairing on current x86 and Apple silicon).
+    #[repr(align(128))]
+    #[derive(Debug, Default)]
+    struct Lane(AtomicU64);
+
+    impl Lane {
+        /// Single-writer bump: relaxed load + relaxed store, no RMW.
+        #[inline]
+        fn bump(&self, n: u64) {
+            self.0.store(self.0.load(Relaxed).wrapping_add(n), Relaxed);
+        }
+    }
+
+    /// A named monotone counter with one padded lane per thread.
+    #[derive(Clone, Debug)]
+    pub struct Counter {
+        lanes: Arc<[Lane]>,
+    }
+
+    impl Counter {
+        fn new(lanes: usize) -> Self {
+            Counter {
+                lanes: (0..lanes).map(|_| Lane::default()).collect(),
+            }
+        }
+
+        /// A counter attached to nothing: every `add` is a bounds-check
+        /// and nothing more. The default state of every instrument bundle.
+        pub fn disabled() -> Self {
+            Counter {
+                lanes: Arc::from(Vec::new()),
+            }
+        }
+
+        /// Add `n` on `lane` (call only from the thread that owns the lane).
+        /// Out-of-range lanes — in particular every lane of a disabled
+        /// counter — are ignored.
+        #[inline]
+        pub fn add(&self, lane: usize, n: u64) {
+            if let Some(cell) = self.lanes.get(lane) {
+                cell.bump(n);
+            }
+        }
+
+        /// Add one on `lane`.
+        #[inline]
+        pub fn incr(&self, lane: usize) {
+            self.add(lane, 1);
+        }
+
+        /// Sum over all lanes (any thread may call this).
+        pub fn total(&self) -> u64 {
+            self.lanes
+                .iter()
+                .map(|l| l.0.load(Relaxed))
+                .fold(0, u64::wrapping_add)
+        }
+    }
+
+    impl Default for Counter {
+        fn default() -> Self {
+            Counter::disabled()
+        }
+    }
+
+    #[repr(align(128))]
+    #[derive(Debug)]
+    struct HistLane {
+        count: AtomicU64,
+        sum: AtomicU64,
+        max: AtomicU64,
+        buckets: [AtomicU64; BUCKETS],
+    }
+
+    impl Default for HistLane {
+        fn default() -> Self {
+            HistLane {
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                max: AtomicU64::new(0),
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            }
+        }
+    }
+
+    /// A named log₂ histogram with one padded lane per thread.
+    #[derive(Clone, Debug)]
+    pub struct Histogram {
+        lanes: Arc<[HistLane]>,
+    }
+
+    impl Histogram {
+        fn new(lanes: usize) -> Self {
+            Histogram {
+                lanes: (0..lanes).map(|_| HistLane::default()).collect(),
+            }
+        }
+
+        /// A histogram attached to nothing (see [`Counter::disabled`]).
+        pub fn disabled() -> Self {
+            Histogram {
+                lanes: Arc::from(Vec::new()),
+            }
+        }
+
+        /// Record `value` on `lane` (single-writer, like [`Counter::add`]).
+        #[inline]
+        pub fn record(&self, lane: usize, value: u64) {
+            if let Some(l) = self.lanes.get(lane) {
+                l.count.store(l.count.load(Relaxed) + 1, Relaxed);
+                l.sum
+                    .store(l.sum.load(Relaxed).wrapping_add(value), Relaxed);
+                if value > l.max.load(Relaxed) {
+                    l.max.store(value, Relaxed);
+                }
+                let b = &l.buckets[bucket_of(value)];
+                b.store(b.load(Relaxed) + 1, Relaxed);
+            }
+        }
+
+        /// Aggregate all lanes into a summary.
+        pub fn summarize(&self) -> HistogramSummary {
+            let mut out = HistogramSummary::default();
+            for l in self.lanes.iter() {
+                out.count += l.count.load(Relaxed);
+                out.sum = out.sum.wrapping_add(l.sum.load(Relaxed));
+                out.max = out.max.max(l.max.load(Relaxed));
+                for (acc, b) in out.buckets.iter_mut().zip(l.buckets.iter()) {
+                    *acc += b.load(Relaxed);
+                }
+            }
+            out
+        }
+    }
+
+    impl Default for Histogram {
+        fn default() -> Self {
+            Histogram::disabled()
+        }
+    }
+
+    #[derive(Debug, Default)]
+    struct Instruments {
+        counters: Vec<(String, Counter)>,
+        histograms: Vec<(String, Histogram)>,
+    }
+
+    /// A collection of named instruments sharing a lane count. Cloning is
+    /// shallow (`Arc` inside): every clone registers into and snapshots the
+    /// same instruments. The registration list sits behind a mutex touched
+    /// only at registration and snapshot time — never on the recording path,
+    /// which holds direct `Arc` handles to its lanes.
+    #[derive(Clone, Debug)]
+    pub struct Registry {
+        lanes: usize,
+        instruments: Arc<Mutex<Instruments>>,
+    }
+
+    impl Registry {
+        /// A registry whose instruments each carry `lanes` per-thread lanes
+        /// (one per processor that will record).
+        pub fn new(lanes: usize) -> Self {
+            Registry {
+                lanes,
+                instruments: Arc::new(Mutex::new(Instruments::default())),
+            }
+        }
+
+        /// Lanes per instrument.
+        pub fn lanes(&self) -> usize {
+            self.lanes
+        }
+
+        /// The counter registered under `name`, creating it on first use.
+        /// Repeated calls return handles to the *same* cells, so producers
+        /// and reporters can rendezvous by name alone.
+        pub fn counter(&self, name: &str) -> Counter {
+            let mut ins = self.instruments.lock().expect("obs registry poisoned");
+            if let Some((_, c)) = ins.counters.iter().find(|(n, _)| n == name) {
+                return c.clone();
+            }
+            let c = Counter::new(self.lanes);
+            ins.counters.push((name.to_string(), c.clone()));
+            c
+        }
+
+        /// The histogram registered under `name`, creating it on first use.
+        pub fn histogram(&self, name: &str) -> Histogram {
+            let mut ins = self.instruments.lock().expect("obs registry poisoned");
+            if let Some((_, h)) = ins.histograms.iter().find(|(n, _)| n == name) {
+                return h.clone();
+            }
+            let h = Histogram::new(self.lanes);
+            ins.histograms.push((name.to_string(), h.clone()));
+            h
+        }
+
+        /// Aggregate every instrument (any thread, any time; concurrent
+        /// recording keeps going and may race past the totals read here).
+        pub fn snapshot(&self) -> Snapshot {
+            let ins = self.instruments.lock().expect("obs registry poisoned");
+            Snapshot {
+                counters: ins
+                    .counters
+                    .iter()
+                    .map(|(n, c)| (n.clone(), c.total()))
+                    .collect(),
+                histograms: ins
+                    .histograms
+                    .iter()
+                    .map(|(n, h)| (n.clone(), h.summarize()))
+                    .collect(),
+            }
+        }
+    }
+}
+
+#[cfg(feature = "obs")]
+pub use live::{Counter, Histogram, Registry};
+
+#[cfg(not(feature = "obs"))]
+mod sink {
+    use super::{HistogramSummary, Snapshot};
+
+    /// No-op counter (the `obs` feature is off).
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Counter;
+
+    impl Counter {
+        /// A counter attached to nothing.
+        pub fn disabled() -> Self {
+            Counter
+        }
+
+        /// No-op.
+        #[inline]
+        pub fn add(&self, _lane: usize, _n: u64) {}
+
+        /// No-op.
+        #[inline]
+        pub fn incr(&self, _lane: usize) {}
+
+        /// Always `0`.
+        pub fn total(&self) -> u64 {
+            0
+        }
+    }
+
+    /// No-op histogram (the `obs` feature is off).
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Histogram;
+
+    impl Histogram {
+        /// A histogram attached to nothing.
+        pub fn disabled() -> Self {
+            Histogram
+        }
+
+        /// No-op.
+        #[inline]
+        pub fn record(&self, _lane: usize, _value: u64) {}
+
+        /// Always empty.
+        pub fn summarize(&self) -> HistogramSummary {
+            HistogramSummary::default()
+        }
+    }
+
+    /// No-op registry (the `obs` feature is off): hands out no-op
+    /// instruments and snapshots to nothing.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Registry {
+        lanes: usize,
+    }
+
+    impl Registry {
+        /// A registry recording nothing.
+        pub fn new(lanes: usize) -> Self {
+            Registry { lanes }
+        }
+
+        /// Lanes per instrument (kept for API parity).
+        pub fn lanes(&self) -> usize {
+            self.lanes
+        }
+
+        /// A no-op counter.
+        pub fn counter(&self, _name: &str) -> Counter {
+            Counter
+        }
+
+        /// A no-op histogram.
+        pub fn histogram(&self, _name: &str) -> Histogram {
+            Histogram
+        }
+
+        /// Always [`Snapshot::default`].
+        pub fn snapshot(&self) -> Snapshot {
+            Snapshot::default()
+        }
+    }
+}
+
+#[cfg(not(feature = "obs"))]
+pub use sink::{Counter, Histogram, Registry};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketing_is_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(1 << 14), 14);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn snapshot_lookup_and_json() {
+        let snap = Snapshot {
+            counters: vec![("a.hits".into(), 3), ("a.misses".into(), 1)],
+            histograms: vec![(
+                "a.batch".into(),
+                HistogramSummary {
+                    count: 2,
+                    sum: 6,
+                    max: 4,
+                    buckets: [0; BUCKETS],
+                },
+            )],
+        };
+        assert_eq!(snap.counter("a.hits"), 3);
+        assert_eq!(snap.counter("absent"), 0);
+        assert_eq!(snap.histogram("a.batch").unwrap().mean(), 3.0);
+        let j = snap.to_json();
+        assert_eq!(
+            j.get("counters").unwrap().get("a.hits").unwrap().as_num(),
+            Some(3.0)
+        );
+        let table = snap.render_table("-- t --");
+        assert!(table.contains("a.hits"));
+        assert!(table.contains("a.batch"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_nothing() {
+        assert_eq!(Snapshot::default().render_table("t"), "");
+        assert!(Snapshot::default().is_empty());
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn counters_aggregate_across_lanes() {
+        let reg = Registry::new(4);
+        let c = reg.counter("x");
+        c.incr(0);
+        c.add(1, 5);
+        c.add(3, 2);
+        c.add(7, 100); // out of range: ignored
+        assert_eq!(c.total(), 8);
+        assert_eq!(reg.snapshot().counter("x"), 8);
+        // Same name, same cells.
+        let c2 = reg.counter("x");
+        c2.incr(2);
+        assert_eq!(reg.snapshot().counter("x"), 9);
+        // Disabled counters swallow everything.
+        let d = Counter::disabled();
+        d.incr(0);
+        assert_eq!(d.total(), 0);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn histograms_summarize_across_lanes() {
+        let reg = Registry::new(2);
+        let h = reg.histogram("b");
+        h.record(0, 1);
+        h.record(0, 3);
+        h.record(1, 8);
+        let s = reg.snapshot();
+        let sum = s.histogram("b").unwrap();
+        assert_eq!(sum.count, 3);
+        assert_eq!(sum.sum, 12);
+        assert_eq!(sum.max, 8);
+        assert_eq!(sum.buckets[0], 1); // 1
+        assert_eq!(sum.buckets[1], 1); // 3
+        assert_eq!(sum.buckets[3], 1); // 8
+    }
+
+    #[cfg(not(feature = "obs"))]
+    #[test]
+    fn disabled_build_records_nothing() {
+        assert!(!crate::enabled());
+        let reg = Registry::new(8);
+        let c = reg.counter("x");
+        c.incr(0);
+        reg.histogram("h").record(0, 9);
+        assert!(reg.snapshot().is_empty());
+        assert_eq!(c.total(), 0);
+    }
+}

@@ -1,0 +1,419 @@
+//! Bounded lock-free per-thread event rings and the trace→history adapter.
+//!
+//! Each recording thread owns one single-producer/single-consumer ring
+//! lane: the writer publishes with a release store of its head cursor, the
+//! (single) drainer acknowledges with a release store of the tail cursor,
+//! and a full lane **drops the new event and counts the drop** rather than
+//! blocking or overwriting — a trace must never perturb the run it is
+//! tracing. With the `obs` feature off the whole ring is a zero-sized
+//! no-op.
+//!
+//! [`history_from_trace`] pairs `Invoke`/`Response` events per processor
+//! into an [`sbu_spec::History`], so a recorded native run can be replayed
+//! through `sbu_spec::linearize::check_windowed` offline.
+
+use sbu_spec::history::{History, OpRecord};
+use sbu_spec::Pid;
+
+/// What happened. The `a`/`b` payload words of an [`Event`] are
+/// kind-specific (operation codes, cell indices, era numbers); the encoding
+/// belongs to whoever records and drains the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// An operation was invoked (`a`/`b` encode the operation).
+    Invoke,
+    /// An operation returned (`a`/`b` encode the response).
+    Response,
+    /// A pool cell was grabbed (`a` = cell index).
+    CellGrab,
+    /// A cell was appended to the list (`a` = cell, `b` = old head).
+    CellAppend,
+    /// A grabbed cell was released (`a` = cell index).
+    CellRelease,
+    /// The processor crashed (`a` = era).
+    Crash,
+    /// The processor restarted (`a` = era).
+    Restart,
+}
+
+#[cfg_attr(not(feature = "obs"), allow(dead_code))]
+impl EventKind {
+    fn code(self) -> u64 {
+        match self {
+            EventKind::Invoke => 0,
+            EventKind::Response => 1,
+            EventKind::CellGrab => 2,
+            EventKind::CellAppend => 3,
+            EventKind::CellRelease => 4,
+            EventKind::Crash => 5,
+            EventKind::Restart => 6,
+        }
+    }
+
+    fn from_code(code: u64) -> Option<EventKind> {
+        Some(match code {
+            0 => EventKind::Invoke,
+            1 => EventKind::Response,
+            2 => EventKind::CellGrab,
+            3 => EventKind::CellAppend,
+            4 => EventKind::CellRelease,
+            5 => EventKind::Crash,
+            6 => EventKind::Restart,
+            _ => return None,
+        })
+    }
+}
+
+/// One drained trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The recording processor (= the ring lane).
+    pub pid: Pid,
+    /// Logical timestamp (the recorder chooses the clock; the stress
+    /// harness uses `WordMem::op_invoke`/`op_return` ticks).
+    pub ts: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// First payload word (kind-specific).
+    pub a: u64,
+    /// Second payload word (kind-specific).
+    pub b: u64,
+}
+
+#[cfg(feature = "obs")]
+mod live {
+    use super::{Event, EventKind};
+    use sbu_spec::Pid;
+    use std::sync::atomic::{
+        AtomicU64,
+        Ordering::{Acquire, Relaxed, Release},
+    };
+    use std::sync::{Arc, Mutex};
+
+    #[repr(align(128))]
+    #[derive(Debug, Default)]
+    struct Cursor(AtomicU64);
+
+    #[derive(Debug, Default)]
+    struct Slot {
+        ts: AtomicU64,
+        kind: AtomicU64,
+        a: AtomicU64,
+        b: AtomicU64,
+    }
+
+    #[derive(Debug)]
+    struct LaneRing {
+        /// Total events published on this lane (writer-owned cursor).
+        head: Cursor,
+        /// Total events consumed from this lane (drainer-owned cursor).
+        tail: Cursor,
+        /// Events dropped because the lane was full (writer-owned).
+        dropped: Cursor,
+        slots: Vec<Slot>,
+    }
+
+    #[derive(Debug)]
+    struct RingInner {
+        capacity: u64,
+        lanes: Vec<LaneRing>,
+        /// Serializes drains: the per-lane protocol is single-consumer.
+        drain_gate: Mutex<()>,
+    }
+
+    /// A bounded per-thread event ring. Clones share the same storage.
+    #[derive(Clone, Debug)]
+    pub struct TraceRing {
+        inner: Arc<RingInner>,
+    }
+
+    impl TraceRing {
+        /// A ring with `lanes` single-writer lanes of `capacity` events
+        /// each. `capacity` is rounded up to at least 1.
+        pub fn new(lanes: usize, capacity: usize) -> Self {
+            let capacity = capacity.max(1);
+            TraceRing {
+                inner: Arc::new(RingInner {
+                    capacity: capacity as u64,
+                    lanes: (0..lanes)
+                        .map(|_| LaneRing {
+                            head: Cursor::default(),
+                            tail: Cursor::default(),
+                            dropped: Cursor::default(),
+                            slots: (0..capacity).map(|_| Slot::default()).collect(),
+                        })
+                        .collect(),
+                    drain_gate: Mutex::new(()),
+                }),
+            }
+        }
+
+        /// A ring recording nothing (zero lanes).
+        pub fn disabled() -> Self {
+            TraceRing::new(0, 1)
+        }
+
+        /// Record one event on `pid`'s lane. Call only from the thread
+        /// driving `pid`. A full lane (or an out-of-range `pid`) drops the
+        /// event; per-lane drops are counted, see [`TraceRing::dropped_total`].
+        #[inline]
+        pub fn record(&self, pid: Pid, kind: EventKind, ts: u64, a: u64, b: u64) {
+            let Some(lane) = self.inner.lanes.get(pid.0) else {
+                return;
+            };
+            let head = lane.head.0.load(Relaxed);
+            let tail = lane.tail.0.load(Acquire);
+            if head.wrapping_sub(tail) >= self.inner.capacity {
+                lane.dropped
+                    .0
+                    .store(lane.dropped.0.load(Relaxed) + 1, Relaxed);
+                return;
+            }
+            let slot = &lane.slots[(head % self.inner.capacity) as usize];
+            slot.ts.store(ts, Relaxed);
+            slot.kind.store(kind.code(), Relaxed);
+            slot.a.store(a, Relaxed);
+            slot.b.store(b, Relaxed);
+            lane.head.0.store(head + 1, Release);
+        }
+
+        /// Drain every lane's published-but-unconsumed events, sorted by
+        /// `(ts, pid)`. Writers keep recording concurrently; events
+        /// published after their lane's head was sampled show up in the
+        /// next drain.
+        pub fn drain(&self) -> Vec<Event> {
+            let _gate = self.inner.drain_gate.lock().expect("trace drain poisoned");
+            let mut out = Vec::new();
+            for (lane_idx, lane) in self.inner.lanes.iter().enumerate() {
+                let head = lane.head.0.load(Acquire);
+                let mut tail = lane.tail.0.load(Relaxed);
+                while tail < head {
+                    let slot = &lane.slots[(tail % self.inner.capacity) as usize];
+                    if let Some(kind) = EventKind::from_code(slot.kind.load(Relaxed)) {
+                        out.push(Event {
+                            pid: Pid(lane_idx),
+                            ts: slot.ts.load(Relaxed),
+                            kind,
+                            a: slot.a.load(Relaxed),
+                            b: slot.b.load(Relaxed),
+                        });
+                    }
+                    tail += 1;
+                }
+                lane.tail.0.store(tail, Release);
+            }
+            out.sort_by_key(|e| (e.ts, e.pid.0));
+            out
+        }
+
+        /// Total events dropped (over all lanes) because a lane was full.
+        pub fn dropped_total(&self) -> u64 {
+            self.inner
+                .lanes
+                .iter()
+                .map(|l| l.dropped.0.load(Relaxed))
+                .sum()
+        }
+
+        /// Lanes in this ring.
+        pub fn lanes(&self) -> usize {
+            self.inner.lanes.len()
+        }
+    }
+
+    impl Default for TraceRing {
+        fn default() -> Self {
+            TraceRing::disabled()
+        }
+    }
+}
+
+#[cfg(feature = "obs")]
+pub use live::TraceRing;
+
+#[cfg(not(feature = "obs"))]
+mod sink {
+    use super::{Event, EventKind};
+    use sbu_spec::Pid;
+
+    /// No-op event ring (the `obs` feature is off).
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct TraceRing;
+
+    impl TraceRing {
+        /// A ring recording nothing.
+        pub fn new(_lanes: usize, _capacity: usize) -> Self {
+            TraceRing
+        }
+
+        /// A ring recording nothing.
+        pub fn disabled() -> Self {
+            TraceRing
+        }
+
+        /// No-op.
+        #[inline]
+        pub fn record(&self, _pid: Pid, _kind: EventKind, _ts: u64, _a: u64, _b: u64) {}
+
+        /// Always empty.
+        pub fn drain(&self) -> Vec<Event> {
+            Vec::new()
+        }
+
+        /// Always `0`.
+        pub fn dropped_total(&self) -> u64 {
+            0
+        }
+
+        /// Always `0`.
+        pub fn lanes(&self) -> usize {
+            0
+        }
+    }
+}
+
+#[cfg(not(feature = "obs"))]
+pub use sink::TraceRing;
+
+/// Pair each processor's `Invoke`/`Response` events into a [`History`].
+///
+/// Events must be in per-processor program order (as [`TraceRing::drain`]
+/// returns them); kinds other than `Invoke`/`Response` are skipped. The
+/// decoders reconstruct the operation and response from an event's payload
+/// words. An `Invoke` with no matching `Response` becomes a pending record
+/// (crash or truncated run); a `Response` with no open `Invoke` — possible
+/// when the ring dropped the invoke — is discarded.
+pub fn history_from_trace<O, R>(
+    events: &[Event],
+    mut decode_op: impl FnMut(&Event) -> O,
+    mut decode_resp: impl FnMut(&Event) -> R,
+) -> History<O, R> {
+    let mut open: std::collections::BTreeMap<usize, (O, u64)> = std::collections::BTreeMap::new();
+    let mut history = History::new();
+    for ev in events {
+        match ev.kind {
+            EventKind::Invoke => {
+                if let Some((op, invoke)) = open.insert(ev.pid.0, (decode_op(ev), ev.ts)) {
+                    // The matching response was lost (ring drop): keep the
+                    // operation as pending rather than inventing an interval.
+                    history.push(OpRecord::pending(ev.pid, op, invoke));
+                }
+            }
+            EventKind::Response => {
+                if let Some((op, invoke)) = open.remove(&ev.pid.0) {
+                    history.push(OpRecord::completed(
+                        ev.pid,
+                        op,
+                        decode_resp(ev),
+                        invoke,
+                        ev.ts.max(invoke),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    for (pid, (op, invoke)) in open {
+        history.push(OpRecord::pending(Pid(pid), op, invoke));
+    }
+    history
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adapter_pairs_invokes_with_responses() {
+        let events = vec![
+            Event {
+                pid: Pid(0),
+                ts: 1,
+                kind: EventKind::Invoke,
+                a: 10,
+                b: 0,
+            },
+            Event {
+                pid: Pid(1),
+                ts: 2,
+                kind: EventKind::Invoke,
+                a: 20,
+                b: 0,
+            },
+            Event {
+                pid: Pid(0),
+                ts: 3,
+                kind: EventKind::CellGrab,
+                a: 7,
+                b: 0,
+            },
+            Event {
+                pid: Pid(0),
+                ts: 4,
+                kind: EventKind::Response,
+                a: 11,
+                b: 0,
+            },
+        ];
+        let h: History<u64, u64> = history_from_trace(&events, |e| e.a, |e| e.a);
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.completed_count(), 1);
+        assert_eq!(h.pending_count(), 1); // pid 1 never responded
+        assert!(h.validate().is_ok());
+        let done = h.iter().find(|r| r.is_completed()).unwrap();
+        assert_eq!((done.pid, done.op, done.resp), (Pid(0), 10, Some(11)));
+        assert_eq!((done.invoke, done.ret), (1, Some(4)));
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn ring_roundtrips_events_in_order() {
+        let ring = TraceRing::new(2, 8);
+        ring.record(Pid(0), EventKind::Invoke, 5, 1, 2);
+        ring.record(Pid(1), EventKind::Invoke, 3, 9, 0);
+        ring.record(Pid(0), EventKind::Response, 7, 4, 0);
+        let events = ring.drain();
+        assert_eq!(events.len(), 3);
+        // Sorted by timestamp across lanes.
+        assert_eq!(events[0].ts, 3);
+        assert_eq!(events[0].pid, Pid(1));
+        assert_eq!(events[2].kind, EventKind::Response);
+        assert_eq!(ring.dropped_total(), 0);
+        // Drained lanes are empty until new events arrive.
+        assert!(ring.drain().is_empty());
+        ring.record(Pid(1), EventKind::Crash, 9, 0, 0);
+        assert_eq!(ring.drain().len(), 1);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn full_lane_drops_and_counts() {
+        let ring = TraceRing::new(1, 4);
+        for i in 0..10 {
+            ring.record(Pid(0), EventKind::CellGrab, i, i, 0);
+        }
+        assert_eq!(ring.dropped_total(), 6);
+        let events = ring.drain();
+        // The *first* four events survive (drop-new, not overwrite-old).
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0].ts, 0);
+        assert_eq!(events[3].ts, 3);
+        // Space freed by the drain is reusable and wraps correctly.
+        for i in 10..13 {
+            ring.record(Pid(0), EventKind::CellGrab, i, i, 0);
+        }
+        assert_eq!(ring.drain().len(), 3);
+        assert_eq!(ring.dropped_total(), 6);
+        // Out-of-range pids are ignored, not a panic.
+        ring.record(Pid(9), EventKind::CellGrab, 0, 0, 0);
+    }
+
+    #[cfg(not(feature = "obs"))]
+    #[test]
+    fn disabled_ring_is_inert() {
+        let ring = TraceRing::new(4, 64);
+        ring.record(Pid(0), EventKind::Invoke, 1, 2, 3);
+        assert!(ring.drain().is_empty());
+        assert_eq!(ring.dropped_total(), 0);
+    }
+}

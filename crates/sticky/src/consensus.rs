@@ -328,6 +328,10 @@ pub struct BitwiseConsensus<C> {
     announced: Vec<sbu_mem::SafeId>,
     /// `v_i`: processor `i`'s announced value (single-writer).
     values: Vec<sbu_mem::SafeId>,
+    /// `consensus.candidate_switch`: helping events — a decided bit
+    /// disagreed with the candidate and an announced value was adopted.
+    /// Plain per-lane cells, never a [`WordMem`] step.
+    switches: sbu_obs::Counter,
 }
 
 impl<C> BitwiseConsensus<C> {
@@ -345,7 +349,15 @@ impl<C> BitwiseConsensus<C> {
             bits: (0..width).map(|_| make(mem)).collect(),
             announced: (0..n).map(|_| mem.alloc_safe(0)).collect(),
             values: (0..n).map(|_| mem.alloc_safe(0)).collect(),
+            switches: sbu_obs::Counter::disabled(),
         }
+    }
+
+    /// Attach observability instruments registered against `registry`
+    /// (builder-style; a detached object records nothing).
+    pub fn with_obs(mut self, registry: &sbu_obs::Registry) -> Self {
+        self.switches = registry.counter("consensus.candidate_switch");
+        self
     }
 
     /// Largest representable value.
@@ -391,6 +403,7 @@ where
             }
             let prefix_mask: Word = (1u64 << (j + 1)) - 1;
             let target = (candidate & !(1u64 << j) | (decided << j)) & prefix_mask;
+            self.switches.incr(pid.0);
             candidate = self
                 .find_candidate(mem, pid, prefix_mask, target)
                 .unwrap_or_else(|| {

@@ -19,6 +19,32 @@
 
 use sbu_mem::{JamOutcome, Pid, SafeId, StickyBitId, Word, WordMem};
 
+/// Observability instruments for the Figure 2 jam algorithm.
+///
+/// The counters are plain per-lane cells (no shared-memory steps through
+/// the [`WordMem`] traits), so attaching them never perturbs the step
+/// structure the simulator schedules — instrumented and uninstrumented
+/// runs explore identical schedule trees.
+#[derive(Debug, Clone, Default)]
+pub struct JamObs {
+    /// `jam.decided_exit`: jams that returned via the decided-byte fast
+    /// path without announcing or touching any sticky bit.
+    pub decided_exit: sbu_obs::Counter,
+    /// `jam.candidate_switch`: helping events — a failed bit jam forced
+    /// the processor to adopt another participant's announced value.
+    pub candidate_switch: sbu_obs::Counter,
+}
+
+impl JamObs {
+    /// Register the jam instruments against `registry`.
+    pub fn register(registry: &sbu_obs::Registry) -> Self {
+        Self {
+            decided_exit: registry.counter("jam.decided_exit"),
+            candidate_switch: registry.counter("jam.candidate_switch"),
+        }
+    }
+}
+
 /// An ℓ-bit sticky byte for `n` processors (Figure 2).
 ///
 /// The object is a passive bundle of register handles; all shared state
@@ -48,6 +74,7 @@ pub struct JamWord {
     announced: Vec<SafeId>,
     /// `v_i`: processor `i`'s announced value (single-writer).
     values: Vec<SafeId>,
+    obs: JamObs,
 }
 
 impl JamWord {
@@ -69,7 +96,15 @@ impl JamWord {
             bits: mem.alloc_sticky_bits(width as usize),
             announced: (0..n).map(|_| mem.alloc_safe(0)).collect(),
             values: (0..n).map(|_| mem.alloc_safe(0)).collect(),
+            obs: JamObs::default(),
         }
+    }
+
+    /// Attach observability instruments registered against `registry`
+    /// (builder-style; a detached word records nothing).
+    pub fn with_obs(mut self, registry: &sbu_obs::Registry) -> Self {
+        self.obs = JamObs::register(registry);
+        self
     }
 
     /// Width in bits.
@@ -112,6 +147,7 @@ impl JamWord {
         // skip the announcement and the per-bit jam loop. On the native
         // backend this is a single atomic load.
         if let Some(decided) = self.read(mem, pid) {
+            self.obs.decided_exit.incr(pid.0);
             let outcome = if decided == value {
                 JamOutcome::Success
             } else {
@@ -134,6 +170,7 @@ impl JamWord {
             // jammed prefix (bits 0..=j of the object).
             let prefix_mask: Word = (1u64 << (j + 1)) - 1;
             let target = (candidate & !(1u64 << j) | ((!b as u64) << j)) & prefix_mask;
+            self.obs.candidate_switch.incr(pid.0);
             candidate = self.find_candidate(mem, pid, j, target).unwrap_or_else(|| {
                 panic!(
                     "Figure 2 invariant broken: bit {j} was jammed to {} but no \
@@ -479,6 +516,20 @@ mod tests {
             Some(0b11),
             "helping completed the crashed winner's value"
         );
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn attached_registry_counts_fast_exits_and_switches() {
+        let registry = sbu_obs::Registry::new(2);
+        let mut mem: NativeMem<()> = NativeMem::new();
+        let jw = JamWord::new(&mut mem, 2, 4).with_obs(&registry);
+        jw.jam(&mem, Pid(0), 0b1010);
+        // Fully decided: the second jam takes the fast exit.
+        jw.jam(&mem, Pid(1), 0b0101);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("jam.decided_exit"), 1);
+        assert_eq!(snap.counter("jam.candidate_switch"), 0);
     }
 
     /// Randomized stress: many processors, wide words, native threads.

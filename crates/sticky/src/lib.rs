@@ -43,7 +43,7 @@ pub use consensus::{BitwiseConsensus, Consensus, InitializableConsensus};
 pub use election::LeaderElection;
 pub use fig2_mem::Fig2Mem;
 pub use from_consensus::ConsensusStickyBit;
-pub use jam_word::JamWord;
+pub use jam_word::{JamObs, JamWord};
 pub use randomized::RandomizedConsensus;
 pub use recoverable::{RecoverableElection, RecoverableJamWord};
 

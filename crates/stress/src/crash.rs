@@ -37,7 +37,7 @@ use crate::harness::{mix, ContentionProfile, StressConfig};
 use crate::workloads::{jam_value_for, JamWordOp, JamWordResp, JamWordSpec};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use sbu_core::{bounded::UniversalConfig, CellPayload, Universal};
+use sbu_core::{CellPayload, Universal};
 use sbu_mem::{native::NativeMem, DurableMem, Pid, TornPersist, WordMem};
 use sbu_sim::HistoryRecorder;
 use sbu_spec::linearize::{check_durable, CheckError, MAX_OPS};
@@ -97,6 +97,11 @@ pub struct CrashRestartReport {
     pub violations: Vec<String>,
     /// Wall-clock duration of the whole run.
     pub elapsed: Duration,
+    /// Aggregated observability counters from the run's registry (empty
+    /// unless the workload attached instruments and the `obs` feature is
+    /// on). [`crash_restart_torture`] itself leaves this empty;
+    /// [`run_crash_restart`] fills it in.
+    pub metrics: sbu_obs::Snapshot,
 }
 
 impl CrashRestartReport {
@@ -356,6 +361,7 @@ where
         unverified_objects,
         violations,
         elapsed: started.elapsed(),
+        metrics: sbu_obs::Snapshot::default(),
     }
 }
 
@@ -426,9 +432,15 @@ pub fn run_crash_restart(
     eras: usize,
     policy: TornPersist,
 ) -> CrashRestartReport {
-    match workload {
+    // One registry per run, snapshotted into the report (no-ops without
+    // the `obs` feature). The lying-policy verdict lines cite
+    // `mem.lying_rollbacks` from here.
+    let registry = sbu_obs::Registry::new(cfg.threads);
+    let mut report = match workload {
         CrashWorkload::RecoverableJam => {
             let mut mem = DurableMem::with_policy(NativeMem::<()>::new(), policy);
+            mem.attach_obs(&registry);
+            mem.inner_mut().attach_obs(&registry);
             let words: Vec<RecoverableJamWord> = (0..cfg.objects)
                 .map(|_| RecoverableJamWord::new(&mut mem, cfg.threads, 8))
                 .collect();
@@ -506,14 +518,13 @@ pub fn run_crash_restart(
             );
             let mut mem: DurableMem<NativeMem<CellPayload<CounterSpec>>> =
                 DurableMem::with_policy(NativeMem::new(), policy);
+            mem.attach_obs(&registry);
+            mem.inner_mut().attach_obs(&registry);
             let counters: Vec<Universal<CounterSpec>> = (0..cfg.objects)
                 .map(|_| {
-                    Universal::new(
-                        &mut mem,
-                        cfg.threads,
-                        UniversalConfig::for_procs(cfg.threads),
-                        CounterSpec::new(),
-                    )
+                    Universal::builder(cfg.threads)
+                        .obs(&registry)
+                        .build(&mut mem, CounterSpec::new())
                 })
                 .collect();
             let mem = &mem;
@@ -564,7 +575,9 @@ pub fn run_crash_restart(
             );
             report
         }
-    }
+    };
+    report.metrics = registry.snapshot();
+    report
 }
 
 #[cfg(test)]

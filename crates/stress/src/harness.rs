@@ -143,6 +143,11 @@ pub struct TortureReport {
     pub violations: Vec<String>,
     /// Wall-clock duration of the run (workers + monitor).
     pub elapsed: Duration,
+    /// Aggregated observability counters from the run's registry (empty
+    /// unless the workload attached instruments and the `obs` feature is
+    /// on). [`torture`] itself leaves this empty; workload entry points
+    /// ([`crate::workloads::run_workload`]) fill it in.
+    pub metrics: sbu_obs::Snapshot,
 }
 
 impl TortureReport {
@@ -440,6 +445,7 @@ where
         overflow_windows,
         violations,
         elapsed: started.elapsed(),
+        metrics: sbu_obs::Snapshot::default(),
     }
 }
 

@@ -67,6 +67,10 @@ pub struct TornMem<M> {
     period: u64,
     eligible: AtomicU64,
     lies: AtomicU64,
+    /// `inject.lies_told` — lies actually injected, attributed to the lane
+    /// of the processor that was lied to (so verdict lines can cite the
+    /// injected count next to the monitor's caught count).
+    obs_lies: sbu_obs::Counter,
 }
 
 impl<M> TornMem<M> {
@@ -84,7 +88,16 @@ impl<M> TornMem<M> {
             period,
             eligible: AtomicU64::new(0),
             lies: AtomicU64::new(0),
+            obs_lies: sbu_obs::Counter::disabled(),
         }
+    }
+
+    /// Attach the injector's instrument (`inject.lies_told`) to `registry`
+    /// (builder-style; a detached injector still counts via
+    /// [`TornMem::lies_told`]).
+    pub fn with_obs(mut self, registry: &sbu_obs::Registry) -> Self {
+        self.obs_lies = registry.counter("inject.lies_told");
+        self
     }
 
     /// Number of lies actually told so far.
@@ -97,12 +110,19 @@ impl<M> TornMem<M> {
         &self.inner
     }
 
+    /// Mutable access to the wrapped backend (setup-time only — e.g. to
+    /// call the inner backend's own `attach_obs`).
+    pub fn inner_mut(&mut self) -> &mut M {
+        &mut self.inner
+    }
+
     /// Whether this eligible operation is scheduled to lie.
-    fn tick(&self) -> bool {
+    fn tick(&self, pid: Pid) -> bool {
         let n = self.eligible.fetch_add(1, Ordering::Relaxed);
         let fire = (n + 1).is_multiple_of(self.period);
         if fire {
             self.lies.fetch_add(1, Ordering::Relaxed);
+            self.obs_lies.incr(pid.0);
         }
         fire
     }
@@ -144,14 +164,14 @@ impl<M: WordMem> WordMem for TornMem<M> {
 
     fn sticky_jam(&self, pid: Pid, s: StickyBitId, v: bool) -> JamOutcome {
         let real = self.inner.sticky_jam(pid, s, v);
-        if self.mode == Inject::TornJam && real == JamOutcome::Fail && self.tick() {
+        if self.mode == Inject::TornJam && real == JamOutcome::Fail && self.tick(pid) {
             return JamOutcome::Success;
         }
         real
     }
     fn sticky_read(&self, pid: Pid, s: StickyBitId) -> Tri {
         let real = self.inner.sticky_read(pid, s);
-        if self.mode == Inject::StaleRead && real != Tri::Undef && self.tick() {
+        if self.mode == Inject::StaleRead && real != Tri::Undef && self.tick(pid) {
             return Tri::Undef;
         }
         real
@@ -237,6 +257,19 @@ mod tests {
         assert_eq!(mem.lies_told(), 1);
         // The bit itself is untouched by the lie.
         assert_eq!(mem.sticky_read(Pid(0), s), Tri::One);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn attached_registry_counts_injected_lies() {
+        let registry = sbu_obs::Registry::new(2);
+        let mut mem =
+            TornMem::with_period(NativeMem::<()>::new(), Inject::TornJam, 1).with_obs(&registry);
+        let s = mem.alloc_sticky_bit();
+        assert_eq!(mem.sticky_jam(Pid(0), s, true), JamOutcome::Success);
+        assert_eq!(mem.sticky_jam(Pid(1), s, false), JamOutcome::Success); // lie
+        assert_eq!(registry.snapshot().counter("inject.lies_told"), 1);
+        assert_eq!(mem.lies_told(), 1);
     }
 
     #[test]

@@ -20,6 +20,8 @@
 //!   sticky bits, the Figure 2 `Jam` byte, leader election, the sticky bit
 //!   from initializable consensus, and the bounded universal construction
 //!   wrapping a counter and a queue.
+//! * [`cli`] — typed option parsing ([`cli::Options::parse`]) shared by
+//!   `examples/stress.rs` and the E10 benchmark driver.
 //! * [`crash`] — crash–restart torture over [`sbu_mem::DurableMem`]: eras
 //!   separated by seeded crashes of victim threads (including mid-operation
 //!   abandonment with torn-persist footprints), object recovery at
@@ -31,11 +33,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod crash;
 pub mod harness;
 pub mod inject;
 pub mod workloads;
 
+pub use cli::{Options, OptionsError, USAGE};
 pub use crash::{
     crash_restart_torture, run_crash_restart, CrashRestartReport, CrashWorkload, DurableObject,
 };

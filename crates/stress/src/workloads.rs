@@ -16,7 +16,7 @@
 use crate::harness::{torture, StressConfig, StressObject, TortureReport};
 use crate::inject::{Inject, TornMem};
 use rand::Rng;
-use sbu_core::{bounded::UniversalConfig, CellPayload, SpinLockUniversal, Universal};
+use sbu_core::{CellPayload, SpinLockUniversal, Universal};
 use sbu_mem::{native::NativeMem, JamOutcome, Pid, Word, WordMem};
 use sbu_spec::specs::{
     CounterOp, CounterSpec, QueueOp, QueueSpec, StickyOp, StickyResp, StickySpec,
@@ -233,9 +233,15 @@ pub fn run_workload(workload: Workload, cfg: &StressConfig, inject: Inject) -> T
         inject == Inject::None || workload == Workload::Sticky,
         "fault injection only targets the raw sticky workload"
     );
-    match workload {
+    // One registry per run: every backend and object attaches its
+    // instruments here, and the final snapshot rides out on the report.
+    // With the `obs` feature off all of this is free no-ops.
+    let registry = sbu_obs::Registry::new(cfg.threads);
+    let mut report = match workload {
         Workload::Sticky => {
-            let mut mem = TornMem::new(NativeMem::<()>::new(), inject);
+            let mut inner = NativeMem::<()>::new();
+            inner.attach_obs(&registry);
+            let mut mem = TornMem::new(inner, inject).with_obs(&registry);
             let bits: Vec<_> = (0..cfg.objects).map(|_| mem.alloc_sticky_bit()).collect();
             let mem = &mem;
             let objects: Vec<StressObject<'_, StickySpec>> = bits
@@ -254,8 +260,9 @@ pub fn run_workload(workload: Workload, cfg: &StressConfig, inject: Inject) -> T
         }
         Workload::Jam => {
             let mut mem = NativeMem::<()>::new();
+            mem.attach_obs(&registry);
             let words: Vec<JamWord> = (0..cfg.objects)
-                .map(|_| JamWord::new(&mut mem, cfg.threads, 8))
+                .map(|_| JamWord::new(&mut mem, cfg.threads, 8).with_obs(&registry))
                 .collect();
             let mem = &mem;
             let objects: Vec<StressObject<'_, JamWordSpec>> = words
@@ -294,6 +301,7 @@ pub fn run_workload(workload: Workload, cfg: &StressConfig, inject: Inject) -> T
         }
         Workload::Election => {
             let mut mem = NativeMem::<()>::new();
+            mem.attach_obs(&registry);
             let elections: Vec<LeaderElection> = (0..cfg.objects)
                 .map(|_| LeaderElection::new(&mut mem, cfg.threads))
                 .collect();
@@ -325,6 +333,7 @@ pub fn run_workload(workload: Workload, cfg: &StressConfig, inject: Inject) -> T
         }
         Workload::ConsensusSticky => {
             let mut mem = NativeMem::<()>::new();
+            mem.attach_obs(&registry);
             let bits: Vec<ConsensusStickyBit<StickyWordConsensus>> = (0..cfg.objects)
                 .map(|_| {
                     let consensus = StickyWordConsensus::new(&mut mem);
@@ -355,14 +364,12 @@ pub fn run_workload(workload: Workload, cfg: &StressConfig, inject: Inject) -> T
         }
         Workload::UniversalCounter => {
             let mut mem: NativeMem<CellPayload<CounterSpec>> = NativeMem::new();
+            mem.attach_obs(&registry);
             let counters: Vec<Universal<CounterSpec>> = (0..cfg.objects)
                 .map(|_| {
-                    Universal::new(
-                        &mut mem,
-                        cfg.threads,
-                        UniversalConfig::for_procs(cfg.threads),
-                        CounterSpec::new(),
-                    )
+                    Universal::builder(cfg.threads)
+                        .obs(&registry)
+                        .build(&mut mem, CounterSpec::new())
                 })
                 .collect();
             let mem = &mem;
@@ -386,14 +393,12 @@ pub fn run_workload(workload: Workload, cfg: &StressConfig, inject: Inject) -> T
         }
         Workload::UniversalQueue => {
             let mut mem: NativeMem<CellPayload<QueueSpec>> = NativeMem::new();
+            mem.attach_obs(&registry);
             let queues: Vec<Universal<QueueSpec>> = (0..cfg.objects)
                 .map(|_| {
-                    Universal::new(
-                        &mut mem,
-                        cfg.threads,
-                        UniversalConfig::for_procs(cfg.threads),
-                        QueueSpec::new(),
-                    )
+                    Universal::builder(cfg.threads)
+                        .obs(&registry)
+                        .build(&mut mem, QueueSpec::new())
                 })
                 .collect();
             let mem = &mem;
@@ -415,7 +420,9 @@ pub fn run_workload(workload: Workload, cfg: &StressConfig, inject: Inject) -> T
                 },
             )
         }
-    }
+    };
+    report.metrics = registry.snapshot();
+    report
 }
 
 /// Throughput measurement of the *same* sticky-byte workload against the
@@ -423,7 +430,9 @@ pub fn run_workload(workload: Workload, cfg: &StressConfig, inject: Inject) -> T
 /// completed ops/sec with `threads` threads hammering `objects` lock-based
 /// jam words (monitored exactly like the native run).
 pub fn run_lock_based_jam(cfg: &StressConfig) -> TortureReport {
+    let registry = sbu_obs::Registry::new(cfg.threads);
     let mut mem: NativeMem<CellPayload<JamWordSpec>> = NativeMem::new();
+    mem.attach_obs(&registry);
     let locks: Vec<SpinLockUniversal> = (0..cfg.objects)
         .map(|_| SpinLockUniversal::new(&mut mem, JamWordSpec::new()))
         .collect();
@@ -436,7 +445,7 @@ pub fn run_lock_based_jam(cfg: &StressConfig) -> TortureReport {
         })
         .collect();
     // Same op mix as the native Jam workload, for a fair E10 comparison.
-    torture(
+    let mut report = torture(
         cfg,
         |pid| mem.op_invoke(pid),
         objects,
@@ -447,7 +456,9 @@ pub fn run_lock_based_jam(cfg: &StressConfig) -> TortureReport {
                 JamWordOp::Read
             }
         },
-    )
+    );
+    report.metrics = registry.snapshot();
+    report
 }
 
 /// Quick self-check: a two-thread, sub-second smoke of every workload (used

@@ -1,0 +1,133 @@
+//! Trace → history → checker round trip: a real multi-threaded native run
+//! records `Invoke`/`Response` events into an `sbu_obs::TraceRing`
+//! (timestamped by the backend's `op_invoke`/`op_return` clock), the drained
+//! trace is adapted into an `sbu_spec::History`, and the offline
+//! `check_windowed` verdict on that reconstructed history is *linearizable*
+//! — the tracing path and the recording path agree end to end.
+//!
+//! With the `obs` feature off the ring is a no-op sink; the same run then
+//! drains an empty trace, which is asserted too (recording must be
+//! impossible to leave half-on).
+
+use sbu_mem::{native::NativeMem, JamOutcome, Pid, Tri, WordMem};
+use sbu_obs::{history_from_trace, Event, EventKind, TraceRing};
+use sbu_spec::linearize::{check_windowed, CheckResult};
+use sbu_spec::specs::{StickyOp, StickyResp, StickySpec};
+use std::sync::Barrier;
+
+const THREADS: usize = 3;
+const EPOCHS: usize = 10;
+const OPS_PER_EPOCH: usize = 4;
+
+fn encode_op(op: &StickyOp) -> u64 {
+    match *op {
+        StickyOp::Read => 0,
+        StickyOp::Jam(false) => 1,
+        StickyOp::Jam(true) => 2,
+        StickyOp::Flush => unreachable!("flush is never generated here"),
+    }
+}
+
+fn decode_op(ev: &Event) -> StickyOp {
+    match ev.a {
+        0 => StickyOp::Read,
+        1 => StickyOp::Jam(false),
+        2 => StickyOp::Jam(true),
+        other => panic!("corrupt op code {other} in trace"),
+    }
+}
+
+fn encode_resp(resp: &StickyResp) -> u64 {
+    match *resp {
+        StickyResp::Fail => 0,
+        StickyResp::Success => 1,
+        StickyResp::Value(Tri::Undef) => 2,
+        StickyResp::Value(Tri::Zero) => 3,
+        StickyResp::Value(Tri::One) => 4,
+        StickyResp::Flushed => unreachable!("flush is never generated here"),
+    }
+}
+
+fn decode_resp(ev: &Event) -> StickyResp {
+    match ev.a {
+        0 => StickyResp::Fail,
+        1 => StickyResp::Success,
+        2 => StickyResp::Value(Tri::Undef),
+        3 => StickyResp::Value(Tri::Zero),
+        4 => StickyResp::Value(Tri::One),
+        other => panic!("corrupt response code {other} in trace"),
+    }
+}
+
+/// Drive a contended multi-threaded run over one native sticky bit,
+/// recording every operation into the ring. Epoch barriers guarantee
+/// quiescent cuts, so the reconstructed history stays within the offline
+/// checker's per-window capacity.
+fn recorded_run(ring: &TraceRing) {
+    let mut mem: NativeMem<()> = NativeMem::new();
+    let bit = mem.alloc_sticky_bit();
+    let mem = &mem;
+    let barrier = Barrier::new(THREADS);
+    let barrier = &barrier;
+    std::thread::scope(|scope| {
+        for tid in 0..THREADS {
+            scope.spawn(move || {
+                let pid = Pid(tid);
+                for epoch in 0..EPOCHS {
+                    for k in 0..OPS_PER_EPOCH {
+                        // A deterministic mix: each thread jams its own
+                        // parity first, then reads — plenty of cross-thread
+                        // disagreement for the bit to arbitrate.
+                        let op = if (epoch + k + tid) % 2 == 0 {
+                            StickyOp::Jam(tid % 2 == 0)
+                        } else {
+                            StickyOp::Read
+                        };
+                        let invoke = mem.op_invoke(pid);
+                        ring.record(pid, EventKind::Invoke, invoke, encode_op(&op), 0);
+                        let resp = match op {
+                            StickyOp::Jam(v) => match mem.sticky_jam(pid, bit, v) {
+                                JamOutcome::Success => StickyResp::Success,
+                                JamOutcome::Fail => StickyResp::Fail,
+                            },
+                            StickyOp::Read => StickyResp::Value(mem.sticky_read(pid, bit)),
+                            StickyOp::Flush => unreachable!(),
+                        };
+                        let ret = mem.op_return(pid);
+                        ring.record(pid, EventKind::Response, ret, encode_resp(&resp), 0);
+                    }
+                    barrier.wait();
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn recorded_native_run_round_trips_through_check_windowed() {
+    let ring = TraceRing::new(THREADS, 2 * EPOCHS * OPS_PER_EPOCH + 8);
+    recorded_run(&ring);
+    let events = ring.drain();
+
+    if !sbu_obs::enabled() {
+        assert!(events.is_empty(), "a disabled ring must record nothing");
+        return;
+    }
+
+    assert_eq!(ring.dropped_total(), 0, "the ring was sized for the run");
+    let total_ops = THREADS * EPOCHS * OPS_PER_EPOCH;
+    assert_eq!(events.len(), 2 * total_ops, "every op has both events");
+
+    let history = history_from_trace(&events, decode_op, decode_resp);
+    assert_eq!(history.len(), total_ops);
+    assert_eq!(history.pending_count(), 0, "every op responded");
+    history
+        .validate()
+        .expect("trace yields a well-formed history");
+
+    let verdict = check_windowed(&history, StickySpec::new()).expect("within checker capacity");
+    assert!(
+        matches!(verdict, CheckResult::Linearizable { .. }),
+        "a recorded honest native run must linearize: {verdict:?}"
+    );
+}

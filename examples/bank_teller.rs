@@ -30,12 +30,8 @@ fn main() {
     // --- wait-free bank: crash a teller mid-transfer ----------------------
     println!("== wait-free bank (bounded universal construction) ==");
     let mut mem: SimMem<CellPayload<BankSpec>> = SimMem::new(n);
-    let bank = WaitFreeBank::new(Universal::new(
-        &mut mem,
-        n,
-        UniversalConfig::for_procs(n),
-        BankSpec::new(accounts, initial),
-    ));
+    let bank =
+        WaitFreeBank::new(Universal::builder(n).build(&mut mem, BankSpec::new(accounts, initial)));
     let bank2 = bank.clone();
     let out = run_uniform(
         &mem,

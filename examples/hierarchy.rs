@@ -57,12 +57,7 @@ fn main() {
     println!("\nand therefore (Theorem 6.6): CAS — consensus number ∞ — from sticky bits:");
     let threads = 4;
     let mut mem = NativeMem::new();
-    let cas = WaitFreeCas::new(Universal::new(
-        &mut mem,
-        threads,
-        UniversalConfig::for_procs(threads),
-        CasSpec::new(),
-    ));
+    let cas = WaitFreeCas::new(Universal::builder(threads).build(&mut mem, CasSpec::new()));
     let mem = Arc::new(mem);
     let winners: usize = std::thread::scope(|s| {
         (0..threads)

@@ -98,12 +98,7 @@ fn main() {
     println!("checking: the same increments through the universal counter…");
     let report = Explorer::new(4_000).explore(|script| {
         let mut mem: SimMem<CellPayload<CounterSpec>> = SimMem::new(2);
-        let obj = Universal::new(
-            &mut mem,
-            2,
-            UniversalConfig::for_procs(2),
-            CounterSpec::new(),
-        );
+        let obj = Universal::builder(2).build(&mut mem, CounterSpec::new());
         let obj2 = obj.clone();
         let out = run_uniform(
             &mem,

@@ -21,12 +21,7 @@ fn main() {
 
     // --- build phase (single-threaded): allocate registers ---------------
     let mut mem = NativeMem::new();
-    let queue = WaitFreeQueue::new(Universal::new(
-        &mut mem,
-        threads,
-        UniversalConfig::for_procs(threads),
-        QueueSpec::new(),
-    ));
+    let queue = WaitFreeQueue::new(Universal::builder(threads).build(&mut mem, QueueSpec::new()));
     let mem = Arc::new(mem);
 
     // --- run phase: every thread is a "processor" ------------------------
@@ -60,12 +55,8 @@ fn main() {
 
     // --- a counter: concurrent increments are totally ordered ------------
     let mut mem = NativeMem::new();
-    let counter = WaitFreeCounter::new(Universal::new(
-        &mut mem,
-        threads,
-        UniversalConfig::for_procs(threads),
-        CounterSpec::new(),
-    ));
+    let counter =
+        WaitFreeCounter::new(Universal::builder(threads).build(&mut mem, CounterSpec::new()));
     let mem = Arc::new(mem);
     std::thread::scope(|s| {
         for i in 0..threads {

@@ -13,52 +13,25 @@
 //! cargo run --release --example stress -- --crash-restart --torn lying   # exit 0 iff CAUGHT
 //! ```
 //!
+//! With `--features obs`, each run also prints the observability
+//! registry's metrics table, and the fault-injection verdict lines cite
+//! the instrument counts (lies injected vs. violations caught).
+//!
 //! Exits 0 when every window linearized (or, with `--inject`/`--torn
 //! lying`, when the monitor caught the injected fault); 1 otherwise.
 
 use std::process::ExitCode;
 
 use sbu_mem::TornPersist;
+use sbu_obs::Snapshot;
 use sbu_stress::{
-    run_crash_restart, run_workload, ContentionProfile, CrashWorkload, Inject, StressConfig,
-    Workload,
+    run_crash_restart, run_workload, CrashWorkload, Inject, Options, OptionsError, StressConfig,
+    Workload, USAGE,
 };
-
-const USAGE: &str = "\
-usage: stress [options]
-  --threads N        worker threads (default 4)
-  --ops N            total operations, split across threads (default 40000)
-  --seed N           master seed (default 42)
-  --workload W       sticky|jam|election|consensus-sticky|universal-counter|
-                     universal-queue|all (default sticky); with
-                     --crash-restart: recoverable-jam|recoverable-counter|all
-  --objects N        independent object instances (default 4)
-  --profile P        hot|spread contention profile (default hot)
-  --inject I         none|torn-jam|stale-read fault injection; sticky-only
-                     (default none); exit 0 iff the monitor CATCHES the fault
-  --crash N          threads that abandon one op (normal mode: in their final
-                     epoch; crash-restart mode: per era, default 1)
-  --epoch-ops N      ops per thread per epoch (default auto: 64/threads)
-  --crash-restart    durable torture: eras split by real crash+restart+recovery
-                     over DurableMem, verdict from check_durable
-  --torn P           crash-restart torn-persist policy:
-                     persist|lose|seeded:N|lying (default persist); with
-                     lying, exit 0 iff the durable checker CATCHES the lie
-  --eras N           crash-restart eras per run (default 4)
-  --iters N          repeat the run with seeds seed..seed+N (default 1)";
 
 fn bail(msg: &str) -> ! {
     eprintln!("stress: {msg}\n{USAGE}");
     std::process::exit(2)
-}
-
-fn parse<T: std::str::FromStr>(flag: &str, v: Option<String>) -> T
-where
-    T::Err: std::fmt::Display,
-{
-    let v = v.unwrap_or_else(|| bail(&format!("{flag} needs a value")));
-    v.parse()
-        .unwrap_or_else(|e| bail(&format!("bad value {v:?} for {flag}: {e}")))
 }
 
 /// Friendly capacity diagnostic (not a linearizability verdict): printed
@@ -71,123 +44,72 @@ fn overflow_note(count: usize, what: &str, remedy: &str) {
     );
 }
 
-fn main() -> ExitCode {
-    let mut threads = 4usize;
-    let mut total_ops = 40_000usize;
-    let mut seed = 42u64;
-    let mut workload_arg: Option<String> = None;
-    let mut objects = 4usize;
-    let mut profile = ContentionProfile::Hot;
-    let mut inject = Inject::None;
-    let mut crash: Option<usize> = None;
-    let mut epoch_ops = 0usize;
-    let mut crash_restart = false;
-    let mut torn = TornPersist::Persist;
-    let mut eras = 4usize;
-    let mut iters = 1u64;
-
-    let mut args = std::env::args().skip(1);
-    while let Some(flag) = args.next() {
-        match flag.as_str() {
-            "--threads" => threads = parse(&flag, args.next()),
-            "--ops" => total_ops = parse(&flag, args.next()),
-            "--seed" => seed = parse(&flag, args.next()),
-            "--workload" => {
-                workload_arg = Some(
-                    args.next()
-                        .unwrap_or_else(|| bail("--workload needs a value")),
-                )
-            }
-            "--objects" => objects = parse(&flag, args.next()),
-            "--profile" => profile = parse(&flag, args.next()),
-            "--inject" => inject = parse(&flag, args.next()),
-            "--crash" => crash = Some(parse(&flag, args.next())),
-            "--epoch-ops" => epoch_ops = parse(&flag, args.next()),
-            "--crash-restart" => crash_restart = true,
-            "--torn" => torn = parse(&flag, args.next()),
-            "--eras" => eras = parse(&flag, args.next()),
-            "--iters" => iters = parse(&flag, args.next()),
-            "--help" | "-h" => {
-                println!("{USAGE}");
-                return ExitCode::SUCCESS;
-            }
-            other => bail(&format!("unknown flag {other:?}")),
-        }
-    }
-    if threads == 0 {
-        bail("--threads must be at least 1");
-    }
-    if iters == 0 {
-        bail("--iters must be at least 1");
-    }
-
-    if crash_restart {
-        run_crash_mode(
-            threads,
-            total_ops,
-            seed,
-            workload_arg,
-            objects,
-            profile,
-            crash,
-            torn,
-            eras,
-            iters,
-        )
-    } else {
-        run_normal_mode(
-            threads,
-            total_ops,
-            seed,
-            workload_arg,
-            objects,
-            profile,
-            inject,
-            crash.unwrap_or(0),
-            epoch_ops,
-            iters,
-        )
+/// Print the run's aggregated instruments, if any were recorded (requires
+/// the `obs` cargo feature; detached registries snapshot empty).
+fn print_metrics(metrics: &Snapshot) {
+    if !metrics.is_empty() {
+        println!("{}", metrics.render_table("metrics"));
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn run_normal_mode(
-    threads: usize,
-    total_ops: usize,
-    seed: u64,
-    workload_arg: Option<String>,
-    objects: usize,
-    profile: ContentionProfile,
-    inject: Inject,
-    crash: usize,
-    epoch_ops: usize,
-    iters: u64,
-) -> ExitCode {
-    let workloads: Vec<Workload> = match workload_arg.as_deref() {
+/// Format the injected-count clause of a verdict line. Only a live
+/// registry (`--features obs`) has a truthful count; a dark build omits
+/// the clause instead of reporting a false zero.
+fn cite(count: u64, what: &str) -> String {
+    if sbu_obs::enabled() {
+        format!("{count} {what} injected, ")
+    } else {
+        String::new()
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match Options::parse(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(OptionsError::Help) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => bail(&e.to_string()),
+    };
+    if opts.crash_restart {
+        run_crash_mode(&opts)
+    } else {
+        run_normal_mode(&opts)
+    }
+}
+
+fn run_normal_mode(opts: &Options) -> ExitCode {
+    let workloads: Vec<Workload> = match opts.workload.as_deref() {
         None => vec![Workload::Sticky],
         Some("all") => Workload::all().to_vec(),
         Some(v) => vec![v.parse::<Workload>().unwrap_or_else(|e| bail(&e))],
     };
-    if inject != Inject::None && workloads.iter().any(|w| *w != Workload::Sticky) {
+    if opts.inject != Inject::None && workloads.iter().any(|w| *w != Workload::Sticky) {
         bail("--inject only applies to the sticky workload");
     }
 
-    let mut cfg = StressConfig::new(threads, total_ops.div_ceil(threads), seed);
-    cfg.objects = objects.max(1);
-    cfg.profile = profile;
-    cfg.crash_threads = crash.min(threads);
-    cfg.epoch_ops = epoch_ops;
+    let mut cfg = StressConfig::new(
+        opts.threads,
+        opts.total_ops.div_ceil(opts.threads),
+        opts.seed,
+    );
+    cfg.objects = opts.objects.max(1);
+    cfg.profile = opts.profile;
+    cfg.crash_threads = opts.crash.unwrap_or(0).min(opts.threads);
+    cfg.epoch_ops = opts.epoch_ops;
 
     let mut ok = true;
-    for iter in 0..iters {
-        cfg.seed = seed + iter;
+    for iter in 0..opts.iters {
+        cfg.seed = opts.seed + iter;
         for w in &workloads {
             println!(
-                "== workload {w} ({} threads × {} ops, seed {}, inject {inject}) ==",
-                cfg.threads, cfg.ops_per_thread, cfg.seed
+                "== workload {w} ({} threads × {} ops, seed {}, inject {}) ==",
+                cfg.threads, cfg.ops_per_thread, cfg.seed, opts.inject
             );
-            let report = run_workload(*w, &cfg, inject);
+            let report = run_workload(*w, &cfg, opts.inject);
             println!("{report}");
+            print_metrics(&report.metrics);
             if report.overflow_windows > 0 {
                 overflow_note(
                     report.overflow_windows,
@@ -197,15 +119,23 @@ fn run_normal_mode(
                 );
                 ok = false;
             }
-            if inject == Inject::None {
+            if opts.inject == Inject::None {
                 if !report.violations.is_empty() {
                     ok = false;
                 }
-            } else if report.all_linearizable() {
-                println!("INJECTED FAULT NOT CAUGHT");
-                ok = false;
             } else {
-                println!("INJECTED FAULT CAUGHT");
+                // Cite the registry: lies the injector actually told vs.
+                // violations the monitor reported. The verdict itself never
+                // depends on instrumentation; without the `obs` feature the
+                // count is omitted rather than reported as a false zero.
+                let cited = cite(report.metrics.counter("inject.lies_told"), "lies");
+                let caught = report.violations.len();
+                if report.all_linearizable() {
+                    println!("INJECTED FAULT NOT CAUGHT ({cited}0 caught)");
+                    ok = false;
+                } else {
+                    println!("INJECTED FAULT CAUGHT ({cited}{caught} violation(s) reported)");
+                }
             }
             println!();
         }
@@ -217,46 +147,39 @@ fn run_normal_mode(
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn run_crash_mode(
-    threads: usize,
-    total_ops: usize,
-    seed: u64,
-    workload_arg: Option<String>,
-    objects: usize,
-    profile: ContentionProfile,
-    crash: Option<usize>,
-    torn: TornPersist,
-    eras: usize,
-    iters: u64,
-) -> ExitCode {
-    let workloads: Vec<CrashWorkload> = match workload_arg.as_deref() {
+fn run_crash_mode(opts: &Options) -> ExitCode {
+    let workloads: Vec<CrashWorkload> = match opts.workload.as_deref() {
         None => vec![CrashWorkload::RecoverableJam],
         Some("all") => CrashWorkload::all().to_vec(),
         Some(v) => vec![v.parse::<CrashWorkload>().unwrap_or_else(|e| bail(&e))],
     };
-    if torn == TornPersist::Lying && workloads.contains(&CrashWorkload::RecoverableCounter) {
+    if opts.torn == TornPersist::Lying && workloads.contains(&CrashWorkload::RecoverableCounter) {
         bail("--torn lying only applies to the recoverable-jam workload");
     }
 
     // Crash-restart sizing: `--ops` is the total across threads and eras;
     // keep per-era bursts small enough for check_durable's windows.
-    let mut cfg = StressConfig::new(threads, (total_ops.div_ceil(threads)).min(96), seed);
-    cfg.objects = objects.max(1);
-    cfg.profile = profile;
-    cfg.crash_threads = crash.unwrap_or(1).clamp(1, threads);
+    let mut cfg = StressConfig::new(
+        opts.threads,
+        opts.total_ops.div_ceil(opts.threads).min(96),
+        opts.seed,
+    );
+    cfg.objects = opts.objects.max(1);
+    cfg.profile = opts.profile;
+    cfg.crash_threads = opts.crash.unwrap_or(1).clamp(1, opts.threads);
 
     let mut ok = true;
-    for iter in 0..iters {
-        cfg.seed = seed + iter;
+    for iter in 0..opts.iters {
+        cfg.seed = opts.seed + iter;
         for w in &workloads {
             println!(
-                "== crash-restart {w} ({} threads × {} ops, {eras} eras, \
-                 seed {}, torn {torn}) ==",
-                cfg.threads, cfg.ops_per_thread, cfg.seed
+                "== crash-restart {w} ({} threads × {} ops, {} eras, \
+                 seed {}, torn {}) ==",
+                cfg.threads, cfg.ops_per_thread, opts.eras, cfg.seed, opts.torn
             );
-            let report = run_crash_restart(*w, &cfg, eras, torn);
+            let report = run_crash_restart(*w, &cfg, opts.eras, opts.torn);
             println!("{report}");
+            print_metrics(&report.metrics);
             if report.unverified_objects > 0 {
                 overflow_note(
                     report.unverified_objects,
@@ -266,12 +189,17 @@ fn run_crash_mode(
                 );
                 ok = false;
             }
-            if torn == TornPersist::Lying {
+            if opts.torn == TornPersist::Lying {
+                // Cite the registry: acknowledged jams the lying policy
+                // rolled back vs. violations the durable checker reported
+                // (omitted without the `obs` feature).
+                let cited = cite(report.metrics.counter("mem.lying_rollbacks"), "rollbacks");
+                let caught = report.violations.len();
                 if report.violations.is_empty() {
-                    println!("LYING TORN-PERSIST NOT CAUGHT");
+                    println!("LYING TORN-PERSIST NOT CAUGHT ({cited}0 caught)");
                     ok = false;
                 } else {
-                    println!("LYING TORN-PERSIST CAUGHT");
+                    println!("LYING TORN-PERSIST CAUGHT ({cited}{caught} violation(s) reported)");
                 }
             } else if !report.violations.is_empty() {
                 ok = false;

@@ -25,11 +25,17 @@ cargo fmt --all --check
 step "clippy (warnings are errors)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-step "release build"
+step "release build (both feature configs: obs off is the default, obs on must build too)"
 cargo build --release --offline
+cargo build --release --offline --features obs
 
 step "workspace tests"
 cargo test --quiet --workspace --offline
+
+step "obs-enabled tests (instrumented crates; same suites, metrics live)"
+cargo test --quiet --offline --features obs \
+    -p sbu-obs -p sbu-mem -p sbu-sticky -p sbu-core -p sbu-stress -p sbu-bench
+cargo test --quiet --offline --features obs
 
 step "schedule-corpus replay"
 cargo test --quiet --offline --test corpus_replay
@@ -51,6 +57,12 @@ cargo run --release --quiet --offline --example stress -- \
     --threads 4 --ops 20000 --seed 7
 cargo run --release --quiet --offline --example stress -- \
     --threads 4 --ops 8000 --seed 7 --inject torn-jam
+obs_verdict=$(cargo run --release --quiet --offline --features obs --example stress -- \
+    --threads 4 --ops 8000 --seed 7 --inject torn-jam)
+grep -q "lies injected" <<<"$obs_verdict" || {
+    echo "obs-enabled stress verdict did not cite the injection counter" >&2
+    exit 1
+}
 
 step "crash-restart smoke (durable torture, offline check_durable verdict)"
 cargo run --release --quiet --offline --example stress -- \
@@ -69,6 +81,14 @@ if [[ -f benchmarks/BENCH_e8_baseline.json ]]; then
 else
     echo "benchmarks/BENCH_e8_baseline.json absent; perf smoke skipped"
 fi
+
+step "observability smoke (obs-enabled exp e8 must fire the frontier instruments)"
+rm -f OBS_e8.json
+cargo run --release --quiet --offline --features obs -p sbu-bench --bin exp -- e8 >/dev/null
+grep -Eq '"core\.frontier_hit": [1-9]' OBS_e8.json || {
+    echo "OBS_e8.json missing a non-zero core.frontier_hit counter" >&2
+    exit 1
+}
 
 if [[ "$FULL" == 1 ]]; then
     step "deep exploration sweeps (#[ignore]d tests, release)"

@@ -19,6 +19,7 @@
 //! | [`rmw`] | `sbu-rmw` | the RMW hierarchy, its empirical separations, and its collapse at 3 values |
 //! | [`core`] | `sbu-core` | **the universal constructions** (bounded Θ(n²), unbounded baseline, lock-based strawman) and ready-made wait-free objects |
 //! | [`stress`] | `sbu-stress` | native multi-thread torture harness with online windowed linearizability monitoring and fault injection |
+//! | [`obs`] | `sbu-obs` | observability: per-thread metrics registry, bounded op-trace rings, the `OBS_*.json`/`BENCH_*.json` serializer (all no-ops unless the `obs` feature is on) |
 //!
 //! ## Quickstart
 //!
@@ -28,12 +29,16 @@
 //! // A wait-free FIFO queue for 4 threads, from sticky bits + safe
 //! // registers, on real atomics:
 //! let mut mem = NativeMem::new();
-//! let queue = WaitFreeQueue::new(Universal::new(
-//!     &mut mem, 4, UniversalConfig::for_procs(4), QueueSpec::new(),
-//! ));
+//! let queue = WaitFreeQueue::new(Universal::builder(4).build(&mut mem, QueueSpec::new()));
 //! queue.enqueue(&mem, Pid(0), 42);
 //! assert_eq!(queue.dequeue(&mem, Pid(1)), Some(42));
 //! ```
+//!
+//! The builder takes the two knobs most callers skip:
+//! [`UniversalConfig`](sbu_core::bounded::UniversalConfig) overrides via
+//! `.config(…)`, and a metrics registry via `.obs(&registry)` (see
+//! [`obs`]; recording is free when detached and compiled out entirely
+//! without the `obs` cargo feature).
 //!
 //! See `examples/` for runnable demos and `EXPERIMENTS.md` for the
 //! paper-claim-by-claim reproduction record.
@@ -45,6 +50,7 @@ pub mod corpus_systems;
 
 pub use sbu_core as core;
 pub use sbu_mem as mem;
+pub use sbu_obs as obs;
 pub use sbu_rmw as rmw;
 pub use sbu_sim as sim;
 pub use sbu_spec as spec;

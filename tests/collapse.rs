@@ -17,7 +17,7 @@ fn cas_from_sticky_primitives_is_linearizable() {
     for seed in 0..10 {
         let n = 3;
         let mut mem: SimMem<CellPayload<CasSpec>> = SimMem::new(n);
-        let obj = Universal::new(&mut mem, n, UniversalConfig::for_procs(n), CasSpec::new());
+        let obj = Universal::builder(n).build(&mut mem, CasSpec::new());
         let rec: Arc<HistoryRecorder<CasOp, CasResp>> = Arc::new(HistoryRecorder::new());
         let rec2 = Arc::clone(&rec);
         let obj2 = obj.clone();

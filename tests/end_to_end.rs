@@ -13,7 +13,7 @@ fn kv_store_linearizable_under_adversary() {
     for seed in 0..10 {
         let n = 3;
         let mut mem: SimMem<CellPayload<KvSpec>> = SimMem::new(n);
-        let obj = Universal::new(&mut mem, n, UniversalConfig::for_procs(n), KvSpec::new());
+        let obj = Universal::builder(n).build(&mut mem, KvSpec::new());
         let rec: Arc<HistoryRecorder<KvOp, KvResp>> = Arc::new(HistoryRecorder::new());
         let rec2 = Arc::clone(&rec);
         let obj2 = obj.clone();
@@ -49,12 +49,7 @@ fn snapshot_scans_are_atomic_cuts() {
     for seed in 0..10 {
         let n = 3;
         let mut mem: SimMem<CellPayload<SnapshotSpec>> = SimMem::new(n);
-        let obj = Universal::new(
-            &mut mem,
-            n,
-            UniversalConfig::for_procs(n),
-            SnapshotSpec::new(n),
-        );
+        let obj = Universal::builder(n).build(&mut mem, SnapshotSpec::new(n));
         let rec: Arc<HistoryRecorder<SnapshotOp, SnapshotResp>> = Arc::new(HistoryRecorder::new());
         let rec2 = Arc::clone(&rec);
         let obj2 = obj.clone();
@@ -91,12 +86,7 @@ fn native_stack_conserves_elements() {
     let threads = 4;
     let per = 25;
     let mut mem: NativeMem<CellPayload<StackSpec>> = NativeMem::new();
-    let obj = Universal::new(
-        &mut mem,
-        threads,
-        UniversalConfig::for_procs(threads),
-        StackSpec::new(),
-    );
+    let obj = Universal::builder(threads).build(&mut mem, StackSpec::new());
     let stack = WaitFreeStack::new(obj);
     let mem = Arc::new(mem);
     let popped: Vec<u64> = std::thread::scope(|s| {
@@ -136,7 +126,7 @@ fn native_stack_conserves_elements() {
 #[test]
 fn stack_responses_match_spec() {
     let mut mem: NativeMem<CellPayload<StackSpec>> = NativeMem::new();
-    let obj = Universal::new(&mut mem, 1, UniversalConfig::for_procs(1), StackSpec::new());
+    let obj = Universal::builder(1).build(&mut mem, StackSpec::new());
     assert_eq!(obj.apply(&mem, Pid(0), &StackOp::Pop), StackResp::Empty);
     assert_eq!(obj.apply(&mem, Pid(0), &StackOp::Push(5)), StackResp::Ack);
     assert_eq!(obj.apply(&mem, Pid(0), &StackOp::Peek), StackResp::Value(5));
@@ -178,12 +168,7 @@ fn randomized_sticky_bit_composes_with_helpers() {
 #[test]
 fn prelude_quickstart_compiles_and_runs() {
     let mut mem = NativeMem::new();
-    let queue = WaitFreeQueue::new(Universal::new(
-        &mut mem,
-        4,
-        UniversalConfig::for_procs(4),
-        QueueSpec::new(),
-    ));
+    let queue = WaitFreeQueue::new(Universal::builder(4).build(&mut mem, QueueSpec::new()));
     queue.enqueue(&mem, Pid(0), 42);
     assert_eq!(queue.dequeue(&mem, Pid(1)), Some(42));
     assert_eq!(queue.dequeue(&mem, Pid(2)), None);
@@ -197,18 +182,10 @@ fn two_objects_share_one_memory() {
     for seed in 0..6 {
         let n = 2;
         let mut mem: SimMem<CellPayload<CounterSpec>> = SimMem::new(n);
-        let a = Universal::new(
-            &mut mem,
-            n,
-            UniversalConfig::for_procs(n),
-            CounterSpec::new(),
-        );
-        let b = Universal::new(
-            &mut mem,
-            n,
-            UniversalConfig::for_procs(n).with_fast_paths(),
-            CounterSpec::new(),
-        );
+        let a = Universal::builder(n).build(&mut mem, CounterSpec::new());
+        let b = Universal::builder(n)
+            .config(UniversalConfig::for_procs(n).with_fast_paths())
+            .build(&mut mem, CounterSpec::new());
         let rec_a: Arc<HistoryRecorder<CounterOp, u64>> = Arc::new(HistoryRecorder::new());
         let rec_b: Arc<HistoryRecorder<CounterOp, u64>> = Arc::new(HistoryRecorder::new());
         let (ra, rb) = (Arc::clone(&rec_a), Arc::clone(&rec_b));

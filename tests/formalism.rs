@@ -15,12 +15,7 @@ use sticky_universality::spec::schedule::{
 fn recorded_executions_are_well_formed_schedules() {
     let n = 3;
     let mut mem: SimMem<CellPayload<CounterSpec>> = SimMem::new(n);
-    let obj = Universal::new(
-        &mut mem,
-        n,
-        UniversalConfig::for_procs(n),
-        CounterSpec::new(),
-    );
+    let obj = Universal::builder(n).build(&mut mem, CounterSpec::new());
     let obj2 = obj.clone();
     // Events: (clock, action)
     type EventLog = std::sync::Mutex<Vec<(u64, Action<String>)>>;

@@ -27,7 +27,9 @@ fn universal_counter_over_literal_sticky_bits_sim() {
         let sim: SimMem<Payload> = SimMem::new(n);
         let config = UniversalConfig::for_procs(n);
         let mut mem = Fig2Mem::new(sim.clone(), n, width_for(config.cells, n));
-        let obj = Universal::new(&mut mem, n, config, CounterSpec::new());
+        let obj = Universal::builder(n)
+            .config(config)
+            .build(&mut mem, CounterSpec::new());
         let rec: Arc<HistoryRecorder<CounterOp, u64>> = Arc::new(HistoryRecorder::new());
         let rec2 = Arc::clone(&rec);
         let obj2 = obj.clone();
@@ -68,7 +70,9 @@ fn universal_counter_over_literal_sticky_bits_native() {
     let config = UniversalConfig::for_procs(threads);
     let native: NativeMem<Payload> = NativeMem::new();
     let mut mem = Fig2Mem::new(native, threads, width_for(config.cells, threads));
-    let obj = Universal::new(&mut mem, threads, config, CounterSpec::new());
+    let obj = Universal::builder(threads)
+        .config(config)
+        .build(&mut mem, CounterSpec::new());
     let mem = Arc::new(mem);
     let per = 20;
     std::thread::scope(|s| {
