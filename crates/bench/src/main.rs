@@ -10,11 +10,21 @@
 //! (schema in EXPERIMENTS.md). With `--baseline <path>`, E8 additionally
 //! compares its fresh numbers against the recorded baseline and exits
 //! non-zero on a >30% `bounded_fast` regression — the CI perf smoke.
+//!
+//! `exp scenarios [...]` runs the deterministic scenario matrix instead
+//! (see `sbu-scenario` and EXPERIMENTS.md): every remaining argument goes
+//! to that driver, and its exit code (0 ok / 1 verdict or coverage
+//! regression / 2 usage) becomes the process's.
 
 use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // The scenario matrix has its own flag surface; hand everything after
+    // the subcommand name straight through.
+    if args.first().map(String::as_str) == Some("scenarios") {
+        std::process::exit(sbu_scenario::cli::run(&args[1..]));
+    }
     let mut baseline: Option<String> = None;
     let mut names: Vec<&str> = Vec::new();
     let mut iter = args.iter();
@@ -59,7 +69,7 @@ fn main() {
             "e10" => sbu_bench::e10_stress::run(),
             "e11" => sbu_bench::e11_recovery::run(),
             other => {
-                eprintln!("unknown experiment {other:?}; use e1..e11 or all");
+                eprintln!("unknown experiment {other:?}; use e1..e11, scenarios, or all");
                 std::process::exit(2);
             }
         };

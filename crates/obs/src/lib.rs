@@ -33,7 +33,7 @@ pub mod metrics;
 pub mod trace;
 
 pub use json::Json;
-pub use metrics::{Counter, Histogram, HistogramSummary, Registry, Snapshot};
+pub use metrics::{Counter, Histogram, HistogramSummary, Registry, Snapshot, SnapshotDiff};
 pub use trace::{history_from_trace, Event, EventKind, TraceRing};
 
 /// Whether this build of `sbu-obs` records anything: `true` iff the crate

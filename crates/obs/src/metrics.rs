@@ -157,6 +157,125 @@ impl Snapshot {
         );
         Json::obj(vec![("counters", counters), ("histograms", histograms)])
     }
+
+    /// Parse a snapshot back out of its [`Snapshot::to_json`] form (the
+    /// `metrics` object of an `OBS_*.json` artifact). Numbers are clamped
+    /// into `u64` (negative → 0, oversized → `u64::MAX`) — artifact values
+    /// are always non-negative counts, so nothing real is clamped.
+    pub fn from_json(doc: &Json) -> Result<Snapshot, String> {
+        fn as_u64(j: &Json, what: &str) -> Result<u64, String> {
+            j.as_num()
+                .map(|x| x as u64)
+                .ok_or_else(|| format!("{what} is not a number"))
+        }
+        let mut out = Snapshot::default();
+        match doc.get("counters") {
+            Some(Json::Obj(map)) => {
+                for (name, v) in map {
+                    out.counters
+                        .push((name.clone(), as_u64(v, &format!("counter {name:?}"))?));
+                }
+            }
+            Some(_) => return Err("\"counters\" is not an object".into()),
+            None => {}
+        }
+        match doc.get("histograms") {
+            Some(Json::Obj(map)) => {
+                for (name, h) in map {
+                    let mut summary = HistogramSummary {
+                        count: as_u64(
+                            h.get("count").unwrap_or(&Json::Num(0.0)),
+                            &format!("histogram {name:?} count"),
+                        )?,
+                        sum: as_u64(
+                            h.get("sum").unwrap_or(&Json::Num(0.0)),
+                            &format!("histogram {name:?} sum"),
+                        )?,
+                        max: as_u64(
+                            h.get("max").unwrap_or(&Json::Num(0.0)),
+                            &format!("histogram {name:?} max"),
+                        )?,
+                        buckets: [0; BUCKETS],
+                    };
+                    if let Some(buckets) = h.get("buckets").and_then(Json::as_arr) {
+                        if buckets.len() != BUCKETS {
+                            return Err(format!(
+                                "histogram {name:?} has {} buckets, expected {BUCKETS}",
+                                buckets.len()
+                            ));
+                        }
+                        for (slot, b) in summary.buckets.iter_mut().zip(buckets) {
+                            *slot = as_u64(b, &format!("histogram {name:?} bucket"))?;
+                        }
+                    }
+                    out.histograms.push((name.clone(), summary));
+                }
+            }
+            Some(_) => return Err("\"histograms\" is not an object".into()),
+            None => {}
+        }
+        Ok(out)
+    }
+
+    /// Compare instrument *coverage* against a `current` snapshot taken
+    /// later (or from another run). Histograms participate through their
+    /// recorded-value counts, under their registered names. A counter that
+    /// was non-zero here but zero (or absent) in `current` "went dark" —
+    /// the signal the scenario coverage summarizer fails on.
+    pub fn diff(&self, current: &Snapshot) -> SnapshotDiff {
+        fn activity(s: &Snapshot) -> Vec<(String, u64)> {
+            let mut out: Vec<(String, u64)> = s.counters.clone();
+            out.extend(s.histograms.iter().map(|(n, h)| (n.clone(), h.count)));
+            out.sort();
+            out
+        }
+        let old = activity(self);
+        let new = activity(current);
+        let lookup = |set: &[(String, u64)], name: &str| -> u64 {
+            set.iter().find(|(n, _)| n == name).map_or(0, |(_, v)| *v)
+        };
+        let mut diff = SnapshotDiff::default();
+        for (name, was) in &old {
+            let now = lookup(&new, name);
+            match (*was, now) {
+                (0, 0) => {}
+                (0, _) => diff.appeared.push(name.clone()),
+                (_, 0) => diff.went_dark.push(name.clone()),
+                (was, now) if was != now => diff.changed.push((name.clone(), was, now)),
+                _ => {}
+            }
+        }
+        for (name, now) in &new {
+            if *now > 0 && lookup(&old, name) == 0 && !diff.appeared.contains(name) {
+                diff.appeared.push(name.clone());
+            }
+        }
+        diff
+    }
+}
+
+/// Outcome of [`Snapshot::diff`]: how instrument coverage moved between two
+/// snapshots. Only [`SnapshotDiff::went_dark`] is a regression; the other
+/// two fields are informational.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SnapshotDiff {
+    /// Instruments that were zero (or unregistered) before and fired in the
+    /// current snapshot — coverage gained.
+    pub appeared: Vec<String>,
+    /// Instruments that fired before but are zero (or unregistered) in the
+    /// current snapshot — coverage *lost*: the code path stopped being
+    /// exercised.
+    pub went_dark: Vec<String>,
+    /// Instruments non-zero in both with different totals: `(name, before,
+    /// current)`.
+    pub changed: Vec<(String, u64, u64)>,
+}
+
+impl SnapshotDiff {
+    /// Whether any previously exercised instrument stopped firing.
+    pub fn has_coverage_loss(&self) -> bool {
+        !self.went_dark.is_empty()
+    }
 }
 
 #[cfg(feature = "obs")]

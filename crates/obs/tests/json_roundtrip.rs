@@ -1,0 +1,138 @@
+//! Round-trip guarantees for the `sbu_obs::json` writer/parser and the
+//! [`Snapshot`] serialization the scenario reports are built on.
+//!
+//! The scenario-matrix harness (`sbu-scenario`) trusts that whatever a run
+//! writes into `OBS_*`/`BENCH_*` artifacts comes back byte-for-value
+//! identical when the coverage summarizer re-reads it. These tests pin that
+//! contract on adversarial values: empty tables, zero counters, `u64::MAX`
+//! histogram buckets, and names that need escaping.
+
+use sbu_obs::{HistogramSummary, Json, Snapshot};
+
+/// A snapshot exercising every awkward value class at once.
+fn adversarial_snapshot() -> Snapshot {
+    let mut buckets = [0u64; sbu_obs::metrics::BUCKETS];
+    buckets[0] = u64::MAX;
+    buckets[sbu_obs::metrics::BUCKETS - 1] = 1;
+    Snapshot {
+        counters: vec![
+            ("plain.counter".into(), 7),
+            ("zero.counter".into(), 0),
+            ("huge.counter".into(), u64::MAX),
+            ("needs \"escaping\"\n\ttab\\slash".into(), 3),
+            ("unicode.éπ€.counter".into(), 1),
+        ],
+        histograms: vec![
+            ("empty.histogram".into(), HistogramSummary::default()),
+            (
+                "max.histogram".into(),
+                HistogramSummary {
+                    count: u64::MAX,
+                    sum: u64::MAX,
+                    max: u64::MAX,
+                    buckets,
+                },
+            ),
+        ],
+    }
+}
+
+/// `u64::MAX` survives the `f64` JSON representation: `2^64` is exactly
+/// representable, renders, parses, and saturates back to `u64::MAX`.
+#[test]
+fn u64_max_survives_the_f64_detour() {
+    let j = Json::Num(u64::MAX as f64);
+    let back = Json::parse(&j.render()).unwrap();
+    assert_eq!(back.as_num().map(|x| x as u64), Some(u64::MAX));
+}
+
+#[test]
+fn adversarial_snapshot_roundtrips_through_json() {
+    let snap = adversarial_snapshot();
+    let doc = snap.to_json();
+    // Value-level round-trip: render → parse → same Json.
+    let text = doc.render();
+    let reparsed = Json::parse(&text).expect("writer output must parse");
+    assert_eq!(doc, reparsed);
+    // Snapshot-level round-trip — modulo counter order: to_json stores
+    // counters in a JSON object (sorted), so compare by lookup.
+    let back = Snapshot::from_json(&reparsed).expect("schema must round-trip");
+    for (name, v) in &snap.counters {
+        assert_eq!(back.counter(name), *v, "counter {name:?}");
+    }
+    assert_eq!(back.counters.len(), snap.counters.len());
+    for (name, h) in &snap.histograms {
+        assert_eq!(back.histogram(name), Some(h), "histogram {name:?}");
+    }
+}
+
+#[test]
+fn empty_snapshot_roundtrips() {
+    let snap = Snapshot::default();
+    let back = Snapshot::from_json(&Json::parse(&snap.to_json().render()).unwrap()).unwrap();
+    assert!(back.is_empty());
+    // A bare `{}` (no counters/histograms keys at all) is also fine.
+    assert!(Snapshot::from_json(&Json::parse("{}").unwrap())
+        .unwrap()
+        .is_empty());
+}
+
+#[test]
+fn from_json_rejects_malformed_schemas() {
+    for bad in [
+        r#"{"counters": [1, 2]}"#,
+        r#"{"histograms": 7}"#,
+        r#"{"counters": {"x": "not a number"}}"#,
+        r#"{"histograms": {"h": {"count": 1, "buckets": [1, 2]}}}"#,
+    ] {
+        let doc = Json::parse(bad).unwrap();
+        assert!(Snapshot::from_json(&doc).is_err(), "should reject: {bad}");
+    }
+}
+
+#[test]
+fn escaped_names_roundtrip_exactly() {
+    let name = "quote\" backslash\\ newline\n tab\t ctrl\u{1} é";
+    let doc = Json::obj(vec![(name, Json::Num(1.0))]);
+    let back = Json::parse(&doc.render()).unwrap();
+    assert_eq!(back.get(name).and_then(Json::as_num), Some(1.0));
+}
+
+#[test]
+fn diff_reports_coverage_movement() {
+    let before = Snapshot {
+        counters: vec![
+            ("stays.hot".into(), 5),
+            ("goes.dark".into(), 9),
+            ("always.zero".into(), 0),
+        ],
+        histograms: vec![(
+            "hist.goes.dark".into(),
+            HistogramSummary {
+                count: 2,
+                sum: 4,
+                max: 3,
+                buckets: [0; sbu_obs::metrics::BUCKETS],
+            },
+        )],
+    };
+    let after = Snapshot {
+        counters: vec![
+            ("stays.hot".into(), 8),
+            ("goes.dark".into(), 0),
+            ("newly.lit".into(), 2),
+        ],
+        histograms: vec![("hist.goes.dark".into(), HistogramSummary::default())],
+    };
+    let diff = before.diff(&after);
+    assert!(diff.has_coverage_loss());
+    let mut dark = diff.went_dark.clone();
+    dark.sort();
+    assert_eq!(dark, vec!["goes.dark".to_string(), "hist.goes.dark".into()]);
+    assert_eq!(diff.appeared, vec!["newly.lit".to_string()]);
+    assert_eq!(diff.changed, vec![("stays.hot".to_string(), 5, 8)]);
+    // Identical snapshots: nothing moved.
+    let same = before.diff(&before);
+    assert!(!same.has_coverage_loss());
+    assert!(same.appeared.is_empty() && same.changed.is_empty());
+}

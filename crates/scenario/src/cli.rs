@@ -1,0 +1,281 @@
+//! The `exp scenarios` driver: argument parsing, matrix execution,
+//! artifact writing, and the coverage-comparison mode.
+//!
+//! Kept in the library (not a binary) so `sbu-bench`'s `exp` front-end and
+//! the `scenario_matrix` example share one implementation, and so the
+//! integration tests can drive it in-process.
+
+use crate::coverage::{compare, signature_from_json};
+use crate::matrix::Verdict;
+use crate::report::write_artifacts;
+use crate::run::{run_matrix, RunConfig};
+use crate::scenario;
+use sbu_obs::json::Json;
+use std::path::PathBuf;
+
+/// Help text for `exp scenarios --help`.
+pub const USAGE: &str = "usage: exp scenarios [options]
+       exp scenarios --compare BASE.json CURRENT.json
+
+Run the deterministic scenario matrix: every registered scenario crossed
+against every object (sticky, jam-word, counter) and backend (native,
+durable, torn-lying). Each scenario writes SCENARIO_<NAME>_REPORT.md and
+OBS_scenario_<name>.json; the whole run writes BENCH_scenarios.json.
+
+options:
+  --scenario A,B,..   run only the named scenarios (default: all)
+  --seed N            master seed (default 42); cells derive their own
+  --out DIR           artifact directory (default: current directory)
+  --max-threads N     clamp every phase's thread count (1 = bit-determinism)
+  --ops-factor N      multiply every phase's per-thread ops (default 1)
+  --list              list registered scenarios and exit
+  --compare B C       compare coverage of run C against baseline B
+  -h, --help          this help
+
+exit codes:
+  0  every cell matched its expected verdict / no coverage regression
+  1  a cell defied expectations (violation, escaped adversary, unverified)
+     or the comparison found a coverage regression
+  2  usage or I/O error
+";
+
+/// Parsed `exp scenarios` arguments.
+#[derive(Debug, Clone, Default)]
+struct Args {
+    rc: RunConfig,
+    scenarios: Option<Vec<String>>,
+    out: Option<PathBuf>,
+    list: bool,
+    compare: Option<(PathBuf, PathBuf)>,
+    help: bool,
+}
+
+fn parse(args: &[String]) -> Result<Args, String> {
+    let mut out = Args {
+        rc: RunConfig::default(),
+        ..Args::default()
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--scenario" => {
+                out.scenarios = Some(
+                    value("--scenario")?
+                        .split(',')
+                        .filter(|s| !s.is_empty())
+                        .map(str::to_string)
+                        .collect(),
+                )
+            }
+            "--seed" => {
+                let v = value("--seed")?;
+                out.rc.seed = v.parse().map_err(|_| format!("bad --seed {v:?}"))?;
+            }
+            "--out" => out.out = Some(PathBuf::from(value("--out")?)),
+            "--max-threads" => {
+                let v = value("--max-threads")?;
+                out.rc.max_threads = v.parse().map_err(|_| format!("bad --max-threads {v:?}"))?;
+            }
+            "--ops-factor" => {
+                let v = value("--ops-factor")?;
+                let f: usize = v.parse().map_err(|_| format!("bad --ops-factor {v:?}"))?;
+                if f == 0 {
+                    return Err("--ops-factor must be >= 1".into());
+                }
+                out.rc.ops_factor = f;
+            }
+            "--list" => out.list = true,
+            "--compare" => {
+                let base = value("--compare")?;
+                let current = it
+                    .next()
+                    .cloned()
+                    .ok_or("--compare needs BASE.json and CURRENT.json")?;
+                out.compare = Some((PathBuf::from(base), PathBuf::from(current)));
+            }
+            "-h" | "--help" => out.help = true,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+fn load_signature(path: &std::path::Path) -> Result<crate::coverage::CoverageSignature, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    signature_from_json(&doc).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Run `exp scenarios` with `args`; returns the process exit code
+/// (documented in [`USAGE`]). Prints progress and verdicts to stdout,
+/// errors to stderr.
+pub fn run(args: &[String]) -> i32 {
+    let parsed = match parse(args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("exp scenarios: {e}\n{USAGE}");
+            return 2;
+        }
+    };
+    if parsed.help {
+        println!("{USAGE}");
+        return 0;
+    }
+    if parsed.list {
+        for s in scenario::all() {
+            println!("{:<22} {} ({} phase(s))", s.name, s.about, s.phases.len());
+        }
+        return 0;
+    }
+    if let Some((base, current)) = parsed.compare {
+        let report = match (load_signature(&base), load_signature(&current)) {
+            (Ok(b), Ok(c)) => compare(&b, &c),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("exp scenarios: {e}");
+                return 2;
+            }
+        };
+        print!("{}", report.render());
+        return if report.is_ok() { 0 } else { 1 };
+    }
+
+    let selected = match parsed.scenarios {
+        None => scenario::all(),
+        Some(names) => {
+            let mut picked = Vec::new();
+            for name in names {
+                match scenario::find(&name) {
+                    Some(s) => picked.push(s),
+                    None => {
+                        eprintln!("exp scenarios: unknown scenario {name:?} (try --list)");
+                        return 2;
+                    }
+                }
+            }
+            picked
+        }
+    };
+
+    let out_dir = parsed.out.unwrap_or_else(|| PathBuf::from("."));
+    let results = run_matrix(&selected, &parsed.rc);
+    let mut ok = true;
+    for r in &results {
+        let (mut pass, mut caught, mut skipped, mut bad) = (0, 0, 0, 0);
+        for c in &r.cells {
+            match c.verdict {
+                Verdict::Pass => pass += 1,
+                Verdict::Caught => caught += 1,
+                Verdict::Skipped => skipped += 1,
+                _ => bad += 1,
+            }
+            if !c.is_ok() {
+                println!(
+                    "  !! {}: {}/{} expected {} got {}",
+                    r.scenario.name, c.object, c.backend, c.expected, c.verdict
+                );
+            }
+        }
+        println!(
+            "{:<22} {} pass, {} caught, {} skipped, {} bad",
+            r.scenario.name, pass, caught, skipped, bad
+        );
+        ok &= r.is_ok();
+    }
+    match write_artifacts(&results, &parsed.rc, &out_dir) {
+        Ok(paths) => {
+            for p in &paths {
+                println!("wrote {}", p.display());
+            }
+        }
+        Err(e) => {
+            eprintln!("exp scenarios: writing artifacts: {e}");
+            return 2;
+        }
+    }
+    if ok {
+        0
+    } else {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_understands_the_full_surface() {
+        let p = parse(&args(&[
+            "--scenario",
+            "steady-state,crash-storm",
+            "--seed",
+            "7",
+            "--out",
+            "/tmp/x",
+            "--max-threads",
+            "1",
+            "--ops-factor",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(
+            p.scenarios,
+            Some(vec!["steady-state".to_string(), "crash-storm".to_string()])
+        );
+        assert_eq!(p.rc.seed, 7);
+        assert_eq!(p.rc.max_threads, 1);
+        assert_eq!(p.rc.ops_factor, 2);
+        assert_eq!(p.out.as_deref(), Some(std::path::Path::new("/tmp/x")));
+    }
+
+    #[test]
+    fn parse_rejects_junk_with_messages() {
+        for bad in [
+            vec!["--seed"],
+            vec!["--seed", "x"],
+            vec!["--ops-factor", "0"],
+            vec!["--compare", "only-one.json"],
+            vec!["--frobnicate"],
+        ] {
+            let e = parse(&args(&bad)).unwrap_err();
+            assert!(!e.is_empty(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn help_and_list_exit_zero() {
+        assert_eq!(run(&args(&["--help"])), 0);
+        assert_eq!(run(&args(&["--list"])), 0);
+    }
+
+    #[test]
+    fn unknown_scenario_is_a_usage_error() {
+        assert_eq!(run(&args(&["--scenario", "no-such"])), 2);
+    }
+
+    #[test]
+    fn usage_documents_exit_codes() {
+        assert!(USAGE.contains("exit codes"));
+        for flag in [
+            "--scenario",
+            "--seed",
+            "--out",
+            "--max-threads",
+            "--ops-factor",
+            "--list",
+            "--compare",
+        ] {
+            assert!(USAGE.contains(flag), "USAGE must document {flag}");
+        }
+    }
+}

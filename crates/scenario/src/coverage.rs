@@ -1,0 +1,337 @@
+//! Coverage comparison between two matrix runs.
+//!
+//! The unit of coverage is the *cell* (scenario × object × backend) plus
+//! the instrument counters it fired. Comparing a current
+//! `BENCH_scenarios.json` against a baseline flags, as **regressions**:
+//!
+//! * a scenario or cell that existed in the baseline and is gone,
+//! * a cell that used to run and is now skipped,
+//! * a cell whose verdict went from ok (`pass`/`caught`) to not-ok
+//!   (`violation`/`escaped`/`unverified`),
+//! * a cell whose op count collapsed to zero,
+//! * an instrument counter that was non-zero and went dark (zero or
+//!   absent) — the code path it covered is no longer exercised.
+//!
+//! New scenarios, new cells, newly-fired instruments and not-ok → ok
+//! transitions are reported as **improvements** (notes, never failures).
+//! `exp scenarios --compare BASE CURRENT` exits non-zero iff a regression
+//! was found — that is the CI hook.
+
+use crate::matrix::Verdict;
+use sbu_obs::json::Json;
+
+/// What one cell looked like in a recorded run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellSig {
+    /// Recorded verdict.
+    pub verdict: Verdict,
+    /// Recorded expectation (kept so a baseline with a rule change still
+    /// compares meaningfully).
+    pub expected: Verdict,
+    /// Total ops the cell issued.
+    pub ops: u64,
+    /// `(name, value)` per instrument counter, sorted by name.
+    pub counters: Vec<(String, u64)>,
+}
+
+/// The coverage-relevant content of one `BENCH_scenarios.json`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CoverageSignature {
+    /// `(scenario name, cells)`; cells keyed `object/backend`, both in
+    /// recorded order.
+    pub scenarios: Vec<(String, Vec<(String, CellSig)>)>,
+}
+
+impl CoverageSignature {
+    /// Total number of recorded cells.
+    pub fn cell_count(&self) -> usize {
+        self.scenarios.iter().map(|(_, c)| c.len()).sum()
+    }
+}
+
+fn num_u64(j: &Json, what: &str) -> Result<u64, String> {
+    j.as_num()
+        .map(|x| x.max(0.0) as u64)
+        .ok_or_else(|| format!("{what}: expected a number"))
+}
+
+fn str_field<'a>(j: &'a Json, key: &str, what: &str) -> Result<&'a str, String> {
+    j.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{what}: missing string field {key:?}"))
+}
+
+/// Parse a `BENCH_scenarios.json` document into its coverage signature.
+pub fn signature_from_json(doc: &Json) -> Result<CoverageSignature, String> {
+    if doc.get("experiment").and_then(Json::as_str) != Some("scenarios") {
+        return Err("not a BENCH_scenarios.json document (experiment != \"scenarios\")".into());
+    }
+    let scenarios = doc
+        .get("scenarios")
+        .and_then(Json::as_arr)
+        .ok_or("missing \"scenarios\" array")?;
+    let mut out = CoverageSignature::default();
+    for s in scenarios {
+        let name = str_field(s, "name", "scenario")?.to_string();
+        let mut cells = Vec::new();
+        for c in s
+            .get("cells")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("scenario {name:?}: missing \"cells\" array"))?
+        {
+            let key = format!(
+                "{}/{}",
+                str_field(c, "object", "cell")?,
+                str_field(c, "backend", "cell")?
+            );
+            let verdict_key = str_field(c, "verdict", "cell")?;
+            let verdict = Verdict::parse(verdict_key)
+                .ok_or_else(|| format!("cell {key:?}: unknown verdict {verdict_key:?}"))?;
+            let expected_key = str_field(c, "expected", "cell")?;
+            let expected = Verdict::parse(expected_key)
+                .ok_or_else(|| format!("cell {key:?}: unknown expected {expected_key:?}"))?;
+            let ops = num_u64(
+                c.get("ops")
+                    .ok_or_else(|| format!("cell {key:?}: no ops"))?,
+                "ops",
+            )?;
+            let mut counters = Vec::new();
+            if let Some(Json::Obj(m)) = c.get("counters") {
+                for (n, v) in m {
+                    counters.push((n.clone(), num_u64(v, n)?));
+                }
+            }
+            counters.sort_by(|a, b| a.0.cmp(&b.0));
+            cells.push((
+                key,
+                CellSig {
+                    verdict,
+                    expected,
+                    ops,
+                    counters,
+                },
+            ));
+        }
+        out.scenarios.push((name, cells));
+    }
+    Ok(out)
+}
+
+/// Outcome of comparing a current run against a baseline.
+#[derive(Debug, Clone, Default)]
+pub struct CoverageReport {
+    /// Coverage or verdict losses; any entry fails the comparison.
+    pub regressions: Vec<String>,
+    /// Coverage gains; informational only.
+    pub improvements: Vec<String>,
+}
+
+impl CoverageReport {
+    /// Whether the current run covers at least what the baseline covered.
+    pub fn is_ok(&self) -> bool {
+        self.regressions.is_empty()
+    }
+
+    /// Human-readable summary (stable order, no timestamps).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.is_ok() {
+            out.push_str("coverage: OK (no regressions vs baseline)\n");
+        } else {
+            out.push_str(&format!(
+                "coverage: {} REGRESSION(S) vs baseline\n",
+                self.regressions.len()
+            ));
+            for r in &self.regressions {
+                out.push_str(&format!("  - {r}\n"));
+            }
+        }
+        for n in &self.improvements {
+            out.push_str(&format!("  + {n}\n"));
+        }
+        out
+    }
+}
+
+/// Compare `current` against `base` (see the module docs for the rules).
+pub fn compare(base: &CoverageSignature, current: &CoverageSignature) -> CoverageReport {
+    let mut report = CoverageReport::default();
+    for (name, base_cells) in &base.scenarios {
+        let Some((_, cur_cells)) = current.scenarios.iter().find(|(n, _)| n == name) else {
+            report
+                .regressions
+                .push(format!("scenario {name:?} disappeared from the matrix"));
+            continue;
+        };
+        for (key, b) in base_cells {
+            let Some((_, c)) = cur_cells.iter().find(|(k, _)| k == key) else {
+                report
+                    .regressions
+                    .push(format!("{name}/{key}: cell disappeared"));
+                continue;
+            };
+            compare_cell(&mut report, name, key, b, c);
+        }
+        for (key, _) in cur_cells {
+            if !base_cells.iter().any(|(k, _)| k == key) {
+                report.improvements.push(format!("{name}/{key}: new cell"));
+            }
+        }
+    }
+    for (name, _) in &current.scenarios {
+        if !base.scenarios.iter().any(|(n, _)| n == name) {
+            report.improvements.push(format!("new scenario {name:?}"));
+        }
+    }
+    report
+}
+
+fn compare_cell(report: &mut CoverageReport, name: &str, key: &str, b: &CellSig, c: &CellSig) {
+    if b.verdict != Verdict::Skipped && c.verdict == Verdict::Skipped {
+        report.regressions.push(format!(
+            "{name}/{key}: cell used to run ({}) and is now skipped",
+            b.verdict
+        ));
+        return;
+    }
+    if b.verdict.is_ok() && !c.verdict.is_ok() {
+        report.regressions.push(format!(
+            "{name}/{key}: verdict regressed {} -> {}",
+            b.verdict, c.verdict
+        ));
+    } else if !b.verdict.is_ok() && c.verdict.is_ok() {
+        report.improvements.push(format!(
+            "{name}/{key}: verdict recovered {} -> {}",
+            b.verdict, c.verdict
+        ));
+    }
+    if b.ops > 0 && c.ops == 0 {
+        report
+            .regressions
+            .push(format!("{name}/{key}: op count collapsed {} -> 0", b.ops));
+    }
+    // Instrument coverage, reusing the snapshot differ: counters that were
+    // live in the baseline must still fire.
+    let diff = to_snapshot(b).diff(&to_snapshot(c));
+    for dark in &diff.went_dark {
+        report.regressions.push(format!(
+            "{name}/{key}: instrument `{dark}` went dark (was non-zero in the baseline)"
+        ));
+    }
+    for lit in &diff.appeared {
+        report
+            .improvements
+            .push(format!("{name}/{key}: instrument `{lit}` now firing"));
+    }
+}
+
+fn to_snapshot(sig: &CellSig) -> sbu_obs::Snapshot {
+    sbu_obs::Snapshot {
+        counters: sig.counters.clone(),
+        histograms: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type CellSpec<'a> = (&'a str, Verdict, u64, Vec<(&'a str, u64)>);
+
+    fn sig(cells: Vec<CellSpec<'_>>) -> CoverageSignature {
+        CoverageSignature {
+            scenarios: vec![(
+                "steady-state".to_string(),
+                cells
+                    .into_iter()
+                    .map(|(key, verdict, ops, counters)| {
+                        (
+                            key.to_string(),
+                            CellSig {
+                                verdict,
+                                expected: Verdict::Pass,
+                                ops,
+                                counters: counters
+                                    .into_iter()
+                                    .map(|(n, v)| (n.to_string(), v))
+                                    .collect(),
+                            },
+                        )
+                    })
+                    .collect(),
+            )],
+        }
+    }
+
+    #[test]
+    fn identical_signatures_compare_clean() {
+        let a = sig(vec![(
+            "sticky/native",
+            Verdict::Pass,
+            100,
+            vec![("mem.jams", 50)],
+        )]);
+        let report = compare(&a, &a.clone());
+        assert!(report.is_ok(), "{}", report.render());
+        assert!(report.improvements.is_empty());
+    }
+
+    #[test]
+    fn disappeared_cell_and_dark_counter_are_regressions() {
+        let base = sig(vec![
+            ("sticky/native", Verdict::Pass, 100, vec![("mem.jams", 50)]),
+            ("jam-word/native", Verdict::Pass, 100, vec![]),
+        ]);
+        let current = sig(vec![(
+            "sticky/native",
+            Verdict::Pass,
+            100,
+            vec![("mem.jams", 0)],
+        )]);
+        let report = compare(&base, &current);
+        assert_eq!(report.regressions.len(), 2, "{}", report.render());
+        assert!(report
+            .render()
+            .contains("jam-word/native: cell disappeared"));
+        assert!(report.render().contains("`mem.jams` went dark"));
+    }
+
+    #[test]
+    fn verdict_regression_and_new_skip_fail() {
+        let base = sig(vec![
+            ("sticky/native", Verdict::Pass, 100, vec![]),
+            ("sticky/torn-lying", Verdict::Caught, 100, vec![]),
+        ]);
+        let current = sig(vec![
+            ("sticky/native", Verdict::Violation, 100, vec![]),
+            ("sticky/torn-lying", Verdict::Skipped, 0, vec![]),
+        ]);
+        let report = compare(&base, &current);
+        assert_eq!(report.regressions.len(), 2, "{}", report.render());
+        assert!(report.render().contains("regressed pass -> violation"));
+        assert!(report.render().contains("now skipped"));
+    }
+
+    #[test]
+    fn gains_are_notes_not_failures() {
+        let base = sig(vec![("sticky/native", Verdict::Unverified, 100, vec![])]);
+        let mut current = sig(vec![(
+            "sticky/native",
+            Verdict::Pass,
+            100,
+            vec![("mem.jams", 9)],
+        )]);
+        current
+            .scenarios
+            .push(("brand-new".to_string(), Vec::new()));
+        let report = compare(&base, &current);
+        assert!(report.is_ok());
+        assert!(report.improvements.len() >= 3, "{}", report.render());
+    }
+
+    #[test]
+    fn signature_parser_rejects_foreign_documents() {
+        let doc = Json::obj(vec![("experiment", Json::Str("e8".into()))]);
+        assert!(signature_from_json(&doc).is_err());
+    }
+}

@@ -1,0 +1,46 @@
+//! # sbu-scenario — the deterministic scenario-matrix harness
+//!
+//! The stress crate answers "does one configuration linearize"; this crate
+//! answers "do *all the shapes of load we care about* keep linearizing, on
+//! every backend, and is the evidence diffable run-over-run". It crosses
+//! named, seeded, reproducible **scenarios** (steady state, hot-key skew,
+//! burst arrivals, thread churn, crash storms, adversary presets) against
+//! the paper's **objects** (raw sticky bits, the Figure 2 jam word, the
+//! bounded universal construction's counter) and the repo's **memory
+//! backends** (native atomics, durable memory with crash–restart eras, and
+//! the lying adversaries from `sbu-stress`/`sbu-mem`), verifying every
+//! cell online with the windowed linearizability monitor or the offline
+//! durable checker.
+//!
+//! * [`scenario`] — the scenario descriptors and registry (pure data).
+//! * [`matrix`] — the object/backend axes, expected-verdict rules and
+//!   explicit skip rules.
+//! * [`run`] — cell execution: phase-by-phase torture with derived seeds,
+//!   adversarial batteries, merged instrument snapshots.
+//! * [`report`] — generated artifacts: `SCENARIO_<NAME>_REPORT.md`,
+//!   `OBS_scenario_<name>.json`, `BENCH_scenarios.json`; timestamp-free by
+//!   construction so artifacts are diffable.
+//! * [`coverage`] — the coverage signature and the baseline comparator
+//!   behind `exp scenarios --compare` (fails CI on coverage regressions).
+//! * [`cli`] — the `exp scenarios` driver shared by `sbu-bench` and the
+//!   `scenario_matrix` example.
+//!
+//! Entry point for humans: `cargo run --release -p sbu-bench --bin exp --
+//! scenarios` (or the `scenario_matrix` example).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod coverage;
+pub mod matrix;
+pub mod report;
+pub mod run;
+pub mod scenario;
+
+pub use coverage::{compare, signature_from_json, CoverageReport, CoverageSignature};
+pub use matrix::{
+    expected_verdict, skip_reason, CellResult, ScenarioBackend, ScenarioObject, Verdict,
+};
+pub use run::{cell_seed, run_cell, run_matrix, run_scenario, RunConfig, ScenarioResult};
+pub use scenario::{all, find, Phase, Scenario};

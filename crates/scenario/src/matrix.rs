@@ -1,0 +1,311 @@
+//! The cell axes (object × backend), expected-verdict rules, and the
+//! per-cell result record.
+//!
+//! A *cell* is one (scenario, object, backend) combination. The matrix
+//! crosses every registered scenario against every object and backend;
+//! cells that are semantically meaningless (a lying backend under an
+//! object whose internal invariants *panic* on lies rather than surfacing
+//! a clean violation — see `sbu_stress::workloads`) are explicit
+//! [`Verdict::Skipped`] entries, never silent holes, so a skip showing up
+//! where a run used to be is visible to the coverage comparator.
+
+/// Which object family a cell drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioObject {
+    /// Raw sticky bits (one CAS word each) under `StickySpec`.
+    Sticky,
+    /// The Figure 2 sticky byte (`JamWord`, width 8) with helping; on the
+    /// durable backend, its recoverable variant (`RecoverableJamWord`).
+    JamWord,
+    /// The bounded universal construction wrapping a counter; on the
+    /// durable backend, its recoverable variant.
+    Counter,
+}
+
+impl ScenarioObject {
+    /// All objects, in canonical (report) order.
+    pub fn all() -> [ScenarioObject; 3] {
+        [
+            ScenarioObject::Sticky,
+            ScenarioObject::JamWord,
+            ScenarioObject::Counter,
+        ]
+    }
+
+    /// Stable report/JSON key.
+    pub fn key(self) -> &'static str {
+        match self {
+            ScenarioObject::Sticky => "sticky",
+            ScenarioObject::JamWord => "jam-word",
+            ScenarioObject::Counter => "counter",
+        }
+    }
+}
+
+impl std::fmt::Display for ScenarioObject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+impl std::str::FromStr for ScenarioObject {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "sticky" => Ok(ScenarioObject::Sticky),
+            "jam-word" => Ok(ScenarioObject::JamWord),
+            "counter" => Ok(ScenarioObject::Counter),
+            other => Err(format!(
+                "unknown object {other:?} (sticky|jam-word|counter)"
+            )),
+        }
+    }
+}
+
+/// Which memory backend a cell runs over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioBackend {
+    /// Plain native atomics (`NativeMem`); crash pressure is
+    /// crash-by-abandonment inside the harness.
+    Native,
+    /// `DurableMem` over native atomics with the honest persist policy;
+    /// crash pressure is real crash–restart eras with recovery.
+    Durable,
+    /// The adversary preset: a lying memory. Raw sticky cells run over
+    /// `TornMem` (torn-jam lies on a period); the durable jam cell runs
+    /// crash–restart with `TornPersist::Lying` (acknowledged-then-rolled-
+    /// back persists). Expected verdict: **caught**.
+    TornLying,
+}
+
+impl ScenarioBackend {
+    /// All backends, in canonical (report) order.
+    pub fn all() -> [ScenarioBackend; 3] {
+        [
+            ScenarioBackend::Native,
+            ScenarioBackend::Durable,
+            ScenarioBackend::TornLying,
+        ]
+    }
+
+    /// Stable report/JSON key.
+    pub fn key(self) -> &'static str {
+        match self {
+            ScenarioBackend::Native => "native",
+            ScenarioBackend::Durable => "durable",
+            ScenarioBackend::TornLying => "torn-lying",
+        }
+    }
+
+    /// Whether this backend tells lies the monitor is expected to catch.
+    pub fn is_adversarial(self) -> bool {
+        matches!(self, ScenarioBackend::TornLying)
+    }
+}
+
+impl std::fmt::Display for ScenarioBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+impl std::str::FromStr for ScenarioBackend {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "native" => Ok(ScenarioBackend::Native),
+            "durable" => Ok(ScenarioBackend::Durable),
+            "torn-lying" => Ok(ScenarioBackend::TornLying),
+            other => Err(format!(
+                "unknown backend {other:?} (native|durable|torn-lying)"
+            )),
+        }
+    }
+}
+
+/// The outcome of one cell, as reported and fed to the coverage signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Honest cell: every window linearized (durable cells: every era cut
+    /// durably linearized).
+    Pass,
+    /// Adversarial cell: the monitor reported the injected lies. The *good*
+    /// outcome for [`ScenarioBackend::TornLying`].
+    Caught,
+    /// Honest cell reported a violation — a real bug in the objects or the
+    /// backend.
+    Violation,
+    /// Adversarial cell linearized cleanly: the lies escaped the monitor.
+    Escaped,
+    /// Windows outgrew the checker's capacity; the cell ran but was not
+    /// fully verified.
+    Unverified,
+    /// Cell is semantically meaningless and intentionally not run.
+    Skipped,
+}
+
+impl Verdict {
+    /// Stable report/JSON key.
+    pub fn key(self) -> &'static str {
+        match self {
+            Verdict::Pass => "pass",
+            Verdict::Caught => "caught",
+            Verdict::Violation => "violation",
+            Verdict::Escaped => "escaped",
+            Verdict::Unverified => "unverified",
+            Verdict::Skipped => "skipped",
+        }
+    }
+
+    /// Parse a report/JSON key back into a verdict.
+    pub fn parse(s: &str) -> Option<Verdict> {
+        Some(match s {
+            "pass" => Verdict::Pass,
+            "caught" => Verdict::Caught,
+            "violation" => Verdict::Violation,
+            "escaped" => Verdict::Escaped,
+            "unverified" => Verdict::Unverified,
+            "skipped" => Verdict::Skipped,
+            _ => return None,
+        })
+    }
+
+    /// Whether this verdict matches expectations (skips count as fine; the
+    /// coverage comparator separately flags cells that *become* skips).
+    pub fn is_ok(self) -> bool {
+        matches!(self, Verdict::Pass | Verdict::Caught | Verdict::Skipped)
+    }
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// The expected verdict for a cell (before running it): adversarial
+/// backends must be caught, honest ones must pass. Skip rules live in
+/// [`skip_reason`].
+pub fn expected_verdict(backend: ScenarioBackend) -> Verdict {
+    if backend.is_adversarial() {
+        Verdict::Caught
+    } else {
+        Verdict::Pass
+    }
+}
+
+/// Why a cell is intentionally not run (`None` = it runs).
+///
+/// The lying backends target the raw sticky-bit layer; the universal
+/// construction *panics* on lying bits (its helping invariants break)
+/// instead of producing a cleanly checkable non-linearizable history, so
+/// that cell cannot distinguish "caught" from "crashed".
+pub fn skip_reason(object: ScenarioObject, backend: ScenarioBackend) -> Option<&'static str> {
+    match (object, backend) {
+        (ScenarioObject::Counter, ScenarioBackend::TornLying) => Some(
+            "universal construction panics on lying sticky bits (helping invariant) \
+             rather than surfacing a checkable violation",
+        ),
+        _ => None,
+    }
+}
+
+/// Aggregated result of one cell (all phases merged).
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// Object axis.
+    pub object: ScenarioObject,
+    /// Backend axis.
+    pub backend: ScenarioBackend,
+    /// What the matrix demanded of this cell.
+    pub expected: Verdict,
+    /// What actually happened.
+    pub verdict: Verdict,
+    /// Operations issued across all phases (completed + abandoned).
+    pub total_ops: usize,
+    /// Operations that returned.
+    pub completed_ops: usize,
+    /// Quiescent windows (or durable era cuts) the monitor consumed.
+    pub windows_checked: usize,
+    /// Violation descriptions (non-empty exactly for `Caught`/`Violation`).
+    pub violations: Vec<String>,
+    /// Merged observability snapshot across the cell's phases (empty
+    /// without the `obs` feature).
+    pub metrics: sbu_obs::Snapshot,
+    /// The seed this cell derived from the run seed (reports cite it so a
+    /// single cell can be re-run in isolation).
+    pub seed: u64,
+}
+
+impl CellResult {
+    /// Whether the cell did what the matrix demanded.
+    pub fn is_ok(&self) -> bool {
+        self.verdict == self.expected || self.verdict == Verdict::Skipped
+    }
+
+    /// Stable `object/backend` key used in JSON and coverage signatures.
+    pub fn key(&self) -> String {
+        format!("{}/{}", self.object.key(), self.backend.key())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axes_have_stable_orders_and_keys() {
+        let objects: Vec<_> = ScenarioObject::all().iter().map(|o| o.key()).collect();
+        assert_eq!(objects, ["sticky", "jam-word", "counter"]);
+        let backends: Vec<_> = ScenarioBackend::all().iter().map(|b| b.key()).collect();
+        assert_eq!(backends, ["native", "durable", "torn-lying"]);
+        for o in ScenarioObject::all() {
+            assert_eq!(o.key().parse::<ScenarioObject>(), Ok(o));
+        }
+        for b in ScenarioBackend::all() {
+            assert_eq!(b.key().parse::<ScenarioBackend>(), Ok(b));
+        }
+    }
+
+    #[test]
+    fn verdict_keys_round_trip() {
+        for v in [
+            Verdict::Pass,
+            Verdict::Caught,
+            Verdict::Violation,
+            Verdict::Escaped,
+            Verdict::Unverified,
+            Verdict::Skipped,
+        ] {
+            assert_eq!(Verdict::parse(v.key()), Some(v));
+        }
+        assert_eq!(Verdict::parse("ok"), None);
+    }
+
+    #[test]
+    fn expectations_follow_the_adversary_rule() {
+        assert_eq!(expected_verdict(ScenarioBackend::Native), Verdict::Pass);
+        assert_eq!(expected_verdict(ScenarioBackend::Durable), Verdict::Pass);
+        assert_eq!(
+            expected_verdict(ScenarioBackend::TornLying),
+            Verdict::Caught
+        );
+    }
+
+    #[test]
+    fn only_the_lying_counter_cell_is_skipped() {
+        let mut skips = 0;
+        for o in ScenarioObject::all() {
+            for b in ScenarioBackend::all() {
+                if skip_reason(o, b).is_some() {
+                    skips += 1;
+                    assert_eq!(
+                        (o, b),
+                        (ScenarioObject::Counter, ScenarioBackend::TornLying)
+                    );
+                }
+            }
+        }
+        assert_eq!(skips, 1);
+    }
+}

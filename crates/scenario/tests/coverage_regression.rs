@@ -1,0 +1,209 @@
+//! The coverage comparator end to end (ISSUE 6 acceptance criterion):
+//! a real run compared against itself is clean; a seeded regression —
+//! a cell deleted, a verdict flipped, an instrument gone dark — makes
+//! `exp scenarios --compare` fail.
+
+use sbu_obs::json::Json;
+use sbu_scenario::report::bench_json;
+use sbu_scenario::{compare, run_matrix, signature_from_json, RunConfig};
+
+fn small_run() -> Json {
+    let rc = RunConfig {
+        seed: 5,
+        max_threads: 2,
+        ops_factor: 1,
+    };
+    let picked = vec![sbu_scenario::find("steady-state").unwrap()];
+    bench_json(&run_matrix(&picked, &rc), &rc)
+}
+
+/// Mutate one field of the `idx`-th cell of the first scenario in a
+/// BENCH document.
+fn doctor_at(
+    doc: &Json,
+    idx: usize,
+    f: impl Fn(&mut std::collections::BTreeMap<String, Json>),
+) -> Json {
+    let mut doc = doc.clone();
+    let Json::Obj(root) = &mut doc else { panic!() };
+    let Some(Json::Arr(scenarios)) = root.get_mut("scenarios") else {
+        panic!()
+    };
+    let Json::Obj(s) = &mut scenarios[0] else {
+        panic!()
+    };
+    let Some(Json::Arr(cells)) = s.get_mut("cells") else {
+        panic!()
+    };
+    let Json::Obj(cell) = &mut cells[idx] else {
+        panic!()
+    };
+    f(cell);
+    doc
+}
+
+fn doctor(doc: &Json, f: impl Fn(&mut std::collections::BTreeMap<String, Json>)) -> Json {
+    doctor_at(doc, 0, f)
+}
+
+#[test]
+fn a_run_covers_itself() {
+    let doc = small_run();
+    let sig = signature_from_json(&doc).unwrap();
+    assert!(sig.cell_count() >= 9, "3 objects x 3 backends");
+    let report = compare(&sig, &sig.clone());
+    assert!(report.is_ok(), "{}", report.render());
+}
+
+#[test]
+fn seeded_regressions_fail_the_comparison() {
+    let base_doc = small_run();
+    let base = signature_from_json(&base_doc).unwrap();
+
+    // 1. A verdict flip (pass -> violation) is a regression.
+    let flipped = doctor(&base_doc, |cell| {
+        cell.insert("verdict".into(), Json::Str("violation".into()));
+    });
+    let report = compare(&base, &signature_from_json(&flipped).unwrap());
+    assert!(!report.is_ok());
+    assert!(report.render().contains("regressed"), "{}", report.render());
+
+    // 2. A previously-running cell turning into a skip is a regression.
+    let skipped = doctor(&base_doc, |cell| {
+        cell.insert("verdict".into(), Json::Str("skipped".into()));
+    });
+    let report = compare(&base, &signature_from_json(&skipped).unwrap());
+    assert!(!report.is_ok());
+    assert!(
+        report.render().contains("now skipped"),
+        "{}",
+        report.render()
+    );
+
+    // 3. A live instrument going dark is a regression (obs builds only:
+    //    dark builds have no live counters to lose).
+    if sbu_obs::enabled() {
+        // Any cell with a live counter will do — low-contention cells can
+        // legitimately record all-zero retry counters even under obs.
+        let (idx, name) = base.scenarios[0]
+            .1
+            .iter()
+            .enumerate()
+            .find_map(|(i, (_, sig_cell))| {
+                sig_cell
+                    .counters
+                    .iter()
+                    .find(|(_, v)| *v > 0)
+                    .map(|(n, _)| (i, n.clone()))
+            })
+            .expect("obs build records at least one live counter somewhere");
+        let darkened = doctor_at(&base_doc, idx, |cell| {
+            let Some(Json::Obj(counters)) = cell.get_mut("counters") else {
+                panic!()
+            };
+            counters.insert(name.clone(), Json::Num(0.0));
+        });
+        let report = compare(&base, &signature_from_json(&darkened).unwrap());
+        assert!(!report.is_ok());
+        assert!(report.render().contains("went dark"), "{}", report.render());
+    }
+
+    // 4. A disappeared cell is a regression; extra coverage is only a note.
+    let mut shrunk = base.clone();
+    shrunk.scenarios[0].1.pop();
+    let report = compare(&base, &shrunk);
+    assert!(!report.is_ok());
+    assert!(
+        report.render().contains("disappeared"),
+        "{}",
+        report.render()
+    );
+    let report = compare(&shrunk, &base);
+    assert!(report.is_ok(), "gains never fail: {}", report.render());
+    assert!(!report.improvements.is_empty());
+}
+
+#[test]
+fn the_cli_compare_mode_speaks_exit_codes() {
+    // End to end through `exp scenarios`: run twice with the same seed into
+    // two directories, self-compare (exit 0), then compare against a
+    // doctored baseline (exit 1) and a malformed one (exit 2).
+    let base = std::env::temp_dir().join(format!("sbu-scenario-cov-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let dir = |name: &str| base.join(name).to_string_lossy().into_owned();
+    let args = |list: &[&str]| -> Vec<String> { list.iter().map(|s| s.to_string()).collect() };
+
+    // A 1-thread cap makes the two runs byte-identical; the full-thread
+    // catch-the-adversary contract is matrix_smoke's job, so here we only
+    // require the run to complete (0 = all expectations met, 1 = a capped
+    // adversary escaped — both leave complete artifacts behind).
+    let run_args = [
+        "--scenario",
+        "steady-state",
+        "--seed",
+        "5",
+        "--max-threads",
+        "1",
+    ];
+    let code_a = sbu_scenario::cli::run(&args(&[&run_args[..], &["--out", &dir("a")]].concat()));
+    let code_b = sbu_scenario::cli::run(&args(&[&run_args[..], &["--out", &dir("b")]].concat()));
+    assert!(code_a <= 1 && code_a == code_b, "({code_a}, {code_b})");
+
+    let bench_a = base.join("a").join("BENCH_scenarios.json");
+    let bench_b = base.join("b").join("BENCH_scenarios.json");
+    assert!(bench_a.exists() && bench_b.exists());
+    assert_eq!(
+        std::fs::read(&bench_a).unwrap(),
+        std::fs::read(&bench_b).unwrap(),
+        "capped same-seed runs must produce identical BENCH documents"
+    );
+    assert_eq!(
+        sbu_scenario::cli::run(&args(&[
+            "--compare",
+            &bench_a.to_string_lossy(),
+            &bench_b.to_string_lossy(),
+        ])),
+        0,
+        "identical runs must compare clean"
+    );
+
+    // Doctor the *current* run: drop every cell of the scenario by writing
+    // a minimal BENCH document with the scenario emptied out.
+    let doc = Json::parse(&std::fs::read_to_string(&bench_b).unwrap()).unwrap();
+    let sig = signature_from_json(&doc).unwrap();
+    assert!(sig.cell_count() >= 9, "3 objects x 3 backends recorded");
+    let empty = Json::obj(vec![
+        ("experiment", Json::Str("scenarios".into())),
+        (
+            "scenarios",
+            Json::Arr(vec![Json::obj(vec![
+                ("name", Json::Str("steady-state".into())),
+                ("cells", Json::Arr(Vec::new())),
+            ])]),
+        ),
+    ]);
+    let regressed = base.join("regressed.json");
+    std::fs::write(&regressed, empty.render()).unwrap();
+    assert_eq!(
+        sbu_scenario::cli::run(&args(&[
+            "--compare",
+            &bench_a.to_string_lossy(),
+            &regressed.to_string_lossy(),
+        ])),
+        1,
+        "a coverage regression must exit 1"
+    );
+
+    let garbage = base.join("garbage.json");
+    std::fs::write(&garbage, "{ not json").unwrap();
+    assert_eq!(
+        sbu_scenario::cli::run(&args(&[
+            "--compare",
+            &bench_a.to_string_lossy(),
+            &garbage.to_string_lossy(),
+        ])),
+        2,
+        "unreadable input is a usage error"
+    );
+    let _ = std::fs::remove_dir_all(&base);
+}

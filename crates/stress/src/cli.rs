@@ -33,7 +33,17 @@ usage: stress [options]
                      persist|lose|seeded:N|lying (default persist); with
                      lying, exit 0 iff the durable checker CATCHES the lie
   --eras N           crash-restart eras per run (default 4)
-  --iters N          repeat the run with seeds seed..seed+N (default 1)";
+  --iters N          repeat the run with seeds seed..seed+N (default 1)
+
+exit codes (assertable by CI without grepping the verdict lines):
+  0  clean: every window linearized, and with --inject / --torn lying the
+     monitor CAUGHT the injected fault
+  1  the monitor caught a linearizability / durability violation under an
+     HONEST configuration — a real bug in the objects or backend
+  2  usage error
+  3  an injected fault escaped: --inject / --torn lying ran but the monitor
+     caught nothing
+  4  capacity overflow: windows outgrew the checker and went unverified";
 
 /// Why an argument list failed to parse.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -174,6 +184,48 @@ impl Options {
             return Err(OptionsError::Invalid("--eras must be at least 1".into()));
         }
         Ok(opts)
+    }
+
+    /// Render this configuration back into an argument list that
+    /// [`Options::parse`] accepts and maps to an equal `Options` — the
+    /// canonical form used by the scenario reports to record how to
+    /// reproduce a run. Every field is emitted explicitly (no reliance on
+    /// defaults), except the `None` optionals, which have no flag form.
+    pub fn to_args(&self) -> Vec<String> {
+        let mut args = vec![
+            "--threads".into(),
+            self.threads.to_string(),
+            "--ops".into(),
+            self.total_ops.to_string(),
+            "--seed".into(),
+            self.seed.to_string(),
+        ];
+        if let Some(w) = &self.workload {
+            args.push("--workload".into());
+            args.push(w.clone());
+        }
+        args.push("--objects".into());
+        args.push(self.objects.to_string());
+        args.push("--profile".into());
+        args.push(self.profile.to_string());
+        args.push("--inject".into());
+        args.push(self.inject.to_string());
+        if let Some(c) = self.crash {
+            args.push("--crash".into());
+            args.push(c.to_string());
+        }
+        args.push("--epoch-ops".into());
+        args.push(self.epoch_ops.to_string());
+        if self.crash_restart {
+            args.push("--crash-restart".into());
+        }
+        args.push("--torn".into());
+        args.push(self.torn.to_string());
+        args.push("--eras".into());
+        args.push(self.eras.to_string());
+        args.push("--iters".into());
+        args.push(self.iters.to_string());
+        args
     }
 }
 

@@ -63,6 +63,15 @@ impl std::str::FromStr for ContentionProfile {
     }
 }
 
+impl std::fmt::Display for ContentionProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ContentionProfile::Hot => write!(f, "hot"),
+            ContentionProfile::Spread => write!(f, "spread"),
+        }
+    }
+}
+
 /// Configuration of one torture run.
 #[derive(Debug, Clone)]
 pub struct StressConfig {

@@ -22,6 +22,9 @@
 //!   wrapping a counter and a queue.
 //! * [`cli`] — typed option parsing ([`cli::Options::parse`]) shared by
 //!   `examples/stress.rs` and the E10 benchmark driver.
+//! * [`verdict`] — typed process-exit statuses ([`verdict::ExitStatus`]):
+//!   distinct codes for honest-run violations, escaped injected faults and
+//!   capacity overflows, so CI asserts on status instead of grepping.
 //! * [`crash`] — crash–restart torture over [`sbu_mem::DurableMem`]: eras
 //!   separated by seeded crashes of victim threads (including mid-operation
 //!   abandonment with torn-persist footprints), object recovery at
@@ -37,6 +40,7 @@ pub mod cli;
 pub mod crash;
 pub mod harness;
 pub mod inject;
+pub mod verdict;
 pub mod workloads;
 
 pub use cli::{Options, OptionsError, USAGE};
@@ -45,4 +49,5 @@ pub use crash::{
 };
 pub use harness::{torture, ContentionProfile, StressConfig, StressObject, TortureReport};
 pub use inject::{Inject, TornMem};
-pub use workloads::{run_lock_based_jam, run_workload, Workload};
+pub use verdict::{ExitAccumulator, ExitStatus};
+pub use workloads::{jam_value_for, run_lock_based_jam, run_workload, Workload};

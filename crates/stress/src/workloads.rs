@@ -209,8 +209,10 @@ fn sticky_exec<M: WordMem>(
 }
 
 /// The fixed value thread `pid` jams into word `obj` (see the Jam workload:
-/// one value per (thread, object), but neighbours disagree).
-pub(crate) fn jam_value_for(pid: Pid, obj: usize) -> Word {
+/// one value per (thread, object), but neighbours disagree). Public so the
+/// scenario harness (`sbu-scenario`) drives jam objects with the same
+/// announcement discipline.
+pub fn jam_value_for(pid: Pid, obj: usize) -> Word {
     (pid.0 as u64).wrapping_mul(7).wrapping_add(obj as u64 * 3) % 8
 }
 

@@ -1,0 +1,197 @@
+//! Property tests for `sbu_stress::Options::parse`.
+//!
+//! Two contracts the scenario reports and CI smokes rely on:
+//!
+//! 1. **Round-trip**: any valid [`Options`] renders ([`Options::to_args`])
+//!    to an argument vector that re-parses to an *equal* `Options`, so a
+//!    report's recorded "reproduce with" line is trustworthy.
+//! 2. **Totality**: arbitrary argument soup never panics — it parses, or it
+//!    yields a typed [`OptionsError`].
+
+use proptest::prelude::*;
+use sbu_mem::TornPersist;
+use sbu_stress::{ContentionProfile, Inject, Options, OptionsError, USAGE};
+
+/// A strategy over fully valid `Options` values (every invariant the parser
+/// enforces holds by construction).
+fn valid_options() -> impl Strategy<Value = Options> {
+    let torn = prop_oneof![
+        Just(TornPersist::Persist),
+        Just(TornPersist::Lose),
+        (0u64..1_000_000).prop_map(TornPersist::Seeded),
+        Just(TornPersist::Lying),
+    ];
+    let workload = prop_oneof![
+        Just(None),
+        Just(Some("sticky".to_string())),
+        Just(Some("jam".to_string())),
+        Just(Some("universal-counter".to_string())),
+        Just(Some("recoverable-jam".to_string())),
+        Just(Some("all".to_string())),
+    ];
+    let front = (
+        1usize..64,        // threads
+        0usize..1_000_000, // total_ops
+        any::<u64>(),      // seed
+        workload,          // workload
+        0usize..32,        // objects
+        prop_oneof![
+            Just(ContentionProfile::Hot),
+            Just(ContentionProfile::Spread)
+        ],
+    );
+    let back = (
+        prop_oneof![
+            Just(Inject::None),
+            Just(Inject::TornJam),
+            Just(Inject::StaleRead)
+        ],
+        prop_oneof![Just(None), (0usize..16).prop_map(Some)], // crash
+        0usize..256,                                          // epoch_ops
+        proptest::bool::ANY,                                  // crash_restart
+        torn,
+        (1u64..50, 1usize..12), // iters, eras
+    );
+    (front, back).prop_map(
+        |(
+            (threads, total_ops, seed, workload, objects, profile),
+            (inject, crash, epoch_ops, crash_restart, torn, (iters, eras)),
+        )| Options {
+            threads,
+            total_ops,
+            seed,
+            workload,
+            objects,
+            profile,
+            inject,
+            crash,
+            epoch_ops,
+            crash_restart,
+            torn,
+            eras,
+            iters,
+        },
+    )
+}
+
+/// Tokens for the argument-soup property: real flags, plausible values, and
+/// outright garbage.
+fn arg_token() -> impl Strategy<Value = String> {
+    prop_oneof![
+        prop_oneof![
+            Just("--threads"),
+            Just("--ops"),
+            Just("--seed"),
+            Just("--workload"),
+            Just("--objects"),
+            Just("--profile"),
+            Just("--inject"),
+            Just("--crash"),
+            Just("--epoch-ops"),
+            Just("--crash-restart"),
+            Just("--torn"),
+            Just("--eras"),
+            Just("--iters"),
+            Just("--help"),
+            Just("-h"),
+        ]
+        .prop_map(String::from),
+        (0u64..100_000).prop_map(|n| n.to_string()),
+        prop_oneof![
+            Just("hot"),
+            Just("spread"),
+            Just("torn-jam"),
+            Just("stale-read"),
+            Just("lying"),
+            Just("seeded:"),
+            Just("seeded:9"),
+            Just("seeded:x"),
+            Just(""),
+            Just("-"),
+            Just("--"),
+            Just("¯\\_(ツ)_/¯"),
+            Just("-1"),
+            Just("18446744073709551616"),
+            Just("none"),
+            Just("frobnicate"),
+        ]
+        .prop_map(String::from),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// to_args → parse is the identity on valid configurations.
+    #[test]
+    fn options_roundtrip_through_to_args(opts in valid_options()) {
+        let args = opts.to_args();
+        let reparsed = Options::parse(args.clone());
+        prop_assert_eq!(
+            reparsed.as_ref(),
+            Ok(&opts),
+            "args {:?} did not reparse", args
+        );
+        // And the rendering is stable: re-rendering the reparse is
+        // byte-identical (a canonical form, usable as a report key).
+        prop_assert_eq!(reparsed.unwrap().to_args(), args);
+    }
+
+    /// Arbitrary token soup parses or fails with a typed error — no panics,
+    /// no process exits.
+    #[test]
+    fn malformed_inputs_yield_typed_errors(args in prop::collection::vec(arg_token(), 0..12)) {
+        match Options::parse(args.iter().cloned()) {
+            Ok(opts) => {
+                // Whatever parsed must round-trip too.
+                prop_assert_eq!(Options::parse(opts.to_args()), Ok(opts));
+            }
+            Err(e) => {
+                // Every error renders a non-empty, typed message.
+                prop_assert!(!e.to_string().is_empty());
+                match e {
+                    OptionsError::Help
+                    | OptionsError::UnknownFlag(_)
+                    | OptionsError::MissingValue(_)
+                    | OptionsError::BadValue { .. }
+                    | OptionsError::Invalid(_) => {}
+                }
+            }
+        }
+    }
+}
+
+/// `--help` surfaces as the typed `Help` "error" and the canonical USAGE
+/// text is a complete, printable help screen: the example driver prints it
+/// and exits 0, so this pins both halves of that contract.
+#[test]
+fn help_prints_usage_and_exits_cleanly() {
+    assert_eq!(Options::parse(["--help"]), Err(OptionsError::Help));
+    assert_eq!(Options::parse(["-h"]), Err(OptionsError::Help));
+    // Help wins even mid-stream, before later junk can bail.
+    assert_eq!(
+        Options::parse(["--threads", "4", "--help", "--frobnicate"]),
+        Err(OptionsError::Help)
+    );
+    assert!(USAGE.starts_with("usage: stress"));
+    // Every flag the parser understands is documented.
+    for flag in [
+        "--threads",
+        "--ops",
+        "--seed",
+        "--workload",
+        "--objects",
+        "--profile",
+        "--inject",
+        "--crash",
+        "--epoch-ops",
+        "--crash-restart",
+        "--torn",
+        "--eras",
+        "--iters",
+    ] {
+        assert!(USAGE.contains(flag), "USAGE must document {flag}");
+    }
+    // ... and the exit codes CI asserts on.
+    assert!(USAGE.contains("exit codes"));
+}

@@ -1,0 +1,21 @@
+//! Run the deterministic scenario matrix (see `sbu-scenario`).
+//!
+//! Thin wrapper over the same driver `exp scenarios` uses:
+//!
+//! ```text
+//! cargo run --release --example scenario_matrix -- --list
+//! cargo run --release --example scenario_matrix -- --scenario steady-state
+//! cargo run --release --example scenario_matrix -- --out target/scenarios
+//! cargo run --release --example scenario_matrix -- --compare base.json cur.json
+//! ```
+//!
+//! Exit codes are the driver's (see `--help`): 0 = every cell matched its
+//! expected verdict / no coverage regression; 1 = a cell defied
+//! expectations or a regression was found; 2 = usage or I/O error.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    ExitCode::from(sbu_scenario::cli::run(&args).clamp(0, u8::MAX as i32) as u8)
+}

@@ -17,16 +17,17 @@
 //! registry's metrics table, and the fault-injection verdict lines cite
 //! the instrument counts (lies injected vs. violations caught).
 //!
-//! Exits 0 when every window linearized (or, with `--inject`/`--torn
-//! lying`, when the monitor caught the injected fault); 1 otherwise.
+//! Exit codes are typed (`sbu_stress::ExitStatus`, documented in `--help`):
+//! 0 clean / fault caught, 1 violation under an honest configuration,
+//! 2 usage error, 3 injected fault NOT caught, 4 capacity overflow.
 
 use std::process::ExitCode;
 
 use sbu_mem::TornPersist;
 use sbu_obs::Snapshot;
 use sbu_stress::{
-    run_crash_restart, run_workload, CrashWorkload, Inject, Options, OptionsError, StressConfig,
-    Workload, USAGE,
+    run_crash_restart, run_workload, CrashWorkload, ExitAccumulator, ExitStatus, Inject, Options,
+    OptionsError, StressConfig, Workload, USAGE,
 };
 
 fn bail(msg: &str) -> ! {
@@ -99,7 +100,7 @@ fn run_normal_mode(opts: &Options) -> ExitCode {
     cfg.crash_threads = opts.crash.unwrap_or(0).min(opts.threads);
     cfg.epoch_ops = opts.epoch_ops;
 
-    let mut ok = true;
+    let mut exit = ExitAccumulator::new();
     for iter in 0..opts.iters {
         cfg.seed = opts.seed + iter;
         for w in &workloads {
@@ -117,11 +118,11 @@ fn run_normal_mode(opts: &Options) -> ExitCode {
                     "rerun with a smaller --epoch-ops (or fewer --crash \
                      threads, whose pending ops grow windows)",
                 );
-                ok = false;
+                exit.record(ExitStatus::Unverified);
             }
             if opts.inject == Inject::None {
                 if !report.violations.is_empty() {
-                    ok = false;
+                    exit.record(ExitStatus::Violation);
                 }
             } else {
                 // Cite the registry: lies the injector actually told vs.
@@ -132,7 +133,7 @@ fn run_normal_mode(opts: &Options) -> ExitCode {
                 let caught = report.violations.len();
                 if report.all_linearizable() {
                     println!("INJECTED FAULT NOT CAUGHT ({cited}0 caught)");
-                    ok = false;
+                    exit.record(ExitStatus::NotCaught);
                 } else {
                     println!("INJECTED FAULT CAUGHT ({cited}{caught} violation(s) reported)");
                 }
@@ -140,11 +141,7 @@ fn run_normal_mode(opts: &Options) -> ExitCode {
             println!();
         }
     }
-    if ok {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
-    }
+    ExitCode::from(exit.code())
 }
 
 fn run_crash_mode(opts: &Options) -> ExitCode {
@@ -168,7 +165,7 @@ fn run_crash_mode(opts: &Options) -> ExitCode {
     cfg.profile = opts.profile;
     cfg.crash_threads = opts.crash.unwrap_or(1).clamp(1, opts.threads);
 
-    let mut ok = true;
+    let mut exit = ExitAccumulator::new();
     for iter in 0..opts.iters {
         cfg.seed = opts.seed + iter;
         for w in &workloads {
@@ -187,7 +184,7 @@ fn run_crash_mode(opts: &Options) -> ExitCode {
                     "rerun with fewer --ops or more --eras so each era's \
                      contention burst stays checkable",
                 );
-                ok = false;
+                exit.record(ExitStatus::Unverified);
             }
             if opts.torn == TornPersist::Lying {
                 // Cite the registry: acknowledged jams the lying policy
@@ -197,19 +194,15 @@ fn run_crash_mode(opts: &Options) -> ExitCode {
                 let caught = report.violations.len();
                 if report.violations.is_empty() {
                     println!("LYING TORN-PERSIST NOT CAUGHT ({cited}0 caught)");
-                    ok = false;
+                    exit.record(ExitStatus::NotCaught);
                 } else {
                     println!("LYING TORN-PERSIST CAUGHT ({cited}{caught} violation(s) reported)");
                 }
             } else if !report.violations.is_empty() {
-                ok = false;
+                exit.record(ExitStatus::Violation);
             }
             println!();
         }
     }
-    if ok {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
-    }
+    ExitCode::from(exit.code())
 }

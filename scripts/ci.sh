@@ -34,7 +34,7 @@ cargo test --quiet --workspace --offline
 
 step "obs-enabled tests (instrumented crates; same suites, metrics live)"
 cargo test --quiet --offline --features obs \
-    -p sbu-obs -p sbu-mem -p sbu-sticky -p sbu-core -p sbu-stress -p sbu-bench
+    -p sbu-obs -p sbu-mem -p sbu-sticky -p sbu-core -p sbu-stress -p sbu-scenario -p sbu-bench
 cargo test --quiet --offline --features obs
 
 step "schedule-corpus replay"
@@ -73,6 +73,25 @@ cargo run --release --quiet --offline --example stress -- \
 cargo run --release --quiet --offline --example stress -- \
     --crash-restart --workload recoverable-jam --threads 3 --ops 288 --seed 7 \
     --eras 6 --torn lying
+
+step "scenario-matrix smoke (3 scenarios x objects x backends; exit 0 = honest cells PASS, adversary cells CAUGHT)"
+cargo run --release --quiet --offline -p sbu-bench --bin exp -- scenarios \
+    --scenario steady-state,crash-storm,adversary-storm --seed 7 --out "$tmp/scenarios"
+for report in SCENARIO_STEADY_STATE_REPORT.md SCENARIO_CRASH_STORM_REPORT.md \
+    SCENARIO_ADVERSARY_STORM_REPORT.md BENCH_scenarios.json; do
+    [[ -f "$tmp/scenarios/$report" ]] || {
+        echo "scenario matrix did not write $report" >&2
+        exit 1
+    }
+done
+
+step "scenario coverage self-compare (two capped same-seed runs must be regression-free)"
+cargo run --release --quiet --offline -p sbu-bench --bin exp -- scenarios \
+    --scenario steady-state --seed 7 --max-threads 1 --out "$tmp/cov-base" || true
+cargo run --release --quiet --offline -p sbu-bench --bin exp -- scenarios \
+    --scenario steady-state --seed 7 --max-threads 1 --out "$tmp/cov-cur" || true
+cargo run --release --quiet --offline -p sbu-bench --bin exp -- scenarios \
+    --compare "$tmp/cov-base/BENCH_scenarios.json" "$tmp/cov-cur/BENCH_scenarios.json"
 
 step "perf smoke (E8 vs checked-in baseline; >30% regression fails)"
 if [[ -f benchmarks/BENCH_e8_baseline.json ]]; then
