@@ -17,6 +17,7 @@
 
 pub mod e10_stress;
 pub mod e11_recovery;
+pub mod e12_service;
 pub mod e1_sticky_byte;
 pub mod e2_election;
 pub mod e3_space;

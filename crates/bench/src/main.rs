@@ -11,6 +11,10 @@
 //! compares its fresh numbers against the recorded baseline and exits
 //! non-zero on a >30% `bounded_fast` regression — the CI perf smoke.
 //!
+//! `exp e12` sweeps the sharded `sbu-service` runtime; `exp e12 --smoke`
+//! is the capped CI arm (1 vs 4 shards at 4 clients, exits non-zero if
+//! sharding does not pay or `service.route` recorded nothing under obs).
+//!
 //! `exp scenarios [...]` runs the deterministic scenario matrix instead
 //! (see `sbu-scenario` and EXPERIMENTS.md): every remaining argument goes
 //! to that driver, and its exit code (0 ok / 1 verdict or coverage
@@ -26,6 +30,7 @@ fn main() {
         std::process::exit(sbu_scenario::cli::run(&args[1..]));
     }
     let mut baseline: Option<String> = None;
+    let mut smoke = false;
     let mut names: Vec<&str> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -37,13 +42,15 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+        } else if arg == "--smoke" {
+            smoke = true;
         } else {
             names.push(arg.as_str());
         }
     }
     let selected: Vec<&str> = if names.is_empty() || names.contains(&"all") {
         vec![
-            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
         ]
     } else {
         names
@@ -68,8 +75,16 @@ fn main() {
             "e9" => sbu_bench::e9_explore::run(),
             "e10" => sbu_bench::e10_stress::run(),
             "e11" => sbu_bench::e11_recovery::run(),
+            "e12" if smoke => match sbu_bench::e12_service::run_smoke() {
+                Ok(report) => report,
+                Err(report) => {
+                    println!("{report}");
+                    std::process::exit(1);
+                }
+            },
+            "e12" => sbu_bench::e12_service::run(),
             other => {
-                eprintln!("unknown experiment {other:?}; use e1..e11, scenarios, or all");
+                eprintln!("unknown experiment {other:?}; use e1..e12, scenarios, or all");
                 std::process::exit(2);
             }
         };

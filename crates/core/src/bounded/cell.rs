@@ -28,6 +28,22 @@ pub struct UniversalConfig {
     /// gain; `crates/core/tests/fastpath_equivalence.rs` checks the
     /// outcome sets match exhaustively).
     pub fast_paths: bool,
+    /// Cap exponent for the bounded exponential backoff in the FIND-HEAD
+    /// and GFC retry loops: one backoff pause never exceeds `2^backoff_limit`
+    /// spin rounds (the `core.backoff_spins` counter attributes the cost).
+    /// Purely local spinning — no shared-memory step is ever skipped, so
+    /// the wait-freedom bound is unchanged by any value. Default
+    /// [`sbu_mem::Backoff::DEFAULT_LIMIT`]; E10 sweeps this to tune the
+    /// 4–8 thread `native_jam` contention cliff.
+    pub backoff_limit: u32,
+    /// Drive the effective backoff cap adaptively from *observed*
+    /// contention instead of starting every retry loop at the full
+    /// `backoff_limit`: each processor keeps a private cap that grows by
+    /// one (up to `backoff_limit`) every time a retry loop actually has to
+    /// pause, and decays by one at the start of each `apply`. Uncontended
+    /// instances therefore pause for a single round; only sustained
+    /// contention earns long pauses. Off by default.
+    pub adaptive_backoff: bool,
 }
 
 impl UniversalConfig {
@@ -36,6 +52,8 @@ impl UniversalConfig {
         Self {
             cells: 4 * n * n + 8 * n + 4,
             fast_paths: true,
+            backoff_limit: sbu_mem::Backoff::DEFAULT_LIMIT,
+            adaptive_backoff: false,
         }
     }
 
@@ -45,7 +63,7 @@ impl UniversalConfig {
     pub fn with_cells(cells: usize) -> Self {
         Self {
             cells,
-            fast_paths: true,
+            ..Self::for_procs(0)
         }
     }
 
@@ -60,6 +78,20 @@ impl UniversalConfig {
     /// tests).
     pub fn paper_scans(mut self) -> Self {
         self.fast_paths = false;
+        self
+    }
+
+    /// Cap one backoff pause at `2^limit` spin rounds (see
+    /// [`UniversalConfig::backoff_limit`]).
+    pub fn with_backoff_limit(mut self, limit: u32) -> Self {
+        self.backoff_limit = limit;
+        self
+    }
+
+    /// Let observed contention drive the backoff cap (see
+    /// [`UniversalConfig::adaptive_backoff`]).
+    pub fn adaptive_backoff(mut self) -> Self {
+        self.adaptive_backoff = true;
         self
     }
 }
@@ -81,6 +113,16 @@ impl UniversalConfig {
 /// | `has_cmd`   | safe        | `cmd` is stable                          |
 /// | `state`     | data        | the state snapshot (write-once)          |
 /// | `has_state` | safe        | `state` is stable                        |
+///
+/// The per-processor `r`/`b` arrays are *not* stored here: they live in two
+/// flat `Inner`-level vectors (`r_bits`/`b_bits`, one slab of `cells × n`
+/// handles each) so that building an instance costs a constant number of
+/// heap allocations instead of two `Vec`s per cell — the service runtime
+/// creates `Universal` instances in bulk, one per live key. Allocation
+/// *order* inside the backend is unchanged: [`CellHandles::new`] pushes
+/// this cell's `r` and `b` handles into the slabs at exactly the point the
+/// per-cell `Vec`s used to allocate them, so simulator location ids (and
+/// every recorded `.sbu-sched` schedule) are identical.
 pub(crate) struct CellHandles {
     pub claimed: StickyBitId,
     pub proc_id: StickyWordId,
@@ -89,8 +131,6 @@ pub(crate) struct CellHandles {
     pub prev: StickyWordId,
     pub init_flag: SafeId,
     pub count_init: SafeId,
-    pub r: Vec<SafeId>,
-    pub b: Vec<SafeId>,
     pub cmd: DataId,
     pub has_cmd: SafeId,
     pub state: DataId,
@@ -100,18 +140,31 @@ pub(crate) struct CellHandles {
 impl CellHandles {
     /// Allocate one cell's registers out of `mem` (named `new` per the
     /// crate-wide convention documented in `sbu_mem::prelude`: constructors
-    /// are `new`, even when they allocate out of a backend).
-    pub fn new<S: SequentialSpec, M: DataMem<CellPayload<S>>>(mem: &mut M, n: usize) -> Self {
+    /// are `new`, even when they allocate out of a backend), appending the
+    /// cell's `n` grab bits and `n` distance bits to the shared slabs.
+    pub fn new<S: SequentialSpec, M: DataMem<CellPayload<S>>>(
+        mem: &mut M,
+        n: usize,
+        r_bits: &mut Vec<SafeId>,
+        b_bits: &mut Vec<SafeId>,
+    ) -> Self {
+        let claimed = mem.alloc_sticky_bit();
+        let proc_id = mem.alloc_sticky_word();
+        let not_head = mem.alloc_sticky_bit();
+        let next = mem.alloc_sticky_word();
+        let prev = mem.alloc_sticky_word();
+        let init_flag = mem.alloc_safe(0);
+        let count_init = mem.alloc_safe(0);
+        r_bits.extend((0..n).map(|_| mem.alloc_safe(0)));
+        b_bits.extend((0..n).map(|_| mem.alloc_safe(0)));
         Self {
-            claimed: mem.alloc_sticky_bit(),
-            proc_id: mem.alloc_sticky_word(),
-            not_head: mem.alloc_sticky_bit(),
-            next: mem.alloc_sticky_word(),
-            prev: mem.alloc_sticky_word(),
-            init_flag: mem.alloc_safe(0),
-            count_init: mem.alloc_safe(0),
-            r: (0..n).map(|_| mem.alloc_safe(0)).collect(),
-            b: (0..n).map(|_| mem.alloc_safe(0)).collect(),
+            claimed,
+            proc_id,
+            not_head,
+            next,
+            prev,
+            init_flag,
+            count_init,
             cmd: mem.alloc_data(None),
             has_cmd: mem.alloc_safe(0),
             state: mem.alloc_data(None),

@@ -2,7 +2,7 @@
 //! rule).
 
 use super::{Inner, ProcLocal, ANCHOR};
-use sbu_mem::{Backoff, DataMem, Pid, Tri};
+use sbu_mem::{DataMem, Pid, Tri};
 
 impl<S> Inner<S> {
     /// Get a free cell for `pid`: reclaim eligible owned cells, announce,
@@ -45,7 +45,7 @@ impl<S> Inner<S> {
         let owned = std::mem::take(&mut local.owned);
         for c in owned {
             let fully_marked =
-                c != ANCHOR && self.cells[c].b.iter().all(|&b| mem.safe_read(pid, b) != 0);
+                c != ANCHOR && (0..self.n).all(|d| mem.safe_read(pid, self.b(c, d)) != 0);
             if fully_marked && self.init(mem, pid, local, c) {
                 if self.use_fast_paths {
                     local.free_hints.push(c);
@@ -114,7 +114,7 @@ impl<S> Inner<S> {
         // expectation by Lemma 6.4 given the Θ(n²) pool; if the pool is
         // exhausted by leaks this spins, which the simulator's step limit
         // turns into a loud failure.
-        let mut backoff = Backoff::new();
+        let mut backoff = self.new_backoff(local);
         loop {
             for c in 0..self.cells.len() {
                 if !self.grab(mem, pid, local, c) {
@@ -140,6 +140,7 @@ impl<S> Inner<S> {
             // Every cell was contended this sweep: back off locally before
             // re-racing the jam loop.
             let rounds = backoff.spin();
+            self.note_contention(local);
             self.obs.backoff_spins.add(pid.0, u64::from(rounds));
         }
     }

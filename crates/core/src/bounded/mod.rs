@@ -38,9 +38,8 @@ pub use obs::CoreObs;
 use crate::{CellPayload, UniversalObject};
 use cell::CellHandles;
 use parking_lot::Mutex;
-use sbu_mem::{AtomicId, DataMem, Pid, SafeId, WordMem};
+use sbu_mem::{AtomicId, Backoff, DataMem, Pid, SafeId, WordMem};
 use sbu_spec::SequentialSpec;
-use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// Index of the anchor cell, which holds the initial state and is never
@@ -69,13 +68,19 @@ pub struct CellSnapshot {
 
 /// Per-processor private memory (the paper's processors have local state;
 /// none of this is shared).
+///
+/// The collections are plain `Vec`s, not hash maps: `grabs` holds at most
+/// 3 entries (Theorem 6.6) and `dirty` at most as many, so linear search
+/// beats hashing — and, more importantly for the service runtime, a fresh
+/// `ProcLocal` is three empty `Vec`s (no heap allocation at all), keeping
+/// bulk `Universal` construction cheap.
 #[derive(Debug, Default)]
 pub(crate) struct ProcLocal {
     /// Cells this processor has claimed and not yet reclaimed.
     owned: Vec<usize>,
-    /// Re-entrant grab counts per cell (a processor holds at most 3 grabs,
-    /// Theorem 6.6's accounting).
-    grabs: HashMap<usize, usize>,
+    /// Re-entrant `(cell, count)` grab entries (a processor holds at most
+    /// 3 grabs at once, Theorem 6.6's accounting).
+    grabs: Vec<(usize, usize)>,
     /// Last head this processor observed (the FIND-HEAD fast path).
     head_hint: Option<usize>,
     /// Cells this processor reclaimed, retried first by GFC (fast path).
@@ -84,13 +89,27 @@ pub(crate) struct ProcLocal {
     /// fences such writes (flush-on-dependence) before clearing `r`, so
     /// the owner's INIT quiescence observation implies every foreign jam
     /// into the cell is already durable — see DESIGN.md §9.4.
-    dirty: HashSet<usize>,
+    dirty: Vec<usize>,
+    /// Adaptive backoff cap exponent (grows on observed contention, decays
+    /// per operation; only consulted under
+    /// [`UniversalConfig::adaptive_backoff`]).
+    backoff_cap: u32,
 }
 
 pub(crate) struct Inner<S> {
     pub(crate) n: usize,
     pub(crate) use_fast_paths: bool,
+    pub(crate) backoff_limit: u32,
+    pub(crate) adaptive_backoff: bool,
+    /// Shard id for multi-instance deployments (`sbu-service`): carried for
+    /// labeling (Debug output, reports); `None` for standalone objects.
+    pub(crate) shard: Option<usize>,
     pub(crate) cells: Vec<CellHandles>,
+    /// Flat `cells.len() × n` slab of grab bits: `r_bits[c*n + j]` is cell
+    /// `c`'s `r_j`. One allocation for the whole pool (see `CellHandles`).
+    pub(crate) r_bits: Vec<SafeId>,
+    /// Flat `cells.len() × n` slab of distance bits, laid out like `r_bits`.
+    pub(crate) b_bits: Vec<SafeId>,
     pub(crate) announce_gfc: Vec<SafeId>,
     pub(crate) announce_append: Vec<SafeId>,
     pub(crate) announce_append_cell: Vec<SafeId>,
@@ -149,6 +168,7 @@ impl<S: SequentialSpec> std::fmt::Debug for Universal<S> {
             .field("n_procs", &self.inner.n)
             .field("pool", &self.inner.cells.len())
             .field("fast_paths", &self.inner.use_fast_paths)
+            .field("shard", &self.inner.shard)
             .finish_non_exhaustive()
     }
 }
@@ -175,6 +195,7 @@ where
             n,
             config: UniversalConfig::for_procs(n),
             obs: CoreObs::default(),
+            shard: None,
             _spec: std::marker::PhantomData,
         }
     }
@@ -184,8 +205,12 @@ where
     ///
     /// **Superseded** by the builder — prefer
     /// `Universal::builder(n).config(config).build(mem, initial)`, which
-    /// also exposes observability. Kept as a thin shim for older call
-    /// sites.
+    /// also exposes observability and shard labeling. Kept as a thin shim
+    /// for older call sites.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Universal::builder(n).config(config).build(mem, initial)`"
+    )]
     pub fn new<M: DataMem<CellPayload<S>>>(
         mem: &mut M,
         n: usize,
@@ -198,6 +223,12 @@ where
     /// Number of processors.
     pub fn n_procs(&self) -> usize {
         self.inner.n
+    }
+
+    /// The shard id this instance was built with (`None` for standalone
+    /// objects; `sbu-service` sets it per shard for labeling).
+    pub fn shard_id(&self) -> Option<usize> {
+        self.inner.shard
     }
 
     /// Size of the cell pool.
@@ -243,6 +274,12 @@ where
         assert!(pid.0 < self.inner.n, "pid out of range");
         let mut local = self.inner.locals[pid.0].lock();
         let inner = &*self.inner;
+
+        // Adaptive backoff decays one step per operation: a cap earned
+        // during a burst drains away once the burst is over.
+        if inner.adaptive_backoff {
+            local.backoff_cap = local.backoff_cap.saturating_sub(1);
+        }
 
         // Step 1: get a free cell (frees eligible owned cells first).
         let cell = inner.gfc(mem, pid, &mut local);
@@ -300,8 +337,8 @@ where
 
         mem.safe_write(pid, inner.announce_gfc[pid.0], 0);
         mem.safe_write(pid, inner.announce_append[pid.0], 0);
-        for c in &inner.cells {
-            mem.safe_write(pid, c.r[pid.0], 0);
+        for c in 0..inner.cells.len() {
+            mem.safe_write(pid, inner.r(c, pid.0), 0);
         }
 
         let mut in_flight = None;
@@ -342,6 +379,7 @@ pub struct UniversalBuilder<S> {
     n: usize,
     config: UniversalConfig,
     obs: CoreObs,
+    shard: Option<usize>,
     _spec: std::marker::PhantomData<fn() -> S>,
 }
 
@@ -365,6 +403,16 @@ where
         self
     }
 
+    /// Label the instance with a shard id (`sbu-service` builds one
+    /// `Universal` per shard/key and labels each with the shard that owns
+    /// it; standalone objects leave this unset). Purely advisory: shows up
+    /// in `Debug` output and [`Universal::shard_id`], never in the
+    /// protocol.
+    pub fn shard(mut self, shard: usize) -> Self {
+        self.shard = Some(shard);
+        self
+    }
+
     /// Build the object: allocates the cell pool, the announce arrays, and
     /// the anchor cell holding `initial` (setup phase, single-threaded).
     pub fn build<M: DataMem<CellPayload<S>>>(self, mem: &mut M, initial: S) -> Universal<S> {
@@ -375,13 +423,20 @@ where
             "pool of {} cells is too small for {n} processors",
             config.cells
         );
+        let mut r_bits = Vec::with_capacity(config.cells * n);
+        let mut b_bits = Vec::with_capacity(config.cells * n);
         let cells: Vec<CellHandles> = (0..config.cells)
-            .map(|_| CellHandles::new(mem, n))
+            .map(|_| CellHandles::new(mem, n, &mut r_bits, &mut b_bits))
             .collect();
         let inner = Inner {
             n,
             use_fast_paths: config.fast_paths,
+            backoff_limit: config.backoff_limit,
+            adaptive_backoff: config.adaptive_backoff,
+            shard: self.shard,
             cells,
+            r_bits,
+            b_bits,
             announce_gfc: (0..n).map(|_| mem.alloc_safe(0)).collect(),
             announce_append: (0..n).map(|_| mem.alloc_safe(0)).collect(),
             announce_append_cell: (0..n).map(|_| mem.alloc_safe(0)).collect(),
@@ -461,7 +516,7 @@ where
             if cur == ANCHOR {
                 break;
             }
-            mem.safe_write(pid, self.cells[cur].b[d], 1);
+            mem.safe_write(pid, self.b(cur, d), 1);
             cur = self.next_of(mem, pid, cur);
         }
         resp
@@ -469,6 +524,38 @@ where
 }
 
 impl<S> Inner<S> {
+    /// Cell `c`'s grab bit `r_j` (flat-slab lookup).
+    #[inline]
+    pub(crate) fn r(&self, c: usize, j: usize) -> SafeId {
+        self.r_bits[c * self.n + j]
+    }
+
+    /// Cell `c`'s distance bit `b_d` (flat-slab lookup).
+    #[inline]
+    pub(crate) fn b(&self, c: usize, d: usize) -> SafeId {
+        self.b_bits[c * self.n + d]
+    }
+
+    /// A fresh backoff for a retry loop, capped by the configured limit —
+    /// or, under adaptive backoff, by the processor's earned cap.
+    pub(crate) fn new_backoff(&self, local: &ProcLocal) -> Backoff {
+        let limit = if self.adaptive_backoff {
+            local.backoff_cap.min(self.backoff_limit)
+        } else {
+            self.backoff_limit
+        };
+        Backoff::with_limit(limit)
+    }
+
+    /// Record that a retry loop actually had to pause: under adaptive
+    /// backoff the processor earns a one-step-longer cap (up to the
+    /// configured limit) for its next loops.
+    pub(crate) fn note_contention(&self, local: &mut ProcLocal) {
+        if self.adaptive_backoff && local.backoff_cap < self.backoff_limit {
+            local.backoff_cap += 1;
+        }
+    }
+
     /// Follow a cell's `Next` pointer (must be defined — cells we walk are
     /// appended and, by the distance-bit argument, cannot be reclaimed
     /// while we can still reach them).

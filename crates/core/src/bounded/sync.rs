@@ -27,7 +27,7 @@ impl<S> Inner<S> {
         local: &mut ProcLocal,
         c: usize,
     ) -> bool {
-        if let Some(count) = local.grabs.get_mut(&c) {
+        if let Some((_, count)) = local.grabs.iter_mut().find(|(cell, _)| *cell == c) {
             *count += 1;
             return true;
         }
@@ -36,19 +36,23 @@ impl<S> Inner<S> {
             self.obs.grab_retry.incr(pid.0);
             return false;
         }
-        mem.safe_write(pid, cell.r[pid.0], 1);
+        mem.safe_write(pid, self.r(c, pid.0), 1);
         if mem.safe_read(pid, cell.init_flag) != 0 {
-            mem.safe_write(pid, cell.r[pid.0], 0);
+            mem.safe_write(pid, self.r(c, pid.0), 0);
             self.obs.grab_retry.incr(pid.0);
             return false;
         }
-        local.grabs.insert(c, 1);
+        local.grabs.push((c, 1));
         // Theorem 6.6's accounting: "each processor GRABs at most 3 cells
         // at any moment". A fourth concurrent grab is a protocol bug.
         debug_assert!(
             local.grabs.len() <= 3,
             "grab bound exceeded: {:?}",
-            local.grabs.keys().collect::<Vec<_>>()
+            local
+                .grabs
+                .iter()
+                .map(|(cell, _)| *cell)
+                .collect::<Vec<_>>()
         );
         true
     }
@@ -58,8 +62,8 @@ impl<S> Inner<S> {
     /// owner's jams into its own un-grabbed cell are fenced by the persist
     /// at the end of `apply` instead).
     pub(crate) fn mark_dirty(&self, local: &mut ProcLocal, c: usize) {
-        if local.grabs.contains_key(&c) {
-            local.dirty.insert(c);
+        if local.grabs.iter().any(|(cell, _)| *cell == c) && !local.dirty.contains(&c) {
+            local.dirty.push(c);
         }
     }
 
@@ -79,17 +83,19 @@ impl<S> Inner<S> {
         local: &mut ProcLocal,
         c: usize,
     ) {
-        let count = local
+        let at = local
             .grabs
-            .get_mut(&c)
+            .iter()
+            .position(|(cell, _)| *cell == c)
             .expect("release without a matching grab");
-        *count -= 1;
-        if *count == 0 {
-            local.grabs.remove(&c);
-            if local.dirty.remove(&c) {
+        local.grabs[at].1 -= 1;
+        if local.grabs[at].1 == 0 {
+            local.grabs.swap_remove(at);
+            if let Some(d) = local.dirty.iter().position(|cell| *cell == c) {
+                local.dirty.swap_remove(d);
                 mem.persist(pid);
             }
-            mem.safe_write(pid, self.cells[c].r[pid.0], 0);
+            mem.safe_write(pid, self.r(c, pid.0), 0);
         }
     }
 
@@ -108,12 +114,15 @@ impl<S> Inner<S> {
         }
         // Figure 5 releases the caller's own grab first. No fence needed:
         // the caller is the owner, about to flush this very cell.
-        if local.grabs.remove(&c).is_some() {
-            local.dirty.remove(&c);
-            mem.safe_write(pid, cell.r[pid.0], 0);
+        if let Some(at) = local.grabs.iter().position(|(cell, _)| *cell == c) {
+            local.grabs.swap_remove(at);
+            if let Some(d) = local.dirty.iter().position(|cell| *cell == c) {
+                local.dirty.swap_remove(d);
+            }
+            mem.safe_write(pid, self.r(c, pid.0), 0);
         }
         let mut j = mem.safe_read(pid, cell.count_init) as usize;
-        while j < self.n && mem.safe_read(pid, cell.r[j]) == 0 {
+        while j < self.n && mem.safe_read(pid, self.r(c, j)) == 0 {
             j += 1;
         }
         mem.safe_write(pid, cell.count_init, j as u64);
@@ -131,8 +140,8 @@ impl<S> Inner<S> {
         mem.data_clear(pid, cell.state);
         mem.safe_write(pid, cell.has_cmd, 0);
         mem.safe_write(pid, cell.has_state, 0);
-        for &b in &cell.b {
-            mem.safe_write(pid, b, 0);
+        for d in 0..self.n {
+            mem.safe_write(pid, self.b(c, d), 0);
         }
         mem.safe_write(pid, cell.count_init, 0);
         mem.safe_write(pid, cell.init_flag, 0);

@@ -427,19 +427,13 @@ impl<U: UniversalObject<SetSpec>> WaitFreeSet<U> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::bounded::UniversalConfig;
     use crate::Universal;
     use sbu_mem::native::NativeMem;
 
     #[test]
     fn deque_wrapper_roundtrip() {
         let mut mem: NativeMem<CellPayload<DequeSpec>> = NativeMem::new();
-        let d = WaitFreeDeque::new(Universal::new(
-            &mut mem,
-            1,
-            UniversalConfig::for_procs(1),
-            DequeSpec::new(),
-        ));
+        let d = WaitFreeDeque::new(Universal::builder(1).build(&mut mem, DequeSpec::new()));
         d.push_back(&mem, Pid(0), 2);
         d.push_front(&mem, Pid(0), 1);
         assert_eq!(d.pop_back(&mem, Pid(0)), Some(2));
@@ -450,12 +444,9 @@ mod tests {
     #[test]
     fn priority_queue_wrapper_orders() {
         let mut mem: NativeMem<CellPayload<PriorityQueueSpec>> = NativeMem::new();
-        let pq = WaitFreePriorityQueue::new(Universal::new(
-            &mut mem,
-            1,
-            UniversalConfig::for_procs(1),
-            PriorityQueueSpec::new(),
-        ));
+        let pq = WaitFreePriorityQueue::new(
+            Universal::builder(1).build(&mut mem, PriorityQueueSpec::new()),
+        );
         pq.insert(&mem, Pid(0), 9, 90);
         pq.insert(&mem, Pid(0), 1, 10);
         assert_eq!(pq.extract_min(&mem, Pid(0)), Some((1, 10)));
@@ -466,12 +457,7 @@ mod tests {
     #[test]
     fn set_wrapper_semantics() {
         let mut mem: NativeMem<CellPayload<SetSpec>> = NativeMem::new();
-        let s = WaitFreeSet::new(Universal::new(
-            &mut mem,
-            2,
-            UniversalConfig::for_procs(2),
-            SetSpec::new(),
-        ));
+        let s = WaitFreeSet::new(Universal::builder(2).build(&mut mem, SetSpec::new()));
         assert!(s.insert(&mem, Pid(0), 7));
         assert!(!s.insert(&mem, Pid(1), 7));
         assert!(s.contains(&mem, Pid(0), 7));
@@ -482,23 +468,13 @@ mod tests {
     #[test]
     fn counter_and_queue_wrappers_sequential() {
         let mut mem: NativeMem<CellPayload<CounterSpec>> = NativeMem::new();
-        let c = WaitFreeCounter::new(Universal::new(
-            &mut mem,
-            1,
-            UniversalConfig::for_procs(1),
-            CounterSpec::new(),
-        ));
+        let c = WaitFreeCounter::new(Universal::builder(1).build(&mut mem, CounterSpec::new()));
         assert_eq!(c.inc(&mem, Pid(0)), 1);
         assert_eq!(c.add(&mem, Pid(0), 9), 10);
         assert_eq!(c.read(&mem, Pid(0)), 10);
 
         let mut mem: NativeMem<CellPayload<QueueSpec>> = NativeMem::new();
-        let q = WaitFreeQueue::new(Universal::new(
-            &mut mem,
-            1,
-            UniversalConfig::for_procs(1),
-            QueueSpec::new(),
-        ));
+        let q = WaitFreeQueue::new(Universal::builder(1).build(&mut mem, QueueSpec::new()));
         q.enqueue(&mem, Pid(0), 5);
         assert_eq!(q.len(&mem, Pid(0)), 1);
         assert_eq!(q.dequeue(&mem, Pid(0)), Some(5));
@@ -507,23 +483,14 @@ mod tests {
     #[test]
     fn kv_and_snapshot_wrappers_sequential() {
         let mut mem: NativeMem<CellPayload<KvSpec>> = NativeMem::new();
-        let kv = WaitFreeKv::new(Universal::new(
-            &mut mem,
-            1,
-            UniversalConfig::for_procs(1),
-            KvSpec::new(),
-        ));
+        let kv = WaitFreeKv::new(Universal::builder(1).build(&mut mem, KvSpec::new()));
         assert_eq!(kv.put(&mem, Pid(0), 1, 100), None);
         assert_eq!(kv.get(&mem, Pid(0), 1), Some(100));
         assert_eq!(kv.remove(&mem, Pid(0), 1), Some(100));
 
         let mut mem: NativeMem<CellPayload<SnapshotSpec>> = NativeMem::new();
-        let snap = WaitFreeSnapshot::new(Universal::new(
-            &mut mem,
-            2,
-            UniversalConfig::for_procs(2),
-            SnapshotSpec::new(2),
-        ));
+        let snap =
+            WaitFreeSnapshot::new(Universal::builder(2).build(&mut mem, SnapshotSpec::new(2)));
         snap.update(&mem, Pid(0), 0, 5);
         snap.update(&mem, Pid(1), 1, 6);
         assert_eq!(snap.scan(&mem, Pid(0)), vec![5, 6]);

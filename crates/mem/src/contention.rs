@@ -75,15 +75,34 @@ impl<T> From<T> for CachePadded<T> {
 #[derive(Debug, Clone)]
 pub struct Backoff {
     step: u32,
+    limit: u32,
 }
 
-/// `2^LIMIT` spins is the ceiling for one [`Backoff::spin`] call.
-const BACKOFF_LIMIT: u32 = 8;
-
 impl Backoff {
-    /// A fresh backoff at the shortest delay.
+    /// `2^DEFAULT_LIMIT` spins is the default ceiling for one
+    /// [`Backoff::spin`] call.
+    pub const DEFAULT_LIMIT: u32 = 8;
+
+    /// A fresh backoff at the shortest delay, capped at
+    /// [`Backoff::DEFAULT_LIMIT`].
     pub const fn new() -> Self {
-        Self { step: 0 }
+        Self::with_limit(Self::DEFAULT_LIMIT)
+    }
+
+    /// A fresh backoff with an explicit cap: one [`Backoff::spin`] never
+    /// burns more than `2^limit` rounds. `limit` is clamped to 31 so the
+    /// round count always fits a `u32`; `0` means every spin is a single
+    /// round (the cheapest polite pause).
+    pub const fn with_limit(limit: u32) -> Self {
+        Self {
+            step: 0,
+            limit: if limit > 31 { 31 } else { limit },
+        }
+    }
+
+    /// The configured cap exponent.
+    pub const fn limit(&self) -> u32 {
+        self.limit
     }
 
     /// Busy-wait for the current delay, then double it (up to the cap).
@@ -96,7 +115,7 @@ impl Backoff {
         for _ in 0..rounds {
             std::hint::spin_loop();
         }
-        if self.step < BACKOFF_LIMIT {
+        if self.step < self.limit {
             self.step += 1;
         }
         rounds
@@ -105,7 +124,7 @@ impl Backoff {
     /// Whether the delay has reached its cap (callers that want to fall
     /// back to a different strategy once contention persists can test this).
     pub fn is_saturated(&self) -> bool {
-        self.step >= BACKOFF_LIMIT
+        self.step >= self.limit
     }
 
     /// Restart from the shortest delay (after a success).
@@ -152,13 +171,31 @@ mod tests {
         assert!(!b.is_saturated());
         assert_eq!(b.spin(), 1);
         assert_eq!(b.spin(), 2);
-        for _ in 0..BACKOFF_LIMIT {
+        for _ in 0..Backoff::DEFAULT_LIMIT {
             b.spin();
         }
         assert!(b.is_saturated());
-        assert_eq!(b.spin(), 1 << BACKOFF_LIMIT);
+        assert_eq!(b.spin(), 1 << Backoff::DEFAULT_LIMIT);
         b.reset();
         assert!(!b.is_saturated());
         assert_eq!(b.spin(), 1);
+    }
+
+    #[test]
+    fn backoff_honours_a_custom_limit() {
+        let mut b = Backoff::with_limit(2);
+        assert_eq!(b.limit(), 2);
+        assert_eq!(b.spin(), 1);
+        assert_eq!(b.spin(), 2);
+        assert_eq!(b.spin(), 4);
+        assert!(b.is_saturated());
+        assert_eq!(b.spin(), 4, "capped at 2^2 rounds");
+        // Limit 0: always a single round, saturated from the start.
+        let mut z = Backoff::with_limit(0);
+        assert!(z.is_saturated());
+        assert_eq!(z.spin(), 1);
+        assert_eq!(z.spin(), 1);
+        // Oversized limits are clamped so rounds fit a u32.
+        assert_eq!(Backoff::with_limit(99).limit(), 31);
     }
 }

@@ -217,6 +217,33 @@ impl Snapshot {
         Ok(out)
     }
 
+    /// Fold `other` into this snapshot: counters with the same name sum,
+    /// histograms with the same name merge field-wise (counts and buckets
+    /// add, `max` takes the larger), and instruments only `other` knows
+    /// are appended. Used wherever per-phase or per-worker registries are
+    /// aggregated into one report (scenario cells, the service runtime).
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (name, value) in &other.counters {
+            match self.counters.iter_mut().find(|(n, _)| n == name) {
+                Some((_, total)) => *total = total.wrapping_add(*value),
+                None => self.counters.push((name.clone(), *value)),
+            }
+        }
+        for (name, h) in &other.histograms {
+            match self.histograms.iter_mut().find(|(n, _)| n == name) {
+                Some((_, acc)) => {
+                    acc.count += h.count;
+                    acc.sum = acc.sum.wrapping_add(h.sum);
+                    acc.max = acc.max.max(h.max);
+                    for (slot, b) in acc.buckets.iter_mut().zip(h.buckets.iter()) {
+                        *slot += b;
+                    }
+                }
+                None => self.histograms.push((name.clone(), h.clone())),
+            }
+        }
+    }
+
     /// Compare instrument *coverage* against a `current` snapshot taken
     /// later (or from another run). Histograms participate through their
     /// recorded-value counts, under their registered names. A counter that
@@ -631,6 +658,62 @@ mod tests {
         let table = snap.render_table("-- t --");
         assert!(table.contains("a.hits"));
         assert!(table.contains("a.batch"));
+    }
+
+    #[test]
+    fn merge_sums_counters_and_folds_histograms() {
+        let mut a = Snapshot {
+            counters: vec![("x".into(), 2), ("y".into(), 1)],
+            histograms: vec![(
+                "h".into(),
+                HistogramSummary {
+                    count: 1,
+                    sum: 4,
+                    max: 4,
+                    buckets: {
+                        let mut b = [0; BUCKETS];
+                        b[2] = 1;
+                        b
+                    },
+                },
+            )],
+        };
+        let b = Snapshot {
+            counters: vec![("x".into(), 3), ("z".into(), 7)],
+            histograms: vec![
+                (
+                    "h".into(),
+                    HistogramSummary {
+                        count: 2,
+                        sum: 9,
+                        max: 8,
+                        buckets: {
+                            let mut b = [0; BUCKETS];
+                            b[0] = 1;
+                            b[3] = 1;
+                            b
+                        },
+                    },
+                ),
+                ("g".into(), HistogramSummary::default()),
+            ],
+        };
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 5);
+        assert_eq!(a.counter("y"), 1);
+        assert_eq!(a.counter("z"), 7);
+        let h = a.histogram("h").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 13);
+        assert_eq!(h.max, 8);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[2], 1);
+        assert_eq!(h.buckets[3], 1);
+        assert!(a.histogram("g").is_some());
+        // Merging into an empty snapshot copies everything.
+        let mut empty = Snapshot::default();
+        empty.merge(&a);
+        assert_eq!(empty, a);
     }
 
     #[test]

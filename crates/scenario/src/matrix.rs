@@ -76,15 +76,23 @@ pub enum ScenarioBackend {
     /// crash–restart with `TornPersist::Lying` (acknowledged-then-rolled-
     /// back persists). Expected verdict: **caught**.
     TornLying,
+    /// The sharded `sbu-service` runtime: every torture object becomes a
+    /// distinct *key* routed through the wire protocol to a per-shard,
+    /// per-key universal construction, and the online monitor checks each
+    /// key's history exactly as it checks any other backend's objects —
+    /// so the whole client → frame → router → shard → `Universal` stack is
+    /// under the linearizability microscope. Honest; expected **pass**.
+    Service,
 }
 
 impl ScenarioBackend {
     /// All backends, in canonical (report) order.
-    pub fn all() -> [ScenarioBackend; 3] {
+    pub fn all() -> [ScenarioBackend; 4] {
         [
             ScenarioBackend::Native,
             ScenarioBackend::Durable,
             ScenarioBackend::TornLying,
+            ScenarioBackend::Service,
         ]
     }
 
@@ -94,6 +102,7 @@ impl ScenarioBackend {
             ScenarioBackend::Native => "native",
             ScenarioBackend::Durable => "durable",
             ScenarioBackend::TornLying => "torn-lying",
+            ScenarioBackend::Service => "service",
         }
     }
 
@@ -116,8 +125,9 @@ impl std::str::FromStr for ScenarioBackend {
             "native" => Ok(ScenarioBackend::Native),
             "durable" => Ok(ScenarioBackend::Durable),
             "torn-lying" => Ok(ScenarioBackend::TornLying),
+            "service" => Ok(ScenarioBackend::Service),
             other => Err(format!(
-                "unknown backend {other:?} (native|durable|torn-lying)"
+                "unknown backend {other:?} (native|durable|torn-lying|service)"
             )),
         }
     }
@@ -258,7 +268,7 @@ mod tests {
         let objects: Vec<_> = ScenarioObject::all().iter().map(|o| o.key()).collect();
         assert_eq!(objects, ["sticky", "jam-word", "counter"]);
         let backends: Vec<_> = ScenarioBackend::all().iter().map(|b| b.key()).collect();
-        assert_eq!(backends, ["native", "durable", "torn-lying"]);
+        assert_eq!(backends, ["native", "durable", "torn-lying", "service"]);
         for o in ScenarioObject::all() {
             assert_eq!(o.key().parse::<ScenarioObject>(), Ok(o));
         }
@@ -290,6 +300,7 @@ mod tests {
             expected_verdict(ScenarioBackend::TornLying),
             Verdict::Caught
         );
+        assert_eq!(expected_verdict(ScenarioBackend::Service), Verdict::Pass);
     }
 
     #[test]

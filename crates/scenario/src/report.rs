@@ -147,25 +147,7 @@ pub fn merged_metrics(result: &ScenarioResult) -> Snapshot {
     let mut merged = Snapshot::default();
     for c in &result.cells {
         // Re-fold with the same merge the cells used internally.
-        for (name, v) in &c.metrics.counters {
-            match merged.counters.iter_mut().find(|(n, _)| n == name) {
-                Some((_, total)) => *total += v,
-                None => merged.counters.push((name.clone(), *v)),
-            }
-        }
-        for (name, h) in &c.metrics.histograms {
-            match merged.histograms.iter_mut().find(|(n, _)| n == name) {
-                Some((_, t)) => {
-                    t.count += h.count;
-                    t.sum += h.sum;
-                    t.max = t.max.max(h.max);
-                    for (a, b) in t.buckets.iter_mut().zip(h.buckets.iter()) {
-                        *a += b;
-                    }
-                }
-                None => merged.histograms.push((name.clone(), h.clone())),
-            }
-        }
+        merged.merge(&c.metrics);
     }
     merged.counters.sort_by(|a, b| a.0.cmp(&b.0));
     merged.histograms.sort_by(|a, b| a.0.cmp(&b.0));

@@ -96,29 +96,10 @@ pub fn cell_seed(run_seed: u64, scenario: &str, object: ScenarioObject, b: Scena
     splitmix(run_seed ^ fnv1a(key.as_bytes()))
 }
 
-/// Merge `add` into `into` (counters summed by name, histograms folded
-/// field-wise), keeping the result sorted by name so merged snapshots are
-/// order-independent.
+/// Merge `add` into `into` via [`sbu_obs::Snapshot::merge`], keeping the
+/// result sorted by name so merged snapshots are order-independent.
 fn merge_snapshot(into: &mut sbu_obs::Snapshot, add: &sbu_obs::Snapshot) {
-    for (name, v) in &add.counters {
-        match into.counters.iter_mut().find(|(n, _)| n == name) {
-            Some((_, total)) => *total += v,
-            None => into.counters.push((name.clone(), *v)),
-        }
-    }
-    for (name, h) in &add.histograms {
-        match into.histograms.iter_mut().find(|(n, _)| n == name) {
-            Some((_, t)) => {
-                t.count += h.count;
-                t.sum += h.sum;
-                t.max = t.max.max(h.max);
-                for (a, b) in t.buckets.iter_mut().zip(h.buckets.iter()) {
-                    *a += b;
-                }
-            }
-            None => into.histograms.push((name.clone(), h.clone())),
-        }
-    }
+    into.merge(add);
     into.counters.sort_by(|a, b| a.0.cmp(&b.0));
     into.histograms.sort_by(|a, b| a.0.cmp(&b.0));
 }
@@ -303,7 +284,91 @@ fn run_phase(
                 skip_reason(object, backend)
             )
         }
+
+        // — the sharded service runtime: every object index becomes a
+        //   service *key*, so ops travel client → wire frame → router →
+        //   single-owner shard → per-key universal construction and back,
+        //   and the monitor checks each key's history as usual (the keys
+        //   spread across shards, so every shard is under checking) —
+        (ScenarioObject::Sticky, ScenarioBackend::Service) => {
+            torture_service(cfg, StickySpec::new(), |rng, _, _| {
+                if rng.gen_bool(0.5) {
+                    StickyOp::Jam(rng.gen_bool(0.5))
+                } else {
+                    StickyOp::Read
+                }
+            })
+        }
+        (ScenarioObject::JamWord, ScenarioBackend::Service) => {
+            use sbu_spec::specs::{JamWordOp, JamWordSpec};
+            torture_service(cfg, JamWordSpec::new(), |rng, pid, obj| {
+                if rng.gen_bool(0.6) {
+                    JamWordOp::Jam(sbu_stress::jam_value_for(pid, obj))
+                } else {
+                    JamWordOp::Read
+                }
+            })
+        }
+        (ScenarioObject::Counter, ScenarioBackend::Service) => {
+            use sbu_spec::specs::{CounterOp, CounterSpec};
+            torture_service(cfg, CounterSpec::new(), |rng, _, _| {
+                match rng.gen_range(0u32..5) {
+                    0..=2 => CounterOp::Inc,
+                    3 => CounterOp::Add(rng.gen_range(1u64..5)),
+                    _ => CounterOp::Read,
+                }
+            })
+        }
     }
+}
+
+/// Drive `cfg.objects` service keys (one torture object per key) through a
+/// live [`sbu_service::Service`] and the online monitor. Shard/worker
+/// counts scale with the phase's thread count; the monitor's per-object
+/// histories line up one-to-one with service keys. Service instruments are
+/// merged into the phase metrics after shutdown so `service.route` /
+/// `service.queue_depth` / `service.shard_imbalance` ride the cell report.
+fn torture_service<S, G>(cfg: &StressConfig, template: S, gen_op: G) -> PhaseOutcome
+where
+    S: sbu_service::WireCodec + std::hash::Hash + Eq + Send + Sync + 'static,
+    S::Op: Send + Sync,
+    S::Resp: Send + Sync,
+    G: Fn(&mut rand::rngs::SmallRng, Pid, usize) -> S::Op + Send + Sync,
+{
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let shards = cfg.threads.max(2).next_power_of_two().min(8);
+    let mut svc = sbu_service::Service::start(
+        sbu_service::ServiceConfig {
+            shards,
+            workers: shards.min(cfg.threads),
+            clients: cfg.threads,
+            routing: sbu_service::Routing::Hash,
+        },
+        template.clone(),
+    );
+    let report = {
+        let svc = &svc;
+        let objects: Vec<StressObject<'_, S>> = (0..cfg.objects)
+            .map(|key| StressObject {
+                init: template.clone(),
+                exec: Box::new(move |pid: Pid, op: &S::Op| svc.call(pid.0 as u32, key as u64, op)),
+            })
+            .collect();
+        // The service has no shared word memory to borrow a clock from;
+        // a fetch-add ticket is exactly the strictly monotonic shared
+        // clock `torture` requires.
+        let clock = AtomicU64::new(1);
+        torture(
+            cfg,
+            |_| clock.fetch_add(1, Ordering::SeqCst),
+            objects,
+            gen_op,
+        )
+    };
+    svc.shutdown();
+    let mut out: PhaseOutcome = report.into();
+    merge_snapshot(&mut out.metrics, &svc.obs_snapshot());
+    out
 }
 
 /// Run one cell of the matrix.

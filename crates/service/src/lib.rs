@@ -1,0 +1,52 @@
+//! # sbu-service — a sharded keyed object space over the universal construction
+//!
+//! The paper's result is *per object*: any sequential spec becomes one
+//! wait-free linearizable object. This crate scales that out the way a
+//! real system would — a keyed **object space** where every `u64` key
+//! names an independent object, partitioned into shards that each own
+//! their universal-construction instances:
+//!
+//! ```text
+//!   client ──encode──▶ wire frame ──route──▶ worker inbox ──decode──▶
+//!     Shard (single owner) ──▶ Universal::apply at the object for key
+//!       ──encode──▶ response frame ──▶ client reply box
+//! ```
+//!
+//! * [`ShardMap`] — the pure routing function (`key → shard`), hash or
+//!   range policy ([`Routing`]).
+//! * [`Frame`]/[`FrameDecoder`]/[`WireCodec`] — the length-prefixed wire
+//!   protocol. In-process queues carry the bytes today; the decoder is
+//!   incremental precisely so a socket transport can replace them without
+//!   touching anything above it.
+//! * [`Shard`] — a single-owner slice of the key space, lazily
+//!   materializing one tiny (`n = 1`) [`sbu_core::Universal`] per touched
+//!   key. Cheap bulk instance construction is what makes "one universal
+//!   object per key" viable.
+//! * [`Service`] — the thread-per-core server loop: `workers` threads,
+//!   static shard ownership, blocking [`Service::call`] and open-loop
+//!   [`Service::post`]/[`Service::take_reply`].
+//! * [`loadgen`] — the seeded offline load generator behind experiment
+//!   E12 (open/closed loop, uniform/Zipf keys).
+//!
+//! Observability: `service.route` (requests routed), `service.queue_depth`
+//! (inbox depth at drain), `service.shard_imbalance` (per-shard op totals
+//! at shutdown), all per-worker-lane under the repo's single-writer
+//! discipline and merged via `sbu_obs::Snapshot::merge`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod loadgen;
+mod route;
+mod server;
+mod shard;
+mod wire;
+
+pub use loadgen::{LoadgenConfig, LoadgenReport, LoopMode, Skew};
+pub use route::{Routing, ShardMap};
+pub use server::{Service, ServiceConfig, ShardStats};
+pub use shard::Shard;
+pub use wire::{
+    request_frame, response_frame, Frame, FrameDecoder, WireCodec, WireError, KIND_REQUEST,
+    KIND_RESPONSE,
+};

@@ -1,0 +1,323 @@
+//! The offline load generator behind experiment E12.
+//!
+//! Drives a [`Service`] with a synthetic keyed workload along three axes:
+//!
+//! * **loop mode** — *closed* (each client blocks for every reply: the
+//!   classic fixed-concurrency benchmark, throughput is `clients` divided
+//!   by mean latency) vs *open* (every request is posted up front and the
+//!   workers drain the backlog: measures raw service capacity, and is what
+//!   fills the `service.queue_depth` histogram with non-trivial depths);
+//! * **key skew** — uniform over the key space vs Zipf(θ) (hand-rolled
+//!   CDF + binary search; the repo vendors no Zipf sampler), which is the
+//!   hot-key regime where hash routing still pins each hot key to one
+//!   shard and imbalance shows up in `service.shard_imbalance`;
+//! * **topology** — clients × shards × workers, all from the config.
+//!
+//! Everything is seeded. With `timing: false` the report zeroes its two
+//! wall-clock fields, which makes a single-threaded run byte-identical
+//! across invocations — the property the E12 determinism test pins.
+
+use crate::server::{Service, ServiceConfig, ShardStats};
+use crate::wire::WireCodec;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// How keys are drawn from `0..keys`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Skew {
+    /// Every key equally likely.
+    Uniform,
+    /// Zipf-distributed ranks with the given exponent θ (θ → 0 approaches
+    /// uniform; θ ≈ 0.99 is the conventional "hot key" benchmark setting).
+    /// Key `0` is the hottest.
+    Zipf(f64),
+}
+
+/// Whether clients wait for replies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopMode {
+    /// Post every request before collecting any reply.
+    Open,
+    /// One outstanding request per client (block on each reply).
+    Closed,
+}
+
+/// One load-generator run.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Client threads (closed loop) / reply-box slots (both modes).
+    pub clients: usize,
+    /// Shard count (power of two).
+    pub shards: usize,
+    /// Worker threads.
+    pub workers: usize,
+    /// Requests issued per client.
+    pub ops_per_client: usize,
+    /// Size of the key space (keys are `0..keys`).
+    pub keys: usize,
+    /// Key distribution.
+    pub skew: Skew,
+    /// Loop mode.
+    pub mode: LoopMode,
+    /// Seed for every stream the run draws.
+    pub seed: u64,
+    /// When `false`, `elapsed_secs` and `ops_per_sec` report as zero so
+    /// the whole report is a pure function of the config (determinism
+    /// tests); when `true` they carry wall-clock measurements.
+    pub timing: bool,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            clients: 1,
+            shards: 1,
+            workers: 1,
+            ops_per_client: 1000,
+            keys: 1024,
+            skew: Skew::Uniform,
+            mode: LoopMode::Closed,
+            seed: 0xE12,
+            timing: true,
+        }
+    }
+}
+
+/// What a run produced.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Total requests completed (`clients × ops_per_client`).
+    pub ops: u64,
+    /// Wall-clock seconds (zero when `timing: false`).
+    pub elapsed_secs: f64,
+    /// `ops / elapsed_secs` (zero when `timing: false`).
+    pub ops_per_sec: f64,
+    /// Per-shard totals from [`Service::shutdown`].
+    pub shards: Vec<ShardStats>,
+    /// Hottest shard's share of ops divided by the perfectly balanced
+    /// share (1.0 = perfectly even; `shards` = everything on one shard).
+    pub imbalance: f64,
+    /// The service instruments (`service.route`, `service.queue_depth`,
+    /// `service.shard_imbalance`).
+    pub metrics: sbu_obs::Snapshot,
+}
+
+/// A seeded key sampler for one client's request stream.
+struct KeyStream {
+    rng: SmallRng,
+    keys: usize,
+    /// Zipf CDF over ranks (empty = uniform).
+    cdf: Vec<f64>,
+}
+
+impl KeyStream {
+    fn new(config: &LoadgenConfig, client: usize) -> Self {
+        // Distinct stream per client, stable under reordering of clients.
+        let rng = SmallRng::seed_from_u64(config.seed ^ (0x9E37_79B9 * (client as u64 + 1)));
+        let cdf = match config.skew {
+            Skew::Uniform => Vec::new(),
+            Skew::Zipf(theta) => {
+                let mut cdf = Vec::with_capacity(config.keys);
+                let mut total = 0.0;
+                for rank in 1..=config.keys {
+                    total += 1.0 / (rank as f64).powf(theta);
+                    cdf.push(total);
+                }
+                for c in &mut cdf {
+                    *c /= total;
+                }
+                cdf
+            }
+        };
+        Self {
+            rng,
+            keys: config.keys,
+            cdf,
+        }
+    }
+
+    fn next_key(&mut self) -> u64 {
+        if self.cdf.is_empty() {
+            return self.rng.gen_range(0..self.keys as u64);
+        }
+        let u: f64 = self.rng.gen();
+        // First rank whose cumulative mass covers u.
+        let rank = self.cdf.partition_point(|&c| c < u);
+        rank.min(self.keys - 1) as u64
+    }
+}
+
+/// Run one configuration against a fresh service. `gen_op` draws each
+/// request's command (it sees the op-local RNG so mixes are seeded too).
+pub fn run<S, F>(config: &LoadgenConfig, template: S, gen_op: F) -> LoadgenReport
+where
+    S: WireCodec + Send + Sync + 'static,
+    S::Op: Send + Sync,
+    S::Resp: Send,
+    F: Fn(&mut SmallRng) -> S::Op + Send + Sync,
+{
+    assert!(config.clients >= 1 && config.ops_per_client >= 1 && config.keys >= 1);
+    let mut svc = Service::start(
+        ServiceConfig {
+            shards: config.shards,
+            workers: config.workers,
+            clients: config.clients,
+            ..Default::default()
+        },
+        template,
+    );
+    let started = Instant::now();
+    match config.mode {
+        LoopMode::Closed => {
+            std::thread::scope(|scope| {
+                for client in 0..config.clients {
+                    let (svc, gen_op) = (&svc, &gen_op);
+                    let mut stream = KeyStream::new(config, client);
+                    scope.spawn(move || {
+                        for _ in 0..config.ops_per_client {
+                            let key = stream.next_key();
+                            let op = gen_op(&mut stream.rng);
+                            svc.call(client as u32, key, &op);
+                        }
+                    });
+                }
+            });
+        }
+        LoopMode::Open => {
+            // Post the full backlog, then collect every reply. Posting is
+            // single-threaded so the arrival order is deterministic; the
+            // workers drain concurrently, which is the point.
+            for client in 0..config.clients {
+                let mut stream = KeyStream::new(config, client);
+                for _ in 0..config.ops_per_client {
+                    let key = stream.next_key();
+                    let op = gen_op(&mut stream.rng);
+                    svc.post(client as u32, key, &op);
+                }
+            }
+            std::thread::scope(|scope| {
+                for client in 0..config.clients {
+                    let svc = &svc;
+                    scope.spawn(move || {
+                        for _ in 0..config.ops_per_client {
+                            svc.take_reply(client as u32);
+                        }
+                    });
+                }
+            });
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let shards = svc.shutdown();
+    // Snapshot after shutdown so `service.shard_imbalance` (recorded while
+    // joining the workers) is included.
+    let metrics = svc.obs_snapshot();
+
+    let ops = (config.clients * config.ops_per_client) as u64;
+    let hottest = shards.iter().map(|s| s.ops).max().unwrap_or(0);
+    let fair = ops as f64 / config.shards as f64;
+    LoadgenReport {
+        ops,
+        elapsed_secs: if config.timing { elapsed } else { 0.0 },
+        ops_per_sec: if config.timing && elapsed > 0.0 {
+            ops as f64 / elapsed
+        } else {
+            0.0
+        },
+        imbalance: if fair > 0.0 {
+            hottest as f64 / fair
+        } else {
+            0.0
+        },
+        shards,
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbu_spec::specs::{CounterOp, CounterSpec};
+
+    fn counter_mix(rng: &mut SmallRng) -> CounterOp {
+        if rng.gen_bool(0.25) {
+            CounterOp::Read
+        } else {
+            CounterOp::Inc
+        }
+    }
+
+    #[test]
+    fn closed_loop_completes_every_op() {
+        let config = LoadgenConfig {
+            clients: 4,
+            shards: 4,
+            workers: 2,
+            ops_per_client: 200,
+            keys: 64,
+            ..Default::default()
+        };
+        let report = run(&config, CounterSpec::new(), counter_mix);
+        assert_eq!(report.ops, 800);
+        assert_eq!(report.shards.iter().map(|s| s.ops).sum::<u64>(), 800);
+        assert!(report.imbalance >= 1.0);
+    }
+
+    #[test]
+    fn open_loop_drains_the_backlog() {
+        let config = LoadgenConfig {
+            clients: 2,
+            shards: 2,
+            workers: 2,
+            ops_per_client: 300,
+            keys: 32,
+            mode: LoopMode::Open,
+            ..Default::default()
+        };
+        let report = run(&config, CounterSpec::new(), counter_mix);
+        assert_eq!(report.shards.iter().map(|s| s.ops).sum::<u64>(), 600);
+    }
+
+    #[test]
+    fn zipf_concentrates_mass_on_low_ranks() {
+        let config = LoadgenConfig {
+            keys: 1000,
+            skew: Skew::Zipf(0.99),
+            ..Default::default()
+        };
+        let mut stream = KeyStream::new(&config, 0);
+        let mut head = 0usize;
+        for _ in 0..10_000 {
+            if stream.next_key() < 10 {
+                head += 1;
+            }
+        }
+        // Zipf(0.99) over 1000 keys puts roughly 40% of mass on the top
+        // 10 ranks; uniform would put 1% there.
+        assert!(
+            (2500..=6500).contains(&head),
+            "top-10 keys drew {head}/10000"
+        );
+    }
+
+    #[test]
+    fn reports_are_deterministic_single_threaded_without_timing() {
+        let config = LoadgenConfig {
+            clients: 1,
+            shards: 4,
+            workers: 1,
+            ops_per_client: 250,
+            keys: 128,
+            skew: Skew::Zipf(0.8),
+            timing: false,
+            ..Default::default()
+        };
+        let a = run(&config, CounterSpec::new(), counter_mix);
+        let b = run(&config, CounterSpec::new(), counter_mix);
+        assert_eq!(a.shards, b.shards);
+        assert_eq!(format!("{:?}", a.metrics), format!("{:?}", b.metrics));
+        assert_eq!(a.elapsed_secs, 0.0);
+        assert_eq!(a.ops_per_sec, 0.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! The `ShardMap` router: a total, stable partition of the key space.
+//!
+//! Routing must be a *pure function* of `(key, shard count, policy)` — no
+//! hidden state, no randomness — so that every client, every worker, and
+//! every replayed benchmark agrees on which shard owns a key. The default
+//! policy hashes keys through a 64-bit finalizer before masking, so
+//! adjacent keys (the common case in generated workloads) spread across
+//! shards; the range policy is the seam for a later elastic split/merge,
+//! where contiguous key ranges must stay contiguous per shard.
+
+/// How a key is mapped to a shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Routing {
+    /// Mix the key through splitmix64 and mask with `shards - 1`.
+    /// Spreads any key distribution evenly; the default.
+    #[default]
+    Hash,
+    /// Partition the key space into `shards` contiguous ranges by the
+    /// key's top bits. Keeps ranges contiguous per shard — the seam a
+    /// future elastic split/merge (halving or doubling a shard's range)
+    /// builds on.
+    Range,
+}
+
+/// splitmix64's output mixing step: a bijective 64-bit finalizer (so hash
+/// routing never collides two distinct keys onto the same mixed value).
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The router: maps every `u64` key to one of a power-of-two number of
+/// shards.
+///
+/// ```
+/// use sbu_service::{Routing, ShardMap};
+/// let map = ShardMap::new(8);
+/// let s = map.shard_of(42);
+/// assert!(s < 8);
+/// assert_eq!(s, map.shard_of(42)); // stable
+/// assert_eq!(ShardMap::new(1).shard_of(42), 0); // total
+/// let ranged = ShardMap::new(8).with_routing(Routing::Range);
+/// assert_eq!(ranged.shard_of(0), 0); // low keys → low shards
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMap {
+    shards: usize,
+    routing: Routing,
+}
+
+impl ShardMap {
+    /// A router over `shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `shards` is a power of two (the mask-based hash route
+    /// and the top-bits range route both require it; a non-power-of-two
+    /// count would silently bias the partition).
+    pub fn new(shards: usize) -> Self {
+        assert!(
+            shards.is_power_of_two(),
+            "shard count must be a power of two, got {shards}"
+        );
+        Self {
+            shards,
+            routing: Routing::default(),
+        }
+    }
+
+    /// Choose the routing policy (default [`Routing::Hash`]).
+    pub fn with_routing(mut self, routing: Routing) -> Self {
+        self.routing = routing;
+        self
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The routing policy in force.
+    pub fn routing(&self) -> Routing {
+        self.routing
+    }
+
+    /// The shard that owns `key`. Total (every key maps somewhere) and
+    /// stable (a pure function of the router's configuration).
+    #[inline]
+    pub fn shard_of(&self, key: u64) -> usize {
+        let mask = (self.shards - 1) as u64;
+        match self.routing {
+            Routing::Hash => (mix64(key) & mask) as usize,
+            Routing::Range => {
+                // Top log2(shards) bits of the key; `shards == 1` has no
+                // bits to take (a 64-bit shift would be UB-adjacent).
+                if self.shards == 1 {
+                    0
+                } else {
+                    (key >> (64 - self.shards.trailing_zeros())) as usize
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_total_and_stable() {
+        for shards in [1, 2, 4, 8, 64] {
+            for routing in [Routing::Hash, Routing::Range] {
+                let map = ShardMap::new(shards).with_routing(routing);
+                for key in (0..1000).chain([u64::MAX, u64::MAX - 1, 1 << 63]) {
+                    let s = map.shard_of(key);
+                    assert!(s < shards, "{routing:?} key {key} → shard {s}/{shards}");
+                    assert_eq!(s, map.shard_of(key), "routing must be stable");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hash_routing_spreads_sequential_keys() {
+        let map = ShardMap::new(4);
+        let mut counts = [0usize; 4];
+        for key in 0..4000 {
+            counts[map.shard_of(key)] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(
+                (700..=1300).contains(&c),
+                "shard {s} got {c} of 4000 sequential keys"
+            );
+        }
+    }
+
+    #[test]
+    fn range_routing_keeps_ranges_contiguous() {
+        let map = ShardMap::new(4).with_routing(Routing::Range);
+        assert_eq!(map.shard_of(0), 0);
+        assert_eq!(map.shard_of(u64::MAX), 3);
+        // Monotone: a larger key never routes to a smaller shard.
+        let mut last = 0;
+        for key in (0..64).map(|i| i << 58) {
+            let s = map.shard_of(key);
+            assert!(s >= last, "range routing must be monotone in the key");
+            last = s;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_is_rejected() {
+        ShardMap::new(3);
+    }
+}

@@ -1,0 +1,109 @@
+//! One shard: a slice of the object space backed by per-key universal
+//! constructions.
+//!
+//! A shard is **single-owner**: exactly one worker thread holds it (the
+//! server hands each shard to one worker and never moves it), so the shard
+//! needs no interior synchronization of its own — all the concurrency
+//! control lives *inside* each `Universal`, and the shard can take `&mut
+//! self` for the lazy key → object table. Per-key instances are built with
+//! `n = 1` (the owning worker is the only processor that ever applies to
+//! them), which makes them tiny: the Θ(n²) pool collapses to its constant
+//! floor, and the PR's slab-allocated bit matrices mean a key costs two
+//! `Vec`s and a handful of memory locations, so millions of keys are
+//! feasible. Each instance is labeled with the shard id via the builder's
+//! `shard(..)` seam for observability.
+
+use crate::wire::WireCodec;
+use sbu_core::{CellPayload, Universal};
+use sbu_mem::{NativeMem, Pid};
+use std::collections::HashMap;
+
+/// A single-owner slice of the keyed object space.
+pub struct Shard<S: WireCodec> {
+    /// This shard's index in the [`crate::ShardMap`] partition.
+    id: usize,
+    /// The initial state cloned into every freshly touched key.
+    template: S,
+    /// The shard's private memory: every per-key instance allocates here.
+    mem: NativeMem<CellPayload<S>>,
+    /// Lazily populated key → object table.
+    objects: HashMap<u64, Universal<S>>,
+    /// Operations applied by this shard (feeds `service.shard_imbalance`).
+    ops: u64,
+}
+
+impl<S> Shard<S>
+where
+    S: WireCodec + Send + Sync,
+    S::Op: Send + Sync,
+{
+    /// An empty shard; keys materialize on first touch as clones of
+    /// `template`.
+    pub fn new(id: usize, template: S) -> Self {
+        Self {
+            id,
+            template,
+            mem: NativeMem::new(),
+            objects: HashMap::new(),
+            ops: 0,
+        }
+    }
+
+    /// This shard's index.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Number of keys that have been touched (and so materialized).
+    pub fn keys(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Total operations this shard has applied.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Apply `op` to the object at `key`, materializing it if this is the
+    /// key's first touch. Always runs as `Pid(0)`: the owning worker is
+    /// the instance's only processor.
+    pub fn apply(&mut self, key: u64, op: &S::Op) -> S::Resp {
+        self.ops += 1;
+        if !self.objects.contains_key(&key) {
+            let built = Universal::builder(1)
+                .shard(self.id)
+                .build(&mut self.mem, self.template.clone());
+            self.objects.insert(key, built);
+        }
+        let obj = &self.objects[&key];
+        obj.apply(&self.mem, Pid(0), op)
+    }
+}
+
+impl<S: WireCodec> std::fmt::Debug for Shard<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shard")
+            .field("id", &self.id)
+            .field("keys", &self.objects.len())
+            .field("ops", &self.ops)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbu_spec::specs::{CounterOp, CounterSpec};
+
+    #[test]
+    fn keys_are_independent_and_lazy() {
+        let mut shard = Shard::new(0, CounterSpec::new());
+        assert_eq!(shard.keys(), 0);
+        assert_eq!(shard.apply(1, &CounterOp::Inc), 1);
+        assert_eq!(shard.apply(1, &CounterOp::Inc), 2);
+        assert_eq!(shard.apply(2, &CounterOp::Inc), 1); // fresh key, fresh state
+        assert_eq!(shard.apply(1, &CounterOp::Read), 2);
+        assert_eq!(shard.keys(), 2);
+        assert_eq!(shard.ops(), 4);
+    }
+}

@@ -1,0 +1,415 @@
+//! The length-prefixed wire protocol.
+//!
+//! Every message is one *frame*:
+//!
+//! ```text
+//! [len: u32 LE] [kind: u8] [client: u32 LE] [seq: u64 LE] [key: u64 LE] [payload…]
+//! ```
+//!
+//! `len` counts every byte after itself, so a byte stream of frames is
+//! self-delimiting; [`FrameDecoder`] reassembles frames from arbitrary
+//! chunk boundaries (it is fed whole frames by the in-process queues
+//! today, but the same decoder drops onto a socket transport unchanged —
+//! that is the layering seam). `kind` distinguishes `Request{key, command}`
+//! from `Response{seq, return_value}`; `client` addresses the reply,
+//! `seq` is the client's own correlation number, echoed verbatim.
+//!
+//! Payloads are spec-typed: the [`WireCodec`] trait extends a
+//! [`SequentialSpec`] with byte encodings for its `Op` and `Resp`, so a
+//! service over `CounterSpec` and one over `JamWordSpec` share every other
+//! layer. Codecs are hand-rolled tag-byte encodings — the repo is fully
+//! offline, no serde.
+
+use sbu_spec::specs::{
+    CounterOp, CounterSpec, JamWordOp, JamWordResp, JamWordSpec, StickyOp, StickyResp, StickySpec,
+    Tri,
+};
+use sbu_spec::SequentialSpec;
+
+/// Frame kind tag: a command heading for a shard.
+pub const KIND_REQUEST: u8 = 0;
+/// Frame kind tag: a return value heading back to a client.
+pub const KIND_RESPONSE: u8 = 1;
+
+/// Bytes of a frame after the length prefix, before the payload.
+const HEADER: usize = 1 + 4 + 8 + 8;
+
+/// A decoding failure (malformed frame or payload).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// One decoded frame (header plus raw payload bytes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// [`KIND_REQUEST`] or [`KIND_RESPONSE`].
+    pub kind: u8,
+    /// The client the frame belongs to (sender of a request, addressee of
+    /// a response).
+    pub client: u32,
+    /// Client-chosen correlation number, echoed on the response.
+    pub seq: u64,
+    /// The object key (requests route on it; responses echo it).
+    pub key: u64,
+    /// Spec-typed payload bytes ([`WireCodec`]).
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Encode as one length-prefixed frame, appended to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let len = (HEADER + self.payload.len()) as u32;
+        out.extend_from_slice(&len.to_le_bytes());
+        out.push(self.kind);
+        out.extend_from_slice(&self.client.to_le_bytes());
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&self.key.to_le_bytes());
+        out.extend_from_slice(&self.payload);
+    }
+
+    /// Encode as a fresh buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + HEADER + self.payload.len());
+        self.encode(&mut out);
+        out
+    }
+}
+
+/// Incremental frame reassembly from a byte stream with arbitrary chunk
+/// boundaries.
+///
+/// ```
+/// use sbu_service::{Frame, FrameDecoder, KIND_REQUEST};
+/// let frame = Frame { kind: KIND_REQUEST, client: 7, seq: 1, key: 42, payload: vec![9] };
+/// let bytes = frame.to_bytes();
+/// let mut dec = FrameDecoder::new();
+/// for b in &bytes {
+///     dec.push(std::slice::from_ref(b)); // one byte at a time
+/// }
+/// assert_eq!(dec.next_frame().unwrap(), Some(frame));
+/// ```
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Read cursor into `buf` (compacted once it outgrows the remainder).
+    at: usize,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed more bytes from the stream.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pop the next complete frame, `Ok(None)` if more bytes are needed.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        let pending = &self.buf[self.at..];
+        if pending.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(pending[..4].try_into().expect("4 bytes")) as usize;
+        if len < HEADER {
+            return Err(WireError(format!(
+                "frame length {len} is shorter than the header"
+            )));
+        }
+        if pending.len() < 4 + len {
+            return Ok(None);
+        }
+        let body = &pending[4..4 + len];
+        let frame = Frame {
+            kind: body[0],
+            client: u32::from_le_bytes(body[1..5].try_into().expect("4 bytes")),
+            seq: u64::from_le_bytes(body[5..13].try_into().expect("8 bytes")),
+            key: u64::from_le_bytes(body[13..21].try_into().expect("8 bytes")),
+            payload: body[HEADER..].to_vec(),
+        };
+        self.at += 4 + len;
+        if self.at * 2 > self.buf.len() {
+            self.buf.drain(..self.at);
+            self.at = 0;
+        }
+        Ok(Some(frame))
+    }
+}
+
+/// Byte encodings for a spec's commands and return values — the payload
+/// layer of the wire protocol. Implemented for the specs the service
+/// fronts; a new object type joins the service by implementing this.
+pub trait WireCodec: SequentialSpec {
+    /// Append `op`'s encoding to `out`.
+    fn encode_op(op: &Self::Op, out: &mut Vec<u8>);
+    /// Decode an op (must consume exactly `bytes`).
+    fn decode_op(bytes: &[u8]) -> Result<Self::Op, WireError>;
+    /// Append `resp`'s encoding to `out`.
+    fn encode_resp(resp: &Self::Resp, out: &mut Vec<u8>);
+    /// Decode a response (must consume exactly `bytes`).
+    fn decode_resp(bytes: &[u8]) -> Result<Self::Resp, WireError>;
+}
+
+fn take_u64(bytes: &[u8], what: &str) -> Result<u64, WireError> {
+    bytes
+        .try_into()
+        .map(u64::from_le_bytes)
+        .map_err(|_| WireError(format!("{what}: expected 8 bytes, got {}", bytes.len())))
+}
+
+impl WireCodec for CounterSpec {
+    fn encode_op(op: &CounterOp, out: &mut Vec<u8>) {
+        match op {
+            CounterOp::Inc => out.push(0),
+            CounterOp::Add(n) => {
+                out.push(1);
+                out.extend_from_slice(&n.to_le_bytes());
+            }
+            CounterOp::Read => out.push(2),
+        }
+    }
+
+    fn decode_op(bytes: &[u8]) -> Result<CounterOp, WireError> {
+        match bytes {
+            [0] => Ok(CounterOp::Inc),
+            [1, rest @ ..] => Ok(CounterOp::Add(take_u64(rest, "counter add")?)),
+            [2] => Ok(CounterOp::Read),
+            other => Err(WireError(format!("bad counter op {other:?}"))),
+        }
+    }
+
+    fn encode_resp(resp: &u64, out: &mut Vec<u8>) {
+        out.extend_from_slice(&resp.to_le_bytes());
+    }
+
+    fn decode_resp(bytes: &[u8]) -> Result<u64, WireError> {
+        take_u64(bytes, "counter resp")
+    }
+}
+
+impl WireCodec for StickySpec {
+    fn encode_op(op: &StickyOp, out: &mut Vec<u8>) {
+        match op {
+            StickyOp::Jam(bit) => {
+                out.push(0);
+                out.push(u8::from(*bit));
+            }
+            StickyOp::Read => out.push(1),
+            StickyOp::Flush => out.push(2),
+        }
+    }
+
+    fn decode_op(bytes: &[u8]) -> Result<StickyOp, WireError> {
+        match bytes {
+            [0, bit @ (0 | 1)] => Ok(StickyOp::Jam(*bit == 1)),
+            [1] => Ok(StickyOp::Read),
+            [2] => Ok(StickyOp::Flush),
+            other => Err(WireError(format!("bad sticky op {other:?}"))),
+        }
+    }
+
+    fn encode_resp(resp: &StickyResp, out: &mut Vec<u8>) {
+        match resp {
+            StickyResp::Success => out.push(0),
+            StickyResp::Fail => out.push(1),
+            StickyResp::Value(tri) => {
+                out.push(2);
+                out.push(match tri {
+                    Tri::Undef => 0,
+                    Tri::Zero => 1,
+                    Tri::One => 2,
+                });
+            }
+            StickyResp::Flushed => out.push(3),
+        }
+    }
+
+    fn decode_resp(bytes: &[u8]) -> Result<StickyResp, WireError> {
+        match bytes {
+            [0] => Ok(StickyResp::Success),
+            [1] => Ok(StickyResp::Fail),
+            [2, 0] => Ok(StickyResp::Value(Tri::Undef)),
+            [2, 1] => Ok(StickyResp::Value(Tri::Zero)),
+            [2, 2] => Ok(StickyResp::Value(Tri::One)),
+            [3] => Ok(StickyResp::Flushed),
+            other => Err(WireError(format!("bad sticky resp {other:?}"))),
+        }
+    }
+}
+
+impl WireCodec for JamWordSpec {
+    fn encode_op(op: &JamWordOp, out: &mut Vec<u8>) {
+        match op {
+            JamWordOp::Jam(v) => {
+                out.push(0);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            JamWordOp::Read => out.push(1),
+        }
+    }
+
+    fn decode_op(bytes: &[u8]) -> Result<JamWordOp, WireError> {
+        match bytes {
+            [0, rest @ ..] => Ok(JamWordOp::Jam(take_u64(rest, "jam value")?)),
+            [1] => Ok(JamWordOp::Read),
+            other => Err(WireError(format!("bad jam op {other:?}"))),
+        }
+    }
+
+    fn encode_resp(resp: &JamWordResp, out: &mut Vec<u8>) {
+        match resp {
+            JamWordResp::Jam { won, value } => {
+                out.push(0);
+                out.push(u8::from(*won));
+                out.extend_from_slice(&value.to_le_bytes());
+            }
+            JamWordResp::Value(None) => out.push(1),
+            JamWordResp::Value(Some(v)) => {
+                out.push(2);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+    }
+
+    fn decode_resp(bytes: &[u8]) -> Result<JamWordResp, WireError> {
+        match bytes {
+            [0, won @ (0 | 1), rest @ ..] => Ok(JamWordResp::Jam {
+                won: *won == 1,
+                value: take_u64(rest, "jam resp value")?,
+            }),
+            [1] => Ok(JamWordResp::Value(None)),
+            [2, rest @ ..] => Ok(JamWordResp::Value(Some(take_u64(rest, "jam resp value")?))),
+            other => Err(WireError(format!("bad jam resp {other:?}"))),
+        }
+    }
+}
+
+/// Encode a request frame for `op` (the client side of the protocol).
+pub fn request_frame<S: WireCodec>(client: u32, seq: u64, key: u64, op: &S::Op) -> Frame {
+    let mut payload = Vec::new();
+    S::encode_op(op, &mut payload);
+    Frame {
+        kind: KIND_REQUEST,
+        client,
+        seq,
+        key,
+        payload,
+    }
+}
+
+/// Encode the response frame answering `req` (the worker side).
+pub fn response_frame<S: WireCodec>(req: &Frame, resp: &S::Resp) -> Frame {
+    let mut payload = Vec::new();
+    S::encode_resp(resp, &mut payload);
+    Frame {
+        kind: KIND_RESPONSE,
+        client: req.client,
+        seq: req.seq,
+        key: req.key,
+        payload,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_ops<S: WireCodec>(ops: &[S::Op])
+    where
+        S::Op: PartialEq + std::fmt::Debug,
+    {
+        for op in ops {
+            let mut buf = Vec::new();
+            S::encode_op(op, &mut buf);
+            assert_eq!(&S::decode_op(&buf).unwrap(), op);
+        }
+    }
+
+    fn roundtrip_resps<S: WireCodec>(resps: &[S::Resp])
+    where
+        S::Resp: PartialEq + std::fmt::Debug,
+    {
+        for resp in resps {
+            let mut buf = Vec::new();
+            S::encode_resp(resp, &mut buf);
+            assert_eq!(&S::decode_resp(&buf).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn codecs_round_trip() {
+        roundtrip_ops::<CounterSpec>(&[CounterOp::Inc, CounterOp::Add(u64::MAX), CounterOp::Read]);
+        roundtrip_resps::<CounterSpec>(&[0, 1, u64::MAX]);
+        roundtrip_ops::<StickySpec>(&[StickyOp::Jam(true), StickyOp::Jam(false), StickyOp::Read]);
+        roundtrip_resps::<StickySpec>(&[
+            StickyResp::Success,
+            StickyResp::Fail,
+            StickyResp::Value(Tri::Undef),
+            StickyResp::Value(Tri::One),
+            StickyResp::Flushed,
+        ]);
+        roundtrip_ops::<JamWordSpec>(&[JamWordOp::Jam(7), JamWordOp::Read]);
+        roundtrip_resps::<JamWordSpec>(&[
+            JamWordResp::Jam {
+                won: true,
+                value: 7,
+            },
+            JamWordResp::Value(None),
+            JamWordResp::Value(Some(9)),
+        ]);
+    }
+
+    #[test]
+    fn malformed_payloads_error_cleanly() {
+        assert!(CounterSpec::decode_op(&[]).is_err());
+        assert!(CounterSpec::decode_op(&[9]).is_err());
+        assert!(CounterSpec::decode_op(&[1, 0, 0]).is_err()); // short add
+        assert!(StickySpec::decode_op(&[0, 7]).is_err()); // bad bit
+        assert!(JamWordSpec::decode_resp(&[0, 1]).is_err()); // short value
+    }
+
+    #[test]
+    fn frames_survive_arbitrary_chunking() {
+        let frames = vec![
+            request_frame::<CounterSpec>(0, 1, 42, &CounterOp::Inc),
+            request_frame::<CounterSpec>(3, 2, 7, &CounterOp::Add(5)),
+            response_frame::<CounterSpec>(
+                &request_frame::<CounterSpec>(3, 2, 7, &CounterOp::Read),
+                &12,
+            ),
+        ];
+        let mut stream = Vec::new();
+        for f in &frames {
+            f.encode(&mut stream);
+        }
+        // Feed the stream in every chunk size from 1 to whole-buffer.
+        for chunk in 1..=stream.len() {
+            let mut dec = FrameDecoder::new();
+            let mut got = Vec::new();
+            for piece in stream.chunks(chunk) {
+                dec.push(piece);
+                while let Some(f) = dec.next_frame().unwrap() {
+                    got.push(f);
+                }
+            }
+            assert_eq!(got, frames, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn truncated_header_is_an_error() {
+        let mut dec = FrameDecoder::new();
+        dec.push(&3u32.to_le_bytes()); // claims 3 bytes: shorter than a header
+        dec.push(&[0, 0, 0]);
+        assert!(dec.next_frame().is_err());
+    }
+}

@@ -1,0 +1,112 @@
+//! Sequential specification of the Figure 2 `Jam` word: a multi-valued
+//! sticky register.
+//!
+//! This used to live in `sbu-stress`; it moved here so the sequential
+//! model is available to every consumer of the spec crate (the torture
+//! workloads, the scenario matrix, and the service wire codec) without a
+//! dependency on the harness. The value domain is `u64` — the same width
+//! as `sbu_mem::Word` — so no information is lost either way.
+
+use crate::SequentialSpec;
+
+/// Sequential specification of the Figure 2 `Jam` word: a multi-valued
+/// sticky register. `Jam(v)` sticks the first value forever; later jams
+/// succeed iff they agree (and always learn the stuck value).
+///
+/// ```
+/// use sbu_spec::{SequentialSpec, specs::{JamWordSpec, JamWordOp, JamWordResp}};
+/// let mut w = JamWordSpec::new();
+/// assert_eq!(w.apply(&JamWordOp::Jam(7)), JamWordResp::Jam { won: true, value: 7 });
+/// assert_eq!(w.apply(&JamWordOp::Jam(9)), JamWordResp::Jam { won: false, value: 7 });
+/// assert_eq!(w.apply(&JamWordOp::Read), JamWordResp::Value(Some(7)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct JamWordSpec {
+    value: Option<u64>,
+}
+
+/// Commands accepted by [`JamWordSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JamWordOp {
+    /// Stick `v` if the word is still `⊥`.
+    Jam(u64),
+    /// Return the current value (`None` = `⊥`).
+    Read,
+}
+
+/// Responses produced by [`JamWordSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JamWordResp {
+    /// Outcome of a jam: whether it stuck, and the word's (final) value.
+    Jam {
+        /// `true` iff the final value equals the jammed value.
+        won: bool,
+        /// The value the word holds after the jam.
+        value: u64,
+    },
+    /// The current value (`None` = `⊥`).
+    Value(Option<u64>),
+}
+
+impl JamWordSpec {
+    /// A word holding `⊥`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current value (`None` = `⊥`).
+    pub fn value(&self) -> Option<u64> {
+        self.value
+    }
+}
+
+impl SequentialSpec for JamWordSpec {
+    type Op = JamWordOp;
+    type Resp = JamWordResp;
+
+    fn apply(&mut self, op: &JamWordOp) -> JamWordResp {
+        match *op {
+            JamWordOp::Jam(v) => {
+                let value = *self.value.get_or_insert(v);
+                JamWordResp::Jam {
+                    won: value == v,
+                    value,
+                }
+            }
+            JamWordOp::Read => JamWordResp::Value(self.value),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_jam_sticks_forever() {
+        let mut w = JamWordSpec::new();
+        assert_eq!(w.apply(&JamWordOp::Read), JamWordResp::Value(None));
+        assert_eq!(
+            w.apply(&JamWordOp::Jam(3)),
+            JamWordResp::Jam {
+                won: true,
+                value: 3
+            }
+        );
+        assert_eq!(
+            w.apply(&JamWordOp::Jam(5)),
+            JamWordResp::Jam {
+                won: false,
+                value: 3
+            }
+        );
+        assert_eq!(
+            w.apply(&JamWordOp::Jam(3)),
+            JamWordResp::Jam {
+                won: true,
+                value: 3
+            }
+        );
+        assert_eq!(w.value(), Some(3));
+    }
+}

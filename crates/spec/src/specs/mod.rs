@@ -10,6 +10,7 @@ mod bank;
 mod cas;
 mod counter;
 mod deque;
+mod jam;
 mod kv;
 mod pqueue;
 mod queue;
@@ -23,6 +24,7 @@ pub use bank::{BankOp, BankResp, BankSpec};
 pub use cas::{CasOp, CasResp, CasSpec};
 pub use counter::{CounterOp, CounterSpec};
 pub use deque::{DequeOp, DequeResp, DequeSpec};
+pub use jam::{JamWordOp, JamWordResp, JamWordSpec};
 pub use kv::{KvOp, KvResp, KvSpec};
 pub use pqueue::{PqOp, PqResp, PriorityQueueSpec};
 pub use queue::{QueueOp, QueueResp, QueueSpec};

@@ -50,4 +50,4 @@ pub use crash::{
 pub use harness::{torture, ContentionProfile, StressConfig, StressObject, TortureReport};
 pub use inject::{Inject, TornMem};
 pub use verdict::{ExitAccumulator, ExitStatus};
-pub use workloads::{jam_value_for, run_lock_based_jam, run_workload, Workload};
+pub use workloads::{jam_value_for, run_jam_backoff, run_lock_based_jam, run_workload, Workload};

@@ -88,61 +88,11 @@ impl std::fmt::Display for Workload {
     }
 }
 
-/// Sequential specification of the Figure 2 `Jam` word: a multi-valued
-/// sticky register. `Jam(v)` sticks the first value forever; later jams
-/// succeed iff they agree (and always learn the stuck value).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-pub struct JamWordSpec {
-    value: Option<Word>,
-}
-
-/// Commands accepted by [`JamWordSpec`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum JamWordOp {
-    /// Stick `v` if the word is still `⊥`.
-    Jam(Word),
-    /// Return the current value (`None` = `⊥`).
-    Read,
-}
-
-/// Responses produced by [`JamWordSpec`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum JamWordResp {
-    /// Outcome of a jam: whether it stuck, and the word's (final) value.
-    Jam {
-        /// `true` iff the final value equals the jammed value.
-        won: bool,
-        /// The value the word holds after the jam.
-        value: Word,
-    },
-    /// The current value (`None` = `⊥`).
-    Value(Option<Word>),
-}
-
-impl JamWordSpec {
-    /// A word holding `⊥`.
-    pub fn new() -> Self {
-        Self::default()
-    }
-}
-
-impl SequentialSpec for JamWordSpec {
-    type Op = JamWordOp;
-    type Resp = JamWordResp;
-
-    fn apply(&mut self, op: &JamWordOp) -> JamWordResp {
-        match *op {
-            JamWordOp::Jam(v) => {
-                let value = *self.value.get_or_insert(v);
-                JamWordResp::Jam {
-                    won: value == v,
-                    value,
-                }
-            }
-            JamWordOp::Read => JamWordResp::Value(self.value),
-        }
-    }
-}
+// The Figure 2 `Jam` word's sequential model now lives in `sbu-spec`
+// (the service wire codec needs it without a harness dependency); the
+// re-export keeps every existing `sbu_stress::workloads::JamWordSpec`
+// path working.
+pub use sbu_spec::specs::{JamWordOp, JamWordResp, JamWordSpec};
 
 /// Sequential specification of leader election: the first `Elect` wins and
 /// every later one observes the same winner.
@@ -224,6 +174,73 @@ fn gen_sticky_op(rng: &mut rand::rngs::SmallRng) -> StickyOp {
     }
 }
 
+/// The `Workload::Jam` body, parameterized over the candidate-switch
+/// backoff cap (`None` = the paper-verbatim loop). Shared by
+/// [`run_workload`] and the tuned arm [`run_jam_backoff`].
+fn run_jam_inner(
+    cfg: &StressConfig,
+    registry: &sbu_obs::Registry,
+    backoff_limit: Option<u32>,
+) -> TortureReport {
+    let mut mem = NativeMem::<()>::new();
+    mem.attach_obs(registry);
+    let words: Vec<JamWord> = (0..cfg.objects)
+        .map(|_| {
+            let word = JamWord::new(&mut mem, cfg.threads, 8).with_obs(registry);
+            match backoff_limit {
+                Some(limit) => word.with_backoff_limit(limit),
+                None => word,
+            }
+        })
+        .collect();
+    let mem = &mem;
+    let objects: Vec<StressObject<'_, JamWordSpec>> = words
+        .iter()
+        .map(|w| StressObject {
+            init: JamWordSpec::new(),
+            exec: Box::new(move |pid, op| match *op {
+                JamWordOp::Jam(v) => {
+                    let (outcome, value) = w.jam(mem, pid, v);
+                    JamWordResp::Jam {
+                        won: outcome.is_success(),
+                        value,
+                    }
+                }
+                JamWordOp::Read => JamWordResp::Value(w.read(mem, pid)),
+            }),
+        })
+        .collect();
+    // One fixed value per (thread, object): Figure 2's announcement
+    // register `v_i` is single-writer per word, so a thread that
+    // re-jams a *different* value would clobber its own announcement
+    // while helpers are scanning it. Distinct threads still disagree,
+    // which is the race the helping protocol exists for.
+    torture(
+        cfg,
+        |pid| mem.op_invoke(pid),
+        objects,
+        |rng, pid, obj| {
+            if rng.gen_bool(0.6) {
+                JamWordOp::Jam(jam_value_for(pid, obj))
+            } else {
+                JamWordOp::Read
+            }
+        },
+    )
+}
+
+/// [`Workload::Jam`] with the candidate-switch backoff capped at
+/// `backoff_limit` (the E10 tuning knob: a failed bit jam spins locally
+/// before rescanning candidates, shaving shared-word traffic at 4–8
+/// threads; the shared-memory step sequence is unchanged, so the monitor
+/// checks it exactly like the stock arm).
+pub fn run_jam_backoff(cfg: &StressConfig, backoff_limit: u32) -> TortureReport {
+    let registry = sbu_obs::Registry::new(cfg.threads);
+    let mut report = run_jam_inner(cfg, &registry, Some(backoff_limit));
+    report.metrics = registry.snapshot();
+    report
+}
+
 /// Run `workload` under `cfg`, optionally with sticky-bit fault injection.
 ///
 /// # Panics
@@ -260,47 +277,7 @@ pub fn run_workload(workload: Workload, cfg: &StressConfig, inject: Inject) -> T
                 |rng, _, _| gen_sticky_op(rng),
             )
         }
-        Workload::Jam => {
-            let mut mem = NativeMem::<()>::new();
-            mem.attach_obs(&registry);
-            let words: Vec<JamWord> = (0..cfg.objects)
-                .map(|_| JamWord::new(&mut mem, cfg.threads, 8).with_obs(&registry))
-                .collect();
-            let mem = &mem;
-            let objects: Vec<StressObject<'_, JamWordSpec>> = words
-                .iter()
-                .map(|w| StressObject {
-                    init: JamWordSpec::new(),
-                    exec: Box::new(move |pid, op| match *op {
-                        JamWordOp::Jam(v) => {
-                            let (outcome, value) = w.jam(mem, pid, v);
-                            JamWordResp::Jam {
-                                won: outcome.is_success(),
-                                value,
-                            }
-                        }
-                        JamWordOp::Read => JamWordResp::Value(w.read(mem, pid)),
-                    }),
-                })
-                .collect();
-            // One fixed value per (thread, object): Figure 2's announcement
-            // register `v_i` is single-writer per word, so a thread that
-            // re-jams a *different* value would clobber its own announcement
-            // while helpers are scanning it. Distinct threads still disagree,
-            // which is the race the helping protocol exists for.
-            torture(
-                cfg,
-                |pid| mem.op_invoke(pid),
-                objects,
-                |rng, pid, obj| {
-                    if rng.gen_bool(0.6) {
-                        JamWordOp::Jam(jam_value_for(pid, obj))
-                    } else {
-                        JamWordOp::Read
-                    }
-                },
-            )
-        }
+        Workload::Jam => run_jam_inner(cfg, &registry, None),
         Workload::Election => {
             let mut mem = NativeMem::<()>::new();
             mem.attach_obs(&registry);

@@ -1,0 +1,107 @@
+//! Drive the sharded object-space service with a synthetic workload.
+//!
+//! Thin CLI over `sbu_service::loadgen` (the same engine `exp e12` sweeps):
+//!
+//! ```text
+//! cargo run --release --example service_loadgen -- --clients 8 --shards 8
+//! cargo run --release --example service_loadgen -- --skew zipf:0.99 --mode open
+//! cargo run --release --example service_loadgen -- --ops 50000 --keys 4096 --seed 7
+//! ```
+//!
+//! Prints one human table plus the per-shard breakdown; add `--features
+//! obs` for the `service.*` instrument table. The workload is a seeded
+//! 75/25 increment/read counter mix — the same mix E12 measures.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use sbu_service::{LoadgenConfig, LoopMode, Skew};
+use sbu_spec::specs::{CounterOp, CounterSpec};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: service_loadgen [--clients N] [--workers N] [--shards N (power of two)]\n\
+         [--ops N (per client)] [--keys N] [--seed N] [--skew uniform|zipf:THETA]\n\
+         [--mode closed|open] [--no-timing]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut config = LoadgenConfig {
+        clients: 4,
+        workers: 4,
+        shards: 8,
+        ops_per_client: 10_000,
+        keys: 1024,
+        ..Default::default()
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut at = 0;
+    while at < args.len() {
+        let flag = args[at].as_str();
+        if flag == "--no-timing" {
+            config.timing = false;
+            at += 1;
+            continue;
+        }
+        let Some(value) = args.get(at + 1) else {
+            eprintln!("{flag} needs an argument");
+            return usage();
+        };
+        at += 2;
+        let num: Option<usize> = value.parse().ok();
+        match (flag, num) {
+            ("--clients", Some(n)) => config.clients = n,
+            ("--workers", Some(n)) => config.workers = n,
+            ("--shards", Some(n)) => config.shards = n,
+            ("--ops", Some(n)) => config.ops_per_client = n,
+            ("--keys", Some(n)) => config.keys = n,
+            ("--seed", Some(n)) => config.seed = n as u64,
+            ("--mode", _) => match value.as_str() {
+                "closed" => config.mode = LoopMode::Closed,
+                "open" => config.mode = LoopMode::Open,
+                _ => return usage(),
+            },
+            ("--skew", _) => match value.as_str() {
+                "uniform" => config.skew = Skew::Uniform,
+                z if z.starts_with("zipf:") => match z["zipf:".len()..].parse() {
+                    Ok(theta) => config.skew = Skew::Zipf(theta),
+                    Err(_) => return usage(),
+                },
+                _ => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    if !config.shards.is_power_of_two() {
+        eprintln!("--shards must be a power of two");
+        return usage();
+    }
+
+    let mix = |rng: &mut SmallRng| {
+        if rng.gen_bool(0.25) {
+            CounterOp::Read
+        } else {
+            CounterOp::Inc
+        }
+    };
+    println!("{config:#?}");
+    let report = sbu_service::loadgen::run(&config, CounterSpec::new(), mix);
+    println!(
+        "\ncompleted {} ops in {:.3}s  ({:.0} ops/sec)",
+        report.ops, report.elapsed_secs, report.ops_per_sec
+    );
+    println!(
+        "shard imbalance: hottest shard at {:.2}x the balanced share",
+        report.imbalance
+    );
+    println!("\nshard   ops       keys");
+    for s in &report.shards {
+        println!("{:<7} {:<9} {}", s.shard, s.ops, s.keys);
+    }
+    if !report.metrics.is_empty() {
+        println!("{}", report.metrics.render_table("service instruments"));
+    }
+    ExitCode::SUCCESS
+}

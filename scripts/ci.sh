@@ -34,7 +34,8 @@ cargo test --quiet --workspace --offline
 
 step "obs-enabled tests (instrumented crates; same suites, metrics live)"
 cargo test --quiet --offline --features obs \
-    -p sbu-obs -p sbu-mem -p sbu-sticky -p sbu-core -p sbu-stress -p sbu-scenario -p sbu-bench
+    -p sbu-obs -p sbu-mem -p sbu-sticky -p sbu-core -p sbu-stress -p sbu-scenario \
+    -p sbu-service -p sbu-bench
 cargo test --quiet --offline --features obs
 
 step "schedule-corpus replay"
@@ -100,6 +101,17 @@ if [[ -f benchmarks/BENCH_e8_baseline.json ]]; then
 else
     echo "benchmarks/BENCH_e8_baseline.json absent; perf smoke skipped"
 fi
+
+step "service unit tests (dark config; the obs config ran in the obs-enabled block above)"
+cargo test --quiet --offline -p sbu-service
+
+step "service throughput smoke (exp e12 --smoke: 4 shards must not lose to 1 shard at 4 clients)"
+rm -f OBS_e12.json
+cargo run --release --quiet --offline --features obs -p sbu-bench --bin exp -- e12 --smoke >/dev/null
+grep -Eq '"service\.route": [1-9]' OBS_e12.json || {
+    echo "OBS_e12.json missing a non-zero service.route counter" >&2
+    exit 1
+}
 
 step "observability smoke (obs-enabled exp e8 must fire the frontier instruments)"
 rm -f OBS_e8.json
